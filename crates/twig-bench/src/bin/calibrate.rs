@@ -1,0 +1,59 @@
+//! Calibration probe: per-app baseline characteristics vs paper targets.
+//!
+//! Usage: `cargo run --release -p twig-bench --bin calibrate [instructions]`
+
+use twig_sim::{PlainBtb, SimConfig, Simulator};
+use twig_workload::{AppId, InputConfig, ProgramGenerator, Walker, WorkingSet, WorkloadSpec};
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    println!(
+        "{:<16} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "app", "footMB", "MPKI", "IPC", "FE%", "idealBTB", "idealI$", "uncondWS", "takenWS"
+    );
+    for app in AppId::ALL {
+        let t0 = std::time::Instant::now();
+        let spec = WorkloadSpec::preset(app);
+        let program = ProgramGenerator::new(spec.clone()).generate();
+        let config = SimConfig::paper_baseline(spec.backend_extra_cpki);
+        // Working set measurement on the same event stream.
+        let events: Vec<_> =
+            Walker::new(&program, InputConfig::numbered(0)).run_instructions(budget);
+        let mut ws = WorkingSet::new();
+        for ev in &events {
+            ws.observe(&program, ev);
+        }
+        let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+        let stats = sim.run(events.iter().copied(), budget);
+        let ideal_cfg = SimConfig {
+            ideal_btb: true,
+            ..config
+        };
+        let mut ideal_sim = Simulator::new(&program, ideal_cfg, PlainBtb::new(&ideal_cfg));
+        let ideal = ideal_sim.run(events.iter().copied(), budget);
+        let speedup = (ideal.ipc() / stats.ipc() - 1.0) * 100.0;
+        let ic_cfg = SimConfig {
+            ideal_icache: true,
+            ..config
+        };
+        let mut ic_sim = Simulator::new(&program, ic_cfg, PlainBtb::new(&ic_cfg));
+        let ic = ic_sim.run(events.iter().copied(), budget);
+        let ic_speedup = (ic.ipc() / stats.ipc() - 1.0) * 100.0;
+        let _ = t0;
+        println!(
+            "{:<16} {:>9.2} {:>7.1} {:>7.2} {:>8.1} {:>8.1} {:>8.1} {:>9} {:>9}",
+            spec.name,
+            ws.instruction_bytes(&program) as f64 / (1 << 20) as f64,
+            stats.btb_mpki(),
+            stats.ipc(),
+            stats.topdown.frontend_fraction() * 100.0,
+            speedup,
+            ic_speedup,
+            ws.unconditional_branch_sites(),
+            ws.taken_branch_sites(),
+        );
+    }
+}

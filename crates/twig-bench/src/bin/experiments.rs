@@ -1,0 +1,69 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>...|all [--instructions N] [--sweep-instructions N]
+//! ```
+//!
+//! Reports print to stdout and are also written to `results/<id>.txt`.
+
+use std::io::Write;
+
+use twig_bench::{run_experiment, ExpContext, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut ctx = ExpContext::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instructions" => {
+                ctx.instructions = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--instructions needs a number");
+            }
+            "--sweep-instructions" => {
+                ctx.sweep_instructions = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sweep-instructions needs a number");
+            }
+            "--results-dir" => {
+                ctx.results_dir = args.next().expect("--results-dir needs a path").into();
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments <id>...|all [--instructions N] \
+                     [--sweep-instructions N] [--results-dir DIR]\n\
+                     ids: {}",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("no experiment ids given; try `experiments all` or --help");
+        std::process::exit(2);
+    }
+    std::fs::create_dir_all(&ctx.results_dir).expect("create results dir");
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id, &ctx) {
+            Ok(report) => {
+                println!("==== {id} ({:.1}s) ====", started.elapsed().as_secs_f64());
+                println!("{report}");
+                let path = ctx.results_dir.join(format!("{id}.txt"));
+                let mut f = std::fs::File::create(&path).expect("create report file");
+                f.write_all(report.as_bytes()).expect("write report");
+            }
+            Err(e) => {
+                eprintln!("{id}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Headline probe: Twig vs ideal BTB vs Shotgun per app (Fig. 16/17/19 shape).
+use twig::{TwigConfig, TwigOptimizer};
+use twig_prefetchers::Shotgun;
+use twig_sim::{SimConfig, Simulator, speedup_percent};
+use twig_workload::{AppId, InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+
+fn main() {
+    let budget: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    println!("{:<16} {:>7} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "twig%", "ideal%", "%ofIdeal", "shot%", "cov%", "acc%", "statOH%", "dynOH%", "plans");
+    let optimizer = TwigOptimizer::new(TwigConfig::default());
+    let (mut tw, mut id, mut sh, mut cov, mut acc) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for app in AppId::ALL {
+        let spec = WorkloadSpec::preset(app);
+        let config = SimConfig::paper_baseline(spec.backend_extra_cpki);
+        let generator = ProgramGenerator::new(spec.clone());
+        let program = generator.generate();
+        let profile = optimizer.collect_profile(&program, config, InputConfig::numbered(0), budget);
+        let plans = optimizer.analyze_for(&profile, &program);
+        let optimized = optimizer.rewrite(&generator, &plans);
+        let report = optimizer.evaluate(&program, &optimized, config, InputConfig::numbered(1), budget);
+        // Shotgun on the same test events.
+        let events = Walker::new(&program, InputConfig::numbered(1)).run_instructions(budget);
+        let mut shot_sim = Simulator::new(&program, config, Shotgun::new(&config));
+        let shot = shot_sim.run(events.iter().copied(), budget);
+        let shot_pct = speedup_percent(&report.baseline, &shot);
+        println!("{:<16} {:>7.1} {:>8.1} {:>8.1} {:>8.1} {:>7.1} {:>7.1} {:>7.2} {:>7.2} {:>7}",
+            spec.name, report.speedup_percent, report.ideal_speedup_percent,
+            report.pct_of_ideal * 100.0, shot_pct,
+            report.coverage * 100.0, report.accuracy * 100.0,
+            optimized.rewrite.static_overhead() * 100.0,
+            report.dynamic_overhead * 100.0,
+            plans.len());
+        tw += report.speedup_percent; id += report.ideal_speedup_percent;
+        sh += shot_pct; cov += report.coverage; acc += report.accuracy;
+    }
+    println!("MEAN twig {:.1}% ideal {:.1}% shotgun {:.1}% cov {:.1}% acc {:.1}%",
+        tw / 9.0, id / 9.0, sh / 9.0, cov / 9.0 * 100.0, acc / 9.0 * 100.0);
+}

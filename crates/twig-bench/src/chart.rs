@@ -1,0 +1,160 @@
+//! Minimal ASCII chart rendering for the regenerated figures.
+//!
+//! The paper's artifacts are bar charts and line plots; the harness prints
+//! exact numbers in tables, and these helpers add a visual rendering so a
+//! `results/*.txt` file reads like the figure it reproduces.
+
+/// Renders a horizontal bar chart: one labelled bar per `(label, value)`.
+///
+/// Values may be negative (drawn to the left of the axis). Bars are scaled
+/// to `width` characters for the largest magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use twig_bench::chart::bar_chart;
+///
+/// let out = bar_chart(&[("a".into(), 10.0), ("b".into(), -5.0)], 20, "%");
+/// assert!(out.contains('█'));
+/// assert!(out.lines().count() >= 2);
+/// ```
+pub fn bar_chart(rows: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max_mag = rows
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let chars = ((value.abs() / max_mag) * width as f64).round() as usize;
+        let bar: String = std::iter::repeat_n('█', chars).collect();
+        if *value < 0.0 {
+            out.push_str(&format!(
+                "{label:<label_width$} {bar:>width$}▏{value:>8.2}{unit}\n",
+            ));
+        } else {
+            out.push_str(&format!(
+                "{label:<label_width$} {empty:>width$}▕{bar} {value:.2}{unit}\n",
+                empty = ""
+            ));
+        }
+    }
+    out
+}
+
+/// Renders grouped bars: for each row, one bar per series, prefixed with
+/// the series name. A compact textual stand-in for the paper's grouped bar
+/// figures.
+pub fn grouped_bar_chart(
+    series: &[&str],
+    rows: &[(String, Vec<f64>)],
+    width: usize,
+    unit: &str,
+) -> String {
+    let mut flat = Vec::new();
+    for (label, values) in rows {
+        for (s, v) in series.iter().zip(values) {
+            flat.push((format!("{label} · {s}"), *v));
+        }
+    }
+    bar_chart(&flat, width, unit)
+}
+
+/// Renders a simple line plot of `(x, y)` points on a character grid.
+///
+/// X positions are spread evenly (categorical axis, like the paper's
+/// parameter sweeps); Y is scaled to the value range.
+///
+/// # Examples
+///
+/// ```
+/// use twig_bench::chart::line_plot;
+///
+/// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)];
+/// let out = line_plot(&pts, 30, 8);
+/// assert!(out.contains('●'));
+/// ```
+pub fn line_plot(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let (y_min, y_max) = points.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+        (lo.min(y), hi.max(y))
+    });
+    let span = (y_max - y_min).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; width]; height];
+    for (i, &(_, y)) in points.iter().enumerate() {
+        let col = if points.len() == 1 {
+            0
+        } else {
+            i * (width - 1) / (points.len() - 1)
+        };
+        let row = ((y - y_min) / span * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = '●';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>9.1} ┐\n"));
+    for line in &grid {
+        out.push_str("          │");
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>9.1} ┴{}\n", "─".repeat(width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let out = bar_chart(
+            &[("big".into(), 100.0), ("half".into(), 50.0)],
+            40,
+            "",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let count = |s: &str| s.matches('█').count();
+        assert_eq!(count(lines[0]), 40);
+        assert_eq!(count(lines[1]), 20);
+    }
+
+    #[test]
+    fn negative_bars_point_left() {
+        let out = bar_chart(&[("neg".into(), -10.0), ("pos".into(), 10.0)], 10, "%");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains('▏'));
+        assert!(lines[1].contains('▕'));
+    }
+
+    #[test]
+    fn grouped_chart_has_one_bar_per_cell() {
+        let out = grouped_bar_chart(
+            &["twig", "shotgun"],
+            &[("app1".into(), vec![5.0, 1.0]), ("app2".into(), vec![4.0, 2.0])],
+            10,
+            "%",
+        );
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("app1 · twig"));
+        assert!(out.contains("app2 · shotgun"));
+    }
+
+    #[test]
+    fn line_plot_spans_the_range() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let out = line_plot(&pts, 40, 10);
+        assert_eq!(out.matches('●').count(), 10);
+        assert!(out.contains("81.0"));
+        assert!(out.contains("0.0"));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(line_plot(&[], 10, 5), "");
+        let _ = line_plot(&[(0.0, 3.0)], 10, 5);
+        let _ = bar_chart(&[("zero".into(), 0.0)], 10, "");
+    }
+}

@@ -1,0 +1,6 @@
+//! One module per experiment group; see DESIGN.md §4 for the index.
+
+pub mod characterization;
+pub mod extensions;
+pub mod sensitivity;
+pub mod twig_results;

@@ -1,0 +1,342 @@
+//! §4.2 main results: Figs. 13–22 and Tables 2–3.
+
+use twig::{MeanStd, OffsetCdf, TwigConfig, TwigOptimizer};
+use twig_sim::speedup_percent;
+use twig_workload::{AppId, InputConfig};
+
+use crate::runner::{for_all_apps, headline, table, AppSetup, ExpContext};
+
+/// Fig. 13: worked example of injection-site selection, on real profile
+/// data from the smallest application.
+pub fn fig13(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 13 — injection-site selection example (conditional probability)\n",
+    );
+    let setup = AppSetup::new(AppId::Tomcat);
+    let optimizer = TwigOptimizer::new(TwigConfig::default());
+    let profile = optimizer.collect_profile(
+        &setup.program,
+        setup.sim_config,
+        InputConfig::numbered(0),
+        ctx.sweep_instructions,
+    );
+    let plans = optimizer.analyze_for(&profile, &setup.program);
+    out.push_str(&format!(
+        "profile: {} samples over {} distinct miss branches; {} plans\n\n",
+        profile.num_samples(),
+        profile.miss_histogram().len(),
+        plans.len()
+    ));
+    out.push_str("hottest planned miss branches (site <- P(miss|site), covered):\n");
+    for plan in plans.iter().take(8) {
+        out.push_str(&format!(
+            "  miss {} ({} samples):",
+            plan.branch_block, plan.total_samples
+        ));
+        for s in &plan.sites {
+            out.push_str(&format!(
+                "  {} (P={:.2}, covers {})",
+                s.site, s.conditional_prob, s.covered_samples
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figs. 14–15: CDFs of the two compressed offsets across all planned
+/// prefetch pairs, weighted by covered samples.
+fn offset_cdfs(ctx: &ExpContext, which: usize) -> String {
+    let budget = ctx.sweep_instructions;
+    let mut out = String::new();
+    let rows = for_all_apps(|app| {
+        let setup = AppSetup::new(app);
+        let optimizer = TwigOptimizer::new(TwigConfig::default());
+        let profile = optimizer.collect_profile(
+            &setup.program,
+            setup.sim_config,
+            InputConfig::numbered(0),
+            budget,
+        );
+        let plans = optimizer.analyze_for(&profile, &setup.program);
+        let mut cdf = OffsetCdf::new();
+        for plan in &plans {
+            for site in &plan.sites {
+                if let Some(offsets) =
+                    twig::offsets(&setup.program, site.site, plan.branch_block)
+                {
+                    let v = if which == 0 { offsets.0 } else { offsets.1 };
+                    cdf.record(v, site.covered_samples);
+                }
+            }
+        }
+        [8u32, 12, 16, 20, 24, 32]
+            .iter()
+            .map(|&b| cdf.coverage_at(b) * 100.0)
+            .collect::<Vec<f64>>()
+    });
+    out.push_str(&table(
+        &["<=8b%", "<=12b%", "<=16b%", "<=20b%", "<=24b%", "<=32b%"],
+        &rows,
+    ));
+    out
+}
+
+/// Fig. 14: CDF of prefetch-to-branch offsets.
+pub fn fig14(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 14 — prefetch-to-branch offset CDF (paper: ~80% within 12 bits)\n",
+    );
+    out.push_str(&offset_cdfs(ctx, 0));
+    out
+}
+
+/// Fig. 15: CDF of branch-to-target offsets.
+pub fn fig15(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 15 — branch-to-target offset CDF (paper: ~80% within 12 bits,\n\
+         verilator needing more)\n",
+    );
+    out.push_str(&offset_cdfs(ctx, 1));
+    out
+}
+
+/// Fig. 16: headline speedups — Twig vs ideal BTB vs Shotgun vs 32K BTB.
+pub fn fig16(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 16 — speedup over FDIP (paper: Twig +20.86% avg, ideal +31%,\n\
+         Shotgun +1%, Twig beats a 32K-entry BTB on average)\n",
+    );
+    let rows = headline(ctx)
+        .iter()
+        .map(|row| {
+            (
+                row.app,
+                vec![
+                    row.twig_speedup(),
+                    row.ideal_speedup(),
+                    speedup_percent(&row.baseline, &row.shotgun),
+                    speedup_percent(&row.baseline, &row.btb32k),
+                ],
+            )
+        })
+        .collect::<Vec<_>>();
+    out.push_str(&table(&["twig%", "idealBTB%", "shotgun%", "32K-BTB%"], &rows));
+    out.push('\n');
+    let bars: Vec<(String, f64)> = rows
+        .iter()
+        .map(|(app, v)| (app.name().to_owned(), v[0]))
+        .collect();
+    out.push_str("Twig speedup per application:\n");
+    out.push_str(&crate::chart::bar_chart(&bars, 48, "%"));
+    out
+}
+
+/// Fig. 17: baseline-relative BTB miss coverage.
+pub fn fig17(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 17 — BTB miss coverage vs baseline (paper: Twig 65.4% avg,\n\
+         Twig >> Shotgun > Confluence)\n",
+    );
+    let rows = headline(ctx)
+        .iter()
+        .map(|row| {
+            (
+                row.app,
+                vec![
+                    row.coverage(&row.twig) * 100.0,
+                    row.coverage(&row.shotgun) * 100.0,
+                    row.coverage(&row.confluence) * 100.0,
+                ],
+            )
+        })
+        .collect::<Vec<_>>();
+    out.push_str(&table(&["twig%", "shotgun%", "confluence%"], &rows));
+    out
+}
+
+/// Fig. 18: contribution split — software prefetching vs coalescing.
+pub fn fig18(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 18 — contribution of software prefetching vs coalescing\n\
+         (paper: ~71% of the benefit from software prefetching alone)\n",
+    );
+    let rows = headline(ctx)
+        .iter()
+        .map(|row| {
+            let full = row.twig_speedup();
+            let sw = speedup_percent(&row.baseline, &row.twig_sw_only);
+            let share = if full > 0.0 {
+                (sw / full * 100.0).clamp(0.0, 100.0)
+            } else {
+                0.0
+            };
+            (row.app, vec![sw, full - sw, share])
+        })
+        .collect::<Vec<_>>();
+    out.push_str(&table(&["swOnly%", "+coalesce%", "swShare%"], &rows));
+    out
+}
+
+/// Fig. 19: prefetch accuracy.
+pub fn fig19(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 19 — prefetch accuracy (paper: Twig 31.3% avg, +12.3 over Shotgun)\n",
+    );
+    let rows = headline(ctx)
+        .iter()
+        .map(|row| {
+            (
+                row.app,
+                vec![
+                    row.twig.prefetch_accuracy() * 100.0,
+                    row.shotgun.prefetch_accuracy() * 100.0,
+                    row.confluence.prefetch_accuracy() * 100.0,
+                ],
+            )
+        })
+        .collect::<Vec<_>>();
+    out.push_str(&table(&["twig%", "shotgun%", "confluence%"], &rows));
+    out
+}
+
+/// Shared machinery for Fig. 20 / Table 2: per-input % of ideal-BTB
+/// speedup, for training-input profiles and same-input profiles.
+fn cross_input_matrix(ctx: &ExpContext) -> Vec<(AppId, Vec<f64>, Vec<f64>)> {
+    let budget = ctx.instructions;
+    for_all_apps(|app| {
+        let setup = AppSetup::new(app);
+        let optimizer = TwigOptimizer::new(TwigConfig::default());
+        // Trained once on input #0.
+        let profile0 = optimizer.collect_profile(
+            &setup.program,
+            setup.sim_config,
+            InputConfig::numbered(0),
+            budget,
+        );
+        let trained = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile0, &setup.program));
+        let mut training_pct = Vec::new();
+        let mut same_pct = Vec::new();
+        for input in 1..=3u32 {
+            let report = optimizer.evaluate(
+                &setup.program,
+                &trained,
+                setup.sim_config,
+                InputConfig::numbered(input),
+                budget,
+            );
+            training_pct.push(report.pct_of_ideal * 100.0);
+            // Same-input profile for comparison.
+            let profile_i = optimizer.collect_profile(
+                &setup.program,
+                setup.sim_config,
+                InputConfig::numbered(input),
+                budget,
+            );
+            let own = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile_i, &setup.program));
+            let own_report = optimizer.evaluate(
+                &setup.program,
+                &own,
+                setup.sim_config,
+                InputConfig::numbered(input),
+                budget,
+            );
+            same_pct.push(own_report.pct_of_ideal * 100.0);
+        }
+        (same_pct, training_pct)
+    })
+    .into_iter()
+    .map(|(app, (same, training))| (app, same, training))
+    .collect()
+}
+
+/// Fig. 20: Twig's speedup across inputs as % of ideal-BTB performance.
+pub fn fig20(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 20 — cross-input generalization, % of ideal-BTB speedup\n\
+         (training profile = input #0; paper: comparable to same-input)\n",
+    );
+    let matrix = cross_input_matrix(ctx);
+    let rows: Vec<(AppId, Vec<f64>)> = matrix
+        .iter()
+        .map(|(app, same, training)| {
+            let mut v = training.clone();
+            v.push(MeanStd::of(same).mean);
+            (*app, v)
+        })
+        .collect();
+    out.push_str(&table(&["train->1", "train->2", "train->3", "sameAvg"], &rows));
+    out
+}
+
+/// Table 2: averages and standard deviations of % of ideal across inputs.
+pub fn tab02(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Table 2 — % of ideal-BTB performance across inputs (avg ± std)\n",
+    );
+    out.push_str(&format!(
+        "{:<16} {:>22} {:>22}\n",
+        "app", "same-input profile", "training profile"
+    ));
+    for (app, same, training) in cross_input_matrix(ctx) {
+        out.push_str(&format!(
+            "{:<16} {:>22} {:>22}\n",
+            app.name(),
+            MeanStd::of(&same).to_string(),
+            MeanStd::of(&training).to_string(),
+        ));
+    }
+    out
+}
+
+/// Fig. 21: static instruction overhead.
+pub fn fig21(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 21 — static overhead, % extra bytes in the binary (paper: ~6% avg)\n",
+    );
+    let rows = headline(ctx)
+        .iter()
+        .map(|row| (row.app, vec![row.rewrite.static_overhead() * 100.0]))
+        .collect::<Vec<_>>();
+    out.push_str(&table(&["static%"], &rows));
+    out
+}
+
+/// Fig. 22: dynamic instruction overhead.
+pub fn fig22(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Fig. 22 — dynamic overhead, % extra executed instructions\n\
+         (paper: ~3% avg, verilator highest)\n",
+    );
+    let rows = headline(ctx)
+        .iter()
+        .map(|row| (row.app, vec![row.twig.dynamic_overhead() * 100.0]))
+        .collect::<Vec<_>>();
+    out.push_str(&table(&["dynamic%"], &rows));
+    out
+}
+
+/// Table 3: instruction working-set sizes and added bytes.
+pub fn tab03(ctx: &ExpContext) -> String {
+    let mut out = String::from(
+        "Table 3 — instruction working set and Twig's addition\n",
+    );
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14} {:>10}\n",
+        "app", "workingSetMB", "addedMB", "overhead%"
+    ));
+    for row in headline(ctx) {
+        let ws = row.working_set_bytes as f64 / (1 << 20) as f64;
+        let added = (row.working_set_bytes_twig - row.working_set_bytes.min(row.working_set_bytes_twig))
+            as f64
+            / (1 << 20) as f64;
+        out.push_str(&format!(
+            "{:<16} {:>14.2} {:>14.3} {:>10.2}\n",
+            row.app.name(),
+            ws,
+            added,
+            added / ws * 100.0,
+        ));
+    }
+    out
+}

@@ -1,0 +1,288 @@
+//! Shared experiment plumbing: per-app setup, parallel execution, and the
+//! lazily computed headline result matrix reused by Figs. 16–22 and
+//! Tables 2–3.
+
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use twig::{TwigConfig, TwigOptimizer};
+use twig_prefetchers::{Confluence, Shotgun};
+use twig_sim::{
+    speedup_percent, BtbSystem, PlainBtb, SimConfig, SimStats, Simulator,
+};
+use twig_workload::{
+    AppId, BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkingSet, WorkloadSpec,
+};
+
+/// Experiment context: instruction budget and output directory.
+#[derive(Clone, Debug)]
+pub struct ExpContext {
+    /// Instructions simulated per run for the main results.
+    pub instructions: u64,
+    /// Instructions for parameter sweeps (many configurations).
+    pub sweep_instructions: u64,
+    /// Output directory for report files.
+    pub results_dir: std::path::PathBuf,
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        ExpContext {
+            instructions: 2_000_000,
+            sweep_instructions: 1_000_000,
+            results_dir: "results".into(),
+        }
+    }
+}
+
+/// One application's prepared workload.
+pub struct AppSetup {
+    /// The workload spec.
+    pub spec: WorkloadSpec,
+    /// The generator (needed for re-layout during rewriting).
+    pub generator: ProgramGenerator,
+    /// The generated (original) binary.
+    pub program: Program,
+    /// The paper's Table 1 baseline config with this app's backend factor.
+    pub sim_config: SimConfig,
+}
+
+impl AppSetup {
+    /// Generates one application.
+    pub fn new(app: AppId) -> Self {
+        let spec = WorkloadSpec::preset(app);
+        let generator = ProgramGenerator::new(spec.clone());
+        let program = generator.generate();
+        let sim_config = SimConfig::paper_baseline(spec.backend_extra_cpki);
+        AppSetup {
+            spec,
+            generator,
+            program,
+            sim_config,
+        }
+    }
+
+    /// The walker's event stream for `input`, bounded by `instructions`.
+    pub fn events(&self, input: u32, instructions: u64) -> Vec<BlockEvent> {
+        Walker::new(&self.program, InputConfig::numbered(input)).run_instructions(instructions)
+    }
+
+    /// Runs one simulation with an arbitrary BTB system over given events.
+    pub fn run_system(
+        &self,
+        system: Box<dyn BtbSystem>,
+        config: SimConfig,
+        events: &[BlockEvent],
+        instructions: u64,
+    ) -> SimStats {
+        let mut sim = Simulator::new(&self.program, config, system);
+        sim.run(events.iter().copied(), instructions)
+    }
+}
+
+/// Runs `f` over all nine applications in parallel, preserving order.
+pub fn for_all_apps<T: Send>(f: impl Fn(AppId) -> T + Sync) -> Vec<(AppId, T)> {
+    let results: Mutex<Vec<(usize, AppId, T)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for (i, &app) in AppId::ALL.iter().enumerate() {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let value = f(app);
+                results.lock().push((i, app, value));
+            });
+        }
+    })
+    .expect("app worker panicked");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _, _)| *i);
+    v.into_iter().map(|(_, app, t)| (app, t)).collect()
+}
+
+/// The per-application headline result matrix shared by Figs. 16–22 and
+/// Tables 2–3: baseline / ideal / 32K BTB / Shotgun / Confluence / Twig
+/// (trained on input #0, tested on input #1), plus rewrite metadata.
+pub struct HeadlineRow {
+    /// The application.
+    pub app: AppId,
+    /// FDIP baseline.
+    pub baseline: SimStats,
+    /// Ideal BTB.
+    pub ideal: SimStats,
+    /// 32K-entry BTB (4-way), no prefetching.
+    pub btb32k: SimStats,
+    /// Shotgun.
+    pub shotgun: SimStats,
+    /// Confluence.
+    pub confluence: SimStats,
+    /// Twig (full).
+    pub twig: SimStats,
+    /// Twig without coalescing (Fig. 18 ablation).
+    pub twig_sw_only: SimStats,
+    /// Rewrite outcome of the full Twig binary.
+    pub rewrite: twig::RewriteOutcome,
+    /// Rewrite outcome of the software-only binary.
+    pub rewrite_sw_only: twig::RewriteOutcome,
+    /// Instruction working set (test input) of the original binary, bytes.
+    pub working_set_bytes: u64,
+    /// Instruction working set of the Twig binary, bytes.
+    pub working_set_bytes_twig: u64,
+}
+
+impl HeadlineRow {
+    /// Twig speedup over baseline, percent.
+    pub fn twig_speedup(&self) -> f64 {
+        speedup_percent(&self.baseline, &self.twig)
+    }
+
+    /// Ideal-BTB speedup over baseline, percent.
+    pub fn ideal_speedup(&self) -> f64 {
+        speedup_percent(&self.baseline, &self.ideal)
+    }
+
+    /// Baseline-relative miss coverage of a system run.
+    pub fn coverage(&self, system: &SimStats) -> f64 {
+        twig::baseline_relative_coverage(&self.baseline, system)
+    }
+}
+
+static HEADLINE: OnceLock<Vec<HeadlineRow>> = OnceLock::new();
+
+/// Computes (once per process) the headline matrix at the context's budget.
+pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
+    HEADLINE.get_or_init(|| {
+        let budget = ctx.instructions;
+        for_all_apps(|app| compute_headline_row(app, budget))
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect()
+    })
+}
+
+fn compute_headline_row(app: AppId, budget: u64) -> HeadlineRow {
+    let setup = AppSetup::new(app);
+    let config = setup.sim_config;
+    let optimizer = TwigOptimizer::new(TwigConfig::default());
+    let sw_only = TwigOptimizer::new(TwigConfig::software_prefetch_only());
+
+    // Profile on input #0, evaluate everything on input #1.
+    let profile =
+        optimizer.collect_profile(&setup.program, config, InputConfig::numbered(0), budget);
+    let plans = optimizer.analyze_for(&profile, &setup.program);
+    let optimized = optimizer.rewrite(&setup.generator, &plans);
+    let optimized_sw = sw_only.rewrite(&setup.generator, &plans);
+
+    let events = setup.events(1, budget);
+    let run = |system: Box<dyn BtbSystem>, cfg: SimConfig| {
+        setup.run_system(system, cfg, &events, budget)
+    };
+    let baseline = run(Box::new(PlainBtb::new(&config)), config);
+    let ideal_cfg = SimConfig {
+        ideal_btb: true,
+        ..config
+    };
+    let ideal = run(Box::new(PlainBtb::new(&ideal_cfg)), ideal_cfg);
+    let big_cfg = config.with_btb_entries(32 * 1024);
+    let btb32k = run(Box::new(PlainBtb::new(&big_cfg)), big_cfg);
+    let shotgun = run(Box::new(Shotgun::new(&config)), config);
+    let confluence = run(Box::new(Confluence::new(&config)), config);
+
+    let twig_stats = {
+        let mut sim = Simulator::new(&optimized.program, config, PlainBtb::new(&config));
+        sim.run(events.iter().copied(), budget)
+    };
+    let twig_sw_stats = {
+        let mut sim = Simulator::new(&optimized_sw.program, config, PlainBtb::new(&config));
+        sim.run(events.iter().copied(), budget)
+    };
+
+    // Working sets on the test input (Table 3).
+    let mut ws = WorkingSet::new();
+    let mut ws_twig = WorkingSet::new();
+    for ev in &events {
+        ws.observe(&setup.program, ev);
+        ws_twig.observe(&optimized.program, ev);
+    }
+
+    HeadlineRow {
+        app,
+        baseline,
+        ideal,
+        btb32k,
+        shotgun,
+        confluence,
+        twig: twig_stats,
+        twig_sw_only: twig_sw_stats,
+        rewrite: optimized.rewrite,
+        rewrite_sw_only: optimized_sw.rewrite,
+        working_set_bytes: ws.instruction_bytes(&setup.program),
+        working_set_bytes_twig: ws_twig.instruction_bytes(&optimized.program),
+    }
+}
+
+/// Formats a per-app table: header, one row per app, and a mean line
+/// computed over the numeric columns.
+pub fn table(header: &[&str], rows: &[(AppId, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<16}", "app"));
+    for h in header {
+        out.push_str(&format!(" {h:>12}"));
+    }
+    out.push('\n');
+    let n = header.len();
+    let mut sums = vec![0.0; n];
+    for (app, values) in rows {
+        out.push_str(&format!("{:<16}", app.name()));
+        for (i, v) in values.iter().enumerate() {
+            out.push_str(&format!(" {v:>12.2}"));
+            sums[i] += v;
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<16}", "MEAN"));
+    for s in &sums {
+        out.push_str(&format!(" {:>12.2}", s / rows.len().max(1) as f64));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_includes_mean_row() {
+        let rows = vec![
+            (AppId::Kafka, vec![10.0, 2.0]),
+            (AppId::Tomcat, vec![20.0, 4.0]),
+        ];
+        let out = table(&["a", "b"], &rows);
+        assert!(out.contains("kafka"));
+        assert!(out.contains("tomcat"));
+        let mean_line = out.lines().last().unwrap();
+        assert!(mean_line.starts_with("MEAN"));
+        assert!(mean_line.contains("15.00"));
+        assert!(mean_line.contains("3.00"));
+    }
+
+    #[test]
+    fn for_all_apps_preserves_order() {
+        let results = for_all_apps(|app| app.name().len());
+        let apps: Vec<AppId> = results.iter().map(|(a, _)| *a).collect();
+        assert_eq!(apps, AppId::ALL.to_vec());
+        for (app, len) in results {
+            assert_eq!(len, app.name().len());
+        }
+    }
+
+    #[test]
+    fn app_setup_is_deterministic() {
+        let a = AppSetup::new(AppId::Tomcat);
+        let b = AppSetup::new(AppId::Tomcat);
+        assert_eq!(a.program, b.program);
+        let ea = a.events(2, 5_000);
+        let eb = b.events(2, 5_000);
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,362 @@
+//! Subcommand implementations.
+
+use twig::{TwigConfig, TwigOptimizer};
+use twig_prefetchers::{CompressedBtb, Confluence, PhantomBtb, Shotgun, TwoLevelBtb};
+use twig_profile::LbrRecorder;
+use twig_sim::{BtbSystem, PlainBtb, SimConfig, SimStats, Simulator};
+use twig_workload::{
+    AppId, InputConfig, Program, ProgramGenerator, Walker, WorkloadSpec,
+};
+
+use crate::io::{read_json, read_profile, read_trace_file, write_json, write_profile, write_trace_file, Args};
+
+const USAGE: &str = "\
+twig — profile-guided BTB prefetching toolkit (MICRO'21 reproduction)
+
+usage: twig <command> [flags]
+
+commands:
+  apps                                   list the nine built-in applications
+  spec      --app NAME --out SPEC.json   export a workload spec for editing
+  trace     --spec SPEC.json --out T.twgt [--input N] [--instructions N]
+                                         record a control-flow trace
+  profile   --spec SPEC.json --out P.json|P.twpf [--input N]
+            [--instructions N] [--period N]
+                                         collect an LBR-style BTB-miss profile
+                                         (.twpf = compact binary format)
+  analyze   --spec SPEC.json --profile P.json --out PLANS.json
+                                         select prefetch injection sites
+  simulate  --spec SPEC.json [--system NAME] [--plans PLANS.json]
+            [--trace T.twgt] [--input N] [--instructions N] [--json]
+                                         run the frontend simulator
+  optimize  --spec SPEC.json [--train N] [--test N] [--instructions N] [--json]
+                                         full profile->rewrite->evaluate flow
+
+systems: plain (default), ideal, shotgun, confluence, btb-x, phantom-btb,
+         two-level-bulk
+";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return Ok(());
+    };
+    let rest = Args::new(&args[1..]);
+    match command.as_str() {
+        "apps" => cmd_apps(),
+        "spec" => cmd_spec(&rest),
+        "trace" => cmd_trace(&rest),
+        "profile" => cmd_profile(&rest),
+        "analyze" => cmd_analyze(&rest),
+        "simulate" => cmd_simulate(&rest),
+        "optimize" => cmd_optimize(&rest),
+        "help" | "--help" | "-h" => {
+            eprint!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `twig help`")),
+    }
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("{:<16} {:>10} {:>12} {:>10}", "app", "functions", "footprint", "handlers");
+    for app in AppId::ALL {
+        let spec = WorkloadSpec::preset(app);
+        println!(
+            "{:<16} {:>10} {:>9.1} MB {:>10}",
+            spec.name,
+            spec.app_funcs + spec.lib_funcs,
+            spec.estimated_footprint_bytes() as f64 / (1 << 20) as f64,
+            spec.handlers
+        );
+    }
+    Ok(())
+}
+
+fn load_spec(args: &Args<'_>) -> Result<WorkloadSpec, String> {
+    let path = args.require("spec")?;
+    let spec: WorkloadSpec = read_json(path)?;
+    spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+    Ok(spec)
+}
+
+fn cmd_spec(args: &Args<'_>) -> Result<(), String> {
+    let name = args.require("app")?;
+    let app = AppId::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown app {name:?}; see `twig apps`"))?;
+    let out = args.require("out")?;
+    write_json(out, &WorkloadSpec::preset(app))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_trace(args: &Args<'_>) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let out = args.require("out")?;
+    let input: u32 = args.parse_or("input", 0)?;
+    let instructions: u64 = args.parse_or("instructions", 1_000_000)?;
+    let program = ProgramGenerator::new(spec).generate();
+    let events =
+        Walker::new(&program, InputConfig::numbered(input)).run_instructions(instructions);
+    write_trace_file(out, &events)?;
+    eprintln!("wrote {out}: {} events ({instructions} instructions)", events.len());
+    Ok(())
+}
+
+fn cmd_profile(args: &Args<'_>) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let out = args.require("out")?;
+    let input: u32 = args.parse_or("input", 0)?;
+    let instructions: u64 = args.parse_or("instructions", 1_000_000)?;
+    let period: u32 = args.parse_or("period", 1)?;
+    let program = ProgramGenerator::new(spec.clone()).generate();
+    let config = SimConfig::paper_baseline(spec.backend_extra_cpki);
+    let events =
+        Walker::new(&program, InputConfig::numbered(input)).run_instructions(instructions);
+    let mut recorder = LbrRecorder::new(&program, period);
+    recorder.observe_events(&program, &events);
+    let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+    sim.run_observed(events, instructions, &mut recorder);
+    let profile = recorder.into_profile();
+    eprintln!(
+        "{} miss samples over {} distinct branches",
+        profile.num_samples(),
+        profile.miss_histogram().len()
+    );
+    write_profile(out, &profile)?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args<'_>) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let profile: twig_profile::Profile = read_profile(args.require("profile")?)?;
+    let out = args.require("out")?;
+    let program = ProgramGenerator::new(spec).generate();
+    let optimizer = TwigOptimizer::new(twig_config(args)?);
+    let plans = optimizer.analyze_for(&profile, &program);
+    let covered: u64 = plans.iter().map(|p| p.covered_samples()).sum();
+    eprintln!(
+        "{} plans covering {covered} of {} samples",
+        plans.len(),
+        profile.num_samples()
+    );
+    write_json(out, &plans)?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn twig_config(args: &Args<'_>) -> Result<TwigConfig, String> {
+    let mut config = TwigConfig::default();
+    config.prefetch_distance = args.parse_or("prefetch-distance", config.prefetch_distance)?;
+    config.coalesce_bitmask_bits =
+        args.parse_or("bitmask-bits", config.coalesce_bitmask_bits)?;
+    if args.has("no-coalesce") {
+        config.enable_coalescing = false;
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn build_system(name: &str, config: &SimConfig) -> Result<Box<dyn BtbSystem>, String> {
+    Ok(match name {
+        "plain" | "ideal" => Box::new(PlainBtb::new(config)),
+        "shotgun" => Box::new(Shotgun::new(config)),
+        "confluence" => Box::new(Confluence::new(config)),
+        "btb-x" => Box::new(CompressedBtb::new(config)),
+        "phantom-btb" => Box::new(PhantomBtb::new(config)),
+        "two-level-bulk" => Box::new(TwoLevelBtb::new(config)),
+        other => return Err(format!("unknown system {other:?}; see `twig help`")),
+    })
+}
+
+fn print_stats(stats: &SimStats, json: bool) -> Result<(), String> {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(stats).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("IPC               {:.4}", stats.ipc());
+        println!("cycles            {}", stats.cycles);
+        println!("instructions      {}", stats.retired_instructions);
+        println!("prefetch ops      {}", stats.retired_prefetch_ops);
+        println!("BTB MPKI          {:.2}", stats.btb_mpki());
+        println!("BTB misses        {}", stats.total_btb_misses());
+        println!("covered misses    {}", stats.total_covered_misses());
+        println!("decode resteers   {}", stats.decode_resteers);
+        println!("exec resteers     {}", stats.exec_resteers);
+        println!(
+            "frontend-bound    {:.1}%",
+            stats.topdown.frontend_fraction() * 100.0
+        );
+        println!(
+            "prefetch accuracy {:.1}%",
+            stats.prefetch_accuracy() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Applies `--plans` to a fresh program copy, if given.
+fn maybe_rewrite(
+    args: &Args<'_>,
+    generator: &ProgramGenerator,
+) -> Result<Program, String> {
+    match args.flag("plans") {
+        None => Ok(generator.generate()),
+        Some(path) => {
+            let plans: Vec<twig::MissPlan> = read_json(path)?;
+            let optimizer = TwigOptimizer::new(twig_config(args)?);
+            Ok(optimizer.rewrite(generator, &plans).program)
+        }
+    }
+}
+
+fn cmd_simulate(args: &Args<'_>) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let system_name = args.flag("system").unwrap_or("plain");
+    let input: u32 = args.parse_or("input", 0)?;
+    let instructions: u64 = args.parse_or("instructions", 1_000_000)?;
+    let generator = ProgramGenerator::new(spec.clone());
+    let program = maybe_rewrite(args, &generator)?;
+    let mut config = SimConfig::paper_baseline(spec.backend_extra_cpki);
+    if system_name == "ideal" {
+        config.ideal_btb = true;
+    }
+    let system = build_system(system_name, &config)?;
+    let mut sim = Simulator::new(&program, config, system);
+    let stats = match args.flag("trace") {
+        Some(path) => {
+            let events = read_trace_file(path)?;
+            sim.run(events, instructions)
+        }
+        None => sim.run(
+            Walker::new(&program, InputConfig::numbered(input)),
+            instructions,
+        ),
+    };
+    print_stats(&stats, args.has("json"))
+}
+
+fn cmd_optimize(args: &Args<'_>) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let train: u32 = args.parse_or("train", 0)?;
+    let test: u32 = args.parse_or("test", 1)?;
+    let instructions: u64 = args.parse_or("instructions", 1_000_000)?;
+    let config = SimConfig::paper_baseline(spec.backend_extra_cpki);
+    let optimizer = TwigOptimizer::new(twig_config(args)?);
+    let report = optimizer
+        .run_app(&spec, config, train, &[test], instructions)
+        .remove(0);
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("baseline IPC      {:.4}", report.baseline.ipc());
+        println!("twig IPC          {:.4}", report.twig.ipc());
+        println!("ideal-BTB IPC     {:.4}", report.ideal.ipc());
+        println!("twig speedup      {:+.2}%", report.speedup_percent);
+        println!("ideal speedup     {:+.2}%", report.ideal_speedup_percent);
+        println!("% of ideal        {:.1}%", report.pct_of_ideal * 100.0);
+        println!("miss coverage     {:.1}%", report.coverage * 100.0);
+        println!("accuracy          {:.1}%", report.accuracy * 100.0);
+        println!("dynamic overhead  {:.2}%", report.dynamic_overhead * 100.0);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_flags_and_switches() {
+        let raw = strs(&["--spec", "a.json", "--json", "--input", "2"]);
+        let args = Args::new(&raw);
+        assert_eq!(args.flag("spec"), Some("a.json"));
+        assert!(args.has("json"));
+        assert_eq!(args.parse_or::<u32>("input", 0).unwrap(), 2);
+        assert_eq!(args.parse_or::<u32>("missing", 7).unwrap(), 7);
+        assert!(args.require("nope").is_err());
+        assert!(args.parse_or::<u32>("spec", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_system_error() {
+        assert!(dispatch(&strs(&["frobnicate"])).is_err());
+        let config = SimConfig::default();
+        assert!(build_system("nope", &config).is_err());
+        for name in [
+            "plain",
+            "ideal",
+            "shotgun",
+            "confluence",
+            "btb-x",
+            "phantom-btb",
+            "two-level-bulk",
+        ] {
+            assert!(build_system(name, &config).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn full_file_pipeline_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("twig-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        // Export a spec, shrink it for test speed, and run the pipeline.
+        let mut spec = WorkloadSpec::tiny_test();
+        spec.app_funcs = 200;
+        crate::io::write_json(&p("spec.json"), &spec).unwrap();
+
+        dispatch(&strs(&[
+            "trace",
+            "--spec", &p("spec.json"),
+            "--out", &p("t.twgt"),
+            "--instructions", "20000",
+        ]))
+        .unwrap();
+        dispatch(&strs(&[
+            "profile",
+            "--spec", &p("spec.json"),
+            "--out", &p("p.twpf"),
+            "--instructions", "20000",
+        ]))
+        .unwrap();
+        dispatch(&strs(&[
+            "analyze",
+            "--spec", &p("spec.json"),
+            "--profile", &p("p.twpf"),
+            "--out", &p("plans.json"),
+        ]))
+        .unwrap();
+        dispatch(&strs(&[
+            "simulate",
+            "--spec", &p("spec.json"),
+            "--plans", &p("plans.json"),
+            "--trace", &p("t.twgt"),
+            "--instructions", "20000",
+            "--json",
+        ]))
+        .unwrap();
+        dispatch(&strs(&[
+            "optimize",
+            "--spec", &p("spec.json"),
+            "--instructions", "20000",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,106 @@
+//! File I/O helpers: JSON for structured artifacts (specs, profiles,
+//! plans, reports) and the binary `.twgt` format for traces.
+
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Reads a JSON artifact.
+pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Writes a JSON artifact (pretty-printed).
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let text =
+        serde_json::to_string_pretty(value).map_err(|e| format!("serialize {path}: {e}"))?;
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Reads a profile, selecting the format by extension: `.twpf` binary,
+/// everything else JSON.
+pub fn read_profile(path: &str) -> Result<twig_profile::Profile, String> {
+    if path.ends_with(".twpf") {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        twig_profile::decode_profile(&bytes).map_err(|e| format!("decode {path}: {e}"))
+    } else {
+        read_json(path)
+    }
+}
+
+/// Writes a profile, selecting the format by extension (see
+/// [`read_profile`]).
+pub fn write_profile(path: &str, profile: &twig_profile::Profile) -> Result<(), String> {
+    if path.ends_with(".twpf") {
+        let bytes = twig_profile::encode_profile(profile);
+        std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))
+    } else {
+        write_json(path, profile)
+    }
+}
+
+/// Reads a binary trace file.
+pub fn read_trace_file(path: &str) -> Result<Vec<twig_workload::BlockEvent>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    twig_workload::decode_trace(&bytes).map_err(|e| format!("decode {path}: {e}"))
+}
+
+/// Writes a binary trace file.
+pub fn write_trace_file(
+    path: &str,
+    events: &[twig_workload::BlockEvent],
+) -> Result<(), String> {
+    let bytes = twig_workload::encode_trace(events);
+    std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Tiny argument cursor: `--key value` flags plus positionals.
+pub struct Args<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    /// Wraps the argument slice after the subcommand.
+    pub fn new(rest: &'a [String]) -> Self {
+        Args { rest }
+    }
+
+    /// The value of `--name`, if present.
+    pub fn flag(&self, name: &str) -> Option<&'a str> {
+        let key = format!("--{name}");
+        self.rest
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The value of `--name`, or an error mentioning the flag.
+    pub fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.flag(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parsed value of `--name`, or `default`.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a bare switch `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let key = format!("--{name}");
+        self.rest.iter().any(|a| a == &key)
+    }
+}

@@ -1,0 +1,20 @@
+//! `twig` — the command-line toolkit for the Twig reproduction.
+//!
+//! Mirrors how the real tool chain would be operated in production:
+//! workloads, traces, profiles, and plans are files; each pipeline stage is
+//! a subcommand. Run `twig help` for usage.
+
+mod commands;
+mod io;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match commands::dispatch(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("twig: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,212 @@
+//! Two-level bulk preload (Bonanno et al., HPCA 2013): a small first-level
+//! BTB backed by a large second level, with region-granular bulk transfer.
+//!
+//! On a first-level miss that hits the second level, the whole fixed-size
+//! *region* of second-level entries is moved up, exploiting spatial
+//! locality. The paper's related work notes the limitation this model
+//! reproduces: it can only exploit spatial locality around the missing
+//! branch, so scattered miss patterns gain little — "similar to the
+//! next-line prefetchers".
+
+use std::collections::HashMap;
+
+use twig_sim::{
+    Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, PrefetchBuffer,
+    PrefetchBufferStats, SimConfig,
+};
+use twig_types::{Addr, BlockId, BranchKind, BranchRecord};
+
+/// Region granularity of the bulk transfer, in bytes (2^shift).
+pub const REGION_SHIFT: u32 = 9; // 512-byte regions
+
+/// Latency of a bulk transfer from the second level.
+pub const BULK_LATENCY: u64 = 6;
+
+/// The two-level BTB organization.
+///
+/// # Examples
+///
+/// ```
+/// use twig_prefetchers::TwoLevelBtb;
+/// use twig_sim::{BtbSystem, SimConfig};
+///
+/// let two_level = TwoLevelBtb::new(&SimConfig::default());
+/// assert_eq!(two_level.name(), "two-level-bulk");
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelBtb {
+    /// Fast first level (a quarter of the baseline's entries).
+    l1: Btb,
+    /// Large second level: region id -> entries.
+    l2: HashMap<u64, Vec<(Addr, Addr, BranchKind)>>,
+    buffer: PrefetchBuffer,
+    max_l2_regions: usize,
+}
+
+impl TwoLevelBtb {
+    /// Builds the two-level BTB: L1 = baseline/4, L2 = 8x baseline (its
+    /// entries live in denser, slower storage).
+    pub fn new(config: &SimConfig) -> Self {
+        let l1_entries = (config.btb.entries / 4).max(config.btb.ways * 2);
+        TwoLevelBtb {
+            l1: Btb::new(BtbGeometry::new(
+                (1usize << (l1_entries / config.btb.ways).max(1).ilog2()) * config.btb.ways,
+                config.btb.ways,
+            )),
+            l2: HashMap::new(),
+            buffer: PrefetchBuffer::new(config.prefetch_buffer_entries),
+            max_l2_regions: config.btb.entries * 8 / 4,
+        }
+    }
+
+    fn region_of(pc: Addr) -> u64 {
+        pc.raw() >> REGION_SHIFT
+    }
+
+    /// First-level capacity in entries.
+    pub fn l1_capacity(&self) -> usize {
+        self.l1.capacity()
+    }
+
+    fn bulk_preload(&mut self, pc: Addr, cycle: u64) {
+        let Some(entries) = self.l2.get(&Self::region_of(pc)) else {
+            return;
+        };
+        let ready = cycle + BULK_LATENCY;
+        for &(epc, target, kind) in entries.clone().iter() {
+            if epc != pc {
+                self.buffer.insert(epc, target, kind, ready);
+            }
+        }
+    }
+}
+
+impl BtbSystem for TwoLevelBtb {
+    fn name(&self) -> &str {
+        "two-level-bulk"
+    }
+
+    fn lookup(&mut self, pc: Addr, ctx: &mut FrontendCtx<'_>) -> LookupOutcome {
+        if let Some(entry) = self.l1.lookup(pc) {
+            return LookupOutcome::Hit {
+                target: entry.target,
+                kind: entry.kind,
+            };
+        }
+        if let Some(buffered) = self.buffer.take(pc, ctx.cycle) {
+            self.l1.insert(pc, buffered.target, buffered.kind);
+            return LookupOutcome::CoveredMiss {
+                target: buffered.target,
+                kind: buffered.kind,
+            };
+        }
+        // A second-level hit cannot redirect in time (the branch has
+        // already fallen through) but triggers the bulk region move so the
+        // region's other branches hit next time.
+        self.bulk_preload(pc, ctx.cycle);
+        LookupOutcome::Miss
+    }
+
+    fn resolve_taken(&mut self, rec: &BranchRecord, _block: BlockId, _ctx: &mut FrontendCtx<'_>) {
+        let Some(target) = rec.outcome.target() else {
+            return;
+        };
+        self.l1.insert(rec.pc, target, rec.kind);
+        if self.l2.len() >= self.max_l2_regions
+            && !self.l2.contains_key(&Self::region_of(rec.pc))
+        {
+            return;
+        }
+        let region = self.l2.entry(Self::region_of(rec.pc)).or_default();
+        region.retain(|&(pc, _, _)| pc != rec.pc);
+        region.push((rec.pc, target, rec.kind));
+        // One region holds at most a line's worth of entries.
+        if region.len() > 16 {
+            region.remove(0);
+        }
+    }
+
+    fn prefetch_stats(&self) -> PrefetchBufferStats {
+        self.buffer.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_sim::MemoryHierarchy;
+    use twig_types::BranchOutcome;
+    use twig_workload::{ProgramGenerator, WorkloadSpec};
+
+    fn rec(pc: u64, target: u64) -> BranchRecord {
+        BranchRecord {
+            pc: Addr::new(pc),
+            kind: BranchKind::Conditional,
+            outcome: BranchOutcome::Taken(Addr::new(target)),
+            fallthrough: Addr::new(pc + 4),
+        }
+    }
+
+    fn parts() -> (twig_workload::Program, SimConfig, MemoryHierarchy) {
+        let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let config = SimConfig::default();
+        let mem = MemoryHierarchy::new(&config);
+        (program, config, mem)
+    }
+
+    #[test]
+    fn l1_is_smaller_than_baseline() {
+        let config = SimConfig::default();
+        let t = TwoLevelBtb::new(&config);
+        assert!(t.l1_capacity() <= config.btb.entries / 4);
+    }
+
+    #[test]
+    fn bulk_preload_covers_region_neighbours() {
+        let (program, config, mut mem) = parts();
+        let mut t = TwoLevelBtb::new(&config);
+        let mut ctx = FrontendCtx {
+            cycle: 0,
+            program: &program,
+            mem: &mut mem,
+        };
+        // Three branches in one 512B region.
+        for i in 0..3u64 {
+            t.resolve_taken(&rec(0x8000 + i * 16, 0x9000), BlockId::new(0), &mut ctx);
+        }
+        t.l1.clear();
+        // Miss on the first triggers the bulk move.
+        assert_eq!(t.lookup(Addr::new(0x8000), &mut ctx), LookupOutcome::Miss);
+        ctx.cycle = BULK_LATENCY + 1;
+        for i in 1..3u64 {
+            assert!(
+                matches!(
+                    t.lookup(Addr::new(0x8000 + i * 16), &mut ctx),
+                    LookupOutcome::CoveredMiss { .. }
+                ),
+                "neighbour {i} not preloaded"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_region_branches_are_not_preloaded() {
+        let (program, config, mut mem) = parts();
+        let mut t = TwoLevelBtb::new(&config);
+        let mut ctx = FrontendCtx {
+            cycle: 0,
+            program: &program,
+            mem: &mut mem,
+        };
+        t.resolve_taken(&rec(0x8000, 0x9000), BlockId::new(0), &mut ctx);
+        t.resolve_taken(&rec(0x8000 + (1 << REGION_SHIFT), 0x9000), BlockId::new(0), &mut ctx);
+        t.l1.clear();
+        assert_eq!(t.lookup(Addr::new(0x8000), &mut ctx), LookupOutcome::Miss);
+        ctx.cycle = BULK_LATENCY + 1;
+        // The other region's branch stays cold.
+        assert_eq!(
+            t.lookup(Addr::new(0x8000 + (1 << REGION_SHIFT)), &mut ctx),
+            LookupOutcome::Miss
+        );
+    }
+}

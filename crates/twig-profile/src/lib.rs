@@ -1,0 +1,51 @@
+//! Profiling and workload characterization for the Twig reproduction.
+//!
+//! This crate reproduces the paper's measurement methodology:
+//!
+//! - [`LbrRecorder`] — Intel-LBR-style BTB-miss profiles (32-deep
+//!   basic-block histories with cycle timestamps, §3.1/§4.1), feeding the
+//!   `twig` core's injection-site analysis,
+//! - [`ThreeCClassifier`] — compulsory/capacity/conflict classification of
+//!   BTB misses (Figs. 4–6),
+//! - [`classify_streams`] — temporal-stream classification showing why
+//!   record-and-replay prefetchers cannot cover all misses (Fig. 10),
+//! - [`SpatialRangeAnalyzer`] — Shotgun's 8-line spatial-range limitation
+//!   (Fig. 12),
+//! - [`TopDownRow`] — Top-Down slot reporting (Fig. 1).
+//!
+//! # Example: collect a profile
+//!
+//! ```
+//! use twig_profile::LbrRecorder;
+//! use twig_sim::{PlainBtb, SimConfig, Simulator};
+//! use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+//!
+//! let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+//! let config = SimConfig::default();
+//! let events = Walker::new(&program, InputConfig::numbered(0)).run_instructions(20_000);
+//! let mut recorder = LbrRecorder::new(&program, 1);
+//! recorder.observe_events(&program, &events);
+//! let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+//! sim.run_observed(events, 20_000, &mut recorder);
+//! let profile = recorder.into_profile();
+//! assert!(profile.instructions >= 20_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binfmt;
+pub mod lbr;
+pub mod profile;
+pub mod streams;
+pub mod three_c;
+pub mod topdown;
+pub mod working_set;
+
+pub use binfmt::{decode_profile, encode_profile, ProfileCodecError};
+pub use lbr::LbrRecorder;
+pub use profile::{MissSample, Profile};
+pub use streams::{classify_streams, classify_streams_windowed, StreamBreakdown};
+pub use three_c::{ThreeCBreakdown, ThreeCClassifier};
+pub use topdown::TopDownRow;
+pub use working_set::{SpatialRangeAnalyzer, SpatialRangeStats, SHOTGUN_RANGE_LINES};

@@ -1,0 +1,198 @@
+//! The profile data model: BTB-miss samples with LBR-style block histories
+//! plus block execution counts.
+
+use serde::{Deserialize, Serialize};
+use twig_types::{BlockId, BranchKind};
+
+/// One sampled BTB miss with its preceding basic-block history.
+///
+/// Mirrors what Intel LBR + the `baclears.any` event capture in production
+/// (§3.1): the last (up to) 32 executed basic blocks before the miss, each
+/// with a cycle timestamp, oldest first; the missing block itself is the
+/// final entry.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MissSample {
+    /// The block whose terminator branch missed in the BTB.
+    pub branch_block: BlockId,
+    /// Branch classification.
+    pub kind: BranchKind,
+    /// Cycle of the miss (BPU timestamp).
+    pub cycle: u64,
+    /// `(block, cycle)` history, oldest first, ending with the miss block.
+    pub history: Vec<(BlockId, u64)>,
+}
+
+impl MissSample {
+    /// Iterates over candidate predecessor blocks that precede the miss by
+    /// at least `prefetch_distance` cycles (the timeliness constraint of
+    /// §3.1), oldest first. The miss block itself is never a candidate.
+    pub fn timely_predecessors(
+        &self,
+        prefetch_distance: u64,
+    ) -> impl Iterator<Item = BlockId> + '_ {
+        let deadline = self.cycle.saturating_sub(prefetch_distance);
+        let last = self.history.len().saturating_sub(1);
+        self.history[..last]
+            .iter()
+            .filter(move |(_, c)| *c <= deadline)
+            .map(|(b, _)| *b)
+    }
+}
+
+/// A complete execution profile: sampled BTB misses plus per-block
+/// execution counts.
+///
+/// In production the execution counts are estimated from the same sampled
+/// LBR records; the simulator gives us exact counts, which removes one
+/// source of noise without changing the algorithm.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Profile {
+    /// Sampled BTB misses.
+    pub samples: Vec<MissSample>,
+    /// Execution count per block id (dense, indexed by block id).
+    pub block_executions: Vec<u64>,
+    /// Original instructions covered by the profiling run.
+    pub instructions: u64,
+    /// Sampling period used (1 = every miss).
+    pub sample_period: u32,
+}
+
+impl Profile {
+    /// Creates an empty profile sized for `num_blocks` blocks.
+    pub fn new(num_blocks: usize, sample_period: u32) -> Self {
+        Profile {
+            samples: Vec::new(),
+            block_executions: vec![0; num_blocks],
+            instructions: 0,
+            sample_period,
+        }
+    }
+
+    /// Execution count of `block`.
+    pub fn executions(&self, block: BlockId) -> u64 {
+        self.block_executions.get(block.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of sampled misses.
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Distinct miss branch blocks, with their sample counts, hottest first.
+    pub fn miss_histogram(&self) -> Vec<(BlockId, u64)> {
+        let mut counts = std::collections::HashMap::new();
+        for s in &self.samples {
+            *counts.entry(s.branch_block).or_insert(0u64) += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Merges another profile (e.g. from a second profiling shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block spaces differ in size.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(
+            self.block_executions.len(),
+            other.block_executions.len(),
+            "profiles come from different programs"
+        );
+        self.samples.extend(other.samples.iter().cloned());
+        for (a, b) in self.block_executions.iter_mut().zip(&other.block_executions) {
+            *a += b;
+        }
+        self.instructions += other.instructions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycles: &[(u32, u64)], miss_cycle: u64) -> MissSample {
+        let mut history: Vec<(BlockId, u64)> =
+            cycles.iter().map(|&(b, c)| (BlockId::new(b), c)).collect();
+        let branch = BlockId::new(999);
+        history.push((branch, miss_cycle));
+        MissSample {
+            branch_block: branch,
+            kind: BranchKind::DirectCall,
+            cycle: miss_cycle,
+            history,
+        }
+    }
+
+    #[test]
+    fn timely_predecessors_respect_distance() {
+        let s = sample(&[(1, 10), (2, 75), (3, 95)], 100);
+        let timely: Vec<_> = s.timely_predecessors(20).collect();
+        // Deadline = 80: blocks at cycles 10 and 75 qualify; 95 does not.
+        assert_eq!(timely, vec![BlockId::new(1), BlockId::new(2)]);
+        // Distance 0: everything before the miss qualifies.
+        assert_eq!(s.timely_predecessors(0).count(), 3);
+        // Huge distance: nothing qualifies.
+        assert_eq!(s.timely_predecessors(1000).count(), 0);
+    }
+
+    #[test]
+    fn miss_block_is_never_a_candidate() {
+        let s = sample(&[(1, 10)], 100);
+        assert!(s.timely_predecessors(0).all(|b| b != s.branch_block));
+    }
+
+    #[test]
+    fn histogram_orders_by_count() {
+        let mut p = Profile::new(10, 1);
+        for (block, n) in [(3u32, 5), (7, 2), (1, 9)] {
+            for _ in 0..n {
+                p.samples.push(MissSample {
+                    branch_block: BlockId::new(block),
+                    kind: BranchKind::Conditional,
+                    cycle: 0,
+                    history: vec![(BlockId::new(block), 0)],
+                });
+            }
+        }
+        let h = p.miss_histogram();
+        assert_eq!(h[0], (BlockId::new(1), 9));
+        assert_eq!(h[1], (BlockId::new(3), 5));
+        assert_eq!(h[2], (BlockId::new(7), 2));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Profile::new(4, 1);
+        a.block_executions[2] = 10;
+        a.instructions = 100;
+        let mut b = Profile::new(4, 1);
+        b.block_executions[2] = 5;
+        b.instructions = 50;
+        b.samples.push(MissSample {
+            branch_block: BlockId::new(2),
+            kind: BranchKind::DirectJump,
+            cycle: 1,
+            history: vec![(BlockId::new(2), 1)],
+        });
+        a.merge(&b);
+        assert_eq!(a.executions(BlockId::new(2)), 15);
+        assert_eq!(a.instructions, 150);
+        assert_eq!(a.num_samples(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different programs")]
+    fn merge_rejects_mismatched_programs() {
+        let mut a = Profile::new(4, 1);
+        let b = Profile::new(5, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn executions_out_of_range_is_zero() {
+        let p = Profile::new(2, 1);
+        assert_eq!(p.executions(BlockId::new(99)), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Temporal-stream classification of BTB misses (Fig. 10).
+//!
+//! Both Confluence and Shotgun rely on temporal streaming — replaying miss
+//! sequences recorded in the past. The paper classifies every BTB miss into
+//! three stream categories (after Wenisch et al.):
+//!
+//! - **recurring** — the miss continues a stream that was already observed
+//!   earlier in the trace: record-and-replay prefetchers *can* cover it,
+//! - **new** — the first occurrence of a stream that recurs later: nothing
+//!   to replay yet, but later occurrences become recurring,
+//! - **non-repetitive** — part of a stream that never repeats: temporal
+//!   prefetchers can never cover it.
+//!
+//! We implement the classification on miss *transitions* (predecessor →
+//! miss pairs): a miss is recurring if its incoming transition was observed
+//! before, "new" if the transition recurs only later, and non-repetitive
+//! otherwise. This offline two-pass definition captures the same
+//! prefetchability boundary at stream granularity.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use twig_types::BlockId;
+
+/// Counts of BTB misses by temporal-stream class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct StreamBreakdown {
+    /// Misses continuing a previously observed stream.
+    pub recurring: u64,
+    /// First occurrences of streams that recur later.
+    pub new: u64,
+    /// Misses in streams that never repeat.
+    pub non_repetitive: u64,
+}
+
+impl StreamBreakdown {
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.recurring + self.new + self.non_repetitive
+    }
+
+    /// `(recurring, new, non_repetitive)` fractions (0 when empty).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.recurring as f64 / t,
+            self.new as f64 / t,
+            self.non_repetitive as f64 / t,
+        )
+    }
+}
+
+/// Classifies a BTB miss sequence into temporal-stream categories.
+///
+/// The input is the chronological sequence of miss sites (block ids);
+/// classification is offline (two passes).
+///
+/// # Examples
+///
+/// ```
+/// use twig_profile::classify_streams;
+/// use twig_types::BlockId;
+///
+/// let b = |n| BlockId::new(n);
+/// // The stream (1 -> 2 -> 3) occurs twice: the second occurrence is
+/// // recurring, the first is "new"; 9 never repeats.
+/// let misses = vec![b(1), b(2), b(3), b(9), b(1), b(2), b(3)];
+/// let breakdown = classify_streams(&misses);
+/// assert_eq!(breakdown.recurring, 2);      // second 2 and second 3
+/// assert!(breakdown.non_repetitive >= 1);  // 9
+/// ```
+pub fn classify_streams(misses: &[BlockId]) -> StreamBreakdown {
+    // Pass 1: count total occurrences of each transition.
+    let mut total: HashMap<(BlockId, BlockId), u32> = HashMap::new();
+    for pair in misses.windows(2) {
+        *total.entry((pair[0], pair[1])).or_insert(0) += 1;
+    }
+    // Pass 2: classify each miss by its incoming transition.
+    let mut breakdown = StreamBreakdown::default();
+    let mut seen: HashMap<(BlockId, BlockId), u32> = HashMap::new();
+    for (i, &miss) in misses.iter().enumerate() {
+        if i == 0 {
+            // No incoming transition: classify by whether the site itself
+            // recurs (head of the trace is negligible statistically).
+            breakdown.new += 1;
+            continue;
+        }
+        let key = (misses[i - 1], miss);
+        let prior = seen.entry(key).or_insert(0);
+        if *prior > 0 {
+            breakdown.recurring += 1;
+        } else if total[&key] > 1 {
+            breakdown.new += 1;
+        } else {
+            breakdown.non_repetitive += 1;
+        }
+        *prior += 1;
+    }
+    breakdown
+}
+
+
+/// Window-based stream classification, closer to Wenisch-style temporal
+/// streaming than the strict transition criterion of [`classify_streams`]:
+/// a miss is *recurring* if it occurred within the `window` misses that
+/// followed the previous occurrence of its predecessor — i.e. a temporal
+/// prefetcher replaying up to `window` entries from the recorded history
+/// would have fetched it.
+///
+/// # Examples
+///
+/// ```
+/// use twig_profile::classify_streams_windowed;
+/// use twig_types::BlockId;
+///
+/// let b = |n| BlockId::new(n);
+/// // Stream (1 2 3) recurs with an extra element interposed: windowed
+/// // matching still counts 3 as recurring.
+/// let misses = [b(1), b(2), b(3), b(1), b(9), b(2), b(3)];
+/// let strict = twig_profile::classify_streams(&misses);
+/// let windowed = classify_streams_windowed(&misses, 4);
+/// assert!(windowed.recurring >= strict.recurring);
+/// ```
+pub fn classify_streams_windowed(misses: &[BlockId], window: usize) -> StreamBreakdown {
+    assert!(window > 0, "window must be positive");
+    // Total occurrence counts decide new vs non-repetitive (offline pass).
+    let mut total: HashMap<BlockId, u32> = HashMap::new();
+    for &m in misses {
+        *total.entry(m).or_insert(0) += 1;
+    }
+    let mut breakdown = StreamBreakdown::default();
+    // For each position, the previous occurrence of the same address
+    // (None on first occurrence), built incrementally.
+    let mut last_pos: HashMap<BlockId, usize> = HashMap::new();
+    let mut prev_occurrence: Vec<Option<usize>> = Vec::with_capacity(misses.len());
+    for (i, &miss) in misses.iter().enumerate() {
+        prev_occurrence.push(last_pos.get(&miss).copied());
+        // Look backwards up to `window` misses for an anchor whose prior
+        // occurrence was followed (within the window) by `miss`: a replay
+        // from that anchor would have prefetched it.
+        let mut covered = false;
+        let start = i.saturating_sub(window);
+        'outer: for j in (start..i).rev() {
+            if let Some(prev) = prev_occurrence[j] {
+                let end = (prev + 1 + window).min(misses.len());
+                for &m in &misses[prev + 1..end] {
+                    if m == miss {
+                        covered = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if covered {
+            breakdown.recurring += 1;
+        } else if total[&miss] > 1 {
+            breakdown.new += 1;
+        } else {
+            breakdown.non_repetitive += 1;
+        }
+        last_pos.insert(miss, i);
+    }
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u32) -> BlockId {
+        BlockId::new(n)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(classify_streams(&[]).total(), 0);
+        let one = classify_streams(&[b(1)]);
+        assert_eq!(one.total(), 1);
+    }
+
+    #[test]
+    fn pure_repetition_is_mostly_recurring() {
+        let stream: Vec<BlockId> = (0..10)
+            .flat_map(|_| [b(1), b(2), b(3), b(4)])
+            .collect();
+        let r = classify_streams(&stream);
+        assert_eq!(r.total(), 40);
+        assert_eq!(r.non_repetitive, 0);
+        // First pass through the loop is "new", the rest recur.
+        assert!(r.recurring >= 35, "{r:?}");
+    }
+
+    #[test]
+    fn unique_misses_are_non_repetitive() {
+        let stream: Vec<BlockId> = (0..50).map(b).collect();
+        let r = classify_streams(&stream);
+        assert_eq!(r.recurring, 0);
+        assert_eq!(r.non_repetitive, 49);
+        assert_eq!(r.new, 1); // trace head
+    }
+
+    #[test]
+    fn mixed_stream_counts_each_class() {
+        // ABAB recurs; X unique.
+        let stream = vec![b(1), b(2), b(1), b(2), b(99), b(1), b(2)];
+        let r = classify_streams(&stream);
+        assert_eq!(r.total(), 7);
+        assert!(r.recurring >= 2);
+        assert!(r.non_repetitive >= 1);
+    }
+
+    #[test]
+    fn windowed_matches_interleaved_streams() {
+        // Two interleaved recurring streams defeat strict transition
+        // matching but not windowed matching.
+        let a = [1u32, 2, 3, 4];
+        let b_ = [10u32, 20, 30, 40];
+        let mut stream = Vec::new();
+        for round in 0..6 {
+            for i in 0..4 {
+                // Interleave with round-dependent phase.
+                if round % 2 == 0 {
+                    stream.push(b(a[i]));
+                    stream.push(b(b_[i]));
+                } else {
+                    stream.push(b(b_[i]));
+                    stream.push(b(a[i]));
+                }
+            }
+        }
+        let strict = classify_streams(&stream);
+        let windowed = classify_streams_windowed(&stream, 8);
+        assert!(
+            windowed.recurring > strict.recurring,
+            "windowed {windowed:?} vs strict {strict:?}"
+        );
+        let (r, _, _) = windowed.fractions();
+        assert!(r > 0.7, "interleaved recurring streams: {r}");
+    }
+
+    #[test]
+    fn windowed_unique_misses_stay_non_repetitive() {
+        let stream: Vec<BlockId> = (0..40).map(b).collect();
+        let w = classify_streams_windowed(&stream, 8);
+        assert_eq!(w.recurring, 0);
+        assert_eq!(w.non_repetitive, 40);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let stream = vec![b(1), b(2), b(3), b(1), b(2), b(9)];
+        let (a, c, d) = classify_streams(&stream).fractions();
+        assert!((a + c + d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! 3C classification of BTB misses (Hill & Smith), behind Figs. 4–6.
+//!
+//! Each real BTB miss is classified by replaying the taken-branch stream
+//! through two models simultaneously:
+//!
+//! - the real set-associative BTB of the configured geometry, and
+//! - a fully-associative LRU BTB of the same total capacity.
+//!
+//! A miss in the real BTB that hits in the fully-associative one is a
+//! *conflict* miss; a miss in both is *compulsory* on first reference and
+//! *capacity* otherwise.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+use twig_sim::{Btb, BtbGeometry};
+use twig_types::{Addr, BranchKind};
+
+/// Counts of BTB misses by 3C class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ThreeCBreakdown {
+    /// First-reference misses.
+    pub compulsory: u64,
+    /// Misses that a fully-associative BTB of the same size would also take.
+    pub capacity: u64,
+    /// Misses caused by limited associativity.
+    pub conflict: u64,
+}
+
+impl ThreeCBreakdown {
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Fraction helpers for reporting (0 when no misses).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.compulsory as f64 / t,
+            self.capacity as f64 / t,
+            self.conflict as f64 / t,
+        )
+    }
+}
+
+/// Fully-associative LRU model with O(log n) stack maintenance.
+#[derive(Debug, Default)]
+struct FullyAssociativeLru {
+    last_use: HashMap<Addr, u64>,
+    stack: BTreeMap<u64, Addr>,
+    time: u64,
+    capacity: usize,
+}
+
+impl FullyAssociativeLru {
+    fn new(capacity: usize) -> Self {
+        FullyAssociativeLru {
+            capacity,
+            ..FullyAssociativeLru::default()
+        }
+    }
+
+    /// Accesses `pc`; returns whether it was resident.
+    fn access(&mut self, pc: Addr) -> bool {
+        let hit = match self.last_use.get(&pc) {
+            Some(&ts) => {
+                self.stack.remove(&ts);
+                true
+            }
+            None => false,
+        };
+        self.stack.insert(self.time, pc);
+        self.last_use.insert(pc, self.time);
+        self.time += 1;
+        if self.stack.len() > self.capacity {
+            let (&oldest, &victim) = self.stack.iter().next().expect("nonempty");
+            self.stack.remove(&oldest);
+            self.last_use.remove(&victim);
+        }
+        hit
+    }
+}
+
+/// Replays a taken-branch stream and classifies the real BTB's misses.
+///
+/// # Examples
+///
+/// ```
+/// use twig_profile::ThreeCClassifier;
+/// use twig_sim::BtbGeometry;
+/// use twig_types::{Addr, BranchKind};
+///
+/// let mut c = ThreeCClassifier::new(BtbGeometry::new(8, 2));
+/// c.access(Addr::new(0x10), Addr::new(0x99), BranchKind::DirectJump);
+/// let b = c.into_breakdown();
+/// assert_eq!(b.compulsory, 1);
+/// ```
+#[derive(Debug)]
+pub struct ThreeCClassifier {
+    real: Btb,
+    fully_assoc: FullyAssociativeLru,
+    seen: std::collections::HashSet<Addr>,
+    breakdown: ThreeCBreakdown,
+    /// Classify only direct branches, like the paper's MPKI definition.
+    direct_only: bool,
+}
+
+impl ThreeCClassifier {
+    /// Creates a classifier for the given real-BTB geometry, classifying
+    /// only direct-branch misses (the paper's Fig. 4 definition).
+    pub fn new(geometry: BtbGeometry) -> Self {
+        ThreeCClassifier {
+            real: Btb::new(geometry),
+            fully_assoc: FullyAssociativeLru::new(geometry.entries),
+            seen: std::collections::HashSet::new(),
+            breakdown: ThreeCBreakdown::default(),
+            direct_only: true,
+        }
+    }
+
+    /// Includes indirect branches and returns in the classification.
+    pub fn including_indirect(mut self) -> Self {
+        self.direct_only = false;
+        self
+    }
+
+    /// Feeds one *taken* branch execution.
+    pub fn access(&mut self, pc: Addr, target: Addr, kind: BranchKind) {
+        let classify = !self.direct_only || kind.is_direct();
+        let real_hit = self.real.lookup(pc).is_some();
+        if !real_hit {
+            self.real.insert(pc, target, kind);
+        }
+        let fa_hit = self.fully_assoc.access(pc);
+        let first_ref = self.seen.insert(pc);
+        if !classify || real_hit {
+            return;
+        }
+        if first_ref {
+            self.breakdown.compulsory += 1;
+        } else if fa_hit {
+            self.breakdown.conflict += 1;
+        } else {
+            self.breakdown.capacity += 1;
+        }
+    }
+
+    /// Finishes classification.
+    pub fn into_breakdown(self) -> ThreeCBreakdown {
+        self.breakdown
+    }
+
+    /// The breakdown so far.
+    pub fn breakdown(&self) -> ThreeCBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u64) -> Addr {
+        Addr::new(v)
+    }
+
+    #[test]
+    fn first_touch_is_compulsory() {
+        let mut c = ThreeCClassifier::new(BtbGeometry::new(4, 2));
+        for i in 0..4u64 {
+            c.access(a(0x100 + i * 2), a(1), BranchKind::DirectJump);
+        }
+        let b = c.breakdown();
+        assert_eq!(b.compulsory, 4);
+        assert_eq!(b.capacity + b.conflict, 0);
+    }
+
+    #[test]
+    fn capacity_misses_when_working_set_exceeds_size() {
+        // 4-entry BTB, 8 branches round-robin: second pass misses are
+        // capacity (the fully-associative model misses too).
+        let mut c = ThreeCClassifier::new(BtbGeometry::new(4, 4));
+        for _ in 0..3 {
+            for i in 0..8u64 {
+                c.access(a(0x1000 + i * 64), a(1), BranchKind::Conditional);
+            }
+        }
+        let b = c.breakdown();
+        assert_eq!(b.compulsory, 8);
+        assert_eq!(b.conflict, 0, "fully-assoc real BTB cannot conflict");
+        assert_eq!(b.capacity, 16);
+    }
+
+    #[test]
+    fn conflict_misses_from_set_imbalance() {
+        // Direct-mapped 4-set BTB; two PCs alias to the same set while the
+        // fully-associative model (4 entries) holds both.
+        let mut c = ThreeCClassifier::new(BtbGeometry::new(4, 1));
+        let p1 = a(0x100);
+        let p2 = a(0x100 + 4 * 2 * 16); // same set, different tag
+        for _ in 0..4 {
+            c.access(p1, a(1), BranchKind::DirectCall);
+            c.access(p2, a(2), BranchKind::DirectCall);
+        }
+        let b = c.breakdown();
+        assert_eq!(b.compulsory, 2);
+        assert!(b.conflict >= 4, "expected ping-pong conflicts, got {b:?}");
+        assert_eq!(b.capacity, 0);
+    }
+
+    #[test]
+    fn direct_only_skips_indirects() {
+        let mut c = ThreeCClassifier::new(BtbGeometry::new(4, 2));
+        c.access(a(0x10), a(1), BranchKind::IndirectCall);
+        c.access(a(0x20), a(1), BranchKind::Return);
+        assert_eq!(c.breakdown().total(), 0);
+        let mut c = ThreeCClassifier::new(BtbGeometry::new(4, 2)).including_indirect();
+        c.access(a(0x10), a(1), BranchKind::IndirectCall);
+        assert_eq!(c.breakdown().total(), 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut c = ThreeCClassifier::new(BtbGeometry::new(8, 2));
+        for i in 0..100u64 {
+            c.access(a(0x100 + (i % 20) * 128), a(1), BranchKind::Conditional);
+        }
+        let b = c.breakdown();
+        let (x, y, z) = b.fractions();
+        assert!((x + y + z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_fully_assoc_converts_conflicts() {
+        // Same trace, two geometries with equal capacity but different
+        // associativity: higher associativity must not increase misses.
+        let trace: Vec<Addr> = (0..200u64)
+            .map(|i| a(0x1000 + (i % 24) * 2048))
+            .collect();
+        let run = |ways: usize| {
+            let mut c = ThreeCClassifier::new(BtbGeometry::new(16, ways));
+            for &pc in &trace {
+                c.access(pc, a(1), BranchKind::Conditional);
+            }
+            c.breakdown()
+        };
+        let low = run(1);
+        let high = run(16);
+        assert!(high.total() <= low.total());
+        assert_eq!(high.conflict, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Top-Down pipeline-slot reporting (Fig. 1).
+//!
+//! The simulator already attributes every issue slot
+//! ([`twig_sim::TopDownSlots`]); this module turns those counters into the
+//! per-application report rows of Fig. 1 and offers small formatting
+//! helpers shared by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+use twig_sim::SimStats;
+
+/// One application row of the Fig. 1 characterization.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TopDownRow {
+    /// Application name.
+    pub app: String,
+    /// Fraction of slots retiring useful work.
+    pub retiring: f64,
+    /// Fraction of slots stalled on the frontend.
+    pub frontend_bound: f64,
+    /// Fraction of slots wasted on wrong-path recovery.
+    pub bad_speculation: f64,
+    /// Fraction of slots stalled on the backend.
+    pub backend_bound: f64,
+}
+
+impl TopDownRow {
+    /// Builds a row from simulator statistics.
+    pub fn from_stats(app: &str, stats: &SimStats) -> Self {
+        let total = stats.topdown.total().max(1) as f64;
+        TopDownRow {
+            app: app.to_owned(),
+            retiring: stats.topdown.retiring as f64 / total,
+            frontend_bound: stats.topdown.frontend_bound as f64 / total,
+            bad_speculation: stats.topdown.bad_speculation as f64 / total,
+            backend_bound: stats.topdown.backend_bound as f64 / total,
+        }
+    }
+
+    /// Sanity: the four fractions cover all slots.
+    pub fn is_complete(&self) -> bool {
+        (self.retiring + self.frontend_bound + self.bad_speculation + self.backend_bound - 1.0)
+            .abs()
+            < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_sim::{PlainBtb, SimConfig, Simulator};
+    use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+
+    #[test]
+    fn rows_are_complete_and_frontend_bound_is_visible() {
+        let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+        let stats = sim.run(
+            Walker::new(&program, InputConfig::numbered(0)),
+            100_000,
+        );
+        let row = TopDownRow::from_stats("tiny", &stats);
+        assert!(row.is_complete());
+        assert!(row.frontend_bound > 0.0);
+        assert!(row.retiring > 0.0);
+        assert_eq!(row.app, "tiny");
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let row = TopDownRow::from_stats("x", &SimStats::default());
+        assert_eq!(row.retiring, 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Set-associative branch target buffer (and indirect-target BTB).
+
+use twig_types::{Addr, BranchKind};
+
+use crate::config::BtbGeometry;
+
+/// One BTB entry: tag, target, and branch classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BtbEntry {
+    tag: u64,
+    /// Predicted taken target.
+    pub target: Addr,
+    /// Branch classification stored with the entry (lets the frontend pick
+    /// the RAS/IBTB/direction-predictor path before decode).
+    pub kind: BranchKind,
+}
+
+/// A set-associative, true-LRU branch target buffer.
+///
+/// Used for the main BTB (keyed by branch PC, holding direct targets and
+/// branch kinds) and, with different geometry, for the IBTB (holding the
+/// last observed indirect target).
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::{Btb, BtbGeometry};
+/// use twig_types::{Addr, BranchKind};
+///
+/// let mut btb = Btb::new(BtbGeometry::new(64, 4));
+/// let pc = Addr::new(0x40_1000);
+/// assert!(btb.lookup(pc).is_none());
+/// btb.insert(pc, Addr::new(0x40_2000), BranchKind::DirectJump);
+/// assert_eq!(btb.lookup(pc).unwrap().target, Addr::new(0x40_2000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    // Per set: MRU-first vector of entries (true LRU).
+    sets: Vec<Vec<BtbEntry>>,
+    ways: usize,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB with the given geometry.
+    pub fn new(geometry: BtbGeometry) -> Self {
+        let sets = geometry.sets();
+        Btb {
+            sets: vec![Vec::with_capacity(geometry.ways); sets],
+            ways: geometry.ways,
+            // Branch PCs are byte addresses; skip the low bit to spread
+            // entries (x86 instructions are byte-aligned, so bit 0 carries
+            // information, but real BTBs commonly drop it).
+            set_shift: 1,
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn set_and_tag(&self, pc: Addr) -> (usize, u64) {
+        let key = pc.raw() >> self.set_shift;
+        ((key & self.set_mask) as usize, key >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `pc`, promoting the entry to MRU on hit.
+    #[inline]
+    pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
+        let (set, tag) = self.set_and_tag(pc);
+        let ways = &mut self.sets[set];
+        let pos = ways.iter().position(|e| e.tag == tag)?;
+        let entry = ways.remove(pos);
+        ways.insert(0, entry);
+        Some(entry)
+    }
+
+    /// Checks for `pc` without touching recency state.
+    #[inline]
+    pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
+        let (set, tag) = self.set_and_tag(pc);
+        self.sets[set].iter().find(|e| e.tag == tag).copied()
+    }
+
+    /// Inserts or updates the entry for `pc` at MRU, returning the evicted
+    /// entry's tag-reconstructed PC if the set overflowed.
+    pub fn insert(&mut self, pc: Addr, target: Addr, kind: BranchKind) -> Option<Addr> {
+        let (set, tag) = self.set_and_tag(pc);
+        let set_bits = self.set_mask.count_ones();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|e| e.tag == tag) {
+            let mut entry = ways.remove(pos);
+            entry.target = target;
+            entry.kind = kind;
+            ways.insert(0, entry);
+            return None;
+        }
+        ways.insert(0, BtbEntry { tag, target, kind });
+        if ways.len() > self.ways {
+            let victim = ways.pop().expect("overflow entry");
+            let key = (victim.tag << set_bits) | set as u64;
+            return Some(Addr::new(key << self.set_shift));
+        }
+        None
+    }
+
+    /// Removes the entry for `pc` if present.
+    pub fn invalidate(&mut self, pc: Addr) -> bool {
+        let (set, tag) = self.set_and_tag(pc);
+        let ways = &mut self.sets[set];
+        match ways.iter().position(|e| e.tag == tag) {
+            Some(pos) => {
+                ways.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(v: u64) -> Addr {
+        Addr::new(v)
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut btb = Btb::new(BtbGeometry::new(16, 2));
+        btb.insert(addr(0x1000), addr(0x2000), BranchKind::DirectCall);
+        let e = btb.lookup(addr(0x1000)).unwrap();
+        assert_eq!(e.target, addr(0x2000));
+        assert_eq!(e.kind, BranchKind::DirectCall);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut btb = Btb::new(BtbGeometry::new(16, 2));
+        btb.insert(addr(0x1000), addr(0x2000), BranchKind::Conditional);
+        btb.insert(addr(0x1000), addr(0x3000), BranchKind::Conditional);
+        assert_eq!(btb.occupancy(), 1);
+        assert_eq!(btb.lookup(addr(0x1000)).unwrap().target, addr(0x3000));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 1 set × 2 ways: third distinct pc mapping to the set evicts LRU.
+        let mut btb = Btb::new(BtbGeometry::new(2, 2));
+        btb.insert(addr(0x10), addr(1), BranchKind::DirectJump);
+        btb.insert(addr(0x20), addr(2), BranchKind::DirectJump);
+        // Touch 0x10 so 0x20 becomes LRU.
+        btb.lookup(addr(0x10)).unwrap();
+        let evicted = btb.insert(addr(0x30), addr(3), BranchKind::DirectJump);
+        assert_eq!(evicted, Some(addr(0x20)));
+        assert!(btb.probe(addr(0x10)).is_some());
+        assert!(btb.probe(addr(0x20)).is_none());
+        assert!(btb.probe(addr(0x30)).is_some());
+    }
+
+    #[test]
+    fn evicted_pc_reconstruction_roundtrips() {
+        let mut btb = Btb::new(BtbGeometry::new(8, 1));
+        // Two PCs in the same set (differ above set bits).
+        let a = addr(0x1000);
+        let b = addr(0x1000 + (8 << 1) * 64);
+        assert_eq!(btb.set_and_tag(a).0, btb.set_and_tag(b).0);
+        btb.insert(a, addr(1), BranchKind::DirectJump);
+        let evicted = btb.insert(b, addr(2), BranchKind::DirectJump);
+        assert_eq!(evicted, Some(a));
+    }
+
+    #[test]
+    fn probe_does_not_promote() {
+        let mut btb = Btb::new(BtbGeometry::new(2, 2));
+        btb.insert(addr(0x10), addr(1), BranchKind::DirectJump);
+        btb.insert(addr(0x20), addr(2), BranchKind::DirectJump);
+        // probe (not lookup) 0x10: it stays LRU and is evicted next.
+        btb.probe(addr(0x10)).unwrap();
+        let evicted = btb.insert(addr(0x30), addr(3), BranchKind::DirectJump);
+        assert_eq!(evicted, Some(addr(0x10)));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut btb = Btb::new(BtbGeometry::new(16, 4));
+        btb.insert(addr(0x77), addr(1), BranchKind::Return);
+        assert!(btb.invalidate(addr(0x77)));
+        assert!(!btb.invalidate(addr(0x77)));
+        assert!(btb.lookup(addr(0x77)).is_none());
+    }
+
+    #[test]
+    fn occupancy_and_capacity() {
+        let mut btb = Btb::new(BtbGeometry::new(64, 4));
+        assert_eq!(btb.capacity(), 64);
+        for i in 0..100u64 {
+            btb.insert(addr(i * 2), addr(i), BranchKind::Conditional);
+        }
+        assert!(btb.occupancy() <= 64);
+        btb.clear();
+        assert_eq!(btb.occupancy(), 0);
+    }
+
+    #[test]
+    fn distinct_pcs_distinct_entries() {
+        let mut btb = Btb::new(BtbGeometry::new(1024, 4));
+        for i in 0..200u64 {
+            btb.insert(addr(0x1000 + i * 6), addr(i), BranchKind::Conditional);
+        }
+        for i in 0..200u64 {
+            let e = btb.probe(addr(0x1000 + i * 6));
+            if let Some(e) = e {
+                assert_eq!(e.target, addr(i));
+            }
+        }
+    }
+}

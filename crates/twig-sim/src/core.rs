@@ -1,0 +1,640 @@
+//! The cycle-driven decoupled-frontend simulator.
+//!
+//! Model (see DESIGN.md §3): per cycle, the branch prediction unit (BPU)
+//! advances along the trace doing real BTB/IBTB/RAS/direction lookups and
+//! enqueues fetch regions into the FTQ (with FDIP prefetching their I-cache
+//! lines); the fetch unit consumes FTQ entries once their lines are ready;
+//! decode executes software prefetch ops and resolves BTB-miss resteers;
+//! execute resolves direction/indirect mispredicts; retire drains delivered
+//! instructions at the machine width and attributes Top-Down slots.
+//!
+//! Because the trace is the correct path, wrong-path fetch is modelled as
+//! BPU dead time: from the cycle a to-be-resteered branch is predicted until
+//! the resteer resolves, the BPU enqueues nothing, which is exactly the
+//! frontend bubble a real machine sees (minus wrong-path cache pollution,
+//! which the paper's comparisons do not depend on).
+
+use std::collections::VecDeque;
+
+use twig_types::{Addr, BlockId, BranchKind, BranchOutcome, CacheLineAddr};
+use twig_workload::{BlockEvent, Program};
+
+use crate::btb::Btb;
+use crate::config::{DirectionPredictorKind, SimConfig};
+use crate::direction::{build_predictor, DirectionPredictor};
+use crate::icache::MemoryHierarchy;
+use crate::ras::Ras;
+use crate::stats::SimStats;
+use crate::system::{BtbSystem, FrontendCtx, LookupOutcome};
+
+/// Where a pending resteer will be detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ResteerKind {
+    /// BTB miss on a taken direct branch or return: decode finds the branch
+    /// and redirects.
+    Decode,
+    /// Direction or indirect-target mispredict: execution redirects.
+    Execute,
+}
+
+/// One FTQ entry: a contiguous fetch region spanning one or more basic
+/// blocks, ending at a predicted-taken branch, a pending resteer, or the
+/// region instruction cap.
+#[derive(Clone, Debug)]
+struct FtqEntry {
+    /// Original program instructions across the region's blocks.
+    instrs: u32,
+    /// Injected prefetch ops across the region's blocks.
+    ops: u32,
+    first_line: u64,
+    last_line: u64,
+    resteer: Option<ResteerKind>,
+    /// Blocks in the region that carry software prefetch ops.
+    ops_blocks: Vec<BlockId>,
+}
+
+/// Instructions whose decode completed at `ready_at`.
+#[derive(Clone, Copy, Debug)]
+struct Delivery {
+    ready_at: u64,
+    instrs: u32,
+    ops: u32,
+}
+
+/// One entry of the BPU's basic-block history (LBR model).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistoryEntry {
+    /// The executed block.
+    pub block: BlockId,
+    /// BPU cycle at which the block was processed.
+    pub cycle: u64,
+}
+
+/// Observer of real BTB misses, with the 32-deep basic-block history the
+/// paper's LBR-based profiler records (§3.1).
+pub trait MissObserver {
+    /// Called on every *real* (uncovered) BTB miss of a taken branch.
+    ///
+    /// `history` lists the most recent blocks executed before the miss,
+    /// oldest first, including the missing block itself as the last entry.
+    fn on_btb_miss(
+        &mut self,
+        block: BlockId,
+        kind: BranchKind,
+        history: &[HistoryEntry],
+        cycle: u64,
+    );
+}
+
+/// A no-op observer.
+impl MissObserver for () {
+    fn on_btb_miss(&mut self, _: BlockId, _: BranchKind, _: &[HistoryEntry], _: u64) {}
+}
+
+/// Depth of the block history kept for the observer (Intel LBR records 32).
+pub const LBR_DEPTH: usize = 32;
+
+/// The frontend simulator. Drives a [`BtbSystem`] over a block-event stream.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::{PlainBtb, SimConfig, Simulator};
+/// use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+///
+/// let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+/// let config = SimConfig::default();
+/// let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+/// let events = Walker::new(&program, InputConfig::numbered(0));
+/// let stats = sim.run(events, 100_000);
+/// assert!(stats.ipc() > 0.0);
+/// ```
+pub struct Simulator<'p, B> {
+    program: &'p Program,
+    config: SimConfig,
+    system: B,
+    mem: MemoryHierarchy,
+    direction: Box<dyn DirectionPredictor>,
+    ibtb: Btb,
+    ras: Ras,
+    stats: SimStats,
+    history: VecDeque<HistoryEntry>,
+}
+
+impl<'p, B: BtbSystem> Simulator<'p, B> {
+    /// Creates a simulator for `program` with the given BTB system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(program: &'p Program, config: SimConfig, system: B) -> Self {
+        config.validate().expect("invalid sim config");
+        Simulator {
+            program,
+            config,
+            system,
+            mem: MemoryHierarchy::new(&config),
+            direction: build_predictor(config.direction),
+            ibtb: Btb::new(config.ibtb),
+            ras: Ras::new(config.ras_entries),
+            stats: SimStats::default(),
+            history: VecDeque::with_capacity(LBR_DEPTH + 1),
+        }
+    }
+
+    /// Runs until `instruction_budget` original instructions retire (or the
+    /// event stream ends), returning the collected statistics.
+    pub fn run(
+        &mut self,
+        events: impl IntoIterator<Item = BlockEvent>,
+        instruction_budget: u64,
+    ) -> SimStats {
+        self.run_observed(events, instruction_budget, &mut ())
+    }
+
+    /// Like [`Self::run`], also reporting every real BTB miss (with LBR-style
+    /// history) to `observer`.
+    pub fn run_observed(
+        &mut self,
+        events: impl IntoIterator<Item = BlockEvent>,
+        instruction_budget: u64,
+        observer: &mut dyn MissObserver,
+    ) -> SimStats {
+        let mut events = events.into_iter();
+        let mut events_done = false;
+
+        let mut cycle: u64 = 0;
+        let mut bpu_stalled_until: u64 = 0;
+        let mut ftq: VecDeque<FtqEntry> = VecDeque::with_capacity(self.config.ftq_entries);
+        let mut fetch_free_at: u64 = 0;
+        let mut head_ready_at: Option<u64> = None;
+        let mut deliveries: VecDeque<Delivery> = VecDeque::new();
+        // Instructions decoded and waiting to retire: (original, ops) FIFO.
+        let mut avail: VecDeque<(u32, u32)> = VecDeque::new();
+        // ROB occupancy: decoded-but-unretired instructions (deliveries in
+        // flight plus the avail queue). Fetch stalls when the ROB is full.
+        let mut rob_occupancy: usize = 0;
+        let mut backend_deficit: f64 = 0.0;
+        // Active resteer (for Top-Down attribution of empty-frontend slots).
+        let mut resteer_until: u64 = 0;
+        let mut resteer_is_exec = false;
+
+        // Safety valve for malformed configurations.
+        let max_cycles = instruction_budget.saturating_mul(200).max(1 << 22);
+
+        loop {
+            // ---- BPU: advance prediction, fill the FTQ. -----------------
+            if cycle >= bpu_stalled_until && !events_done {
+                for _ in 0..self.config.bpu_regions_per_cycle {
+                    if ftq.len() >= self.config.ftq_entries {
+                        break;
+                    }
+                    let Some(region) =
+                        self.build_region(&mut events, cycle, observer, &mut events_done)
+                    else {
+                        break;
+                    };
+                    let stall = region.resteer.is_some();
+                    ftq.push_back(region);
+                    if stall {
+                        bpu_stalled_until = u64::MAX;
+                        break;
+                    }
+                }
+            }
+
+            // ---- Fetch/decode: issue the FTQ head when its lines arrive. --
+            // The head's I-cache access is pipelined: it starts as soon as
+            // the region reaches the head of the queue (even while fetch is
+            // busy with the previous region), so an L1i hit adds no bubble
+            // between back-to-back regions.
+            if head_ready_at.is_none() {
+                if let Some(head) = ftq.front() {
+                    head_ready_at = Some(self.probe_head_lines(head, cycle));
+                }
+            }
+            if fetch_free_at <= cycle && rob_occupancy < self.config.rob_entries
+                && head_ready_at.is_some_and(|ready| ready <= cycle) {
+                    let entry = ftq.pop_front().expect("ready head exists");
+                    head_ready_at = None;
+                    let total = entry.instrs + entry.ops;
+                    let fetch_cycles =
+                        u64::from(total.div_ceil(self.config.fetch_width)).max(1);
+                    fetch_free_at = cycle + fetch_cycles;
+                    let decode_done = fetch_free_at + self.config.decode_pipe;
+                    deliveries.push_back(Delivery {
+                        ready_at: decode_done,
+                        instrs: entry.instrs,
+                        ops: entry.ops,
+                    });
+                    rob_occupancy += (entry.instrs + entry.ops) as usize;
+                    for &block in &entry.ops_blocks {
+                        self.execute_prefetch_ops(block, decode_done, cycle);
+                    }
+                    if let Some(kind) = entry.resteer {
+                        let resolved_at = match kind {
+                            ResteerKind::Decode => decode_done,
+                            ResteerKind::Execute => decode_done + self.config.exec_pipe,
+                        };
+                        let resume = resolved_at + self.config.redirect_penalty;
+                        bpu_stalled_until = resume;
+                        resteer_until = resume;
+                        resteer_is_exec = kind == ResteerKind::Execute;
+                        match kind {
+                            ResteerKind::Decode => self.stats.decode_resteers += 1,
+                            ResteerKind::Execute => self.stats.exec_resteers += 1,
+                        }
+                    }
+                    // Start the next head's I-cache access in the same
+                    // cycle (pipelined tag check).
+                    if let Some(next_head) = ftq.front() {
+                        head_ready_at = Some(self.probe_head_lines(next_head, cycle));
+                    }
+                }
+
+            // ---- Retire: drain decoded instructions, attribute slots. ----
+            while deliveries
+                .front()
+                .is_some_and(|d| d.ready_at <= cycle)
+            {
+                let d = deliveries.pop_front().expect("checked");
+                avail.push_back((d.instrs, d.ops));
+            }
+
+            let width = self.config.retire_width;
+            if backend_deficit >= 1.0 {
+                backend_deficit -= 1.0;
+                self.stats.topdown.backend_bound += u64::from(width);
+            } else {
+                let mut slots = width;
+                let mut retired_orig: u32 = 0;
+                while slots > 0 {
+                    let Some(front) = avail.front_mut() else { break };
+                    // Prefetch ops sit at block start: retire them first.
+                    if front.1 > 0 {
+                        let take = front.1.min(slots);
+                        front.1 -= take;
+                        slots -= take;
+                        rob_occupancy -= take as usize;
+                        self.stats.retired_prefetch_ops += u64::from(take);
+                        self.stats.topdown.retiring += u64::from(take);
+                    } else if front.0 > 0 {
+                        let take = front.0.min(slots);
+                        front.0 -= take;
+                        slots -= take;
+                        rob_occupancy -= take as usize;
+                        retired_orig += take;
+                        self.stats.topdown.retiring += u64::from(take);
+                    }
+                    if front.0 == 0 && front.1 == 0 {
+                        avail.pop_front();
+                    }
+                }
+                self.stats.retired_instructions += u64::from(retired_orig);
+                backend_deficit +=
+                    f64::from(retired_orig) * self.config.backend_extra_cpki / 1000.0;
+                if slots > 0 {
+                    // Starved: frontend latency, or wrong-path recovery.
+                    if cycle < resteer_until && resteer_is_exec {
+                        self.stats.topdown.bad_speculation += u64::from(slots);
+                    } else {
+                        self.stats.topdown.frontend_bound += u64::from(slots);
+                    }
+                }
+            }
+
+            cycle += 1;
+
+            if self.stats.retired_instructions >= instruction_budget {
+                break;
+            }
+            if events_done && ftq.is_empty() && deliveries.is_empty() && avail.is_empty() {
+                break;
+            }
+            if cycle >= max_cycles {
+                break;
+            }
+        }
+
+        self.stats.cycles = cycle;
+        self.stats.prefetch_buffer = self.system.prefetch_stats().into();
+        let mem = self.mem.stats();
+        self.stats.icache_demand_accesses = mem.demand_accesses;
+        self.stats.icache_demand_misses = mem.demand_misses;
+        self.stats.icache_prefetches = mem.prefetches;
+        self.stats.clone()
+    }
+
+    /// The statistics collected so far (valid after [`Self::run`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The BTB system under test.
+    pub fn system(&self) -> &B {
+        &self.system
+    }
+
+    /// Builds one fetch region at the BPU, consuming block events until a
+    /// taken branch, a pending resteer, or the region cap. Returns `None`
+    /// when the event stream is exhausted before any block is consumed.
+    fn build_region(
+        &mut self,
+        events: &mut impl Iterator<Item = BlockEvent>,
+        cycle: u64,
+        observer: &mut dyn MissObserver,
+        events_done: &mut bool,
+    ) -> Option<FtqEntry> {
+        let mut entry = FtqEntry {
+            instrs: 0,
+            ops: 0,
+            first_line: u64::MAX,
+            last_line: 0,
+            resteer: None,
+            ops_blocks: Vec::new(),
+        };
+        let mut consumed = false;
+        loop {
+            let Some(ev) = events.next() else {
+                *events_done = true;
+                break;
+            };
+            consumed = true;
+            let block = self.program.block(ev.block);
+            self.history.push_back(HistoryEntry {
+                block: ev.block,
+                cycle,
+            });
+            if self.history.len() > LBR_DEPTH {
+                self.history.pop_front();
+            }
+
+            // FDIP: warm the block's lines as soon as it is enqueued.
+            // `end_addr` is exclusive, so the last byte is one before it.
+            let first_line = block.addr.line().line_number();
+            let last_byte = Addr::new(block.end_addr().raw() - 1);
+            let last_line = last_byte.line().line_number().max(first_line);
+            for line in first_line..=last_line {
+                self.mem
+                    .prefetch(CacheLineAddr::from_line_number(line), cycle);
+            }
+            self.drain_line_events(cycle);
+            {
+                let mut ctx = FrontendCtx {
+                    cycle,
+                    program: self.program,
+                    mem: &mut self.mem,
+                };
+                self.system.lines_accessed(
+                    CacheLineAddr::from_line_number(first_line),
+                    CacheLineAddr::from_line_number(last_line),
+                    &mut ctx,
+                );
+            }
+            entry.first_line = entry.first_line.min(first_line);
+            entry.last_line = entry.last_line.max(last_line);
+            entry.instrs += block.num_instrs;
+            entry.ops += block.prefetch_ops.len() as u32;
+            if !block.prefetch_ops.is_empty() {
+                entry.ops_blocks.push(ev.block);
+            }
+
+            let mut region_ends = ev.taken;
+            if block.branch_kind().is_some() {
+                let rec = self
+                    .program
+                    .resolve_branch(ev.block, ev.taken, ev.target)
+                    .expect("terminator is a branch");
+                let kind = rec.kind;
+                self.stats.btb_accesses[kind.index()] += 1;
+
+                let outcome = if self.config.ideal_btb {
+                    LookupOutcome::Hit {
+                        target: rec.outcome.target().unwrap_or(rec.fallthrough),
+                        kind,
+                    }
+                } else {
+                    let mut ctx = FrontendCtx {
+                        cycle,
+                        program: self.program,
+                        mem: &mut self.mem,
+                    };
+                    self.system.lookup(rec.pc, &mut ctx)
+                };
+
+                entry.resteer = match outcome {
+                    LookupOutcome::Hit { .. } | LookupOutcome::CoveredMiss { .. } => {
+                        if matches!(outcome, LookupOutcome::CoveredMiss { .. }) {
+                            self.stats.covered_misses[kind.index()] += 1;
+                        }
+                        self.predict_with_entry(&rec, ev.taken)
+                    }
+                    LookupOutcome::Miss => self.handle_btb_miss(&rec, ev, cycle, observer),
+                };
+                // A wrongly-predicted-taken conditional also ends the
+                // region from the BPU's point of view.
+                if entry.resteer.is_some() {
+                    region_ends = true;
+                }
+
+                // Maintain the speculative RAS along the (correct) path.
+                if kind.is_call() {
+                    self.ras.push(rec.fallthrough);
+                }
+            }
+
+            if region_ends || entry.instrs >= self.config.region_max_instrs {
+                break;
+            }
+        }
+        // A decode resteer means the BPU believed the fall-through path:
+        // optionally model the wrong-path sequential prefetching FDIP
+        // would issue while stalled.
+        if self.config.wrong_path_prefetch && entry.resteer == Some(ResteerKind::Decode) {
+            for i in 1..=u64::from(self.config.wrong_path_lines) {
+                self.mem.prefetch(
+                    CacheLineAddr::from_line_number(entry.last_line + i),
+                    cycle,
+                );
+            }
+            self.drain_line_events(cycle);
+        }
+        consumed.then_some(entry)
+    }
+
+    /// Prediction when the BTB identified the branch. Returns the resteer
+    /// required by a wrong direction/target prediction.
+    fn predict_with_entry(
+        &mut self,
+        rec: &twig_types::BranchRecord,
+        taken: bool,
+    ) -> Option<ResteerKind> {
+        match rec.kind {
+            BranchKind::Conditional => {
+                self.stats.conditional_executed += 1;
+                let predicted = if matches!(self.config.direction, DirectionPredictorKind::Oracle)
+                {
+                    taken
+                } else {
+                    self.direction.predict(rec.pc)
+                };
+                self.direction.update(rec.pc, taken);
+                if predicted != taken {
+                    self.stats.direction_mispredicts += 1;
+                    return Some(ResteerKind::Execute);
+                }
+                None
+            }
+            BranchKind::DirectJump | BranchKind::DirectCall => None,
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                let actual = rec.outcome.target().expect("indirects are taken");
+                let predicted = if self.config.ideal_btb {
+                    Some(actual)
+                } else {
+                    self.ibtb.lookup(rec.pc).map(|e| e.target)
+                };
+                self.ibtb.insert(rec.pc, actual, rec.kind);
+                if predicted != Some(actual) {
+                    self.stats.indirect_mispredicts += 1;
+                    return Some(ResteerKind::Execute);
+                }
+                None
+            }
+            BranchKind::Return => {
+                let actual = rec.outcome.target().expect("returns are taken");
+                let predicted = if self.config.ideal_btb {
+                    let _ = self.ras.pop();
+                    Some(actual)
+                } else {
+                    self.ras.pop()
+                };
+                if predicted != Some(actual) {
+                    self.stats.return_mispredicts += 1;
+                    return Some(ResteerKind::Execute);
+                }
+                None
+            }
+        }
+    }
+
+    /// A real BTB miss: the BPU cannot even tell a branch exists at this PC.
+    fn handle_btb_miss(
+        &mut self,
+        rec: &twig_types::BranchRecord,
+        ev: BlockEvent,
+        cycle: u64,
+        observer: &mut dyn MissObserver,
+    ) -> Option<ResteerKind> {
+        let kind = rec.kind;
+        if kind == BranchKind::Conditional {
+            self.stats.conditional_executed += 1;
+            // Decode identifies the branch; the predictor still trains.
+            self.direction.update(rec.pc, ev.taken);
+        }
+        if let BranchOutcome::Taken(_) = rec.outcome {
+            self.stats.btb_misses[kind.index()] += 1;
+            self.history.make_contiguous();
+            observer.on_btb_miss(ev.block, kind, self.history.as_slices().0, cycle);
+            // Install at resolution (the BPU stalls until then anyway).
+            let mut ctx = FrontendCtx {
+                cycle,
+                program: self.program,
+                mem: &mut self.mem,
+            };
+            self.system.resolve_taken(rec, ev.block, &mut ctx);
+            if kind.is_indirect() && !kind.is_return() {
+                self.ibtb
+                    .insert(rec.pc, rec.outcome.target().expect("taken"), kind);
+            }
+            if kind.is_return() {
+                let _ = self.ras.pop();
+            }
+            // Direct branches and returns are redirected at decode (the
+            // decoder computes/pops the target); indirect targets are only
+            // known at execute.
+            if kind.is_indirect() && !kind.is_return() {
+                Some(ResteerKind::Execute)
+            } else {
+                Some(ResteerKind::Decode)
+            }
+        } else {
+            // Not-taken conditional without a BTB entry: sequential fetch
+            // was correct by construction; no penalty, no allocation.
+            None
+        }
+    }
+
+    /// Executes the software prefetch ops attached to `block`, effective at
+    /// decode time.
+    fn execute_prefetch_ops(&mut self, block: BlockId, decode_done: u64, cycle: u64) {
+        let ops = &self.program.block(block).prefetch_ops;
+        let mut ctx = FrontendCtx {
+            cycle,
+            program: self.program,
+            mem: &mut self.mem,
+        };
+        for op in ops {
+            self.system.software_prefetch(op, decode_done, &mut ctx);
+        }
+    }
+
+    /// Issues the demand accesses for a fetch region's lines and returns
+    /// the cycle its bytes are ready (max over lines).
+    fn probe_head_lines(&mut self, head: &FtqEntry, cycle: u64) -> u64 {
+        let mut ready = cycle;
+        let mut missed = Vec::new();
+        for line in head.first_line..=head.last_line {
+            let r = self
+                .mem
+                .demand(CacheLineAddr::from_line_number(line), cycle);
+            ready = ready.max(r.ready_at);
+            if r.source != crate::icache::FillSource::L1i {
+                missed.push(CacheLineAddr::from_line_number(line));
+            }
+        }
+        for line in missed {
+            self.line_demand_missed(line, cycle);
+        }
+        self.drain_line_events(cycle);
+        ready
+    }
+
+    fn line_demand_missed(&mut self, line: CacheLineAddr, cycle: u64) {
+        let mut ctx = FrontendCtx {
+            cycle,
+            program: self.program,
+            mem: &mut self.mem,
+        };
+        self.system.line_demand_miss(line, &mut ctx);
+    }
+
+    /// Reports L1i fills/evictions to the BTB system.
+    fn drain_line_events(&mut self, cycle: u64) {
+        let filled = self.mem.take_filled_l1i();
+        let evicted = self.mem.take_evicted_l1i();
+        if filled.is_empty() && evicted.is_empty() {
+            return;
+        }
+        let mut ctx = FrontendCtx {
+            cycle,
+            program: self.program,
+            mem: &mut self.mem,
+        };
+        for (line, ready_at) in filled {
+            self.system.line_filled(line, ready_at, &mut ctx);
+        }
+        for line in evicted {
+            self.system.line_evicted(line, &mut ctx);
+        }
+    }
+}
+
+impl<B: BtbSystem> std::fmt::Debug for Simulator<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("system", &self.system.name())
+            .field("direction", &self.direction.name())
+            .field("cycles", &self.stats.cycles)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,388 @@
+//! The instruction-side memory hierarchy: L1i → L2 → L3 → memory.
+//!
+//! Caches are set-associative tag arrays over 64-byte lines with true LRU.
+//! In-flight fills are tracked in an MSHR-like map so demand accesses that
+//! hit an outstanding prefetch wait only for the remaining latency — the
+//! mechanism by which FDIP hides I-cache misses.
+
+use std::collections::HashMap;
+
+use twig_types::CacheLineAddr;
+
+use crate::config::{CacheGeometry, SimConfig};
+
+/// Where a request was satisfied (for statistics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FillSource {
+    /// Hit in L1i.
+    L1i,
+    /// Joined an outstanding fill (issued earlier, possibly by FDIP).
+    InFlight,
+    /// Filled from L2.
+    L2,
+    /// Filled from L3.
+    L3,
+    /// Filled from DRAM.
+    Memory,
+}
+
+/// Result of a cache access or prefetch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Cycle at which the line's bytes are usable by fetch.
+    pub ready_at: u64,
+    /// Where the line came from.
+    pub source: FillSource,
+    /// Whether a new fill into L1i was initiated (triggers predecode hooks
+    /// for Confluence-style prefetchers).
+    pub filled_l1i: bool,
+}
+
+/// One set-associative tag array (MRU-first true LRU).
+#[derive(Clone, Debug)]
+struct TagArray {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    mask: u64,
+}
+
+impl TagArray {
+    fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.sets();
+        TagArray {
+            sets: vec![Vec::with_capacity(geometry.ways); sets],
+            ways: geometry.ways,
+            mask: sets as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn set_and_tag(&self, line: CacheLineAddr) -> (usize, u64) {
+        let n = line.line_number();
+        ((n & self.mask) as usize, n >> self.mask.count_ones())
+    }
+
+    /// Hit check with LRU promotion.
+    fn access(&mut self, line: CacheLineAddr) -> bool {
+        let (set, tag) = self.set_and_tag(line);
+        let ways = &mut self.sets[set];
+        match ways.iter().position(|&t| t == tag) {
+            Some(pos) => {
+                let t = ways.remove(pos);
+                ways.insert(0, t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a line, returning the evicted line if any.
+    fn fill(&mut self, line: CacheLineAddr) -> Option<CacheLineAddr> {
+        let (set, tag) = self.set_and_tag(line);
+        let set_bits = self.mask.count_ones();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            return None;
+        }
+        ways.insert(0, tag);
+        if ways.len() > self.ways {
+            let victim = ways.pop().expect("overflow");
+            let n = (victim << set_bits) | set as u64;
+            return Some(CacheLineAddr::from_line_number(n));
+        }
+        None
+    }
+
+    fn contains(&self, line: CacheLineAddr) -> bool {
+        let (set, tag) = self.set_and_tag(line);
+        self.sets[set].contains(&tag)
+    }
+}
+
+/// Counters for the instruction-side hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemoryStats {
+    /// Demand accesses (fetch).
+    pub demand_accesses: u64,
+    /// Demand accesses that missed L1i (including joins of in-flight fills).
+    pub demand_misses: u64,
+    /// Demand accesses that found an outstanding fill (FDIP success).
+    pub demand_joined_inflight: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Prefetch requests that were already resident or in flight.
+    pub redundant_prefetches: u64,
+    /// Fills from each level.
+    pub fills_l2: u64,
+    /// Fills from L3.
+    pub fills_l3: u64,
+    /// Fills from memory.
+    pub fills_memory: u64,
+}
+
+/// The L1i/L2/L3/memory hierarchy with in-flight fill tracking.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::{MemoryHierarchy, SimConfig};
+/// use twig_types::{Addr, CacheLineAddr};
+///
+/// let mut mem = MemoryHierarchy::new(&SimConfig::default());
+/// let line = CacheLineAddr::containing(Addr::new(0x40_0000));
+/// let cold = mem.demand(line, 0);
+/// assert!(cold.ready_at >= 200); // memory latency
+/// let warm = mem.demand(line, cold.ready_at);
+/// assert_eq!(warm.ready_at, cold.ready_at + 1); // L1i hit latency
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    l1i: TagArray,
+    l2: TagArray,
+    l3: TagArray,
+    inflight: HashMap<CacheLineAddr, u64>,
+    stats: MemoryStats,
+    l1i_latency: u64,
+    l2_latency: u64,
+    l3_latency: u64,
+    mem_latency: u64,
+    ideal: bool,
+    /// Lines evicted from L1i since the last drain (Confluence invalidates
+    /// its line-synced BTB entries from these).
+    evicted_l1i: Vec<CacheLineAddr>,
+    /// Lines newly filled into L1i since the last drain, with the cycle at
+    /// which their bytes arrive.
+    filled_l1i: Vec<(CacheLineAddr, u64)>,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from a simulator configuration.
+    pub fn new(config: &SimConfig) -> Self {
+        MemoryHierarchy {
+            l1i: TagArray::new(config.l1i),
+            l2: TagArray::new(config.l2),
+            l3: TagArray::new(config.l3),
+            inflight: HashMap::new(),
+            stats: MemoryStats::default(),
+            l1i_latency: config.l1i_latency,
+            l2_latency: config.l2_latency,
+            l3_latency: config.l3_latency,
+            mem_latency: config.mem_latency,
+            ideal: config.ideal_icache,
+            evicted_l1i: Vec::new(),
+            filled_l1i: Vec::new(),
+        }
+    }
+
+    /// Demand access from the fetch unit.
+    pub fn demand(&mut self, line: CacheLineAddr, cycle: u64) -> AccessResult {
+        self.stats.demand_accesses += 1;
+        if self.ideal {
+            return AccessResult {
+                ready_at: cycle + self.l1i_latency,
+                source: FillSource::L1i,
+                filled_l1i: false,
+            };
+        }
+        let result = self.access_inner(line, cycle);
+        if result.source != FillSource::L1i {
+            self.stats.demand_misses += 1;
+        }
+        if result.source == FillSource::InFlight {
+            self.stats.demand_joined_inflight += 1;
+        }
+        result
+    }
+
+    /// Prefetch request (FDIP or a hardware BTB prefetcher).
+    pub fn prefetch(&mut self, line: CacheLineAddr, cycle: u64) -> AccessResult {
+        self.stats.prefetches += 1;
+        if self.ideal {
+            return AccessResult {
+                ready_at: cycle,
+                source: FillSource::L1i,
+                filled_l1i: false,
+            };
+        }
+        let before_resident =
+            self.l1i.contains(line) || self.inflight.contains_key(&line);
+        if before_resident {
+            self.stats.redundant_prefetches += 1;
+        }
+        self.access_inner(line, cycle)
+    }
+
+    fn access_inner(&mut self, line: CacheLineAddr, cycle: u64) -> AccessResult {
+        // Outstanding fill?
+        if let Some(&ready) = self.inflight.get(&line) {
+            if ready > cycle {
+                return AccessResult {
+                    ready_at: ready,
+                    source: FillSource::InFlight,
+                    filled_l1i: false,
+                };
+            }
+            self.inflight.remove(&line);
+        }
+        if self.l1i.access(line) {
+            return AccessResult {
+                ready_at: cycle + self.l1i_latency,
+                source: FillSource::L1i,
+                filled_l1i: false,
+            };
+        }
+        // Miss: find the line downstream, fill upward.
+        let (latency, source) = if self.l2.access(line) {
+            self.stats.fills_l2 += 1;
+            (self.l2_latency, FillSource::L2)
+        } else if self.l3.access(line) {
+            self.stats.fills_l3 += 1;
+            if let Some(v) = self.l2.fill(line) {
+                let _ = v; // L2 eviction is silent for the I-side model
+            }
+            (self.l3_latency, FillSource::L3)
+        } else {
+            self.stats.fills_memory += 1;
+            self.l3.fill(line);
+            self.l2.fill(line);
+            (self.mem_latency, FillSource::Memory)
+        };
+        if let Some(victim) = self.l1i.fill(line) {
+            self.evicted_l1i.push(victim);
+        }
+        let ready = cycle + latency;
+        self.filled_l1i.push((line, ready));
+        self.inflight.insert(line, ready);
+        AccessResult {
+            ready_at: ready,
+            source,
+            filled_l1i: true,
+        }
+    }
+
+    /// Whether `line` is resident in L1i (possibly still in flight).
+    pub fn l1i_contains(&self, line: CacheLineAddr) -> bool {
+        self.ideal || self.l1i.contains(line)
+    }
+
+    /// Drains the list of lines evicted from L1i since the last call.
+    pub fn take_evicted_l1i(&mut self) -> Vec<CacheLineAddr> {
+        std::mem::take(&mut self.evicted_l1i)
+    }
+
+    /// Drains the list of lines filled into L1i since the last call, each
+    /// with the cycle its bytes arrive (predecode cannot start earlier).
+    pub fn take_filled_l1i(&mut self) -> Vec<(CacheLineAddr, u64)> {
+        std::mem::take(&mut self.filled_l1i)
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_types::Addr;
+
+    fn line(v: u64) -> CacheLineAddr {
+        CacheLineAddr::containing(Addr::new(v))
+    }
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(&SimConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_pays_memory_latency() {
+        let mut m = mem();
+        let r = m.demand(line(0x40_0000), 100);
+        assert_eq!(r.source, FillSource::Memory);
+        assert_eq!(r.ready_at, 300);
+        assert!(r.filled_l1i);
+    }
+
+    #[test]
+    fn second_access_hits_l1i_after_fill() {
+        let mut m = mem();
+        let r = m.demand(line(0x1000), 0);
+        let r2 = m.demand(line(0x1000), r.ready_at + 1);
+        assert_eq!(r2.source, FillSource::L1i);
+        assert_eq!(r2.ready_at, r.ready_at + 2);
+    }
+
+    #[test]
+    fn early_second_access_joins_inflight() {
+        let mut m = mem();
+        let r = m.demand(line(0x1000), 0);
+        let r2 = m.demand(line(0x1000), 10);
+        assert_eq!(r2.source, FillSource::InFlight);
+        assert_eq!(r2.ready_at, r.ready_at);
+        assert_eq!(m.stats().demand_joined_inflight, 1);
+    }
+
+    #[test]
+    fn prefetch_hides_latency_for_demand() {
+        let mut m = mem();
+        m.prefetch(line(0x2000), 0);
+        // Demand arrives after the fill completed: full hit.
+        let r = m.demand(line(0x2000), 500);
+        assert_eq!(r.source, FillSource::L1i);
+        assert_eq!(r.ready_at, 501);
+    }
+
+    #[test]
+    fn l1i_eviction_falls_back_to_l2() {
+        let mut m = mem();
+        let config = SimConfig::default();
+        let sets = config.l1i.sets() as u64;
+        // Fill one L1i set beyond capacity: lines mapping to set 0.
+        let ways = config.l1i.ways as u64;
+        let mut t = 0u64;
+        for i in 0..(ways + 2) {
+            let r = m.demand(line(i * sets * 64), t);
+            t = r.ready_at + 1;
+        }
+        // First line was evicted from L1i but lives in L2 now.
+        let r = m.demand(line(0), t);
+        assert_eq!(r.source, FillSource::L2);
+        assert_eq!(r.ready_at, t + config.l2_latency);
+        assert!(!m.take_evicted_l1i().is_empty());
+    }
+
+    #[test]
+    fn ideal_icache_always_ready() {
+        let config = SimConfig {
+            ideal_icache: true,
+            ..SimConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(&config);
+        let r = m.demand(line(0x0999_9000), 42);
+        assert_eq!(r.ready_at, 43);
+        assert_eq!(m.stats().demand_misses, 0);
+    }
+
+    #[test]
+    fn redundant_prefetch_is_counted() {
+        let mut m = mem();
+        m.prefetch(line(0x3000), 0);
+        m.prefetch(line(0x3000), 1);
+        assert_eq!(m.stats().prefetches, 2);
+        assert_eq!(m.stats().redundant_prefetches, 1);
+    }
+
+    #[test]
+    fn filled_lines_are_reported() {
+        let mut m = mem();
+        m.demand(line(0x1000), 0);
+        m.prefetch(line(0x2000), 0);
+        let filled = m.take_filled_l1i();
+        assert_eq!(filled.len(), 2);
+        assert!(filled.iter().all(|&(_, ready)| ready > 0));
+        assert!(m.take_filled_l1i().is_empty());
+    }
+}

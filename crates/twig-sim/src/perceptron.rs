@@ -1,0 +1,184 @@
+//! A perceptron direction predictor (Jiménez & Lin, HPCA 2001).
+//!
+//! Completes the predictor suite alongside gshare and the TAGE-like
+//! predictor: perceptrons learn *linearly separable* correlations over long
+//! histories at low storage cost, a useful contrast point when studying how
+//! direction-mispredict noise interacts with BTB-miss resteers (both flush
+//! the FDIP runahead; see EXPERIMENTS.md D1).
+
+use twig_types::Addr;
+
+use crate::direction::DirectionPredictor;
+
+/// History length (weights per perceptron, excluding bias).
+const HISTORY_BITS: usize = 28;
+
+/// Weight clamp (8-bit signed weights).
+const WEIGHT_MAX: i16 = 127;
+const WEIGHT_MIN: i16 = -128;
+
+/// A table of perceptrons indexed by branch PC.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::{DirectionPredictor, Perceptron};
+/// use twig_types::Addr;
+///
+/// let mut p = Perceptron::new(10);
+/// let pc = Addr::new(0x40_2000);
+/// for _ in 0..64 {
+///     p.update(pc, true);
+/// }
+/// assert!(p.predict(pc));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Perceptron {
+    /// Per-entry: bias weight followed by one weight per history bit.
+    weights: Vec<[i16; HISTORY_BITS + 1]>,
+    history: u64,
+    mask: u64,
+    /// Training threshold θ ≈ 1.93·h + 14 (the original paper's tuning).
+    threshold: i32,
+}
+
+impl Perceptron {
+    /// Creates a perceptron table with `2^table_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` is 0 or greater than 24.
+    pub fn new(table_bits: u32) -> Self {
+        assert!((1..=24).contains(&table_bits));
+        Perceptron {
+            weights: vec![[0; HISTORY_BITS + 1]; 1 << table_bits],
+            history: 0,
+            mask: (1 << table_bits) - 1,
+            threshold: (1.93 * HISTORY_BITS as f64 + 14.0) as i32,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        (((pc.raw() >> 1) ^ (pc.raw() >> 13)) & self.mask) as usize
+    }
+
+    /// The perceptron output y = bias + Σ wᵢ·xᵢ with xᵢ ∈ {−1, +1}.
+    fn output(&self, pc: Addr) -> i32 {
+        let w = &self.weights[self.index(pc)];
+        let mut y = i32::from(w[0]);
+        for (i, &wi) in w[1..].iter().enumerate() {
+            let taken = (self.history >> i) & 1 == 1;
+            y += if taken { i32::from(wi) } else { -i32::from(wi) };
+        }
+        y
+    }
+}
+
+impl DirectionPredictor for Perceptron {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.output(pc) >= 0
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let y = self.output(pc);
+        let predicted = y >= 0;
+        // Train on mispredict or weak output (|y| <= θ).
+        if predicted != taken || y.abs() <= self.threshold {
+            let idx = self.index(pc);
+            let t: i16 = if taken { 1 } else { -1 };
+            let w = &mut self.weights[idx];
+            w[0] = (w[0] + t).clamp(WEIGHT_MIN, WEIGHT_MAX);
+            for (i, wi) in w[1..].iter_mut().enumerate() {
+                let x: i16 = if (self.history >> i) & 1 == 1 { 1 } else { -1 };
+                *wi = (*wi + t * x).clamp(WEIGHT_MIN, WEIGHT_MAX);
+            }
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "perceptron"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u64) -> Addr {
+        Addr::new(v)
+    }
+
+    fn accuracy(p: &mut dyn DirectionPredictor, stream: &[(u64, bool)]) -> f64 {
+        let mut correct = 0usize;
+        for &(pc, taken) in stream {
+            if p.predict(a(pc)) == taken {
+                correct += 1;
+            }
+            p.update(a(pc), taken);
+        }
+        correct as f64 / stream.len() as f64
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let stream: Vec<(u64, bool)> = (0..20_000)
+            .map(|i| {
+                let b = (i % 16) as u64;
+                (0x1000 + b * 6, b % 3 != 0)
+            })
+            .collect();
+        let mut p = Perceptron::new(12);
+        let acc = accuracy(&mut p, &stream);
+        assert!(acc > 0.97, "perceptron biased accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_history_correlated_pattern() {
+        // Branch B's outcome equals branch A's previous outcome: a linearly
+        // separable correlation perceptrons excel at.
+        let mut stream = Vec::new();
+        let mut a_out = false;
+        for i in 0..30_000 {
+            a_out = i % 3 == 0;
+            stream.push((0x2000u64, a_out)); // A
+            stream.push((0x3000u64, a_out)); // B copies A
+        }
+        let _ = a_out;
+        let mut p = Perceptron::new(12);
+        // Only count B's accuracy in the tail.
+        let warm = 2_000;
+        let mut correct = 0;
+        let mut total = 0;
+        for (i, &(pc, taken)) in stream.iter().enumerate() {
+            let predicted = p.predict(a(pc));
+            if pc == 0x3000 && i >= warm {
+                total += 1;
+                correct += usize::from(predicted == taken);
+            }
+            p.update(a(pc), taken);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.98, "correlated-branch accuracy {acc}");
+    }
+
+    #[test]
+    fn weights_stay_clamped() {
+        let mut p = Perceptron::new(8);
+        for _ in 0..100_000 {
+            p.update(a(0x42), true);
+        }
+        for &w in &p.weights[p.index(a(0x42))] {
+            assert!((WEIGHT_MIN..=WEIGHT_MAX).contains(&w));
+        }
+        assert!(p.predict(a(0x42)));
+    }
+
+    #[test]
+    fn cold_prediction_is_defined() {
+        let mut p = Perceptron::new(8);
+        let _ = p.predict(a(0xdead));
+        assert_eq!(p.name(), "perceptron");
+    }
+}

@@ -1,0 +1,223 @@
+//! The BTB prefetch buffer.
+//!
+//! Prefetched BTB entries — whether from Twig's software prefetch
+//! instructions or from hardware prefetchers — land here rather than
+//! directly in the BTB, so that speculative prefetches cannot evict
+//! demand-installed entries. On a BTB miss the buffer is checked; a hit
+//! counts as a *covered* miss, promotes the entry into the BTB, and avoids
+//! the resteer. Fig. 25 sweeps the buffer size from 8 to 256 entries.
+
+use std::collections::HashMap;
+
+use twig_types::{Addr, BranchKind};
+
+/// One buffered prefetched BTB entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BufferedEntry {
+    /// Predicted taken target.
+    pub target: Addr,
+    /// Branch classification.
+    pub kind: BranchKind,
+    /// Cycle at which the prefetch completes and the entry becomes usable.
+    pub ready_at: u64,
+}
+
+/// Lifetime counters for prefetch coverage/accuracy accounting (Figs. 17, 19).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PrefetchBufferStats {
+    /// Entries inserted (deduplicated re-prefetches of a resident entry do
+    /// not count again).
+    pub inserted: u64,
+    /// Entries consumed by a demand lookup before eviction (useful).
+    pub used: u64,
+    /// Entries evicted unused.
+    pub evicted_unused: u64,
+    /// Lookups that found an entry not yet ready (late prefetch).
+    pub late: u64,
+}
+
+/// FIFO-replacement, fully-associative prefetch buffer.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::PrefetchBuffer;
+/// use twig_types::{Addr, BranchKind};
+///
+/// let mut buf = PrefetchBuffer::new(8);
+/// buf.insert(Addr::new(0x100), Addr::new(0x900), BranchKind::DirectCall, 10);
+/// assert!(buf.take(Addr::new(0x100), 5).is_none());  // not ready yet
+/// assert!(buf.take(Addr::new(0x100), 12).is_some()); // ready, consumed
+/// assert!(buf.take(Addr::new(0x100), 13).is_none()); // gone
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefetchBuffer {
+    entries: HashMap<Addr, BufferedEntry>,
+    order: std::collections::VecDeque<Addr>,
+    capacity: usize,
+    stats: PrefetchBufferStats,
+}
+
+impl PrefetchBuffer {
+    /// Creates an empty buffer holding up to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer capacity must be positive");
+        PrefetchBuffer {
+            entries: HashMap::with_capacity(capacity),
+            order: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            stats: PrefetchBufferStats::default(),
+        }
+    }
+
+    /// Inserts a prefetched entry that becomes usable at `ready_at`.
+    ///
+    /// Re-prefetching a resident branch refreshes its payload but is not
+    /// double-counted. When full, the oldest entry is evicted (FIFO).
+    pub fn insert(&mut self, pc: Addr, target: Addr, kind: BranchKind, ready_at: u64) {
+        if let Some(existing) = self.entries.get_mut(&pc) {
+            existing.target = target;
+            existing.kind = kind;
+            existing.ready_at = existing.ready_at.min(ready_at);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            // FIFO victim.
+            while let Some(victim) = self.order.pop_front() {
+                if self.entries.remove(&victim).is_some() {
+                    self.stats.evicted_unused += 1;
+                    break;
+                }
+            }
+        }
+        self.entries.insert(
+            pc,
+            BufferedEntry {
+                target,
+                kind,
+                ready_at,
+            },
+        );
+        self.order.push_back(pc);
+        self.stats.inserted += 1;
+    }
+
+    /// Demand lookup at `cycle`: removes and returns the entry if present
+    /// and ready. A present-but-late entry is counted and left in place.
+    pub fn take(&mut self, pc: Addr, cycle: u64) -> Option<BufferedEntry> {
+        match self.entries.get(&pc) {
+            Some(e) if e.ready_at <= cycle => {
+                let e = *e;
+                self.entries.remove(&pc);
+                self.stats.used += 1;
+                Some(e)
+            }
+            Some(_) => {
+                self.stats.late += 1;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Whether an entry for `pc` is resident (ready or not).
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.entries.contains_key(&pc)
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Coverage/accuracy counters.
+    pub fn stats(&self) -> PrefetchBufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u64) -> Addr {
+        Addr::new(v)
+    }
+
+    fn insert_n(buf: &mut PrefetchBuffer, n: u64) {
+        for i in 0..n {
+            buf.insert(a(0x1000 + i * 8), a(0x9000 + i), BranchKind::Conditional, 0);
+        }
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut buf = PrefetchBuffer::new(4);
+        insert_n(&mut buf, 5);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.contains(a(0x1000)), "oldest entry should be evicted");
+        assert!(buf.contains(a(0x1020)));
+        assert_eq!(buf.stats().evicted_unused, 1);
+    }
+
+    #[test]
+    fn take_consumes_and_counts_used() {
+        let mut buf = PrefetchBuffer::new(4);
+        insert_n(&mut buf, 2);
+        assert!(buf.take(a(0x1000), 10).is_some());
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.stats().used, 1);
+    }
+
+    #[test]
+    fn late_prefetch_is_counted_not_consumed() {
+        let mut buf = PrefetchBuffer::new(4);
+        buf.insert(a(0x50), a(0x60), BranchKind::DirectJump, 100);
+        assert!(buf.take(a(0x50), 99).is_none());
+        assert_eq!(buf.stats().late, 1);
+        assert!(buf.take(a(0x50), 100).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_double_count() {
+        let mut buf = PrefetchBuffer::new(4);
+        buf.insert(a(0x50), a(0x60), BranchKind::DirectJump, 5);
+        buf.insert(a(0x50), a(0x70), BranchKind::DirectJump, 9);
+        assert_eq!(buf.stats().inserted, 1);
+        // Payload refreshed, earliest readiness kept.
+        let e = buf.take(a(0x50), 6).unwrap();
+        assert_eq!(e.target, a(0x70));
+    }
+
+    #[test]
+    fn capacity_is_respected_under_churn() {
+        let mut buf = PrefetchBuffer::new(16);
+        for i in 0..1000u64 {
+            buf.insert(a(i * 4), a(i), BranchKind::Conditional, 0);
+            assert!(buf.len() <= 16);
+        }
+        let s = buf.stats();
+        assert_eq!(s.inserted, 1000);
+        assert_eq!(s.evicted_unused, 1000 - 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = PrefetchBuffer::new(0);
+    }
+}

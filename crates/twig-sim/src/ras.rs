@@ -1,0 +1,140 @@
+//! Return address stack.
+
+use twig_types::Addr;
+
+/// A fixed-capacity circular return address stack.
+///
+/// Pushes past capacity overwrite the oldest entry (the classic RAS
+/// overflow/corruption behaviour), and pops from an empty stack return
+/// `None` — both show up as return mispredicts in deep call chains.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::Ras;
+/// use twig_types::Addr;
+///
+/// let mut ras = Ras::new(4);
+/// ras.push(Addr::new(0x100));
+/// ras.push(Addr::new(0x200));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x200)));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x100)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ras {
+    slots: Vec<Addr>,
+    top: usize,
+    depth: usize,
+}
+
+impl Ras {
+    /// Creates an empty RAS with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        Ras {
+            slots: vec![Addr::ZERO; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address, overwriting the oldest entry on overflow.
+    pub fn push(&mut self, addr: Addr) {
+        self.slots[self.top] = addr;
+        self.top = (self.top + 1) % self.slots.len();
+        self.depth = (self.depth + 1).min(self.slots.len());
+    }
+
+    /// Pops the youngest return address, or `None` if empty/underflowed.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.depth -= 1;
+        Some(self.slots[self.top])
+    }
+
+    /// The youngest return address without popping.
+    pub fn peek(&self) -> Option<Addr> {
+        if self.depth == 0 {
+            return None;
+        }
+        let idx = (self.top + self.slots.len() - 1) % self.slots.len();
+        Some(self.slots[idx])
+    }
+
+    /// Live entries (saturates at capacity after overflow).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u64) -> Addr {
+        Addr::new(v)
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new(8);
+        for i in 1..=5u64 {
+            ras.push(a(i));
+        }
+        for i in (1..=5u64).rev() {
+            assert_eq!(ras.pop(), Some(a(i)));
+        }
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_corrupts_oldest() {
+        let mut ras = Ras::new(2);
+        ras.push(a(1));
+        ras.push(a(2));
+        ras.push(a(3)); // overwrites 1
+        assert_eq!(ras.pop(), Some(a(3)));
+        assert_eq!(ras.pop(), Some(a(2)));
+        // Entry 1 is gone: corrupted by wrap-around.
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn peek_is_nondestructive() {
+        let mut ras = Ras::new(4);
+        ras.push(a(7));
+        assert_eq!(ras.peek(), Some(a(7)));
+        assert_eq!(ras.depth(), 1);
+        assert_eq!(ras.pop(), Some(a(7)));
+        assert_eq!(ras.peek(), None);
+    }
+
+    #[test]
+    fn depth_saturates() {
+        let mut ras = Ras::new(3);
+        for i in 0..10u64 {
+            ras.push(a(i));
+        }
+        assert_eq!(ras.depth(), 3);
+        assert_eq!(ras.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Ras::new(0);
+    }
+}

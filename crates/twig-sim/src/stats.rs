@@ -1,0 +1,269 @@
+//! Simulation statistics: IPC, BTB MPKI, resteers, Top-Down slots.
+
+use serde::{Deserialize, Serialize};
+use twig_types::BranchKind;
+
+use crate::prefetch_buffer::PrefetchBufferStats;
+
+/// Top-Down pipeline-slot attribution (Yasin, ISPASS'14), the methodology
+/// behind Fig. 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct TopDownSlots {
+    /// Slots that retired an instruction.
+    pub retiring: u64,
+    /// Slots lost because the frontend supplied nothing (I-cache waits,
+    /// BTB-miss resteers, FTQ-empty bubbles).
+    pub frontend_bound: u64,
+    /// Slots lost to wrong-path recovery (direction/indirect mispredicts).
+    pub bad_speculation: u64,
+    /// Slots lost to backend stalls.
+    pub backend_bound: u64,
+}
+
+impl TopDownSlots {
+    /// Total attributed slots.
+    pub fn total(&self) -> u64 {
+        self.retiring + self.frontend_bound + self.bad_speculation + self.backend_bound
+    }
+
+    /// Fraction of slots that are frontend-bound (Fig. 1's y-axis).
+    pub fn frontend_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.frontend_bound as f64 / self.total() as f64
+    }
+}
+
+/// Full statistics of one simulation run.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Retired original program instructions.
+    pub retired_instructions: u64,
+    /// Retired injected prefetch operations (Twig's dynamic overhead).
+    pub retired_prefetch_ops: u64,
+    /// BTB accesses per branch kind.
+    pub btb_accesses: [u64; 6],
+    /// Real BTB misses per branch kind (taken branches absent from BTB and
+    /// prefetch buffer).
+    pub btb_misses: [u64; 6],
+    /// Would-be misses covered by the prefetch buffer, per branch kind.
+    pub covered_misses: [u64; 6],
+    /// Decode-time resteers (BTB misses on taken direct branches/returns).
+    pub decode_resteers: u64,
+    /// Execute-time resteers (direction or indirect-target mispredicts).
+    pub exec_resteers: u64,
+    /// Conditional branches executed.
+    pub conditional_executed: u64,
+    /// Conditional direction mispredicts.
+    pub direction_mispredicts: u64,
+    /// Indirect branches whose predicted target was wrong (or unknown).
+    pub indirect_mispredicts: u64,
+    /// Return-address mispredicts (RAS underflow/corruption).
+    pub return_mispredicts: u64,
+    /// Top-Down slot attribution.
+    pub topdown: TopDownSlots,
+    /// Prefetch-buffer counters (coverage numerator, accuracy).
+    pub prefetch_buffer: PrefetchBufferStatsSer,
+    /// Demand I-cache accesses.
+    pub icache_demand_accesses: u64,
+    /// Demand I-cache misses (L1i).
+    pub icache_demand_misses: u64,
+    /// FDIP + hardware prefetches issued to the I-cache.
+    pub icache_prefetches: u64,
+}
+
+/// Serializable mirror of [`PrefetchBufferStats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct PrefetchBufferStatsSer {
+    /// Entries inserted.
+    pub inserted: u64,
+    /// Entries consumed by demand lookups.
+    pub used: u64,
+    /// Entries evicted unused.
+    pub evicted_unused: u64,
+    /// Lookups that found a not-yet-ready entry.
+    pub late: u64,
+}
+
+impl From<PrefetchBufferStats> for PrefetchBufferStatsSer {
+    fn from(s: PrefetchBufferStats) -> Self {
+        PrefetchBufferStatsSer {
+            inserted: s.inserted,
+            used: s.used,
+            evicted_unused: s.evicted_unused,
+            late: s.late,
+        }
+    }
+}
+
+impl SimStats {
+    /// Instructions per cycle, counting only original program instructions
+    /// (injected prefetch ops are overhead, not work).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.retired_instructions as f64 / self.cycles as f64
+    }
+
+    /// Real BTB misses from *direct* branches only, matching the paper's
+    /// MPKI definition (Fig. 3).
+    pub fn direct_btb_misses(&self) -> u64 {
+        BranchKind::ALL
+            .iter()
+            .filter(|k| k.is_direct())
+            .map(|k| self.btb_misses[k.index()])
+            .sum()
+    }
+
+    /// BTB misses per kilo-instruction over direct branches (Fig. 3).
+    pub fn btb_mpki(&self) -> f64 {
+        if self.retired_instructions == 0 {
+            return 0.0;
+        }
+        self.direct_btb_misses() as f64 * 1000.0 / self.retired_instructions as f64
+    }
+
+    /// Total BTB accesses.
+    pub fn total_btb_accesses(&self) -> u64 {
+        self.btb_accesses.iter().sum()
+    }
+
+    /// Total real BTB misses (all kinds).
+    pub fn total_btb_misses(&self) -> u64 {
+        self.btb_misses.iter().sum()
+    }
+
+    /// Total would-be misses covered by prefetching.
+    pub fn total_covered_misses(&self) -> u64 {
+        self.covered_misses.iter().sum()
+    }
+
+    /// Fraction of would-be BTB misses covered by prefetching (Fig. 17).
+    pub fn miss_coverage(&self) -> f64 {
+        let covered = self.total_covered_misses();
+        let total = covered + self.total_btb_misses();
+        if total == 0 {
+            return 0.0;
+        }
+        covered as f64 / total as f64
+    }
+
+    /// Fraction of prefetched entries that were used before eviction
+    /// (Fig. 19's prefetch accuracy).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let resolved = self.prefetch_buffer.used + self.prefetch_buffer.evicted_unused;
+        if resolved == 0 {
+            return 0.0;
+        }
+        self.prefetch_buffer.used as f64 / resolved as f64
+    }
+
+    /// Conditional direction-prediction accuracy.
+    pub fn direction_accuracy(&self) -> f64 {
+        if self.conditional_executed == 0 {
+            return 1.0;
+        }
+        1.0 - self.direction_mispredicts as f64 / self.conditional_executed as f64
+    }
+
+    /// Dynamic instruction overhead of injected ops (Fig. 22).
+    pub fn dynamic_overhead(&self) -> f64 {
+        if self.retired_instructions == 0 {
+            return 0.0;
+        }
+        self.retired_prefetch_ops as f64 / self.retired_instructions as f64
+    }
+
+    /// L1i demand miss rate.
+    pub fn icache_miss_rate(&self) -> f64 {
+        if self.icache_demand_accesses == 0 {
+            return 0.0;
+        }
+        self.icache_demand_misses as f64 / self.icache_demand_accesses as f64
+    }
+}
+
+/// Speedup of `new` over `old` as a percentage (`(IPC_new/IPC_old - 1)·100`).
+pub fn speedup_percent(old: &SimStats, new: &SimStats) -> f64 {
+    if old.ipc() == 0.0 {
+        return 0.0;
+    }
+    (new.ipc() / old.ipc() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(cycles: u64, instrs: u64) -> SimStats {
+        SimStats {
+            cycles,
+            retired_instructions: instrs,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = stats_with(1000, 2000);
+        let faster = stats_with(800, 2000);
+        assert!((base.ipc() - 2.0).abs() < 1e-12);
+        assert!((speedup_percent(&base, &faster) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpki_counts_only_direct_kinds() {
+        let mut s = stats_with(1, 1_000_000);
+        s.btb_misses[BranchKind::Conditional.index()] = 10_000;
+        s.btb_misses[BranchKind::DirectCall.index()] = 5_000;
+        s.btb_misses[BranchKind::IndirectJump.index()] = 99_999; // excluded
+        s.btb_misses[BranchKind::Return.index()] = 99_999; // excluded
+        assert!((s.btb_mpki() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_is_covered_over_would_be_total() {
+        let mut s = SimStats::default();
+        s.covered_misses[0] = 60;
+        s.btb_misses[0] = 40;
+        assert!((s.miss_coverage() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_ignores_still_resident_entries() {
+        let mut s = SimStats::default();
+        s.prefetch_buffer.inserted = 100;
+        s.prefetch_buffer.used = 30;
+        s.prefetch_buffer.evicted_unused = 70;
+        assert!((s.prefetch_accuracy() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topdown_fraction() {
+        let td = TopDownSlots {
+            retiring: 25,
+            frontend_bound: 50,
+            bad_speculation: 5,
+            backend_bound: 20,
+        };
+        assert_eq!(td.total(), 100);
+        assert!((td.frontend_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.btb_mpki(), 0.0);
+        assert_eq!(s.miss_coverage(), 0.0);
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+        assert_eq!(s.direction_accuracy(), 1.0);
+        assert_eq!(s.dynamic_overhead(), 0.0);
+        assert_eq!(s.icache_miss_rate(), 0.0);
+        assert_eq!(TopDownSlots::default().frontend_fraction(), 0.0);
+    }
+}

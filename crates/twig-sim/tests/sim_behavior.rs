@@ -1,0 +1,329 @@
+//! Behavioural tests of the frontend simulator: the relationships the
+//! paper's §2 characterization relies on must hold on synthetic workloads.
+
+use twig_sim::{
+    BtbGeometry, DirectionPredictorKind, HistoryEntry, MissObserver, PlainBtb, SimConfig,
+    SimStats, Simulator,
+};
+use twig_types::{BlockId, BranchKind};
+use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+
+const BUDGET: u64 = 200_000;
+
+fn run_with(config: SimConfig, spec: &WorkloadSpec) -> SimStats {
+    let program = ProgramGenerator::new(spec.clone()).generate();
+    let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+    sim.run(Walker::new(&program, InputConfig::numbered(0)), BUDGET)
+}
+
+fn tiny() -> WorkloadSpec {
+    WorkloadSpec::tiny_test()
+}
+
+#[test]
+fn simulation_terminates_and_makes_progress() {
+    let stats = run_with(SimConfig::default(), &tiny());
+    assert!(stats.retired_instructions >= BUDGET);
+    assert!(stats.cycles > 0);
+    let ipc = stats.ipc();
+    assert!(
+        (0.05..=6.0).contains(&ipc),
+        "IPC {ipc} outside plausible range"
+    );
+}
+
+#[test]
+fn deterministic_runs() {
+    let a = run_with(SimConfig::default(), &tiny());
+    let b = run_with(SimConfig::default(), &tiny());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ideal_btb_outperforms_baseline() {
+    let base = run_with(SimConfig::default(), &tiny());
+    let ideal = run_with(
+        SimConfig {
+            ideal_btb: true,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    assert!(
+        ideal.ipc() > base.ipc(),
+        "ideal BTB {} must beat baseline {}",
+        ideal.ipc(),
+        base.ipc()
+    );
+    assert_eq!(ideal.total_btb_misses(), 0);
+    assert_eq!(ideal.decode_resteers, 0);
+}
+
+#[test]
+fn ideal_icache_outperforms_baseline() {
+    let base = run_with(SimConfig::default(), &tiny());
+    let ideal = run_with(
+        SimConfig {
+            ideal_icache: true,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    assert!(ideal.ipc() >= base.ipc());
+    assert_eq!(ideal.icache_demand_misses, 0);
+}
+
+#[test]
+fn bigger_btb_misses_less() {
+    // The tiny program has only a few hundred branch sites, so the small
+    // configuration must be genuinely tiny to create capacity pressure.
+    let small = run_with(
+        SimConfig::default().with_btb_entries(64),
+        &tiny(),
+    );
+    let big = run_with(
+        SimConfig::default().with_btb_entries(32768),
+        &tiny(),
+    );
+    assert!(
+        small.total_btb_misses() > big.total_btb_misses(),
+        "512-entry misses {} vs 32K-entry misses {}",
+        small.total_btb_misses(),
+        big.total_btb_misses()
+    );
+    assert!(big.ipc() >= small.ipc());
+}
+
+#[test]
+fn btb_misses_cause_decode_resteers() {
+    let stats = run_with(SimConfig::default().with_btb_entries(256), &tiny());
+    assert!(stats.direct_btb_misses() > 0);
+    assert!(stats.decode_resteers > 0);
+    // Every decode resteer stems from a BTB miss of a direct branch or a
+    // return; misses of indirect branches resteer at execute.
+    let direct_and_ret = stats.direct_btb_misses()
+        + stats.btb_misses[BranchKind::Return.index()];
+    assert!(stats.decode_resteers <= direct_and_ret);
+}
+
+#[test]
+fn accesses_dominated_by_conditionals() {
+    // Fig. 7: conditional branches dominate BTB accesses.
+    let stats = run_with(SimConfig::default(), &tiny());
+    let cond = stats.btb_accesses[BranchKind::Conditional.index()];
+    for kind in BranchKind::ALL {
+        if kind != BranchKind::Conditional {
+            assert!(cond >= stats.btb_accesses[kind.index()], "{kind}");
+        }
+    }
+}
+
+#[test]
+fn topdown_slots_account_every_cycle() {
+    let config = SimConfig::default();
+    let stats = run_with(config, &tiny());
+    assert_eq!(
+        stats.topdown.total(),
+        stats.cycles * u64::from(config.retire_width),
+        "slot attribution must cover every issue slot"
+    );
+    assert!(stats.topdown.frontend_bound > 0);
+    assert!(stats.topdown.backend_bound > 0);
+}
+
+#[test]
+fn backend_factor_shifts_topdown_attribution() {
+    let light = run_with(
+        SimConfig {
+            backend_extra_cpki: 10.0,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    // The backend ceiling must drop below the frontend-bound IPC (~0.6)
+    // to actually bind: 3000 extra cycles/ki caps IPC near 0.33.
+    let heavy = run_with(
+        SimConfig {
+            backend_extra_cpki: 3000.0,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    assert!(heavy.topdown.backend_bound > light.topdown.backend_bound);
+    assert!(heavy.ipc() < light.ipc());
+}
+
+#[test]
+fn oracle_direction_removes_direction_mispredicts() {
+    let stats = run_with(
+        SimConfig {
+            direction: DirectionPredictorKind::Oracle,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    assert_eq!(stats.direction_mispredicts, 0);
+}
+
+#[test]
+fn tage_beats_small_gshare() {
+    let tage = run_with(SimConfig::default(), &tiny());
+    let gshare = run_with(
+        SimConfig {
+            direction: DirectionPredictorKind::Gshare { table_bits: 8 },
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    // Synthetic conditionals are memoryless draws, so accuracy is bounded
+    // by the per-branch bias (Bayes bound ~0.86 for the tiny spec); TAGE
+    // should stay near that bound and not trail a small gshare.
+    assert!(tage.direction_accuracy() >= gshare.direction_accuracy() * 0.97);
+    assert!(tage.direction_accuracy() > 0.75, "{}", tage.direction_accuracy());
+}
+
+#[test]
+fn deeper_ftq_does_not_hurt() {
+    let shallow = run_with(
+        SimConfig {
+            ftq_entries: 2,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    let deep = run_with(
+        SimConfig {
+            ftq_entries: 48,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    assert!(
+        deep.ipc() >= shallow.ipc() * 0.98,
+        "deep FTQ {} vs shallow {}",
+        deep.ipc(),
+        shallow.ipc()
+    );
+}
+
+#[test]
+fn fdip_prefetches_lines() {
+    let stats = run_with(SimConfig::default(), &tiny());
+    assert!(stats.icache_prefetches > 0);
+    assert!(stats.icache_demand_accesses > 0);
+}
+
+struct CountingObserver {
+    misses: u64,
+    histories_ok: bool,
+    last_block: Option<BlockId>,
+}
+
+impl MissObserver for CountingObserver {
+    fn on_btb_miss(
+        &mut self,
+        block: BlockId,
+        _kind: BranchKind,
+        history: &[HistoryEntry],
+        _cycle: u64,
+    ) {
+        self.misses += 1;
+        self.last_block = Some(block);
+        if history.is_empty() || history.len() > twig_sim::LBR_DEPTH {
+            self.histories_ok = false;
+        }
+        // History must be chronologically ordered and end with the miss.
+        if history.windows(2).any(|w| w[0].cycle > w[1].cycle) {
+            self.histories_ok = false;
+        }
+        if history.last().map(|h| h.block) != Some(block) {
+            self.histories_ok = false;
+        }
+    }
+}
+
+#[test]
+fn observer_sees_every_real_miss_with_lbr_history() {
+    let spec = tiny();
+    let program = ProgramGenerator::new(spec).generate();
+    let config = SimConfig::default().with_btb_entries(512);
+    let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+    let mut obs = CountingObserver {
+        misses: 0,
+        histories_ok: true,
+        last_block: None,
+    };
+    let stats = sim.run_observed(
+        Walker::new(&program, InputConfig::numbered(0)),
+        BUDGET,
+        &mut obs,
+    );
+    assert_eq!(obs.misses, stats.total_btb_misses());
+    assert!(obs.histories_ok, "malformed LBR history delivered");
+    assert!(obs.last_block.is_some());
+}
+
+#[test]
+fn event_stream_end_drains_pipeline() {
+    // A finite trace must terminate the run cleanly below the budget.
+    let program = ProgramGenerator::new(tiny()).generate();
+    let config = SimConfig::default();
+    let events: Vec<_> = Walker::new(&program, InputConfig::numbered(0))
+        .take(1000)
+        .collect();
+    let expected: u64 = events
+        .iter()
+        .map(|e| u64::from(program.block(e.block).num_instrs))
+        .sum();
+    let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+    let stats = sim.run(events, u64::MAX);
+    assert_eq!(stats.retired_instructions, expected);
+}
+
+#[test]
+fn associativity_reduces_conflict_misses() {
+    let direct_mapped = run_with(
+        SimConfig {
+            btb: BtbGeometry::new(2048, 1),
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    let assoc = run_with(
+        SimConfig {
+            btb: BtbGeometry::new(2048, 8),
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    assert!(
+        assoc.total_btb_misses() <= direct_mapped.total_btb_misses(),
+        "8-way {} vs 1-way {}",
+        assoc.total_btb_misses(),
+        direct_mapped.total_btb_misses()
+    );
+}
+
+#[test]
+fn wrong_path_prefetch_changes_icache_traffic_only_when_enabled() {
+    let base = run_with(SimConfig::default(), &tiny());
+    let wp = run_with(
+        SimConfig {
+            wrong_path_prefetch: true,
+            ..SimConfig::default()
+        },
+        &tiny(),
+    );
+    assert!(
+        wp.icache_prefetches > base.icache_prefetches,
+        "wrong-path mode must issue extra prefetches: {} vs {}",
+        wp.icache_prefetches,
+        base.icache_prefetches
+    );
+    // Same committed work either way.
+    assert_eq!(wp.retired_instructions, base.retired_instructions);
+    assert_eq!(wp.total_btb_misses(), base.total_btb_misses());
+    // IPC moves only modestly (pollution vs accidental warmth).
+    let ratio = wp.ipc() / base.ipc();
+    assert!((0.7..=1.4).contains(&ratio), "IPC ratio {ratio}");
+}

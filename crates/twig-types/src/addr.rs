@@ -1,0 +1,294 @@
+//! Virtual addresses and cache-line addresses.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bytes in one instruction-cache line.
+///
+/// Matches the 64-byte lines assumed throughout the paper (e.g. Shotgun's
+/// "8 cache lines" spatial range in Fig. 12 is 8 × 64 B = 512 B).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// A virtual address in the simulated program's 48-bit address space.
+///
+/// Twig's `brprefetch` operands are instruction pointers "as large as 48-bit
+/// signed integers" (§3.1); we store them in a `u64` and rely on the program
+/// layout to stay within 48 bits.
+///
+/// # Examples
+///
+/// ```
+/// use twig_types::Addr;
+///
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a + 0x40, Addr::new(0x1040));
+/// assert_eq!((a + 0x40) - a, 0x40);
+/// assert_eq!(a.offset_to(Addr::new(0xff0)), -16);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The lowest address; useful as a sentinel for "no address yet".
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from its raw 64-bit value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> CacheLineAddr {
+        CacheLineAddr(self.0 / CACHE_LINE_BYTES)
+    }
+
+    /// Signed byte distance from `self` to `other` (`other - self`).
+    ///
+    /// This is the quantity Twig compresses: the *prefetch-to-branch offset*
+    /// (Fig. 14) and the *branch-to-target offset* (Fig. 15) are both signed
+    /// deltas between two instruction pointers.
+    #[inline]
+    pub const fn offset_to(self, other: Addr) -> i64 {
+        other.0 as i64 - self.0 as i64
+    }
+
+    /// Number of two's-complement bits needed to encode the signed offset
+    /// from `self` to `other`, including the sign bit.
+    ///
+    /// An offset of 0 needs 1 bit; +1 needs 2 bits (`01`); −1 needs 1 bit.
+    /// Twig stores 80% of all offsets in 12 bits (§3.1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twig_types::Addr;
+    ///
+    /// let a = Addr::new(0x1000);
+    /// assert!(a.offset_bits_to(Addr::new(0x1400)) <= 12);
+    /// assert!(a.offset_bits_to(Addr::new(0x4000_0000)) > 12);
+    /// ```
+    #[inline]
+    pub fn offset_bits_to(self, other: Addr) -> u32 {
+        signed_bits(self.offset_to(other))
+    }
+}
+
+/// Number of bits required to represent `v` as a two's-complement signed
+/// integer, including the sign bit.
+#[inline]
+pub(crate) fn signed_bits(v: i64) -> u32 {
+    if v >= 0 {
+        // Need one extra bit for the sign.
+        64 - v.leading_zeros() + 1
+    } else {
+        64 - v.leading_ones() + 1
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    /// Unsigned distance; panics in debug builds if `rhs > self`.
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A 64-byte-aligned instruction-cache line address (line number, not bytes).
+///
+/// # Examples
+///
+/// ```
+/// use twig_types::{Addr, CacheLineAddr};
+///
+/// let line = CacheLineAddr::containing(Addr::new(0x1038));
+/// assert_eq!(line.base(), Addr::new(0x1000));
+/// assert_eq!(line.next().base(), Addr::new(0x1040));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CacheLineAddr(u64);
+
+impl CacheLineAddr {
+    /// The cache line containing `addr`.
+    #[inline]
+    pub const fn containing(addr: Addr) -> Self {
+        addr.line()
+    }
+
+    /// Creates a line address from a line *number* (byte address / 64).
+    #[inline]
+    pub const fn from_line_number(n: u64) -> Self {
+        CacheLineAddr(n)
+    }
+
+    /// The line number (byte address / 64).
+    #[inline]
+    pub const fn line_number(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr::new(self.0 * CACHE_LINE_BYTES)
+    }
+
+    /// The immediately following line.
+    #[inline]
+    pub const fn next(self) -> Self {
+        CacheLineAddr(self.0 + 1)
+    }
+
+    /// Absolute distance in lines between two line addresses.
+    ///
+    /// Used for Shotgun's spatial-range check (§2.3): a conditional branch is
+    /// prefetchable only if it lies within 8 lines of the last unconditional
+    /// branch target.
+    #[inline]
+    pub const fn distance(self, other: CacheLineAddr) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Debug for CacheLineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.base().raw())
+    }
+}
+
+impl fmt::Display for CacheLineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.base().raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_address() {
+        assert_eq!(Addr::new(0).line(), CacheLineAddr::from_line_number(0));
+        assert_eq!(Addr::new(63).line(), CacheLineAddr::from_line_number(0));
+        assert_eq!(Addr::new(64).line(), CacheLineAddr::from_line_number(1));
+        assert_eq!(Addr::new(130).line().base(), Addr::new(128));
+    }
+
+    #[test]
+    fn signed_offsets() {
+        let a = Addr::new(0x1000);
+        assert_eq!(a.offset_to(a), 0);
+        assert_eq!(a.offset_to(Addr::new(0x1001)), 1);
+        assert_eq!(a.offset_to(Addr::new(0x0fff)), -1);
+    }
+
+    #[test]
+    fn signed_bit_widths() {
+        assert_eq!(signed_bits(0), 1);
+        assert_eq!(signed_bits(1), 2);
+        assert_eq!(signed_bits(-1), 1);
+        assert_eq!(signed_bits(-2), 2);
+        assert_eq!(signed_bits(2047), 12);
+        assert_eq!(signed_bits(2048), 13);
+        assert_eq!(signed_bits(-2048), 12);
+        assert_eq!(signed_bits(-2049), 13);
+        assert_eq!(signed_bits(i64::MAX), 64);
+        assert_eq!(signed_bits(i64::MIN), 64);
+    }
+
+    #[test]
+    fn line_distance_is_symmetric() {
+        let a = CacheLineAddr::from_line_number(10);
+        let b = CacheLineAddr::from_line_number(3);
+        assert_eq!(a.distance(b), 7);
+        assert_eq!(b.distance(a), 7);
+        assert_eq!(a.distance(a), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr::new(100);
+        let mut b = a + 28;
+        assert_eq!(b.raw(), 128);
+        b += 2;
+        assert_eq!(b - a, 30);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(0x2a).to_string(), "0x2a");
+        assert_eq!(format!("{:x}", Addr::new(0x2a)), "2a");
+        assert_eq!(format!("{:X}", Addr::new(0x2a)), "2A");
+        assert_eq!(
+            CacheLineAddr::from_line_number(2).to_string(),
+            "0x80"
+        );
+    }
+}

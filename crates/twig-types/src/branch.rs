@@ -1,0 +1,238 @@
+//! Branch taxonomy and dynamic branch records.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Addr;
+
+/// The kind of a control-flow instruction, as classified by the BTB.
+///
+/// This is the taxonomy used by the paper's characterization (Figs. 7–8
+/// break down BTB accesses and misses by branch type) and by the baseline
+/// prefetchers (Shotgun partitions its BTB by conditional vs. unconditional
+/// kinds).
+///
+/// # Examples
+///
+/// ```
+/// use twig_types::BranchKind;
+///
+/// assert!(BranchKind::Conditional.is_direct());
+/// assert!(!BranchKind::Conditional.is_unconditional());
+/// assert!(BranchKind::IndirectJump.is_indirect());
+/// assert!(BranchKind::Return.is_indirect());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// A conditional direct branch (x86 `jcc`).
+    Conditional,
+    /// An unconditional direct jump (x86 `jmp rel`).
+    DirectJump,
+    /// A direct call (x86 `call rel`).
+    DirectCall,
+    /// An indirect jump through a register or memory (x86 `jmp r/m`).
+    IndirectJump,
+    /// An indirect call (x86 `call r/m`).
+    IndirectCall,
+    /// A function return (x86 `ret`).
+    Return,
+}
+
+impl BranchKind {
+    /// All branch kinds, in a stable order (useful for per-kind counters).
+    pub const ALL: [BranchKind; 6] = [
+        BranchKind::Conditional,
+        BranchKind::DirectJump,
+        BranchKind::DirectCall,
+        BranchKind::IndirectJump,
+        BranchKind::IndirectCall,
+        BranchKind::Return,
+    ];
+
+    /// Whether the branch target is encoded in the instruction itself.
+    ///
+    /// The paper's BTB MPKI (Fig. 3) counts only *direct* branches:
+    /// "unconditional jumps, calls, and conditional jumps".
+    #[inline]
+    pub const fn is_direct(self) -> bool {
+        matches!(
+            self,
+            BranchKind::Conditional | BranchKind::DirectJump | BranchKind::DirectCall
+        )
+    }
+
+    /// Whether the branch target comes from a register, memory, or the stack.
+    #[inline]
+    pub const fn is_indirect(self) -> bool {
+        !self.is_direct()
+    }
+
+    /// Whether the branch always transfers control when executed.
+    ///
+    /// Shotgun keys its prefetching off these: unconditional direct branches
+    /// and calls are 20.75% of dynamic branches but 37.5% of BTB misses
+    /// (Fig. 8).
+    #[inline]
+    pub const fn is_unconditional(self) -> bool {
+        !matches!(self, BranchKind::Conditional)
+    }
+
+    /// Whether the branch is a call (pushes a return address).
+    #[inline]
+    pub const fn is_call(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall)
+    }
+
+    /// Whether the branch is a return (pops a return address).
+    #[inline]
+    pub const fn is_return(self) -> bool {
+        matches!(self, BranchKind::Return)
+    }
+
+    /// Index into [`BranchKind::ALL`]; stable for array-indexed counters.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase mnemonic, e.g. `"cond"`, `"call"`.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::DirectJump => "jmp",
+            BranchKind::DirectCall => "call",
+            BranchKind::IndirectJump => "ijmp",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::Return => "ret",
+        }
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The resolved outcome of one dynamic branch execution.
+///
+/// # Examples
+///
+/// ```
+/// use twig_types::{Addr, BranchOutcome};
+///
+/// let taken = BranchOutcome::Taken(Addr::new(0x2000));
+/// assert!(taken.is_taken());
+/// assert_eq!(taken.target(), Some(Addr::new(0x2000)));
+/// assert_eq!(BranchOutcome::NotTaken.target(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BranchOutcome {
+    /// The branch redirected control flow to the given target.
+    Taken(Addr),
+    /// The (conditional) branch fell through.
+    NotTaken,
+}
+
+impl BranchOutcome {
+    /// Whether control flow was redirected.
+    #[inline]
+    pub const fn is_taken(self) -> bool {
+        matches!(self, BranchOutcome::Taken(_))
+    }
+
+    /// The taken target, if any.
+    #[inline]
+    pub const fn target(self) -> Option<Addr> {
+        match self {
+            BranchOutcome::Taken(t) => Some(t),
+            BranchOutcome::NotTaken => None,
+        }
+    }
+}
+
+/// One dynamic branch execution, as seen by the branch prediction unit.
+///
+/// This is the record the BTB is indexed with ([`pc`](Self::pc)) and filled
+/// from ([`outcome`](Self::outcome)); the profiler aggregates these into BTB
+/// miss samples.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Address of the branch instruction.
+    pub pc: Addr,
+    /// Branch classification.
+    pub kind: BranchKind,
+    /// Resolved direction and target.
+    pub outcome: BranchOutcome,
+    /// Fall-through address (the instruction after the branch).
+    pub fallthrough: Addr,
+}
+
+impl BranchRecord {
+    /// The address the frontend should fetch next after this branch.
+    #[inline]
+    pub fn next_fetch(&self) -> Addr {
+        match self.outcome {
+            BranchOutcome::Taken(t) => t,
+            BranchOutcome::NotTaken => self.fallthrough,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_partitions() {
+        for k in BranchKind::ALL {
+            assert_ne!(k.is_direct(), k.is_indirect(), "{k}");
+        }
+        let direct: Vec<_> = BranchKind::ALL.iter().filter(|k| k.is_direct()).collect();
+        assert_eq!(direct.len(), 3);
+        assert!(BranchKind::Return.is_indirect());
+        assert!(BranchKind::Return.is_return());
+        assert!(BranchKind::IndirectCall.is_call());
+        assert!(BranchKind::DirectCall.is_call());
+        assert!(!BranchKind::DirectJump.is_call());
+    }
+
+    #[test]
+    fn only_conditional_is_conditional() {
+        for k in BranchKind::ALL {
+            assert_eq!(k.is_unconditional(), k != BranchKind::Conditional);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, k) in BranchKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn next_fetch_follows_outcome() {
+        let rec = BranchRecord {
+            pc: Addr::new(0x100),
+            kind: BranchKind::Conditional,
+            outcome: BranchOutcome::Taken(Addr::new(0x800)),
+            fallthrough: Addr::new(0x104),
+        };
+        assert_eq!(rec.next_fetch(), Addr::new(0x800));
+        let nt = BranchRecord {
+            outcome: BranchOutcome::NotTaken,
+            ..rec
+        };
+        assert_eq!(nt.next_fetch(), Addr::new(0x104));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<_> = BranchKind::ALL.iter().map(|k| k.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BranchKind::ALL.len());
+    }
+}

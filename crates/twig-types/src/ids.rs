@@ -1,0 +1,152 @@
+//! Stable identifiers for program structure.
+//!
+//! Addresses change whenever Twig's rewriter injects prefetch instructions
+//! and re-lays-out the binary; [`BlockId`] and [`FuncId`] are the *layout
+//! independent* names used to carry profile information from the profiled
+//! binary to the rewritten one (the role BOLT-style tooling plays for real
+//! binaries).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a basic block within a [`Program`].
+///
+/// Block ids are dense (`0..program.num_blocks()`) and survive binary
+/// re-layout, so a profile collected on the original layout can be applied
+/// to the rewritten binary.
+///
+/// [`Program`]: https://docs.rs/twig-workload
+///
+/// # Examples
+///
+/// ```
+/// use twig_types::BlockId;
+///
+/// let b = BlockId::new(42);
+/// assert_eq!(b.index(), 42);
+/// assert_eq!(b.to_string(), "bb42");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        BlockId(index)
+    }
+
+    /// The dense index (usable for `Vec` indexing).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockId({})", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl From<u32> for BlockId {
+    fn from(raw: u32) -> Self {
+        BlockId(raw)
+    }
+}
+
+/// Stable identifier of a function within a [`Program`].
+///
+/// [`Program`]: https://docs.rs/twig-workload
+///
+/// # Examples
+///
+/// ```
+/// use twig_types::FuncId;
+///
+/// let f = FuncId::new(7);
+/// assert_eq!(f.index(), 7);
+/// assert_eq!(f.to_string(), "fn7");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        FuncId(index)
+    }
+
+    /// The dense index (usable for `Vec` indexing).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FuncId({})", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl From<u32> for FuncId {
+    fn from(raw: u32) -> Self {
+        FuncId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(BlockId::from(3u32).raw(), 3);
+        assert_eq!(FuncId::from(9u32).raw(), 9);
+        assert_eq!(BlockId::new(3).index(), 3);
+        assert_eq!(FuncId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert!(FuncId::new(1) < FuncId::new(2));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", BlockId::new(5)), "BlockId(5)");
+        assert_eq!(format!("{:?}", FuncId::new(5)), "FuncId(5)");
+    }
+}

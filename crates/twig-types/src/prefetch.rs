@@ -1,0 +1,121 @@
+//! BTB prefetch operations injected into program binaries.
+//!
+//! Twig's contribution is a pair of new instructions (§3):
+//!
+//! - `brprefetch` — prefetch one BTB entry; operands are the branch PC and
+//!   target, encoded as compressed signed offsets,
+//! - `brcoalesce` — prefetch up to *n* BTB entries from a sorted key-value
+//!   table in the text segment, selected by an *n*-bit bitmask.
+//!
+//! Operands are stored here *by stable identifier* ([`BlockId`]) rather than
+//! by address: the rewriter inserts operations before the final binary layout
+//! is known, and addresses are resolved against the layout at execution time.
+//! The encodability analysis (whether the address deltas fit the instruction's
+//! offset fields) is performed against the concrete layout by the core crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::BlockId;
+
+/// Encoded size in bytes of one `brprefetch` instruction.
+///
+/// Two 12-bit signed offsets plus opcode and ModRM-style plumbing fit in
+/// 8 bytes on a variable-length ISA (cf. §3.1's 12-bit offset finding).
+pub const BRPREFETCH_BYTES: u32 = 8;
+
+/// Encoded size in bytes of one `brcoalesce` instruction
+/// (table-slot operand plus an up-to-64-bit bitmask immediate).
+pub const BRCOALESCE_BYTES: u32 = 8;
+
+/// Size in bytes of one key-value pair in the coalesce table
+/// (branch PC and target, stored as two packed 48-bit pointers).
+pub const COALESCE_ENTRY_BYTES: u32 = 12;
+
+/// One software BTB prefetch operation attached to a basic block.
+///
+/// Operations execute when their host block is decoded by the frontend; the
+/// prefetched entries land in the BTB prefetch buffer after the configured
+/// prefetch-execution latency.
+///
+/// # Examples
+///
+/// ```
+/// use twig_types::{BlockId, PrefetchOp};
+///
+/// let op = PrefetchOp::BrPrefetch { branch_block: BlockId::new(7) };
+/// assert_eq!(op.encoded_bytes(), twig_types::BRPREFETCH_BYTES);
+/// assert_eq!(op.prefetch_count(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PrefetchOp {
+    /// Prefetch the BTB entry for the terminator branch of `branch_block`.
+    ///
+    /// The branch PC and taken target are resolved against the current
+    /// binary layout; both offsets were verified encodable by the rewriter.
+    BrPrefetch {
+        /// Block whose terminator branch is prefetched.
+        branch_block: BlockId,
+    },
+    /// Prefetch a group of BTB entries from the program's coalesce table.
+    BrCoalesce {
+        /// Index of the first (base) entry in the coalesce table.
+        base_index: u32,
+        /// Bitmask of entries to prefetch relative to `base_index`
+        /// (bit 0 = the base entry itself). The rewriter never sets bits
+        /// beyond the configured bitmask width.
+        bitmask: u64,
+    },
+}
+
+impl PrefetchOp {
+    /// Static code-size cost of this operation in bytes
+    /// (excluding any coalesce-table storage, which is accounted per table).
+    #[inline]
+    pub const fn encoded_bytes(self) -> u32 {
+        match self {
+            PrefetchOp::BrPrefetch { .. } => BRPREFETCH_BYTES,
+            PrefetchOp::BrCoalesce { .. } => BRCOALESCE_BYTES,
+        }
+    }
+
+    /// Number of BTB entries this single operation prefetches.
+    #[inline]
+    pub const fn prefetch_count(self) -> u32 {
+        match self {
+            PrefetchOp::BrPrefetch { .. } => 1,
+            PrefetchOp::BrCoalesce { bitmask, .. } => bitmask.count_ones(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_counts_bitmask_population() {
+        let op = PrefetchOp::BrCoalesce {
+            base_index: 4,
+            bitmask: 0b1011_0001,
+        };
+        assert_eq!(op.prefetch_count(), 4);
+        assert_eq!(op.encoded_bytes(), BRCOALESCE_BYTES);
+    }
+
+    #[test]
+    fn single_prefetch_counts_one() {
+        let op = PrefetchOp::BrPrefetch {
+            branch_block: BlockId::new(0),
+        };
+        assert_eq!(op.prefetch_count(), 1);
+    }
+
+    #[test]
+    fn empty_bitmask_prefetches_nothing() {
+        let op = PrefetchOp::BrCoalesce {
+            base_index: 0,
+            bitmask: 0,
+        };
+        assert_eq!(op.prefetch_count(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Application *inputs*: controlled perturbations of a program's dynamic
+//! behaviour.
+//!
+//! The paper evaluates Twig's profile-guided optimization under input drift
+//! (§4.2, Fig. 20, Table 2): a profile is collected with input `#0` and the
+//! optimized binary is tested with inputs `#1..#3`. An [`InputConfig`]
+//! reproduces that setup: it reseeds the workload walker and skews branch
+//! probabilities and indirect-target weights per basic block, changing
+//! *path frequencies* while keeping the program structure fixed.
+
+use serde::{Deserialize, Serialize};
+use twig_types::BlockId;
+
+/// One application input configuration for the workload walker.
+///
+/// # Examples
+///
+/// ```
+/// use twig_workload::InputConfig;
+///
+/// let train = InputConfig::numbered(0);
+/// let test = InputConfig::numbered(1);
+/// assert_ne!(train.rng_seed(), test.rng_seed());
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct InputConfig {
+    /// Input index (`#0` is the training input in the paper's methodology).
+    pub index: u32,
+    /// Seed material mixed into every stochastic decision.
+    pub seed: u64,
+    /// Strength of per-branch taken-probability skew, in `[0, 1]`.
+    /// 0 leaves base probabilities untouched.
+    pub cond_skew: f32,
+    /// Strength of indirect-target weight skew, in `[0, 1]`.
+    pub weight_skew: f32,
+}
+
+impl InputConfig {
+    /// The paper-style numbered input `#index` with default skew strengths.
+    pub fn numbered(index: u32) -> Self {
+        InputConfig {
+            index,
+            seed: 0x1A7E_5EED ^ u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            cond_skew: 0.18,
+            weight_skew: 0.35,
+        }
+    }
+
+    /// Seed for the walker's RNG (distinct per input).
+    pub fn rng_seed(&self) -> u64 {
+        splitmix(self.seed ^ 0xC0FF_EE00)
+    }
+
+    /// The effective taken probability of the conditional branch terminating
+    /// `block`, given its base probability.
+    ///
+    /// The skew is deterministic per `(block, input)` and moves the
+    /// probability within its logit neighbourhood, so a 90%-taken branch may
+    /// become 80%- or 96%-taken under a different input, but never flips to
+    /// mostly-not-taken. This mirrors how real request mixes shift hot-path
+    /// frequencies without rewriting program logic.
+    pub fn effective_taken_prob(&self, block: BlockId, base: f32) -> f32 {
+        if self.cond_skew == 0.0 {
+            return base;
+        }
+        let h = splitmix(self.seed ^ (u64::from(block.raw()) << 17) ^ 0x0DDB_1A5E);
+        let unit = (h >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+        let delta = (unit - 0.5) * 2.0 * self.cond_skew;
+        let margin = base.min(1.0 - base);
+        (base + delta * margin).clamp(0.001, 0.999)
+    }
+
+    /// The effective weight of indirect-target choice `slot` at `block`.
+    pub fn effective_weight(&self, block: BlockId, slot: u32, base: f32) -> f32 {
+        if self.weight_skew == 0.0 {
+            return base;
+        }
+        let h = splitmix(
+            self.seed ^ (u64::from(block.raw()) << 20) ^ (u64::from(slot) << 3) ^ 0xBADC_AB1E,
+        );
+        let unit = (h >> 11) as f32 / (1u64 << 53) as f32;
+        let factor = (1.0 + (unit - 0.5) * 2.0 * self.weight_skew).max(0.05);
+        base * factor
+    }
+}
+
+impl Default for InputConfig {
+    fn default() -> Self {
+        InputConfig::numbered(0)
+    }
+}
+
+/// SplitMix64 finalizer: cheap, high-quality mixing for deterministic
+/// per-decision hashes.
+#[inline]
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbered_inputs_are_distinct() {
+        let seeds: Vec<u64> = (0..4).map(|i| InputConfig::numbered(i).rng_seed()).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn skew_preserves_bias_direction() {
+        let input = InputConfig::numbered(2);
+        for raw in [0.05f32, 0.1, 0.85, 0.95] {
+            for b in 0..500u32 {
+                let p = input.effective_taken_prob(BlockId::new(b), raw);
+                assert!((0.0..=1.0).contains(&p));
+                if raw < 0.5 {
+                    assert!(p < 0.5, "bias flipped: {raw} -> {p}");
+                } else {
+                    assert!(p > 0.5, "bias flipped: {raw} -> {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skew_actually_changes_probabilities() {
+        let a = InputConfig::numbered(0);
+        let b = InputConfig::numbered(1);
+        let changed = (0..100u32)
+            .filter(|&i| {
+                let pa = a.effective_taken_prob(BlockId::new(i), 0.2);
+                let pb = b.effective_taken_prob(BlockId::new(i), 0.2);
+                (pa - pb).abs() > 1e-4
+            })
+            .count();
+        assert!(changed > 80, "only {changed} of 100 probabilities moved");
+    }
+
+    #[test]
+    fn zero_skew_is_identity() {
+        let input = InputConfig {
+            cond_skew: 0.0,
+            weight_skew: 0.0,
+            ..InputConfig::numbered(1)
+        };
+        assert_eq!(input.effective_taken_prob(BlockId::new(9), 0.3), 0.3);
+        assert_eq!(input.effective_weight(BlockId::new(9), 1, 0.7), 0.7);
+    }
+
+    #[test]
+    fn weights_stay_positive() {
+        let input = InputConfig::numbered(3);
+        for b in 0..200u32 {
+            for s in 0..8u32 {
+                assert!(input.effective_weight(BlockId::new(b), s, 0.5) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_input() {
+        let input = InputConfig::numbered(1);
+        let p1 = input.effective_taken_prob(BlockId::new(42), 0.9);
+        let p2 = input.effective_taken_prob(BlockId::new(42), 0.9);
+        assert_eq!(p1, p2);
+    }
+}

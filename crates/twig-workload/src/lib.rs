@@ -1,0 +1,44 @@
+//! Synthetic data-center workloads for the Twig reproduction.
+//!
+//! The paper (Khan et al., *Twig: Profile-Guided BTB Prefetching for Data
+//! Center Applications*, MICRO 2021) evaluates nine production applications
+//! via Intel PT traces. This crate supplies the substitute: a deterministic
+//! generator of multi-megabyte synthetic programs with the control-flow
+//! statistics of data-center services, a stochastic [`Walker`] producing
+//! dynamic instruction streams, and a compact PT-like [`trace`] format.
+//!
+//! # Quick start
+//!
+//! ```
+//! use twig_workload::{AppId, InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+//!
+//! // A tiny spec for doc purposes; use `WorkloadSpec::preset(AppId::Kafka)`
+//! // for a paper-scale application.
+//! let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+//! let events = Walker::new(&program, InputConfig::numbered(0)).run_instructions(10_000);
+//! assert!(!events.is_empty());
+//! let _ = AppId::ALL; // nine paper applications
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod generator;
+pub mod inputs;
+pub mod layout;
+pub mod program;
+pub mod spec;
+pub mod stats;
+pub mod trace;
+pub mod walker;
+
+pub use builder::ProgramBuilder;
+pub use generator::ProgramGenerator;
+pub use inputs::InputConfig;
+pub use layout::{LayoutOptions, LibrarySplit};
+pub use program::{BasicBlock, Function, Program, Terminator};
+pub use spec::{AppId, Span, Span1, TerminatorMix, WorkloadSpec};
+pub use stats::{StaticStats, WorkingSet};
+pub use trace::{decode_trace, encode_trace, read_trace, write_trace, TraceError};
+pub use walker::{BlockEvent, Walker};

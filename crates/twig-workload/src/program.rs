@@ -1,0 +1,513 @@
+//! The synthetic program model: functions, basic blocks, terminators.
+//!
+//! A [`Program`] is the stand-in for the multi-megabyte x86 binaries the
+//! paper profiles. It is a complete control-flow graph with a concrete
+//! binary layout (every block has an address and a byte size), so that the
+//! frontend simulator can model I-cache lines, BTB indices, and signed
+//! address offsets exactly as it would for a real binary.
+
+use serde::{Deserialize, Serialize};
+use twig_types::{Addr, BlockId, BranchKind, BranchOutcome, BranchRecord, FuncId, PrefetchOp};
+
+/// How a basic block transfers control when it finishes executing.
+///
+/// Block references are stable [`BlockId`]s; the concrete branch-instruction
+/// addresses are a function of the current [layout](crate::layout).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Terminator {
+    /// No control transfer: execution continues at `next` (which the layout
+    /// guarantees to be the physically following block).
+    FallThrough {
+        /// The successor block.
+        next: BlockId,
+    },
+    /// Conditional direct branch (`jcc`).
+    Conditional {
+        /// Target if taken.
+        taken: BlockId,
+        /// Successor if not taken (physically next block).
+        not_taken: BlockId,
+        /// Base probability of the branch being taken; the workload input
+        /// configuration may skew this per input.
+        taken_prob: f32,
+    },
+    /// Unconditional direct jump (`jmp rel`).
+    Jump {
+        /// Jump target.
+        target: BlockId,
+    },
+    /// Direct call; control returns to `return_to` when the callee returns.
+    Call {
+        /// Called function.
+        callee: FuncId,
+        /// Block executed after the callee returns (physically next block).
+        return_to: BlockId,
+    },
+    /// Indirect jump with a weighted set of observed targets.
+    IndirectJump {
+        /// `(target, weight)` pairs; weights need not be normalized.
+        targets: Vec<(BlockId, f32)>,
+    },
+    /// Indirect call with a weighted set of observed callees.
+    IndirectCall {
+        /// `(callee, weight)` pairs; weights need not be normalized.
+        callees: Vec<(FuncId, f32)>,
+        /// Block executed after the callee returns (physically next block).
+        return_to: BlockId,
+    },
+    /// Function return.
+    Return,
+}
+
+impl Terminator {
+    /// The branch kind of this terminator, or `None` for a fall-through.
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        match self {
+            Terminator::FallThrough { .. } => None,
+            Terminator::Conditional { .. } => Some(BranchKind::Conditional),
+            Terminator::Jump { .. } => Some(BranchKind::DirectJump),
+            Terminator::Call { .. } => Some(BranchKind::DirectCall),
+            Terminator::IndirectJump { .. } => Some(BranchKind::IndirectJump),
+            Terminator::IndirectCall { .. } => Some(BranchKind::IndirectCall),
+            Terminator::Return => Some(BranchKind::Return),
+        }
+    }
+
+    /// The statically known taken-target block for direct branches.
+    ///
+    /// `None` for fall-throughs, indirect branches, and returns.
+    pub fn direct_target(&self) -> Option<BlockId> {
+        match self {
+            Terminator::Conditional { taken, .. } => Some(*taken),
+            Terminator::Jump { target } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+/// One basic block of the synthetic program.
+///
+/// `addr` and byte sizes are assigned by the [layout](crate::layout) pass and
+/// updated when the Twig rewriter injects prefetch operations and re-lays-out
+/// the binary.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Owning function.
+    pub func: FuncId,
+    /// First-byte address of the block in the current layout.
+    pub addr: Addr,
+    /// Number of *original* program instructions, including the terminator
+    /// branch (if any) but excluding injected prefetch operations.
+    pub num_instrs: u32,
+    /// Byte size of the original instructions (terminator included).
+    pub body_bytes: u32,
+    /// Byte size of the terminator branch instruction (0 for fall-through).
+    pub term_bytes: u32,
+    /// Control transfer at the end of the block.
+    pub term: Terminator,
+    /// Software BTB prefetch operations injected by the Twig rewriter.
+    ///
+    /// Prefetch ops execute at the *start* of the block (they are placed
+    /// before the original instructions so they retire before the block's
+    /// own branch, maximizing timeliness).
+    pub prefetch_ops: Vec<PrefetchOp>,
+}
+
+impl BasicBlock {
+    /// Total byte size in the current layout, including injected ops.
+    #[inline]
+    pub fn size_bytes(&self) -> u32 {
+        self.body_bytes + self.prefetch_bytes()
+    }
+
+    /// Bytes of injected prefetch operations.
+    #[inline]
+    pub fn prefetch_bytes(&self) -> u32 {
+        self.prefetch_ops.iter().map(|op| op.encoded_bytes()).sum()
+    }
+
+    /// Total dynamic instruction count per execution, including injected ops.
+    #[inline]
+    pub fn total_instrs(&self) -> u32 {
+        self.num_instrs + self.prefetch_ops.len() as u32
+    }
+
+    /// Address of the terminator branch instruction.
+    ///
+    /// For fall-through blocks this is the address of the last instruction
+    /// (which is not a branch); callers should check [`Self::branch_kind`].
+    #[inline]
+    pub fn branch_pc(&self) -> Addr {
+        self.addr + u64::from(self.size_bytes() - self.term_bytes.max(1))
+    }
+
+    /// Address of the first byte after the block (fall-through address).
+    #[inline]
+    pub fn end_addr(&self) -> Addr {
+        self.addr + u64::from(self.size_bytes())
+    }
+
+    /// Branch kind of the terminator, if it is a branch.
+    #[inline]
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        self.term.branch_kind()
+    }
+}
+
+/// One function: a contiguous, dense range of block ids.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Function {
+    /// This function's id.
+    pub id: FuncId,
+    /// Entry block (always the first block of the range).
+    pub entry: BlockId,
+    /// First block id of the function (inclusive).
+    pub first_block: u32,
+    /// One past the last block id of the function.
+    pub last_block: u32,
+}
+
+impl Function {
+    /// Number of basic blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> u32 {
+        self.last_block - self.first_block
+    }
+
+    /// Iterator over the function's block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (self.first_block..self.last_block).map(BlockId::new)
+    }
+}
+
+/// A complete synthetic program: CFG plus binary layout.
+///
+/// # Examples
+///
+/// Programs are normally produced by the [generator](crate::generator) from a
+/// [`WorkloadSpec`](crate::WorkloadSpec):
+///
+/// ```
+/// use twig_workload::{ProgramGenerator, WorkloadSpec};
+///
+/// let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+/// assert!(program.num_blocks() > 0);
+/// let entry = program.function(program.entry_function());
+/// assert_eq!(entry.entry.index() as u32, entry.first_block);
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Program {
+    functions: Vec<Function>,
+    blocks: Vec<BasicBlock>,
+    entry_function: FuncId,
+    /// Sorted key-value table for `brcoalesce` (block ids whose terminator
+    /// branches are prefetchable via the table). Laid out in the text
+    /// segment after the last function.
+    coalesce_table: Vec<BlockId>,
+    /// Address of the first coalesce-table entry in the current layout.
+    coalesce_table_addr: Addr,
+}
+
+impl Program {
+    /// Assembles a program from parts. Intended for the generator and the
+    /// rewriter; invariants (dense function ranges, valid ids) are checked
+    /// in debug builds.
+    pub fn from_parts(functions: Vec<Function>, blocks: Vec<BasicBlock>, entry: FuncId) -> Self {
+        debug_assert!(entry.index() < functions.len());
+        debug_assert!(functions
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.id.index() == i && f.first_block <= f.last_block));
+        Program {
+            functions,
+            blocks,
+            entry_function: entry,
+            coalesce_table: Vec::new(),
+            coalesce_table_addr: Addr::ZERO,
+        }
+    }
+
+    /// Number of basic blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of functions.
+    #[inline]
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// The program entry function (the event-loop dispatcher).
+    #[inline]
+    pub fn entry_function(&self) -> FuncId {
+        self.entry_function
+    }
+
+    /// Looks up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable block access (used by the rewriter).
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Looks up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Iterator over all blocks with their ids.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i as u32), b))
+    }
+
+    /// Iterator over all functions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.functions.iter()
+    }
+
+    /// The sorted coalesce table (block ids ordered by branch address).
+    #[inline]
+    pub fn coalesce_table(&self) -> &[BlockId] {
+        &self.coalesce_table
+    }
+
+    /// Installs the coalesce table (rewriter only). Entries must be sorted
+    /// by terminator branch address in the final layout.
+    pub fn set_coalesce_table(&mut self, table: Vec<BlockId>) {
+        self.coalesce_table = table;
+    }
+
+    /// Address of coalesce-table entry `index` in the text segment.
+    #[inline]
+    pub fn coalesce_entry_addr(&self, index: u32) -> Addr {
+        self.coalesce_table_addr
+            + u64::from(index) * u64::from(twig_types::COALESCE_ENTRY_BYTES)
+    }
+
+    /// Sets the coalesce-table base address (layout pass only).
+    pub(crate) fn set_coalesce_table_addr(&mut self, addr: Addr) {
+        self.coalesce_table_addr = addr;
+    }
+
+    /// Resolves the dynamic [`BranchRecord`] for a block execution.
+    ///
+    /// `taken` is the resolved direction (always `true` for unconditional
+    /// branches); `target_block` must be provided for taken branches and is
+    /// validated against the CFG for direct branches in debug builds.
+    ///
+    /// Returns `None` for fall-through blocks (no branch executed).
+    pub fn resolve_branch(
+        &self,
+        id: BlockId,
+        taken: bool,
+        target_block: Option<BlockId>,
+    ) -> Option<BranchRecord> {
+        let block = self.block(id);
+        let kind = block.branch_kind()?;
+        let outcome = if taken {
+            let tb = target_block.expect("taken branch must carry a target block");
+            let target_addr = match &block.term {
+                // Calls and indirect calls land on the callee's entry block.
+                Terminator::Call { callee, .. } => {
+                    debug_assert_eq!(*callee, self.block(tb).func);
+                    self.block(self.function(*callee).entry).addr
+                }
+                Terminator::IndirectCall { .. } => self.block(tb).addr,
+                _ => self.block(tb).addr,
+            };
+            BranchOutcome::Taken(target_addr)
+        } else {
+            debug_assert_eq!(kind, BranchKind::Conditional);
+            BranchOutcome::NotTaken
+        };
+        Some(BranchRecord {
+            pc: block.branch_pc(),
+            kind,
+            outcome,
+            fallthrough: block.end_addr(),
+        })
+    }
+
+    /// The statically known taken-target *address* of a direct branch
+    /// terminator, if any. Used by BTB prefetching, which can only encode
+    /// statically known targets.
+    pub fn direct_branch_target_addr(&self, id: BlockId) -> Option<Addr> {
+        let block = self.block(id);
+        match &block.term {
+            Terminator::Conditional { taken, .. } => Some(self.block(*taken).addr),
+            Terminator::Jump { target } => Some(self.block(*target).addr),
+            Terminator::Call { callee, .. } => {
+                Some(self.block(self.function(*callee).entry).addr)
+            }
+            _ => None,
+        }
+    }
+
+    /// Block ids whose bytes overlap the given cache line.
+    ///
+    /// Relies on the layout invariant that block addresses are globally
+    /// non-decreasing in block-id order (functions are placed in id order
+    /// and blocks are contiguous within functions).
+    ///
+    /// Used by predecode-style prefetchers (Confluence, Shotgun) that
+    /// extract the branches of a fetched/prefetched I-cache line.
+    pub fn blocks_overlapping_line(
+        &self,
+        line: twig_types::CacheLineAddr,
+    ) -> impl Iterator<Item = BlockId> + '_ {
+        let base = line.base();
+        let end = line.next().base();
+        // First block whose end extends past the line base.
+        let start = self
+            .blocks
+            .partition_point(|b| b.end_addr() <= base);
+        self.blocks[start..]
+            .iter()
+            .take_while(move |b| b.addr < end)
+            .enumerate()
+            .map(move |(i, _)| BlockId::new((start + i) as u32))
+    }
+
+    /// Blocks whose *terminator branch instruction* lies in the given line,
+    /// together with their statically known target (direct branches only).
+    pub fn branches_in_line(
+        &self,
+        line: twig_types::CacheLineAddr,
+    ) -> impl Iterator<Item = (BlockId, twig_types::BranchKind, Option<Addr>)> + '_ {
+        self.blocks_overlapping_line(line).filter_map(move |id| {
+            let block = self.block(id);
+            let kind = block.branch_kind()?;
+            if block.branch_pc().line() != line {
+                return None;
+            }
+            Some((id, kind, self.direct_branch_target_addr(id)))
+        })
+    }
+
+    /// Total text-segment size in bytes (blocks plus coalesce table),
+    /// assuming the current layout is packed.
+    pub fn text_bytes(&self) -> u64 {
+        let code: u64 = self.blocks.iter().map(|b| u64::from(b.size_bytes())).sum();
+        code + self.coalesce_table.len() as u64 * u64::from(twig_types::COALESCE_ENTRY_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_block_program() -> Program {
+        let blocks = vec![
+            BasicBlock {
+                func: FuncId::new(0),
+                addr: Addr::new(0x1000),
+                num_instrs: 4,
+                body_bytes: 16,
+                term_bytes: 4,
+                term: Terminator::Conditional {
+                    taken: BlockId::new(0),
+                    not_taken: BlockId::new(1),
+                    taken_prob: 0.5,
+                },
+                prefetch_ops: Vec::new(),
+            },
+            BasicBlock {
+                func: FuncId::new(0),
+                addr: Addr::new(0x1010),
+                num_instrs: 2,
+                body_bytes: 8,
+                term_bytes: 2,
+                term: Terminator::Return,
+                prefetch_ops: Vec::new(),
+            },
+        ];
+        let functions = vec![Function {
+            id: FuncId::new(0),
+            entry: BlockId::new(0),
+            first_block: 0,
+            last_block: 2,
+        }];
+        Program::from_parts(functions, blocks, FuncId::new(0))
+    }
+
+    #[test]
+    fn branch_pc_is_last_instruction() {
+        let p = two_block_program();
+        let b = p.block(BlockId::new(0));
+        assert_eq!(b.branch_pc(), Addr::new(0x100c));
+        assert_eq!(b.end_addr(), Addr::new(0x1010));
+    }
+
+    #[test]
+    fn resolve_taken_conditional() {
+        let p = two_block_program();
+        let rec = p
+            .resolve_branch(BlockId::new(0), true, Some(BlockId::new(0)))
+            .unwrap();
+        assert_eq!(rec.kind, BranchKind::Conditional);
+        assert_eq!(rec.outcome, BranchOutcome::Taken(Addr::new(0x1000)));
+        assert_eq!(rec.fallthrough, Addr::new(0x1010));
+    }
+
+    #[test]
+    fn resolve_not_taken_conditional() {
+        let p = two_block_program();
+        let rec = p.resolve_branch(BlockId::new(0), false, None).unwrap();
+        assert_eq!(rec.outcome, BranchOutcome::NotTaken);
+        assert_eq!(rec.next_fetch(), Addr::new(0x1010));
+    }
+
+    #[test]
+    fn prefetch_ops_grow_block() {
+        let mut p = two_block_program();
+        let before = p.block(BlockId::new(0)).size_bytes();
+        p.block_mut(BlockId::new(0))
+            .prefetch_ops
+            .push(PrefetchOp::BrPrefetch {
+                branch_block: BlockId::new(1),
+            });
+        let b = p.block(BlockId::new(0));
+        assert_eq!(b.size_bytes(), before + twig_types::BRPREFETCH_BYTES);
+        assert_eq!(b.total_instrs(), 5);
+    }
+
+    #[test]
+    fn text_bytes_counts_table() {
+        let mut p = two_block_program();
+        assert_eq!(p.text_bytes(), 24);
+        p.set_coalesce_table(vec![BlockId::new(0)]);
+        assert_eq!(
+            p.text_bytes(),
+            24 + u64::from(twig_types::COALESCE_ENTRY_BYTES)
+        );
+    }
+
+    #[test]
+    fn direct_target_addrs() {
+        let p = two_block_program();
+        assert_eq!(
+            p.direct_branch_target_addr(BlockId::new(0)),
+            Some(Addr::new(0x1000))
+        );
+        assert_eq!(p.direct_branch_target_addr(BlockId::new(1)), None);
+    }
+}

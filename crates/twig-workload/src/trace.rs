@@ -1,0 +1,268 @@
+//! Compact binary trace encoding for workload event streams.
+//!
+//! Plays the role of the paper's Intel Processor Trace captures (§4.1): a
+//! trace stores only the *dynamic control-flow decisions* — like real PT
+//! packets, static information (block geometry, direct-branch targets) is
+//! reconstructed from the binary, so traces are small and layout-independent.
+//!
+//! Format (little-endian, varint = LEB128):
+//!
+//! ```text
+//! magic  "TWGT"            4 bytes
+//! version u8               currently 1
+//! count   varint           number of events
+//! events  count × event
+//!
+//! event:
+//!   header u8: bit0 = taken, bit1 = has_target
+//!   block  varint          block id
+//!   target varint          (only if has_target) block id
+//! ```
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use twig_types::BlockId;
+
+use crate::walker::BlockEvent;
+
+const MAGIC: &[u8; 4] = b"TWGT";
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The stream does not begin with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The stream ended mid-event or a varint overflowed.
+    Truncated,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "stream is not a twig trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace ended unexpectedly"),
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Encodes events into an in-memory trace buffer.
+///
+/// # Examples
+///
+/// ```
+/// use twig_workload::{decode_trace, encode_trace, BlockEvent};
+/// use twig_types::BlockId;
+///
+/// let events = vec![BlockEvent {
+///     block: BlockId::new(3),
+///     taken: true,
+///     target: Some(BlockId::new(9)),
+/// }];
+/// let bytes = encode_trace(&events);
+/// assert_eq!(decode_trace(&bytes).unwrap(), events);
+/// ```
+pub fn encode_trace(events: &[BlockEvent]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(events.len() * 3 + 16);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    put_varint(&mut buf, events.len() as u64);
+    for ev in events {
+        let mut header = 0u8;
+        if ev.taken {
+            header |= 1;
+        }
+        if ev.target.is_some() {
+            header |= 2;
+        }
+        buf.put_u8(header);
+        put_varint(&mut buf, u64::from(ev.block.raw()));
+        if let Some(t) = ev.target {
+            put_varint(&mut buf, u64::from(t.raw()));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a full trace buffer.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on malformed input.
+pub fn decode_trace(mut buf: &[u8]) -> Result<Vec<BlockEvent>, TraceError> {
+    if buf.len() < 5 || &buf[..4] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = buf[4];
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    buf.advance(5);
+    let count = get_varint(&mut buf)? as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(TraceError::Truncated);
+        }
+        let header = buf.get_u8();
+        let block = BlockId::new(get_varint(&mut buf)? as u32);
+        let target = if header & 2 != 0 {
+            Some(BlockId::new(get_varint(&mut buf)? as u32))
+        } else {
+            None
+        };
+        events.push(BlockEvent {
+            block,
+            taken: header & 1 != 0,
+            target,
+        });
+    }
+    Ok(events)
+}
+
+/// Writes an encoded trace to `writer`.
+///
+/// A `&mut W` also works wherever a `W: Write` is expected.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_trace<W: Write>(mut writer: W, events: &[BlockEvent]) -> io::Result<()> {
+    writer.write_all(&encode_trace(events))
+}
+
+/// Reads an entire trace from `reader`.
+///
+/// A `&mut R` also works wherever an `R: Read` is expected.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure or malformed input.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<BlockEvent>, TraceError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    decode_trace(&bytes)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(TraceError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(TraceError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+
+    #[test]
+    fn roundtrip_empty() {
+        let bytes = encode_trace(&[]);
+        assert_eq!(decode_trace(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn roundtrip_walker_stream() {
+        let p = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let events: Vec<_> = Walker::new(&p, InputConfig::numbered(0)).take(10_000).collect();
+        let bytes = encode_trace(&events);
+        assert_eq!(decode_trace(&bytes).unwrap(), events);
+        // Compactness: a handful of bytes per event on average (header +
+        // varint block id + optional varint target).
+        assert!(bytes.len() < events.len() * 6 + 16);
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let p = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let events: Vec<_> = Walker::new(&p, InputConfig::numbered(1)).take(1000).collect();
+        let mut sink = Vec::new();
+        write_trace(&mut sink, &events).unwrap();
+        let back = read_trace(sink.as_slice()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            decode_trace(b"NOPE\x01\x00"),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        assert!(matches!(
+            decode_trace(b"TWGT\x63\x00"),
+            Err(TraceError::BadVersion(0x63))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let p = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let events: Vec<_> = Walker::new(&p, InputConfig::numbered(0)).take(100).collect();
+        let bytes = encode_trace(&events);
+        for cut in [5, 7, bytes.len() - 1] {
+            assert!(
+                decode_trace(&bytes[..cut]).is_err(),
+                "accepted truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+}

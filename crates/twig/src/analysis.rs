@@ -1,0 +1,432 @@
+//! Injection-site analysis: from a BTB-miss profile to accurate, timely
+//! prefetch injection sites (§3.1, Fig. 13).
+//!
+//! For every miss-prone branch `A`, Twig considers as candidate injection
+//! sites the basic blocks that precede `A`'s misses by at least the
+//! *prefetch distance* (timeliness) and computes the conditional
+//! probability `P(miss at A | exec B)` for each candidate `B` (accuracy).
+//! Each miss sample is then assigned to its highest-probability timely
+//! candidate, and the sites covering the most samples are selected.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use twig_profile::Profile;
+use twig_types::BlockId;
+use twig_workload::Program;
+
+use crate::compress::is_encodable;
+use crate::config::TwigConfig;
+
+/// One selected injection site for one miss branch.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SelectedSite {
+    /// Block receiving the `brprefetch`/`brcoalesce`.
+    pub site: BlockId,
+    /// Miss samples this site is expected to cover.
+    pub covered_samples: u64,
+    /// `P(miss at A | exec site)` from the profile.
+    pub conditional_prob: f64,
+}
+
+/// The prefetch plan for one miss-prone branch.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MissPlan {
+    /// The branch whose BTB entry will be prefetched.
+    pub branch_block: BlockId,
+    /// Total miss samples observed for this branch.
+    pub total_samples: u64,
+    /// Selected injection sites, highest coverage first.
+    pub sites: Vec<SelectedSite>,
+}
+
+impl MissPlan {
+    /// Samples covered by the selected sites.
+    pub fn covered_samples(&self) -> u64 {
+        self.sites.iter().map(|s| s.covered_samples).sum()
+    }
+}
+
+/// Analyzes a profile into per-branch prefetch plans, hottest miss branches
+/// first, covering [`TwigConfig::hot_sample_coverage`] of the sample mass.
+///
+/// When `program` is provided, site selection is *encodability-aware*:
+/// among candidates passing the accuracy filter, a sample votes for an
+/// offset-encodable site (one a plain `brprefetch` can reach) over a more
+/// probable but far one — keeping most prefetches on the cheap encoding
+/// path, as the paper's 12-bit offset distributions (Figs. 14–15) imply.
+///
+/// # Examples
+///
+/// See [`crate::TwigOptimizer`] for the end-to-end flow; unit-level usage:
+///
+/// ```
+/// use twig::{analyze_profile_with_layout, TwigConfig};
+/// use twig_profile::Profile;
+///
+/// let plans = analyze_profile_with_layout(
+///     &Profile::new(8, 1),
+///     &TwigConfig::default(),
+///     None,
+/// );
+/// assert!(plans.is_empty()); // empty profile, nothing to plan
+/// ```
+pub fn analyze_profile_with_layout(
+    profile: &Profile,
+    config: &TwigConfig,
+    program: Option<&Program>,
+) -> Vec<MissPlan> {
+    // Group sample indices by miss branch.
+    let mut by_branch: HashMap<BlockId, Vec<usize>> = HashMap::new();
+    for (i, s) in profile.samples.iter().enumerate() {
+        by_branch.entry(s.branch_block).or_default().push(i);
+    }
+    // Hottest branches until the sample-coverage goal.
+    let histogram = profile.miss_histogram();
+    let total_mass: u64 = histogram.iter().map(|(_, n)| n).sum();
+    let goal = (total_mass as f64 * config.hot_sample_coverage).ceil() as u64;
+
+    let mut plans = Vec::new();
+    let mut covered_mass = 0u64;
+    for (branch, mass) in histogram {
+        if covered_mass >= goal {
+            break;
+        }
+        covered_mass += mass;
+        let sample_idxs = &by_branch[&branch];
+        if let Some(plan) = plan_for_branch(branch, sample_idxs, profile, config, program) {
+            plans.push(plan);
+        }
+    }
+    plans
+}
+
+/// [`analyze_profile_with_layout`] without encodability awareness.
+pub fn analyze_profile(profile: &Profile, config: &TwigConfig) -> Vec<MissPlan> {
+    analyze_profile_with_layout(profile, config, None)
+}
+
+/// Builds the plan for one miss branch, or `None` if no candidate satisfies
+/// both constraints.
+fn plan_for_branch(
+    branch: BlockId,
+    sample_idxs: &[usize],
+    profile: &Profile,
+    config: &TwigConfig,
+    program: Option<&Program>,
+) -> Option<MissPlan> {
+    // Count, per candidate, in how many samples it appears timely
+    // (at most once per sample).
+    let mut appears: HashMap<BlockId, u64> = HashMap::new();
+    let mut per_sample_cands: Vec<Vec<BlockId>> = Vec::with_capacity(sample_idxs.len());
+    for &i in sample_idxs {
+        let sample = &profile.samples[i];
+        let mut cands: Vec<BlockId> = sample
+            .timely_predecessors(config.prefetch_distance)
+            .collect();
+        cands.sort_unstable();
+        cands.dedup();
+        for &c in &cands {
+            *appears.entry(c).or_insert(0) += 1;
+        }
+        per_sample_cands.push(cands);
+    }
+
+    // Conditional probability per candidate; apply the accuracy filter.
+    let probs: HashMap<BlockId, f64> = appears
+        .iter()
+        .filter_map(|(&c, &n)| {
+            let execs = profile.executions(c);
+            if execs == 0 {
+                return None;
+            }
+            let p = (n as f64 / execs as f64).min(1.0);
+            (p >= config.min_conditional_prob).then_some((c, p))
+        })
+        .collect();
+    if probs.is_empty() {
+        return None;
+    }
+
+    // Each sample votes for its highest-probability accurate candidate,
+    // preferring sites a plain `brprefetch` can encode when a layout is
+    // available (same accuracy tier, cheaper instruction).
+    let encodable: HashMap<BlockId, bool> = match program {
+        Some(p) => probs
+            .keys()
+            .map(|&c| (c, is_encodable(p, c, branch, config.offset_bits)))
+            .collect(),
+        None => probs.keys().map(|&c| (c, true)).collect(),
+    };
+    let mut votes: HashMap<BlockId, u64> = HashMap::new();
+    for cands in &per_sample_cands {
+        let best = cands
+            .iter()
+            .filter_map(|c| probs.get(c).map(|&p| (*c, p)))
+            .max_by(|a, b| {
+                encodable[&a.0]
+                    .cmp(&encodable[&b.0])
+                    .then(a.1.total_cmp(&b.1))
+                    .then(b.0.cmp(&a.0))
+            });
+        if let Some((site, _)) = best {
+            *votes.entry(site).or_insert(0) += 1;
+        }
+    }
+
+    // Keep the strongest sites.
+    let mut sites: Vec<SelectedSite> = votes
+        .into_iter()
+        .filter(|&(_, covered)| covered >= config.min_covered_samples)
+        .map(|(site, covered)| SelectedSite {
+            site,
+            covered_samples: covered,
+            conditional_prob: probs[&site],
+        })
+        .collect();
+    sites.sort_unstable_by(|a, b| {
+        b.covered_samples
+            .cmp(&a.covered_samples)
+            .then(a.site.cmp(&b.site))
+    });
+    sites.truncate(config.max_sites_per_miss);
+    if sites.is_empty() {
+        return None;
+    }
+    Some(MissPlan {
+        branch_block: branch,
+        total_samples: sample_idxs.len() as u64,
+        sites,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_profile::MissSample;
+    use twig_types::BranchKind;
+
+    fn b(n: u32) -> BlockId {
+        BlockId::new(n)
+    }
+
+    /// Builds a profile that mirrors the paper's Fig. 13 example: miss
+    /// branch `A` (block 100) with predecessors B/C/D/E of differing
+    /// execution counts and coverable-miss counts.
+    fn fig13_profile() -> Profile {
+        let mut p = Profile::new(200, 1);
+        // Execution counts (Fig. 13b): B=16, C=8, D=6, E=3.
+        p.block_executions[10] = 16; // B
+        p.block_executions[11] = 8; // C
+        p.block_executions[12] = 6; // D
+        p.block_executions[13] = 3; // E
+        let mk = |cands: &[u32]| MissSample {
+            branch_block: b(100),
+            kind: BranchKind::DirectCall,
+            cycle: 100,
+            history: cands
+                .iter()
+                .map(|&c| (b(c), 50)) // timely: 50 cycles before the miss
+                .chain(std::iter::once((b(100), 100)))
+                .collect(),
+        };
+        // 4 misses coverable by C (prob 0.5) of which some also see B
+        // (prob 0.25); 2 misses coverable by E (0.66) and D (0.33).
+        for _ in 0..4 {
+            p.samples.push(mk(&[10, 11]));
+        }
+        for _ in 0..2 {
+            p.samples.push(mk(&[12, 13]));
+        }
+        p.instructions = 1000;
+        p
+    }
+
+    #[test]
+    fn fig13_selects_c_and_e() {
+        let config = TwigConfig::default();
+        let plans = analyze_profile(&fig13_profile(), &config);
+        assert_eq!(plans.len(), 1);
+        let plan = &plans[0];
+        assert_eq!(plan.branch_block, b(100));
+        assert_eq!(plan.total_samples, 6);
+        let sites: Vec<BlockId> = plan.sites.iter().map(|s| s.site).collect();
+        // C (P=0.5) wins over B (P=0.25) for the first group; E (P=0.66)
+        // wins over D (P=0.33) for the second — the paper's outcome.
+        assert!(sites.contains(&b(11)), "C selected: {sites:?}");
+        assert!(sites.contains(&b(13)), "E selected: {sites:?}");
+        assert!(!sites.contains(&b(10)), "B not selected");
+        assert!(!sites.contains(&b(12)), "D not selected");
+        assert_eq!(plan.covered_samples(), 6);
+    }
+
+    #[test]
+    fn timeliness_excludes_close_predecessors() {
+        let mut p = Profile::new(20, 1);
+        p.block_executions[1] = 4;
+        for _ in 0..4 {
+            p.samples.push(MissSample {
+                branch_block: b(9),
+                kind: BranchKind::Conditional,
+                cycle: 100,
+                // Candidate at cycle 95: only 5 cycles ahead of the miss.
+                history: vec![(b(1), 95), (b(9), 100)],
+            });
+        }
+        let plans = analyze_profile(&p, &TwigConfig::default());
+        assert!(plans.is_empty(), "too-late candidate must be rejected");
+        // With prefetch distance 0 it becomes usable.
+        let lax = TwigConfig {
+            prefetch_distance: 0,
+            ..TwigConfig::default()
+        };
+        assert_eq!(analyze_profile(&p, &lax).len(), 1);
+    }
+
+    #[test]
+    fn accuracy_filter_rejects_low_probability_sites() {
+        let mut p = Profile::new(20, 1);
+        // Candidate executes 1000 times but only 3 misses follow it.
+        p.block_executions[1] = 1000;
+        for _ in 0..3 {
+            p.samples.push(MissSample {
+                branch_block: b(9),
+                kind: BranchKind::DirectJump,
+                cycle: 100,
+                history: vec![(b(1), 10), (b(9), 100)],
+            });
+        }
+        let plans = analyze_profile(&p, &TwigConfig::default());
+        assert!(plans.is_empty(), "P=0.003 must fail the accuracy filter");
+    }
+
+    #[test]
+    fn min_covered_samples_prunes_noise() {
+        let mut p = Profile::new(20, 1);
+        p.block_executions[1] = 1;
+        p.samples.push(MissSample {
+            branch_block: b(9),
+            kind: BranchKind::DirectJump,
+            cycle: 100,
+            history: vec![(b(1), 10), (b(9), 100)],
+        });
+        // One sample, min_covered_samples = 2: rejected.
+        let strict = TwigConfig {
+            min_covered_samples: 2,
+            ..TwigConfig::default()
+        };
+        assert!(analyze_profile(&p, &strict).is_empty());
+        // The default (1) accepts it.
+        assert_eq!(analyze_profile(&p, &TwigConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn hot_coverage_skips_the_long_tail() {
+        let mut p = Profile::new(400, 1);
+        p.block_executions[1] = 100;
+        // One hot branch with 98 samples, 49 cold branches with 1 each.
+        for _ in 0..98 {
+            p.samples.push(MissSample {
+                branch_block: b(300),
+                kind: BranchKind::DirectCall,
+                cycle: 100,
+                history: vec![(b(1), 10), (b(300), 100)],
+            });
+        }
+        for i in 0..49u32 {
+            p.samples.push(MissSample {
+                branch_block: b(301 + i),
+                kind: BranchKind::DirectCall,
+                cycle: 100,
+                history: vec![(b(1), 10), (b(301 + i), 100)],
+            });
+        }
+        let config = TwigConfig {
+            hot_sample_coverage: 0.6,
+            min_covered_samples: 1,
+            min_conditional_prob: 0.0,
+            ..TwigConfig::default()
+        };
+        let plans = analyze_profile(&p, &config);
+        // 98/147 = 0.67 >= 0.6: the hot branch alone satisfies coverage.
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].branch_block, b(300));
+    }
+
+    #[test]
+    fn layout_awareness_prefers_encodable_sites() {
+        use twig_workload::{ProgramGenerator, WorkloadSpec};
+        // Build a profile where a miss branch has two equally accurate
+        // candidates: one nearby (offset-encodable) and one in the distant
+        // library region. Layout-aware analysis must choose the near one.
+        let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let miss = program
+            .blocks()
+            .find(|(id, b)| {
+                b.addr.raw() < 0x7000_0000_0000
+                    && b.branch_kind().is_some_and(|k| k.is_direct())
+                    && program.direct_branch_target_addr(*id).is_some()
+                    && crate::compress::is_encodable(&program, *id, *id, 12)
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        // Near candidate: the immediately preceding block (tiny offset).
+        let near = BlockId::new(miss.raw().saturating_sub(1));
+        // Far candidate: a block in the library region.
+        let far = program
+            .blocks()
+            .find(|(_, b)| b.addr.raw() > 0x7000_0000_0000)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(crate::compress::is_encodable(&program, near, miss, 12));
+        assert!(!crate::compress::is_encodable(&program, far, miss, 12));
+
+        let mut p = Profile::new(program.num_blocks(), 1);
+        p.block_executions[near.index()] = 10;
+        // Give the far candidate *better* accuracy so only layout awareness
+        // can override it.
+        p.block_executions[far.index()] = 5;
+        for _ in 0..5 {
+            p.samples.push(MissSample {
+                branch_block: miss,
+                kind: BranchKind::DirectJump,
+                cycle: 100,
+                history: vec![(near, 10), (far, 20), (miss, 100)],
+            });
+        }
+        let config = TwigConfig::default();
+        let blind = analyze_profile_with_layout(&p, &config, None);
+        assert_eq!(blind[0].sites[0].site, far, "higher P wins blind");
+        let aware = analyze_profile_with_layout(&p, &config, Some(&program));
+        assert_eq!(
+            aware[0].sites[0].site, near,
+            "encodable site preferred with layout"
+        );
+    }
+
+    #[test]
+    fn sites_capped_per_miss() {
+        let mut p = Profile::new(50, 1);
+        for c in 1..=6u32 {
+            p.block_executions[c as usize] = 4;
+        }
+        // Each sample sees exactly one distinct candidate.
+        for c in 1..=6u32 {
+            for _ in 0..4 {
+                p.samples.push(MissSample {
+                    branch_block: b(40),
+                    kind: BranchKind::DirectJump,
+                    cycle: 100,
+                    history: vec![(b(c), 10), (b(40), 100)],
+                });
+            }
+        }
+        let config = TwigConfig {
+            max_sites_per_miss: 2,
+            min_conditional_prob: 0.0,
+            ..TwigConfig::default()
+        };
+        let plans = analyze_profile(&p, &config);
+        assert_eq!(plans[0].sites.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Twig's design parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the Twig optimization pipeline.
+///
+/// Defaults follow the paper: 20-cycle prefetch distance (§3.1, Fig. 26),
+/// 12-bit signed offsets (Figs. 14–15), and an 8-bit coalesce bitmask
+/// (Fig. 27).
+///
+/// # Examples
+///
+/// ```
+/// use twig::TwigConfig;
+///
+/// let config = TwigConfig::default();
+/// assert_eq!(config.prefetch_distance, 20);
+/// assert_eq!(config.offset_bits, 12);
+/// assert_eq!(config.coalesce_bitmask_bits, 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TwigConfig {
+    /// Minimum cycles between the injection site and the miss (timeliness
+    /// constraint; Fig. 26 sweeps 0–50).
+    pub prefetch_distance: u64,
+    /// Minimum conditional probability `P(miss at A | exec B)` for a
+    /// candidate to be considered accurate enough (accuracy constraint).
+    pub min_conditional_prob: f64,
+    /// Maximum injection sites selected per miss branch.
+    pub max_sites_per_miss: usize,
+    /// Maximum prefetch operations injected into one basic block
+    /// (bounds code bloat per block).
+    pub max_ops_per_block: usize,
+    /// Signed-offset field width of `brprefetch` (both the
+    /// prefetch-to-branch and branch-to-target offsets must fit).
+    pub offset_bits: u32,
+    /// Bitmask width of `brcoalesce` (Fig. 27 sweeps 1–64).
+    pub coalesce_bitmask_bits: u32,
+    /// Optimize the hottest miss branches until this fraction of all miss
+    /// samples is covered (the long tail is not worth the code bloat).
+    pub hot_sample_coverage: f64,
+    /// Minimum samples a selected site must cover.
+    pub min_covered_samples: u64,
+    /// Emit `brcoalesce` for too-large-to-encode branches (§3.2). When
+    /// disabled, unencodable prefetches are dropped — the "software BTB
+    /// prefetching only" configuration of Fig. 18.
+    pub enable_coalescing: bool,
+}
+
+impl Default for TwigConfig {
+    fn default() -> Self {
+        TwigConfig {
+            prefetch_distance: 20,
+            min_conditional_prob: 0.05,
+            max_sites_per_miss: 3,
+            max_ops_per_block: 6,
+            offset_bits: 12,
+            coalesce_bitmask_bits: 8,
+            hot_sample_coverage: 0.99,
+            min_covered_samples: 1,
+            enable_coalescing: true,
+        }
+    }
+}
+
+impl TwigConfig {
+    /// The Fig. 18 ablation: software BTB prefetching without coalescing.
+    pub fn software_prefetch_only() -> Self {
+        TwigConfig {
+            enable_coalescing: false,
+            ..TwigConfig::default()
+        }
+    }
+
+    /// Validates cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.min_conditional_prob) {
+            return Err("min_conditional_prob must be a probability".into());
+        }
+        if !(0.0..=1.0).contains(&self.hot_sample_coverage) {
+            return Err("hot_sample_coverage must be a fraction".into());
+        }
+        if self.max_sites_per_miss == 0 || self.max_ops_per_block == 0 {
+            return Err("site/op limits must be positive".into());
+        }
+        if !(2..=48).contains(&self.offset_bits) {
+            return Err("offset_bits must be within 2..=48".into());
+        }
+        if !(1..=64).contains(&self.coalesce_bitmask_bits) {
+            return Err("coalesce_bitmask_bits must be within 1..=64".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = TwigConfig::default();
+        c.validate().unwrap();
+        assert!(c.enable_coalescing);
+    }
+
+    #[test]
+    fn ablation_disables_coalescing_only() {
+        let c = TwigConfig::software_prefetch_only();
+        c.validate().unwrap();
+        assert!(!c.enable_coalescing);
+        assert_eq!(c.prefetch_distance, TwigConfig::default().prefetch_distance);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let bad = [
+            TwigConfig {
+                min_conditional_prob: 1.5,
+                ..TwigConfig::default()
+            },
+            TwigConfig {
+                offset_bits: 64,
+                ..TwigConfig::default()
+            },
+            TwigConfig {
+                coalesce_bitmask_bits: 0,
+                ..TwigConfig::default()
+            },
+            TwigConfig {
+                max_sites_per_miss: 0,
+                ..TwigConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} should be invalid");
+        }
+    }
+}

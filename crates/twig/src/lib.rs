@@ -1,0 +1,62 @@
+//! **Twig: profile-guided BTB prefetching** — a from-scratch Rust
+//! reproduction of Khan et al., MICRO 2021.
+//!
+//! Data-center applications overwhelm the Branch Target Buffer: their
+//! branch working sets are several times the capacity of even an 8K-entry
+//! BTB, and every miss on a taken branch stalls the decoupled FDIP
+//! frontend. Twig fixes this in *software*: it analyzes a production
+//! execution profile (Intel-LBR-style miss histories), finds program
+//! locations that predict each miss both *timely* (≥ prefetch-distance
+//! cycles ahead) and *accurately* (high conditional probability), and
+//! injects two new instructions into the binary at link time:
+//!
+//! - `brprefetch` — prefetch one BTB entry, operands compressed as 12-bit
+//!   signed offsets ([`compress`]),
+//! - `brcoalesce` — prefetch up to *n* entries from a sorted key-value
+//!   table with one bitmask-selected instruction ([`coalesce`]).
+//!
+//! # End-to-end flow
+//!
+//! ```
+//! use twig::{TwigConfig, TwigOptimizer};
+//! use twig_sim::SimConfig;
+//! use twig_workload::WorkloadSpec;
+//!
+//! let optimizer = TwigOptimizer::new(TwigConfig::default());
+//! let spec = WorkloadSpec::tiny_test();
+//! let sim = SimConfig::paper_baseline(spec.backend_extra_cpki)
+//!     .with_btb_entries(64);
+//! // Profile on input #0, evaluate the rewritten binary on input #1.
+//! let report = optimizer.run_app(&spec, sim, 0, &[1], 60_000).remove(0);
+//! println!(
+//!     "Twig: {:+.1}% (ideal BTB {:+.1}%), coverage {:.0}%",
+//!     report.speedup_percent,
+//!     report.ideal_speedup_percent,
+//!     report.coverage * 100.0
+//! );
+//! ```
+//!
+//! The crates below this one supply every substrate the paper depends on:
+//! `twig-workload` (synthetic data-center applications), `twig-sim` (the
+//! decoupled-frontend simulator), `twig-prefetchers` (Shotgun and
+//! Confluence baselines), and `twig-profile` (LBR capture and
+//! characterization analyses).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod coalesce;
+pub mod compress;
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod rewrite;
+
+pub use analysis::{analyze_profile, analyze_profile_with_layout, MissPlan, SelectedSite};
+pub use coalesce::{build_coalesce_plan, CoalescePlan};
+pub use compress::{is_encodable, offsets, OffsetCdf};
+pub use config::TwigConfig;
+pub use pipeline::{EvalReport, OptimizedBinary, TwigOptimizer};
+pub use report::{baseline_relative_coverage, MeanStd};
+pub use rewrite::{apply_rewrite, RewriteOutcome};

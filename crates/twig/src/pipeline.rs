@@ -1,0 +1,289 @@
+//! The end-to-end Twig pipeline: profile → analyze → rewrite → evaluate.
+//!
+//! Mirrors the paper's methodology (§4.1): collect an LBR profile of the
+//! production binary under a *training* input, inject BTB prefetch
+//! instructions at link time, and evaluate the rewritten binary under the
+//! same or different inputs against the FDIP baseline and an ideal BTB.
+
+use serde::{Deserialize, Serialize};
+use twig_profile::{LbrRecorder, Profile};
+use twig_sim::{speedup_percent, PlainBtb, SimConfig, SimStats, Simulator};
+use twig_workload::{InputConfig, Program, ProgramGenerator, Walker, WorkloadSpec};
+
+use crate::analysis::{analyze_profile_with_layout, MissPlan};
+use crate::config::TwigConfig;
+use crate::report::baseline_relative_coverage;
+use crate::rewrite::{apply_rewrite, RewriteOutcome};
+
+/// A Twig-optimized binary with its rewrite metadata.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct OptimizedBinary {
+    /// The rewritten program (prefetch ops injected, re-laid-out).
+    pub program: Program,
+    /// Rewrite statistics (static overhead, op counts).
+    pub rewrite: RewriteOutcome,
+    /// Number of miss branches planned for prefetching.
+    pub planned_misses: usize,
+}
+
+/// Evaluation of one optimized binary against the baseline on one input.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// FDIP baseline statistics.
+    pub baseline: SimStats,
+    /// Twig statistics.
+    pub twig: SimStats,
+    /// Ideal-BTB statistics (same input, original binary).
+    pub ideal: SimStats,
+    /// Twig speedup over the baseline, percent (Fig. 16).
+    pub speedup_percent: f64,
+    /// Ideal-BTB speedup over the baseline, percent.
+    pub ideal_speedup_percent: f64,
+    /// Twig as a fraction of the ideal-BTB speedup (Table 2).
+    pub pct_of_ideal: f64,
+    /// Baseline-relative BTB miss coverage (Fig. 17).
+    pub coverage: f64,
+    /// Prefetch accuracy (Fig. 19).
+    pub accuracy: f64,
+    /// Dynamic instruction overhead (Fig. 22).
+    pub dynamic_overhead: f64,
+}
+
+/// Drives the full profile-guided optimization flow for one application.
+///
+/// # Examples
+///
+/// ```
+/// use twig::{TwigConfig, TwigOptimizer};
+/// use twig_sim::SimConfig;
+/// use twig_workload::WorkloadSpec;
+///
+/// let optimizer = TwigOptimizer::new(TwigConfig::default());
+/// let spec = WorkloadSpec::tiny_test();
+/// let sim = SimConfig::paper_baseline(spec.backend_extra_cpki)
+///     .with_btb_entries(64); // pressure the tiny program's BTB
+/// let report = optimizer.run_app(&spec, sim, 0, &[0], 60_000).remove(0);
+/// assert!(report.twig.ipc() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwigOptimizer {
+    config: TwigConfig,
+}
+
+impl TwigOptimizer {
+    /// Creates an optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(config: TwigConfig) -> Self {
+        config.validate().expect("invalid twig config");
+        TwigOptimizer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TwigConfig {
+        &self.config
+    }
+
+    /// Collects an LBR profile of `program` under `input` (baseline run).
+    pub fn collect_profile(
+        &self,
+        program: &Program,
+        sim_config: SimConfig,
+        input: InputConfig,
+        instructions: u64,
+    ) -> Profile {
+        let mut recorder = LbrRecorder::new(program, 1);
+        let events = Walker::new(program, input).run_instructions(instructions);
+        recorder.observe_events(program, &events);
+        let mut sim = Simulator::new(program, sim_config, PlainBtb::new(&sim_config));
+        sim.run_observed(events, instructions, &mut recorder);
+        recorder.into_profile()
+    }
+
+    /// Analyzes a profile into miss plans (no layout awareness; prefer
+    /// [`Self::analyze_for`] when the program is at hand).
+    pub fn analyze(&self, profile: &Profile) -> Vec<MissPlan> {
+        analyze_profile_with_layout(profile, &self.config, None)
+    }
+
+    /// Analyzes a profile with encodability-aware site selection against
+    /// the program's layout.
+    pub fn analyze_for(&self, profile: &Profile, program: &Program) -> Vec<MissPlan> {
+        analyze_profile_with_layout(profile, &self.config, Some(program))
+    }
+
+    /// Rewrites a fresh copy of the program according to `plans`.
+    pub fn rewrite(
+        &self,
+        generator: &ProgramGenerator,
+        plans: &[MissPlan],
+    ) -> OptimizedBinary {
+        let mut program = generator.generate();
+        let rewrite = apply_rewrite(
+            &mut program,
+            plans,
+            &self.config,
+            &generator.layout_options(),
+        );
+        OptimizedBinary {
+            program,
+            rewrite,
+            planned_misses: plans.len(),
+        }
+    }
+
+    /// Evaluates an optimized binary against the baseline and the ideal BTB
+    /// under one input.
+    pub fn evaluate(
+        &self,
+        original: &Program,
+        optimized: &OptimizedBinary,
+        sim_config: SimConfig,
+        input: InputConfig,
+        instructions: u64,
+    ) -> EvalReport {
+        let events = Walker::new(original, input).run_instructions(instructions);
+
+        let mut base_sim = Simulator::new(original, sim_config, PlainBtb::new(&sim_config));
+        let baseline = base_sim.run(events.iter().copied(), instructions);
+
+        let ideal_cfg = SimConfig {
+            ideal_btb: true,
+            ..sim_config
+        };
+        let mut ideal_sim = Simulator::new(original, ideal_cfg, PlainBtb::new(&ideal_cfg));
+        let ideal = ideal_sim.run(events.iter().copied(), instructions);
+
+        // The optimized binary replays the same control flow (block ids are
+        // stable across the rewrite).
+        let mut twig_sim = Simulator::new(
+            &optimized.program,
+            sim_config,
+            PlainBtb::new(&sim_config),
+        );
+        let twig = twig_sim.run(events.iter().copied(), instructions);
+
+        let speedup = speedup_percent(&baseline, &twig);
+        let ideal_speedup = speedup_percent(&baseline, &ideal);
+        EvalReport {
+            speedup_percent: speedup,
+            ideal_speedup_percent: ideal_speedup,
+            pct_of_ideal: if ideal_speedup > 0.0 {
+                speedup / ideal_speedup
+            } else {
+                0.0
+            },
+            coverage: baseline_relative_coverage(&baseline, &twig),
+            accuracy: twig.prefetch_accuracy(),
+            dynamic_overhead: twig.dynamic_overhead(),
+            baseline,
+            twig,
+            ideal,
+        }
+    }
+
+    /// Convenience: full flow for one application spec — profile on input
+    /// `train`, rewrite, evaluate on each input of `test`.
+    pub fn run_app(
+        &self,
+        spec: &WorkloadSpec,
+        sim_config: SimConfig,
+        train: u32,
+        test: &[u32],
+        instructions: u64,
+    ) -> Vec<EvalReport> {
+        let generator = ProgramGenerator::new(spec.clone());
+        let program = generator.generate();
+        let profile = self.collect_profile(
+            &program,
+            sim_config,
+            InputConfig::numbered(train),
+            instructions,
+        );
+        let plans = self.analyze_for(&profile, &program);
+        let optimized = self.rewrite(&generator, &plans);
+        test.iter()
+            .map(|&i| {
+                self.evaluate(
+                    &program,
+                    &optimized,
+                    sim_config,
+                    InputConfig::numbered(i),
+                    instructions,
+                )
+            })
+            .collect()
+    }
+}
+
+impl Default for TwigOptimizer {
+    fn default() -> Self {
+        TwigOptimizer::new(TwigConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pressured_config(spec: &WorkloadSpec) -> SimConfig {
+        // The tiny test program has only a few hundred branch sites; shrink
+        // the BTB so capacity misses exist to optimize away (at 256 entries
+        // the whole working set fits and only compulsory misses remain).
+        SimConfig::paper_baseline(spec.backend_extra_cpki).with_btb_entries(64)
+    }
+
+    #[test]
+    fn end_to_end_improves_ipc_and_covers_misses() {
+        let spec = WorkloadSpec::tiny_test();
+        let sim = pressured_config(&spec);
+        let optimizer = TwigOptimizer::default();
+        let report = optimizer.run_app(&spec, sim, 0, &[0], 200_000).remove(0);
+        assert!(
+            report.speedup_percent > 0.0,
+            "Twig must speed up the pressured baseline: {:.2}%",
+            report.speedup_percent
+        );
+        assert!(
+            report.coverage > 0.2,
+            "coverage too low: {:.3}",
+            report.coverage
+        );
+        assert!(report.twig.retired_prefetch_ops > 0);
+        assert!(report.dynamic_overhead > 0.0);
+        assert!(report.accuracy > 0.0);
+        assert!(report.ideal_speedup_percent >= report.speedup_percent * 0.5);
+    }
+
+    #[test]
+    fn cross_input_generalizes() {
+        let spec = WorkloadSpec::tiny_test();
+        let sim = pressured_config(&spec);
+        let optimizer = TwigOptimizer::default();
+        let reports = optimizer.run_app(&spec, sim, 0, &[1, 2], 200_000);
+        for r in &reports {
+            assert!(
+                r.coverage > 0.1,
+                "cross-input coverage collapsed: {:.3}",
+                r.coverage
+            );
+        }
+    }
+
+    #[test]
+    fn profile_reflects_workload() {
+        let spec = WorkloadSpec::tiny_test();
+        let generator = ProgramGenerator::new(spec.clone());
+        let program = generator.generate();
+        let sim = pressured_config(&spec);
+        let optimizer = TwigOptimizer::default();
+        let profile =
+            optimizer.collect_profile(&program, sim, InputConfig::numbered(0), 100_000);
+        assert!(profile.num_samples() > 0);
+        assert!(profile.instructions >= 100_000);
+        let plans = optimizer.analyze(&profile);
+        assert!(!plans.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-run metrics and report aggregation helpers.
+
+use serde::{Deserialize, Serialize};
+use twig_sim::SimStats;
+
+/// Baseline-relative BTB miss coverage (the Fig. 17 definition):
+/// the fraction of the *baseline's* real BTB misses that the prefetching
+/// system eliminated.
+///
+/// A system that trades one kind of miss for another (e.g. Shotgun's fixed
+/// partition overflowing on conditionals) gets credit only for the net
+/// reduction; a negative net reduction clamps to zero.
+///
+/// # Examples
+///
+/// ```
+/// use twig::baseline_relative_coverage;
+/// use twig_sim::SimStats;
+///
+/// let mut base = SimStats::default();
+/// base.btb_misses[0] = 100;
+/// let mut sys = SimStats::default();
+/// sys.btb_misses[0] = 30;
+/// assert!((baseline_relative_coverage(&base, &sys) - 0.7).abs() < 1e-12);
+/// ```
+pub fn baseline_relative_coverage(baseline: &SimStats, system: &SimStats) -> f64 {
+    let base = baseline.total_btb_misses();
+    if base == 0 {
+        return 0.0;
+    }
+    let sys = system.total_btb_misses();
+    if sys >= base {
+        return 0.0;
+    }
+    (base - sys) as f64 / base as f64
+}
+
+/// Summary statistics over a set of per-input results (Table 2's
+/// average ± standard deviation columns).
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean and population standard deviation of `values`.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return MeanStd::default();
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_clamps_and_guards() {
+        let mut base = SimStats::default();
+        base.btb_misses[0] = 50;
+        let mut worse = SimStats::default();
+        worse.btb_misses[0] = 80;
+        assert_eq!(baseline_relative_coverage(&base, &worse), 0.0);
+        assert_eq!(
+            baseline_relative_coverage(&SimStats::default(), &worse),
+            0.0
+        );
+        let mut perfect = SimStats::default();
+        perfect.btb_misses[0] = 0;
+        assert_eq!(baseline_relative_coverage(&base, &perfect), 1.0);
+    }
+
+    #[test]
+    fn mean_std_matches_hand_computation() {
+        let ms = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((ms.mean - 5.0).abs() < 1e-12);
+        assert!((ms.std - 2.0).abs() < 1e-12);
+        assert_eq!(ms.to_string(), "5.00 ± 2.00");
+    }
+
+    #[test]
+    fn empty_values_are_zero() {
+        let ms = MeanStd::of(&[]);
+        assert_eq!(ms.mean, 0.0);
+        assert_eq!(ms.std, 0.0);
+    }
+}

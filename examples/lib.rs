@@ -1,0 +1,1 @@
+//! Placeholder library target for the examples package.

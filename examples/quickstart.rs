@@ -1,0 +1,64 @@
+//! Quickstart: the whole Twig flow on one application in ~30 seconds.
+//!
+//! ```text
+//! cargo run --release -p twig-examples --bin quickstart [instructions]
+//! ```
+//!
+//! Generates a synthetic data-center application (kafka preset), profiles
+//! its BTB misses under a training input, injects `brprefetch`/`brcoalesce`
+//! instructions at link time, and compares the rewritten binary against the
+//! FDIP baseline and an ideal BTB under a *different* input.
+
+use twig::{TwigConfig, TwigOptimizer};
+use twig_sim::SimConfig;
+use twig_workload::{AppId, WorkloadSpec};
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let spec = WorkloadSpec::preset(AppId::Kafka);
+    println!(
+        "app: {} ({} functions, ~{:.1} MB text)",
+        spec.name,
+        spec.app_funcs + spec.lib_funcs,
+        spec.estimated_footprint_bytes() as f64 / (1 << 20) as f64
+    );
+
+    let sim = SimConfig::paper_baseline(spec.backend_extra_cpki);
+    let optimizer = TwigOptimizer::new(TwigConfig::default());
+
+    // Profile on input #0, evaluate on input #1 (the paper's methodology).
+    println!("profiling on input #0, evaluating on input #1 ({instructions} instructions)...");
+    let report = optimizer
+        .run_app(&spec, sim, 0, &[1], instructions)
+        .remove(0);
+
+    println!();
+    println!(
+        "baseline FDIP:   IPC {:.3}, BTB MPKI {:.1}",
+        report.baseline.ipc(),
+        report.baseline.btb_mpki()
+    );
+    println!(
+        "Twig:            IPC {:.3}, BTB MPKI {:.1}",
+        report.twig.ipc(),
+        report.twig.btb_mpki()
+    );
+    println!("ideal BTB:       IPC {:.3}", report.ideal.ipc());
+    println!();
+    println!(
+        "Twig speedup:    {:+.1}% ({:.0}% of the ideal BTB's {:+.1}%)",
+        report.speedup_percent,
+        report.pct_of_ideal * 100.0,
+        report.ideal_speedup_percent
+    );
+    println!("miss coverage:   {:.1}%", report.coverage * 100.0);
+    println!("accuracy:        {:.1}%", report.accuracy * 100.0);
+    println!(
+        "dynamic overhead: {:.2}% extra instructions",
+        report.dynamic_overhead * 100.0
+    );
+}

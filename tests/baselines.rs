@@ -1,0 +1,88 @@
+//! Baseline-prefetcher integration: Shotgun and Confluence plugged into the
+//! simulator reproduce the paper's qualitative §2.3 findings.
+
+use twig_prefetchers::{Confluence, Shotgun};
+use twig_sim::{BtbSystem, PlainBtb, SimConfig, SimStats, Simulator};
+use twig_workload::{InputConfig, ProgramGenerator, Span, Walker, WorkloadSpec};
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "midi-b".into(),
+        seed: 0x5EED_0002,
+        app_funcs: 900,
+        lib_funcs: 120,
+        handlers: 24,
+        handler_zipf: 0.4,
+        blocks_per_func: Span::new(10, 30),
+        call_levels: 3,
+        loop_fraction: 0.01,
+        ..WorkloadSpec::tiny_test()
+    }
+}
+
+const BUDGET: u64 = 300_000;
+
+fn run(system: Box<dyn BtbSystem>, config: SimConfig) -> SimStats {
+    let program = ProgramGenerator::new(spec()).generate();
+    let mut sim = Simulator::new(&program, config, system);
+    sim.run(
+        Walker::new(&program, InputConfig::numbered(1)),
+        BUDGET,
+    )
+}
+
+#[test]
+fn prefetchers_do_not_break_execution() {
+    let config = SimConfig::default();
+    for (name, stats) in [
+        ("shotgun", run(Box::new(Shotgun::new(&config)), config)),
+        ("confluence", run(Box::new(Confluence::new(&config)), config)),
+    ] {
+        assert!(stats.retired_instructions >= BUDGET, "{name} stalled");
+        assert!(stats.ipc() > 0.05, "{name} IPC {:.3}", stats.ipc());
+        assert!(stats.total_btb_accesses() > 0);
+    }
+}
+
+#[test]
+fn prefetchers_stay_within_a_fraction_of_ideal() {
+    // §2.3: "Confluence and Shotgun offer only a fraction of an ideal BTB's
+    // speedup."
+    let config = SimConfig::default();
+    let base = run(Box::new(PlainBtb::new(&config)), config);
+    let ideal_cfg = SimConfig {
+        ideal_btb: true,
+        ..config
+    };
+    let ideal = run(Box::new(PlainBtb::new(&ideal_cfg)), ideal_cfg);
+    let shotgun = run(Box::new(Shotgun::new(&config)), config);
+    let confluence = run(Box::new(Confluence::new(&config)), config);
+
+    let ideal_gain = ideal.ipc() - base.ipc();
+    assert!(ideal_gain > 0.0);
+    for (name, stats) in [("shotgun", shotgun), ("confluence", confluence)] {
+        let gain = stats.ipc() - base.ipc();
+        assert!(
+            gain < ideal_gain * 0.8,
+            "{name} suspiciously near ideal: {gain} vs {ideal_gain}"
+        );
+    }
+}
+
+#[test]
+fn shotgun_covers_some_conditional_misses() {
+    let config = SimConfig::default();
+    let stats = run(Box::new(Shotgun::new(&config)), config);
+    assert!(
+        stats.total_covered_misses() > 0,
+        "footprint replay must cover something"
+    );
+    assert!(stats.prefetch_buffer.inserted > 0);
+}
+
+#[test]
+fn confluence_inserts_predecoded_entries() {
+    let config = SimConfig::default();
+    let stats = run(Box::new(Confluence::new(&config)), config);
+    assert!(stats.prefetch_buffer.inserted > 0, "SHIFT must prefetch");
+}
