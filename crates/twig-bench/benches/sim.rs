@@ -1,0 +1,157 @@
+//! Microbenchmarks proving the hot-loop optimizations: monomorphized vs
+//! `Box<dyn>`-erased `Simulator::run`, and flat-storage BTB lookup/insert
+//! under realistic miss traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use twig_sim::{Btb, BtbGeometry, BtbSystem, PlainBtb, SimConfig, Simulator};
+use twig_types::{Addr, BranchKind};
+use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
+
+const INSTRS: u64 = 100_000;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_dispatch");
+    group.sample_size(10);
+    let program = ProgramGenerator::new(WorkloadSpec::preset(twig_workload::AppId::Kafka))
+        .generate();
+    let events: Vec<_> =
+        Walker::new(&program, InputConfig::numbered(0)).run_instructions(INSTRS);
+    let config = SimConfig::default();
+    group.throughput(Throughput::Elements(INSTRS));
+
+    // Type-erased: the same system behind `Box<dyn BtbSystem>`, the path
+    // existing callers keep using.
+    group.bench_function("boxed_dyn", |b| {
+        b.iter(|| {
+            let system: Box<dyn BtbSystem> = Box::new(PlainBtb::new(&config));
+            let mut sim = Simulator::new(&program, config, system);
+            sim.run(events.iter().copied(), INSTRS).cycles
+        });
+    });
+    // Monomorphized: the event loop sees the concrete `PlainBtb` type.
+    group.bench_function("monomorphized", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+            sim.run(events.iter().copied(), INSTRS).cycles
+        });
+    });
+
+    group.finish();
+}
+
+/// The seed's BTB storage layout (`Vec<Vec<_>>`, MRU via `remove` +
+/// `insert(0)`), re-created verbatim — same entry payload, same evicted-PC
+/// reconstruction — so the flat layout's effect is measured against the
+/// real predecessor rather than asserted.
+#[derive(Clone, Copy)]
+struct NestedEntry {
+    tag: u64,
+    target: Addr,
+    kind: BranchKind,
+}
+
+struct NestedBtb {
+    sets: Vec<Vec<NestedEntry>>,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl NestedBtb {
+    fn new(entries: usize, ways: usize) -> Self {
+        let sets = entries / ways;
+        NestedBtb {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    fn set_and_tag(&self, pc: Addr) -> (usize, u64) {
+        let key = pc.raw() >> 1;
+        ((key & self.set_mask) as usize, key >> self.set_mask.count_ones())
+    }
+
+    fn lookup(&mut self, pc: Addr) -> Option<NestedEntry> {
+        let (set, tag) = self.set_and_tag(pc);
+        let ways = &mut self.sets[set];
+        let pos = ways.iter().position(|e| e.tag == tag)?;
+        let entry = ways.remove(pos);
+        ways.insert(0, entry);
+        Some(entry)
+    }
+
+    fn insert(&mut self, pc: Addr, target: Addr, kind: BranchKind) -> Option<Addr> {
+        let (set, tag) = self.set_and_tag(pc);
+        let set_bits = self.set_mask.count_ones();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|e| e.tag == tag) {
+            let mut entry = ways.remove(pos);
+            entry.target = target;
+            entry.kind = kind;
+            ways.insert(0, entry);
+            return None;
+        }
+        ways.insert(0, NestedEntry { tag, target, kind });
+        if ways.len() > self.ways {
+            let victim = ways.pop().expect("overflow entry");
+            let key = (victim.tag << set_bits) | set as u64;
+            return Some(Addr::new(key << 1));
+        }
+        None
+    }
+}
+
+fn bench_btb_flat_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btb_storage");
+    let mut rng = StdRng::seed_from_u64(29);
+    let addrs: Vec<Addr> = (0..8192)
+        .map(|_| Addr::new(0x40_0000 + rng.random_range(0..200_000u64) * 2))
+        .collect();
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for &(entries, ways) in &[(8192usize, 4usize), (8192, 128)] {
+        group.bench_with_input(
+            BenchmarkId::new("flat", format!("{entries}x{ways}")),
+            &(entries, ways),
+            |b, &(entries, ways)| {
+                let mut btb = Btb::new(BtbGeometry::new(entries, ways));
+                b.iter(|| {
+                    let mut hits = 0u32;
+                    for &pc in &addrs {
+                        match btb.lookup(pc) {
+                            Some(_) => hits += 1,
+                            None => {
+                                btb.insert(pc, Addr::new(1), BranchKind::Conditional);
+                            }
+                        }
+                    }
+                    hits
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nested_vec", format!("{entries}x{ways}")),
+            &(entries, ways),
+            |b, &(entries, ways)| {
+                let mut btb = NestedBtb::new(entries, ways);
+                b.iter(|| {
+                    let mut hits = 0u32;
+                    for &pc in &addrs {
+                        match btb.lookup(pc) {
+                            Some(_) => hits += 1,
+                            None => {
+                                btb.insert(pc, Addr::new(1), BranchKind::Conditional);
+                            }
+                        }
+                    }
+                    hits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_btb_flat_storage);
+criterion_main!(benches);

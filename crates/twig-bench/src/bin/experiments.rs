@@ -5,10 +5,31 @@
 //! ```
 //!
 //! Reports print to stdout and are also written to `results/<id>.txt`.
+//! Every run additionally writes `results/bench_results.json` with the
+//! wall-clock time per figure and the artifact-cache hit/miss counters,
+//! and asserts the exactly-once generation property (each program, trace,
+//! and profile computed at most once per process).
 
 use std::io::Write;
 
-use twig_bench::{run_experiment, ExpContext, ALL_EXPERIMENTS};
+use serde::Serialize;
+use twig_bench::{run_experiment, CacheStats, ExpContext, ALL_EXPERIMENTS};
+
+#[derive(Serialize)]
+struct FigureTiming {
+    id: String,
+    seconds: f64,
+}
+
+/// The timing/caching report written to `results/bench_results.json`.
+#[derive(Serialize)]
+struct BenchReport {
+    total_seconds: f64,
+    threads: usize,
+    figures: Vec<FigureTiming>,
+    cache: CacheStats,
+    cache_exactly_once: bool,
+}
 
 fn main() {
     let mut ctx = ExpContext::default();
@@ -50,15 +71,22 @@ fn main() {
     }
     std::fs::create_dir_all(&ctx.results_dir).expect("create results dir");
 
+    let run_started = std::time::Instant::now();
+    let mut figures = Vec::new();
     for id in &ids {
         let started = std::time::Instant::now();
         match run_experiment(id, &ctx) {
             Ok(report) => {
-                println!("==== {id} ({:.1}s) ====", started.elapsed().as_secs_f64());
+                let seconds = started.elapsed().as_secs_f64();
+                println!("==== {id} ({seconds:.1}s) ====");
                 println!("{report}");
                 let path = ctx.results_dir.join(format!("{id}.txt"));
                 let mut f = std::fs::File::create(&path).expect("create report file");
                 f.write_all(report.as_bytes()).expect("write report");
+                figures.push(FigureTiming {
+                    id: id.clone(),
+                    seconds,
+                });
             }
             Err(e) => {
                 eprintln!("{id}: {e}");
@@ -66,4 +94,28 @@ fn main() {
             }
         }
     }
+
+    let cache = twig_bench::cache::global().stats();
+    assert!(
+        cache.exactly_once(),
+        "artifact regenerated more than once per process: {cache:?}"
+    );
+    let report = BenchReport {
+        total_seconds: run_started.elapsed().as_secs_f64(),
+        threads: twig_sched::num_threads(),
+        figures,
+        cache_exactly_once: cache.exactly_once(),
+        cache,
+    };
+    let path = ctx.results_dir.join("bench_results.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&path, json).expect("write bench_results.json");
+    println!(
+        "wrote {} ({} threads, {:.1}s total, cache: {} hits / {} misses across artifacts)",
+        path.display(),
+        report.threads,
+        report.total_seconds,
+        report.cache.setup_hits + report.cache.events_hits + report.cache.profile_hits,
+        report.cache.setup_misses + report.cache.events_misses + report.cache.profile_misses,
+    );
 }

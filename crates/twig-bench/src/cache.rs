@@ -1,0 +1,275 @@
+//! Process-wide artifact cache for the experiment harness.
+//!
+//! Program generation, walker traces, and LBR profiles are pure functions
+//! of `(AppId, input, instruction budget)` (plus the simulator config for
+//! profiles), yet the seed harness regenerated them in every figure that
+//! needed them — the dominant cost of `experiments all`. This cache
+//! memoizes each artifact behind an `Arc` so every figure shares one copy
+//! and each key is computed exactly once per process, even when many
+//! scheduler workers request it concurrently.
+//!
+//! Exactly-once initialization uses a per-key `Arc<OnceLock<V>>`: the map
+//! lock is held only long enough to fetch/create the slot, then
+//! `OnceLock::get_or_init` serializes the (expensive) computation outside
+//! the map lock, so unrelated keys never contend.
+//!
+//! Hit/miss counters per artifact type feed the `bench_results.json`
+//! timing report, which asserts the exactly-once property
+//! (`misses == entries`) at the end of every `experiments` run.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::Serialize;
+use twig::TwigOptimizer;
+use twig_profile::Profile;
+use twig_sim::SimConfig;
+use twig_workload::{AppId, BlockEvent};
+
+use crate::runner::AppSetup;
+
+/// One memoized key space with hit/miss accounting.
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let slot = {
+            let mut map = self.map.lock().expect("cache shard poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut computed = false;
+        let value = slot
+            .get_or_init(|| {
+                computed = true;
+                compute()
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    fn entries(&self) -> u64 {
+        self.map.lock().expect("cache shard poisoned").len() as u64
+    }
+}
+
+/// Hit/miss/entry counts per artifact type, snapshotted by
+/// [`ArtifactCache::stats`] and embedded in `results/bench_results.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct CacheStats {
+    /// App setup (program generation) hits.
+    pub setup_hits: u64,
+    /// App setup misses (= generations performed).
+    pub setup_misses: u64,
+    /// Distinct apps generated.
+    pub setup_entries: u64,
+    /// Walker event-trace hits.
+    pub events_hits: u64,
+    /// Walker event-trace misses (= walks performed).
+    pub events_misses: u64,
+    /// Distinct `(app, input, budget)` traces materialized.
+    pub events_entries: u64,
+    /// LBR profile hits.
+    pub profile_hits: u64,
+    /// LBR profile misses (= profiling simulations performed).
+    pub profile_misses: u64,
+    /// Distinct `(app, input, budget, sim config)` profiles collected.
+    pub profile_entries: u64,
+}
+
+impl CacheStats {
+    /// True iff every artifact was generated exactly once per key — the
+    /// acceptance property the `experiments` binary asserts.
+    pub fn exactly_once(&self) -> bool {
+        self.setup_misses == self.setup_entries
+            && self.events_misses == self.events_entries
+            && self.profile_misses == self.profile_entries
+    }
+}
+
+/// The memoized store handing out shared artifacts.
+pub struct ArtifactCache {
+    setups: Shard<AppId, Arc<AppSetup>>,
+    events: Shard<(AppId, u32, u64), Arc<[BlockEvent]>>,
+    // `SimConfig` holds `f64` fields, so the profile key embeds its
+    // `Debug` rendering as a config fingerprint instead of deriving Hash.
+    profiles: Shard<(AppId, u32, u64, String), Arc<Profile>>,
+}
+
+impl ArtifactCache {
+    /// Creates an empty cache (tests use private instances; production
+    /// code shares [`global`]).
+    pub fn new() -> Self {
+        ArtifactCache {
+            setups: Shard::new(),
+            events: Shard::new(),
+            profiles: Shard::new(),
+        }
+    }
+
+    /// The generated workload for `app` (spec, generator, program,
+    /// baseline sim config).
+    pub fn setup(&self, app: AppId) -> Arc<AppSetup> {
+        self.setups
+            .get_or_compute(app, || Arc::new(AppSetup::new(app)))
+    }
+
+    /// The walker event trace for `(app, input)`, bounded by
+    /// `instructions`.
+    pub fn events(&self, app: AppId, input: u32, instructions: u64) -> Arc<[BlockEvent]> {
+        self.events.get_or_compute((app, input, instructions), || {
+            self.setup(app).fresh_events(input, instructions).into()
+        })
+    }
+
+    /// The LBR profile of `app` under `input` at `sim_config`.
+    ///
+    /// Profile collection reads only the simulator configuration, not the
+    /// Twig optimizer's knobs, so one cached profile serves every
+    /// `TwigConfig` variant evaluated against it.
+    pub fn profile(
+        &self,
+        app: AppId,
+        input: u32,
+        instructions: u64,
+        sim_config: &SimConfig,
+    ) -> Arc<Profile> {
+        let key = (app, input, instructions, format!("{sim_config:?}"));
+        self.profiles.get_or_compute(key, || {
+            let setup = self.setup(app);
+            let events = self.events(app, input, instructions);
+            let profile = TwigOptimizer::default().collect_profile_from_events(
+                &setup.program,
+                *sim_config,
+                &events,
+                instructions,
+            );
+            Arc::new(profile)
+        })
+    }
+
+    /// Snapshot of the hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            setup_hits: self.setups.hits.load(Ordering::Relaxed),
+            setup_misses: self.setups.misses.load(Ordering::Relaxed),
+            setup_entries: self.setups.entries(),
+            events_hits: self.events.hits.load(Ordering::Relaxed),
+            events_misses: self.events.misses.load(Ordering::Relaxed),
+            events_entries: self.events.entries(),
+            profile_hits: self.profiles.hits.load(Ordering::Relaxed),
+            profile_misses: self.profiles.misses.load(Ordering::Relaxed),
+            profile_entries: self.profiles.entries(),
+        }
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
+}
+
+/// The process-wide cache shared by the runner and all `exp` modules.
+pub fn global() -> &'static ArtifactCache {
+    static CACHE: OnceLock<ArtifactCache> = OnceLock::new();
+    CACHE.get_or_init(ArtifactCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_is_shared_and_counted() {
+        let cache = ArtifactCache::new();
+        let a = cache.setup(AppId::Tomcat);
+        let b = cache.setup(AppId::Tomcat);
+        assert!(Arc::ptr_eq(&a, &b), "second fetch must reuse the Arc");
+        let stats = cache.stats();
+        assert_eq!(stats.setup_misses, 1);
+        assert_eq!(stats.setup_hits, 1);
+        assert_eq!(stats.setup_entries, 1);
+        assert!(stats.exactly_once());
+    }
+
+    #[test]
+    fn cached_events_match_fresh_walk() {
+        let cache = ArtifactCache::new();
+        let cached = cache.events(AppId::Kafka, 2, 5_000);
+        let fresh = cache.setup(AppId::Kafka).fresh_events(2, 5_000);
+        assert_eq!(&cached[..], &fresh[..], "cache must be bit-identical");
+    }
+
+    #[test]
+    fn cached_program_matches_fresh_generation() {
+        let cache = ArtifactCache::new();
+        let cached = cache.setup(AppId::Cassandra);
+        let fresh = AppSetup::new(AppId::Cassandra);
+        assert_eq!(cached.program, fresh.program);
+        assert_eq!(cached.spec, fresh.spec);
+    }
+
+    #[test]
+    fn cached_profile_matches_fresh_collection() {
+        use twig_workload::InputConfig;
+        let cache = ArtifactCache::new();
+        let setup = cache.setup(AppId::Kafka);
+        let cached = cache.profile(AppId::Kafka, 0, 20_000, &setup.sim_config);
+        let fresh = TwigOptimizer::default().collect_profile(
+            &setup.program,
+            setup.sim_config,
+            InputConfig::numbered(0),
+            20_000,
+        );
+        assert_eq!(*cached, fresh, "cached profile must equal a fresh one");
+    }
+
+    #[test]
+    fn profile_keyed_by_sim_config() {
+        let cache = ArtifactCache::new();
+        let setup = cache.setup(AppId::Kafka);
+        let base = setup.sim_config;
+        let small = base.with_btb_entries(64);
+        let p1 = cache.profile(AppId::Kafka, 0, 20_000, &base);
+        let p2 = cache.profile(AppId::Kafka, 0, 20_000, &base);
+        let p3 = cache.profile(AppId::Kafka, 0, 20_000, &small);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(!Arc::ptr_eq(&p1, &p3), "different config, different profile");
+        assert_eq!(cache.stats().profile_entries, 2);
+        assert_eq!(cache.stats().profile_misses, 2);
+    }
+
+    #[test]
+    fn concurrent_fetches_compute_exactly_once() {
+        let cache = ArtifactCache::new();
+        let events = twig_sched::parallel_map(vec![0u32; 16], |_| {
+            cache.events(AppId::Tomcat, 1, 4_000)
+        });
+        for e in &events {
+            assert!(Arc::ptr_eq(e, &events[0]));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.events_misses, 1, "trace must be walked exactly once");
+        assert_eq!(stats.events_hits, 15);
+        assert!(stats.exactly_once());
+    }
+}

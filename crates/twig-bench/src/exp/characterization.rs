@@ -40,7 +40,7 @@ pub fn fig02(ctx: &ExpContext) -> String {
         "Fig. 2 — limit study (paper: ideal I$ +24% avg, ideal BTB +31% avg)\n",
     );
     let rows = for_all_apps(|app| {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
         let events = setup.events(1, budget);
         let base = setup.run_system(
             Box::new(PlainBtb::new(&setup.sim_config)),
@@ -91,10 +91,10 @@ fn three_c_rows(
 ) -> Vec<(AppId, twig_profile::ThreeCBreakdown)> {
     apps.iter()
         .map(|&app| {
-            let setup = AppSetup::new(app);
+            let setup = AppSetup::shared(app);
             let events = setup.events(1, budget);
             let mut classifier = ThreeCClassifier::new(geometry);
-            for ev in &events {
+            for ev in events.iter() {
                 if !ev.taken {
                     continue;
                 }
@@ -270,7 +270,7 @@ pub fn fig10(ctx: &ExpContext) -> String {
          ~36% new, ~12% non-repetitive)\n",
     );
     let rows = for_all_apps(|app| {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
         let events = setup.events(1, budget);
         let mut seq = MissSequence(Vec::new());
         let mut sim = Simulator::new(
@@ -278,7 +278,7 @@ pub fn fig10(ctx: &ExpContext) -> String {
             setup.sim_config,
             PlainBtb::new(&setup.sim_config),
         );
-        sim.run_observed(events, budget, &mut seq);
+        sim.run_observed(events.iter().copied(), budget, &mut seq);
         // Window 12, matching the SHIFT replay depth the baselines use.
         let b = classify_streams_windowed(&seq.0, 12);
         let (r, n, x) = b.fractions();
@@ -295,10 +295,10 @@ pub fn fig11(ctx: &ExpContext) -> String {
         "Fig. 11 — unconditional-branch working set (Shotgun U-BTB = 5120)\n",
     );
     let rows = for_all_apps(|app| {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
         let mut ws = WorkingSet::new();
-        for ev in setup.events(1, budget) {
-            ws.observe(&setup.program, &ev);
+        for ev in setup.events(1, budget).iter() {
+            ws.observe(&setup.program, ev);
         }
         vec![
             ws.unconditional_branch_sites() as f64,
@@ -316,10 +316,10 @@ pub fn fig12(ctx: &ExpContext) -> String {
         "Fig. 12 — conditionals outside Shotgun's 8-line range (paper: 26-45%)\n",
     );
     let rows = for_all_apps(|app| {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
         let mut analyzer = SpatialRangeAnalyzer::new();
-        for ev in setup.events(1, budget) {
-            analyzer.observe(&setup.program, &ev);
+        for ev in setup.events(1, budget).iter() {
+            analyzer.observe(&setup.program, ev);
         }
         vec![analyzer.finish().out_of_range_fraction() * 100.0]
     });

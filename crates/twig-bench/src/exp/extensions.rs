@@ -12,7 +12,7 @@
 use twig::{TwigConfig, TwigOptimizer};
 use twig_prefetchers::{CompressedBtb, PhantomBtb, TwoLevelBtb};
 use twig_sim::{speedup_percent, BtbSystem, PlainBtb, SimConfig, SimStats, Simulator};
-use twig_workload::{AppId, InputConfig};
+use twig_workload::AppId;
 
 use crate::runner::{AppSetup, ExpContext};
 
@@ -42,15 +42,10 @@ pub fn ext01(ctx: &ExpContext) -> String {
         "app", "plain", "plain+twig", "btb-x", "btb-x+twig"
     ));
     for app in EXT_APPS {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
         let config = setup.sim_config;
         let optimizer = TwigOptimizer::new(TwigConfig::default());
-        let profile = optimizer.collect_profile(
-            &setup.program,
-            config,
-            InputConfig::numbered(0),
-            budget,
-        );
+        let profile = crate::cache::global().profile(app, 0, budget, &config);
         let optimized =
             optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile, &setup.program));
         let events = setup.events(1, budget);
@@ -111,7 +106,7 @@ pub fn ext02(ctx: &ExpContext) -> String {
         "app", "btb-x", "phantom-btb", "two-level"
     ));
     for app in EXT_APPS {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
         let config = setup.sim_config;
         let events = setup.events(1, budget);
         let base = run_on(

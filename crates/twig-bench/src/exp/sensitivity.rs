@@ -8,7 +8,7 @@
 use twig::{TwigConfig, TwigOptimizer};
 use twig_prefetchers::{Confluence, Shotgun};
 use twig_sim::{speedup_percent, BtbSystem, PlainBtb, SimConfig, Simulator};
-use twig_workload::{AppId, InputConfig};
+use twig_workload::AppId;
 
 use crate::runner::{AppSetup, ExpContext};
 
@@ -31,18 +31,12 @@ fn sweep_point(
     twig_config: TwigConfig,
     budget: u64,
 ) -> SweepPoint {
-    let results: Vec<(f64, f64, f64)> = SWEEP_APPS
-        .iter()
-        .map(|&app| {
-            let setup = AppSetup::new(app);
+    let results: Vec<(f64, f64, f64)> =
+        twig_sched::parallel_map(SWEEP_APPS.to_vec(), |app| {
+            let setup = AppSetup::shared(app);
             let config = config_of(&setup);
             let optimizer = TwigOptimizer::new(twig_config);
-            let profile = optimizer.collect_profile(
-                &setup.program,
-                config,
-                InputConfig::numbered(0),
-                budget,
-            );
+            let profile = crate::cache::global().profile(app, 0, budget, &config);
             let optimized = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile, &setup.program));
             let events = setup.events(1, budget);
             let run = |sys: Box<dyn BtbSystem>, cfg: SimConfig| {
@@ -69,8 +63,7 @@ fn sweep_point(
                 speedup_percent(&baseline, &shotgun) / ideal_pct * 100.0,
                 speedup_percent(&baseline, &confluence) / ideal_pct * 100.0,
             )
-        })
-        .collect();
+        });
     let n = results.len() as f64;
     SweepPoint {
         twig_pct_of_ideal: results.iter().map(|r| r.0).sum::<f64>() / n,
@@ -101,16 +94,13 @@ fn sweep_table(
 /// Fig. 23: sensitivity to BTB capacity (2K–64K entries).
 pub fn fig23(ctx: &ExpContext) -> String {
     let sizes = [2048usize, 4096, 8192, 16384, 32768, 65536];
-    let points = sizes
-        .iter()
-        .map(|&size| {
-            sweep_point(
-                |setup| setup.sim_config.with_btb_entries(size),
-                TwigConfig::default(),
-                ctx.sweep_instructions,
-            )
-        })
-        .collect();
+    let points = twig_sched::parallel_map(sizes.to_vec(), |size| {
+        sweep_point(
+            |setup| setup.sim_config.with_btb_entries(size),
+            TwigConfig::default(),
+            ctx.sweep_instructions,
+        )
+    });
     sweep_table(
         "Fig. 23 — % of ideal vs BTB entries (paper: Twig leads at all sizes)\n",
         &sizes.iter().map(|s| format!("{}K", s / 1024)).collect::<Vec<_>>(),
@@ -121,16 +111,13 @@ pub fn fig23(ctx: &ExpContext) -> String {
 /// Fig. 24: sensitivity to BTB associativity (4–128 ways).
 pub fn fig24(ctx: &ExpContext) -> String {
     let ways = [4usize, 8, 16, 32, 64, 128];
-    let points = ways
-        .iter()
-        .map(|&w| {
-            sweep_point(
-                |setup| setup.sim_config.with_btb_ways(w),
-                TwigConfig::default(),
-                ctx.sweep_instructions,
-            )
-        })
-        .collect();
+    let points = twig_sched::parallel_map(ways.to_vec(), |w| {
+        sweep_point(
+            |setup| setup.sim_config.with_btb_ways(w),
+            TwigConfig::default(),
+            ctx.sweep_instructions,
+        )
+    });
     sweep_table(
         "Fig. 24 — % of ideal vs BTB associativity (paper: Twig leads at all)\n",
         &ways.iter().map(|w| format!("{w}-way")).collect::<Vec<_>>(),
@@ -141,19 +128,16 @@ pub fn fig24(ctx: &ExpContext) -> String {
 /// Fig. 25: sensitivity to the prefetch buffer size (8–256 entries).
 pub fn fig25(ctx: &ExpContext) -> String {
     let sizes = [8usize, 16, 32, 64, 128, 256];
-    let points = sizes
-        .iter()
-        .map(|&size| {
-            sweep_point(
-                |setup| SimConfig {
-                    prefetch_buffer_entries: size,
-                    ..setup.sim_config
-                },
-                TwigConfig::default(),
-                ctx.sweep_instructions,
-            )
-        })
-        .collect();
+    let points = twig_sched::parallel_map(sizes.to_vec(), |size| {
+        sweep_point(
+            |setup| SimConfig {
+                prefetch_buffer_entries: size,
+                ..setup.sim_config
+            },
+            TwigConfig::default(),
+            ctx.sweep_instructions,
+        )
+    });
     sweep_table(
         "Fig. 25 — % of ideal vs prefetch-buffer entries (paper: Twig scales\n\
          to ~128; Shotgun/Confluence flat)\n",
@@ -232,19 +216,16 @@ pub fn fig27(ctx: &ExpContext) -> String {
 /// Fig. 28: sensitivity to the FTQ depth (1–64 regions).
 pub fn fig28(ctx: &ExpContext) -> String {
     let depths = [1usize, 2, 4, 8, 16, 24, 32, 64];
-    let points = depths
-        .iter()
-        .map(|&d| {
-            sweep_point(
-                |setup| SimConfig {
-                    ftq_entries: d,
-                    ..setup.sim_config
-                },
-                TwigConfig::default(),
-                ctx.sweep_instructions,
-            )
-        })
-        .collect();
+    let points = twig_sched::parallel_map(depths.to_vec(), |d| {
+        sweep_point(
+            |setup| SimConfig {
+                ftq_entries: d,
+                ..setup.sim_config
+            },
+            TwigConfig::default(),
+            ctx.sweep_instructions,
+        )
+    });
     sweep_table(
         "Fig. 28 — % of ideal vs FTQ depth (paper: Twig stable at all depths)\n",
         &depths.iter().map(|d| d.to_string()).collect::<Vec<_>>(),

@@ -2,7 +2,7 @@
 
 use twig::{MeanStd, OffsetCdf, TwigConfig, TwigOptimizer};
 use twig_sim::speedup_percent;
-use twig_workload::{AppId, InputConfig};
+use twig_workload::AppId;
 
 use crate::runner::{for_all_apps, headline, table, AppSetup, ExpContext};
 
@@ -12,13 +12,13 @@ pub fn fig13(ctx: &ExpContext) -> String {
     let mut out = String::from(
         "Fig. 13 — injection-site selection example (conditional probability)\n",
     );
-    let setup = AppSetup::new(AppId::Tomcat);
+    let setup = AppSetup::shared(AppId::Tomcat);
     let optimizer = TwigOptimizer::new(TwigConfig::default());
-    let profile = optimizer.collect_profile(
-        &setup.program,
-        setup.sim_config,
-        InputConfig::numbered(0),
+    let profile = crate::cache::global().profile(
+        AppId::Tomcat,
+        0,
         ctx.sweep_instructions,
+        &setup.sim_config,
     );
     let plans = optimizer.analyze_for(&profile, &setup.program);
     out.push_str(&format!(
@@ -50,14 +50,9 @@ fn offset_cdfs(ctx: &ExpContext, which: usize) -> String {
     let budget = ctx.sweep_instructions;
     let mut out = String::new();
     let rows = for_all_apps(|app| {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
         let optimizer = TwigOptimizer::new(TwigConfig::default());
-        let profile = optimizer.collect_profile(
-            &setup.program,
-            setup.sim_config,
-            InputConfig::numbered(0),
-            budget,
-        );
+        let profile = crate::cache::global().profile(app, 0, budget, &setup.sim_config);
         let plans = optimizer.analyze_for(&profile, &setup.program);
         let mut cdf = OffsetCdf::new();
         for plan in &plans {
@@ -205,40 +200,32 @@ pub fn fig19(ctx: &ExpContext) -> String {
 fn cross_input_matrix(ctx: &ExpContext) -> Vec<(AppId, Vec<f64>, Vec<f64>)> {
     let budget = ctx.instructions;
     for_all_apps(|app| {
-        let setup = AppSetup::new(app);
+        let setup = AppSetup::shared(app);
+        let cache = crate::cache::global();
         let optimizer = TwigOptimizer::new(TwigConfig::default());
         // Trained once on input #0.
-        let profile0 = optimizer.collect_profile(
-            &setup.program,
-            setup.sim_config,
-            InputConfig::numbered(0),
-            budget,
-        );
+        let profile0 = cache.profile(app, 0, budget, &setup.sim_config);
         let trained = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile0, &setup.program));
         let mut training_pct = Vec::new();
         let mut same_pct = Vec::new();
         for input in 1..=3u32 {
-            let report = optimizer.evaluate(
+            let events = setup.events(input, budget);
+            let report = optimizer.evaluate_with_events(
                 &setup.program,
                 &trained,
                 setup.sim_config,
-                InputConfig::numbered(input),
+                &events,
                 budget,
             );
             training_pct.push(report.pct_of_ideal * 100.0);
             // Same-input profile for comparison.
-            let profile_i = optimizer.collect_profile(
-                &setup.program,
-                setup.sim_config,
-                InputConfig::numbered(input),
-                budget,
-            );
+            let profile_i = cache.profile(app, input, budget, &setup.sim_config);
             let own = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile_i, &setup.program));
-            let own_report = optimizer.evaluate(
+            let own_report = optimizer.evaluate_with_events(
                 &setup.program,
                 &own,
                 setup.sim_config,
-                InputConfig::numbered(input),
+                &events,
                 budget,
             );
             same_pct.push(own_report.pct_of_ideal * 100.0);

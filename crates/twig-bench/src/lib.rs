@@ -8,10 +8,12 @@
 //! cargo run --release -p twig-bench --bin experiments -- all
 //! ```
 
+pub mod cache;
 pub mod chart;
 pub mod exp;
 pub mod runner;
 
+pub use cache::{ArtifactCache, CacheStats};
 pub use runner::{ExpContext, HeadlineRow};
 
 /// All experiment identifiers, in paper order.

@@ -1,10 +1,17 @@
 //! Shared experiment plumbing: per-app setup, parallel execution, and the
 //! lazily computed headline result matrix reused by Figs. 16–22 and
 //! Tables 2–3.
+//!
+//! Execution model: work is flattened into fine-grained tasks and run on
+//! [`twig_sched::parallel_map`], which caps concurrency at the core count
+//! (`TWIG_NUM_THREADS` / `RAYON_NUM_THREADS` override) instead of the
+//! seed's one-unbounded-thread-per-app scope. Shared inputs (programs,
+//! walker traces, profiles) come from the process-wide
+//! [`crate::cache::ArtifactCache`], so each is generated exactly once no
+//! matter how many figures or tasks consume it.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
 use twig::{TwigConfig, TwigOptimizer};
 use twig_prefetchers::{Confluence, Shotgun};
 use twig_sim::{
@@ -13,6 +20,8 @@ use twig_sim::{
 use twig_workload::{
     AppId, BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkingSet, WorkloadSpec,
 };
+
+use crate::cache;
 
 /// Experiment context: instruction budget and output directory.
 #[derive(Clone, Debug)]
@@ -37,6 +46,8 @@ impl Default for ExpContext {
 
 /// One application's prepared workload.
 pub struct AppSetup {
+    /// The application id (the cache key for shared artifacts).
+    pub app: AppId,
     /// The workload spec.
     pub spec: WorkloadSpec,
     /// The generator (needed for re-layout during rewriting).
@@ -48,13 +59,15 @@ pub struct AppSetup {
 }
 
 impl AppSetup {
-    /// Generates one application.
+    /// Generates one application from scratch (uncached; prefer
+    /// [`Self::shared`] in experiment code).
     pub fn new(app: AppId) -> Self {
         let spec = WorkloadSpec::preset(app);
         let generator = ProgramGenerator::new(spec.clone());
         let program = generator.generate();
         let sim_config = SimConfig::paper_baseline(spec.backend_extra_cpki);
         AppSetup {
+            app,
             spec,
             generator,
             program,
@@ -62,8 +75,20 @@ impl AppSetup {
         }
     }
 
-    /// The walker's event stream for `input`, bounded by `instructions`.
-    pub fn events(&self, input: u32, instructions: u64) -> Vec<BlockEvent> {
+    /// The process-wide shared setup for `app` (generated at most once).
+    pub fn shared(app: AppId) -> Arc<AppSetup> {
+        cache::global().setup(app)
+    }
+
+    /// The walker's event stream for `input`, bounded by `instructions`,
+    /// shared through the artifact cache.
+    pub fn events(&self, input: u32, instructions: u64) -> Arc<[BlockEvent]> {
+        cache::global().events(self.app, input, instructions)
+    }
+
+    /// Walks a fresh (uncached) event stream; test code uses this to check
+    /// the cache returns bit-identical data.
+    pub fn fresh_events(&self, input: u32, instructions: u64) -> Vec<BlockEvent> {
         Walker::new(&self.program, InputConfig::numbered(input)).run_instructions(instructions)
     }
 
@@ -80,23 +105,11 @@ impl AppSetup {
     }
 }
 
-/// Runs `f` over all nine applications in parallel, preserving order.
+/// Runs `f` over all nine applications, preserving order. Scheduling goes
+/// through [`twig_sched::parallel_map`]: bounded worker count, and nested
+/// parallelism inside `f` degrades gracefully instead of deadlocking.
 pub fn for_all_apps<T: Send>(f: impl Fn(AppId) -> T + Sync) -> Vec<(AppId, T)> {
-    let results: Mutex<Vec<(usize, AppId, T)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for (i, &app) in AppId::ALL.iter().enumerate() {
-            let results = &results;
-            let f = &f;
-            scope.spawn(move |_| {
-                let value = f(app);
-                results.lock().push((i, app, value));
-            });
-        }
-    })
-    .expect("app worker panicked");
-    let mut v = results.into_inner();
-    v.sort_by_key(|(i, _, _)| *i);
-    v.into_iter().map(|(_, app, t)| (app, t)).collect()
+    twig_sched::parallel_map(AppId::ALL.to_vec(), |app| (app, f(app)))
 }
 
 /// The per-application headline result matrix shared by Figs. 16–22 and
@@ -146,78 +159,169 @@ impl HeadlineRow {
     }
 }
 
-static HEADLINE: OnceLock<Vec<HeadlineRow>> = OnceLock::new();
-
-/// Computes (once per process) the headline matrix at the context's budget.
-pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
-    HEADLINE.get_or_init(|| {
-        let budget = ctx.instructions;
-        for_all_apps(|app| compute_headline_row(app, budget))
-            .into_iter()
-            .map(|(_, row)| row)
-            .collect()
-    })
+/// Everything per-app the headline simulations need, produced by the
+/// parallel prepare phase.
+struct PreparedApp {
+    setup: Arc<AppSetup>,
+    optimized: twig::OptimizedBinary,
+    optimized_sw: twig::OptimizedBinary,
+    events: Arc<[BlockEvent]>,
+    working_set_bytes: u64,
+    working_set_bytes_twig: u64,
 }
 
-fn compute_headline_row(app: AppId, budget: u64) -> HeadlineRow {
-    let setup = AppSetup::new(app);
+fn prepare_app(app: AppId, budget: u64) -> PreparedApp {
+    let setup = AppSetup::shared(app);
     let config = setup.sim_config;
     let optimizer = TwigOptimizer::new(TwigConfig::default());
     let sw_only = TwigOptimizer::new(TwigConfig::software_prefetch_only());
 
     // Profile on input #0, evaluate everything on input #1.
-    let profile =
-        optimizer.collect_profile(&setup.program, config, InputConfig::numbered(0), budget);
+    let profile = cache::global().profile(app, 0, budget, &config);
     let plans = optimizer.analyze_for(&profile, &setup.program);
     let optimized = optimizer.rewrite(&setup.generator, &plans);
     let optimized_sw = sw_only.rewrite(&setup.generator, &plans);
-
     let events = setup.events(1, budget);
-    let run = |system: Box<dyn BtbSystem>, cfg: SimConfig| {
-        setup.run_system(system, cfg, &events, budget)
-    };
-    let baseline = run(Box::new(PlainBtb::new(&config)), config);
-    let ideal_cfg = SimConfig {
-        ideal_btb: true,
-        ..config
-    };
-    let ideal = run(Box::new(PlainBtb::new(&ideal_cfg)), ideal_cfg);
-    let big_cfg = config.with_btb_entries(32 * 1024);
-    let btb32k = run(Box::new(PlainBtb::new(&big_cfg)), big_cfg);
-    let shotgun = run(Box::new(Shotgun::new(&config)), config);
-    let confluence = run(Box::new(Confluence::new(&config)), config);
-
-    let twig_stats = {
-        let mut sim = Simulator::new(&optimized.program, config, PlainBtb::new(&config));
-        sim.run(events.iter().copied(), budget)
-    };
-    let twig_sw_stats = {
-        let mut sim = Simulator::new(&optimized_sw.program, config, PlainBtb::new(&config));
-        sim.run(events.iter().copied(), budget)
-    };
 
     // Working sets on the test input (Table 3).
     let mut ws = WorkingSet::new();
     let mut ws_twig = WorkingSet::new();
-    for ev in &events {
+    for ev in events.iter() {
         ws.observe(&setup.program, ev);
         ws_twig.observe(&optimized.program, ev);
     }
-
-    HeadlineRow {
-        app,
-        baseline,
-        ideal,
-        btb32k,
-        shotgun,
-        confluence,
-        twig: twig_stats,
-        twig_sw_only: twig_sw_stats,
-        rewrite: optimized.rewrite,
-        rewrite_sw_only: optimized_sw.rewrite,
+    PreparedApp {
         working_set_bytes: ws.instruction_bytes(&setup.program),
         working_set_bytes_twig: ws_twig.instruction_bytes(&optimized.program),
+        setup,
+        optimized,
+        optimized_sw,
+        events,
     }
+}
+
+/// One cell of the headline matrix; each variant names the system whose
+/// `SimStats` lands in the matching [`HeadlineRow`] field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SimSlot {
+    Baseline,
+    Ideal,
+    Btb32k,
+    Shotgun,
+    Confluence,
+    Twig,
+    TwigSwOnly,
+}
+
+const SLOTS: [SimSlot; 7] = [
+    SimSlot::Baseline,
+    SimSlot::Ideal,
+    SimSlot::Btb32k,
+    SimSlot::Shotgun,
+    SimSlot::Confluence,
+    SimSlot::Twig,
+    SimSlot::TwigSwOnly,
+];
+
+/// Runs one simulation with the concrete system type visible to the event
+/// loop (monomorphized — no `Box<dyn>` indirection per branch).
+fn run_mono<B: BtbSystem>(
+    program: &Program,
+    config: SimConfig,
+    system: B,
+    events: &[BlockEvent],
+    budget: u64,
+) -> SimStats {
+    let mut sim = Simulator::new(program, config, system);
+    sim.run(events.iter().copied(), budget)
+}
+
+fn run_slot(p: &PreparedApp, slot: SimSlot, budget: u64) -> SimStats {
+    let config = p.setup.sim_config;
+    let program = &p.setup.program;
+    let events = &p.events;
+    match slot {
+        SimSlot::Baseline => run_mono(program, config, PlainBtb::new(&config), events, budget),
+        SimSlot::Ideal => {
+            let cfg = SimConfig {
+                ideal_btb: true,
+                ..config
+            };
+            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget)
+        }
+        SimSlot::Btb32k => {
+            let cfg = config.with_btb_entries(32 * 1024);
+            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget)
+        }
+        SimSlot::Shotgun => run_mono(program, config, Shotgun::new(&config), events, budget),
+        SimSlot::Confluence => {
+            run_mono(program, config, Confluence::new(&config), events, budget)
+        }
+        SimSlot::Twig => run_mono(
+            &p.optimized.program,
+            config,
+            PlainBtb::new(&config),
+            events,
+            budget,
+        ),
+        SimSlot::TwigSwOnly => run_mono(
+            &p.optimized_sw.program,
+            config,
+            PlainBtb::new(&config),
+            events,
+            budget,
+        ),
+    }
+}
+
+static HEADLINE: OnceLock<Vec<HeadlineRow>> = OnceLock::new();
+
+/// Computes (once per process) the headline matrix at the context's budget.
+///
+/// Three phases, each a flat task list over the scheduler:
+/// 1. per-app prepare (profile → analyze → rewrite ×2 → trace → working
+///    sets) — 9 tasks;
+/// 2. the full `(app × system)` simulation matrix — 63 independent tasks,
+///    so a slow app no longer serializes the six other systems behind its
+///    own; each task dispatches on the concrete BTB system type;
+/// 3. serial assembly of the rows.
+pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
+    HEADLINE.get_or_init(|| {
+        let budget = ctx.instructions;
+        let prepared = twig_sched::parallel_map(AppId::ALL.to_vec(), |app| {
+            prepare_app(app, budget)
+        });
+
+        let tasks: Vec<(usize, SimSlot)> = (0..prepared.len())
+            .flat_map(|i| SLOTS.iter().map(move |&slot| (i, slot)))
+            .collect();
+        let stats =
+            twig_sched::parallel_map(tasks, |(i, slot)| run_slot(&prepared[i], slot, budget));
+        let mut stats: Vec<Option<SimStats>> = stats.into_iter().map(Some).collect();
+
+        prepared
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut take =
+                    |slot: usize| stats[i * SLOTS.len() + slot].take().expect("slot filled");
+                HeadlineRow {
+                    app: p.setup.app,
+                    baseline: take(0),
+                    ideal: take(1),
+                    btb32k: take(2),
+                    shotgun: take(3),
+                    confluence: take(4),
+                    twig: take(5),
+                    twig_sw_only: take(6),
+                    rewrite: p.optimized.rewrite,
+                    rewrite_sw_only: p.optimized_sw.rewrite,
+                    working_set_bytes: p.working_set_bytes,
+                    working_set_bytes_twig: p.working_set_bytes_twig,
+                }
+            })
+            .collect()
+    })
 }
 
 /// Formats a per-app table: header, one row per app, and a mean line
@@ -281,8 +385,51 @@ mod tests {
         let a = AppSetup::new(AppId::Tomcat);
         let b = AppSetup::new(AppId::Tomcat);
         assert_eq!(a.program, b.program);
-        let ea = a.events(2, 5_000);
-        let eb = b.events(2, 5_000);
+        let ea = a.fresh_events(2, 5_000);
+        let eb = b.fresh_events(2, 5_000);
         assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn cached_events_match_fresh_walk() {
+        let setup = AppSetup::shared(AppId::Kafka);
+        let cached = setup.events(3, 4_000);
+        let fresh = setup.fresh_events(3, 4_000);
+        assert_eq!(&cached[..], &fresh[..]);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        // The flat (app × slot) scheduling must not perturb results: the
+        // same simulation run serially is bit-identical (SimStats derives
+        // PartialEq over every counter).
+        let budget = 20_000;
+        let apps = [AppId::Kafka, AppId::Tomcat, AppId::Cassandra];
+        let slots = [SimSlot::Baseline, SimSlot::Ideal, SimSlot::Shotgun];
+        let prepared: Vec<Arc<AppSetup>> =
+            apps.iter().map(|&a| AppSetup::shared(a)).collect();
+        let run = |app_idx: usize, slot: SimSlot| {
+            let setup = &prepared[app_idx];
+            let config = match slot {
+                SimSlot::Ideal => SimConfig {
+                    ideal_btb: true,
+                    ..setup.sim_config
+                },
+                _ => setup.sim_config,
+            };
+            let events = setup.events(1, budget);
+            match slot {
+                SimSlot::Shotgun => {
+                    run_mono(&setup.program, config, Shotgun::new(&config), &events, budget)
+                }
+                _ => run_mono(&setup.program, config, PlainBtb::new(&config), &events, budget),
+            }
+        };
+        let tasks: Vec<(usize, SimSlot)> = (0..apps.len())
+            .flat_map(|i| slots.iter().map(move |&s| (i, s)))
+            .collect();
+        let parallel = twig_sched::parallel_map(tasks.clone(), |(i, s)| run(i, s));
+        let serial: Vec<SimStats> = tasks.iter().map(|&(i, s)| run(i, s)).collect();
+        assert_eq!(parallel, serial);
     }
 }

@@ -1,0 +1,194 @@
+//! Bounded fine-grained task scheduler for the experiment harness.
+//!
+//! The harness used to spawn one OS thread per application (unbounded in
+//! the matrix size). This crate replaces that with a process-wide *spawn
+//! budget*: [`parallel_map`] drains a shared queue of individual tasks with
+//! at most [`num_threads`] worker threads alive across the whole process,
+//! and the calling thread always participates (work-helping), so nested
+//! `parallel_map` calls are deadlock-free even when the budget is
+//! exhausted — they simply degrade to serial execution on the caller.
+//!
+//! The thread cap comes from `TWIG_NUM_THREADS`, then `RAYON_NUM_THREADS`
+//! (kept for familiarity with rayon-based setups), then the machine's
+//! available parallelism.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = twig_sched::parallel_map(vec![1u64, 2, 3, 4], |v| v * v);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum number of concurrently working threads (including callers),
+/// resolved once per process from `TWIG_NUM_THREADS`, `RAYON_NUM_THREADS`,
+/// or the machine's available parallelism, in that order.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        for var in ["TWIG_NUM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(raw) = std::env::var(var) {
+                if let Ok(n) = raw.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Process-wide count of *additional* threads that may be spawned
+/// (callers always work, so the budget is `num_threads() - 1`).
+fn spawn_budget() -> &'static AtomicIsize {
+    static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
+    BUDGET.get_or_init(|| AtomicIsize::new(num_threads() as isize - 1))
+}
+
+/// RAII lease on spawn-budget tokens; returns them on drop (including on
+/// unwind, so a panicking task never leaks the budget).
+struct BudgetLease {
+    tokens: isize,
+}
+
+impl BudgetLease {
+    fn acquire(want: usize) -> Self {
+        let budget = spawn_budget();
+        let want = want as isize;
+        let mut tokens = 0;
+        while tokens < want {
+            let current = budget.load(Ordering::Relaxed);
+            if current <= 0 {
+                break;
+            }
+            let take = current.min(want - tokens);
+            if budget
+                .compare_exchange(current, current - take, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                tokens += take;
+            }
+        }
+        BudgetLease { tokens }
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        if self.tokens > 0 {
+            spawn_budget().fetch_add(self.tokens, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Applies `f` to every item, in parallel up to the process-wide thread
+/// cap, and returns the results **in input order**.
+///
+/// Individual `(index, item)` tasks are drained from a shared queue, so a
+/// long task on one thread never serializes the rest of the batch behind
+/// it. Safe to nest: inner calls reuse whatever budget remains and fall
+/// back to running on the calling thread.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let lease = BudgetLease::acquire(n - 1);
+    if lease.tokens == 0 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work = || loop {
+        let job = queue.lock().expect("task queue poisoned").pop_front();
+        match job {
+            Some((index, item)) => {
+                let output = f(item);
+                *results[index].lock().expect("result slot poisoned") = Some(output);
+            }
+            None => break,
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let work = &work;
+        for _ in 0..lease.tokens {
+            scope.spawn(work);
+        }
+        work();
+    });
+    drop(lease);
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every queued task stores a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..257u64).collect::<Vec<_>>(), |v| v * 3);
+        assert_eq!(out, (0..257u64).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(parallel_map(Vec::<u32>::new(), |v| v), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![9u32], |v| v + 1), vec![10]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map((0..100usize).collect::<Vec<_>>(), |v| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            v
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn nested_maps_complete_without_deadlock() {
+        let out = parallel_map((0..16u64).collect::<Vec<_>>(), |outer| {
+            parallel_map((0..16u64).collect::<Vec<_>>(), move |inner| outer * 16 + inner)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..16u64)
+            .map(|outer| (0..16u64).map(|inner| outer * 16 + inner).sum())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn budget_is_restored_after_use() {
+        for _ in 0..3 {
+            let _ = parallel_map((0..64u32).collect::<Vec<_>>(), |v| v);
+        }
+        let available = spawn_budget().load(Ordering::Relaxed);
+        assert_eq!(available, num_threads() as isize - 1);
+    }
+}

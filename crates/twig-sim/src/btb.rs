@@ -15,11 +15,23 @@ pub struct BtbEntry {
     pub kind: BranchKind,
 }
 
+const EMPTY_ENTRY: BtbEntry = BtbEntry {
+    tag: 0,
+    target: Addr::ZERO,
+    kind: BranchKind::Conditional,
+};
+
 /// A set-associative, true-LRU branch target buffer.
 ///
 /// Used for the main BTB (keyed by branch PC, holding direct targets and
 /// branch kinds) and, with different geometry, for the IBTB (holding the
 /// last observed indirect target).
+///
+/// Storage is a single flat `Vec<BtbEntry>` (`sets × ways`) with a
+/// per-set occupancy count: every set is a contiguous MRU-first slice, so
+/// `lookup`/`insert` touch one cache-friendly region instead of chasing a
+/// per-set `Vec` allocation, and recency updates are slice rotations
+/// instead of `remove`+`insert` shifts through a heap vector.
 ///
 /// # Examples
 ///
@@ -35,10 +47,13 @@ pub struct BtbEntry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Btb {
-    // Per set: MRU-first vector of entries (true LRU).
-    sets: Vec<Vec<BtbEntry>>,
+    // Flat `sets × ways` storage; set `s` owns
+    // `storage[s * ways .. s * ways + lens[s]]`, MRU first (true LRU).
+    storage: Vec<BtbEntry>,
+    lens: Vec<u16>,
     ways: usize,
     set_shift: u32,
+    set_bits: u32,
     set_mask: u64,
 }
 
@@ -46,31 +61,46 @@ impl Btb {
     /// Creates an empty BTB with the given geometry.
     pub fn new(geometry: BtbGeometry) -> Self {
         let sets = geometry.sets();
+        let set_mask = sets as u64 - 1;
         Btb {
-            sets: vec![Vec::with_capacity(geometry.ways); sets],
+            storage: vec![EMPTY_ENTRY; sets * geometry.ways],
+            lens: vec![0; sets],
             ways: geometry.ways,
             // Branch PCs are byte addresses; skip the low bit to spread
             // entries (x86 instructions are byte-aligned, so bit 0 carries
             // information, but real BTBs commonly drop it).
             set_shift: 1,
-            set_mask: sets as u64 - 1,
+            set_bits: set_mask.count_ones(),
+            set_mask,
         }
     }
 
     #[inline]
     fn set_and_tag(&self, pc: Addr) -> (usize, u64) {
         let key = pc.raw() >> self.set_shift;
-        ((key & self.set_mask) as usize, key >> self.set_mask.count_ones())
+        ((key & self.set_mask) as usize, key >> self.set_bits)
+    }
+
+    /// The occupied MRU-first slice of `set`, plus its occupancy.
+    #[inline]
+    fn set_slice(&self, set: usize) -> &[BtbEntry] {
+        let base = set * self.ways;
+        &self.storage[base..base + self.lens[set] as usize]
     }
 
     /// Looks up `pc`, promoting the entry to MRU on hit.
     #[inline]
     pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
         let (set, tag) = self.set_and_tag(pc);
-        let ways = &mut self.sets[set];
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let ways = &mut self.storage[base..base + len];
         let pos = ways.iter().position(|e| e.tag == tag)?;
-        let entry = ways.remove(pos);
-        ways.insert(0, entry);
+        let entry = ways[pos];
+        // Promote to MRU: one forward memmove of [0, pos), then overwrite
+        // the head (entries are `Copy`, so this beats a slice rotation).
+        ways.copy_within(..pos, 1);
+        ways[0] = entry;
         Some(entry)
     }
 
@@ -78,38 +108,46 @@ impl Btb {
     #[inline]
     pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
         let (set, tag) = self.set_and_tag(pc);
-        self.sets[set].iter().find(|e| e.tag == tag).copied()
+        self.set_slice(set).iter().find(|e| e.tag == tag).copied()
     }
 
     /// Inserts or updates the entry for `pc` at MRU, returning the evicted
     /// entry's tag-reconstructed PC if the set overflowed.
     pub fn insert(&mut self, pc: Addr, target: Addr, kind: BranchKind) -> Option<Addr> {
         let (set, tag) = self.set_and_tag(pc);
-        let set_bits = self.set_mask.count_ones();
-        let ways = &mut self.sets[set];
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let ways = &mut self.storage[base..base + len];
         if let Some(pos) = ways.iter().position(|e| e.tag == tag) {
-            let mut entry = ways.remove(pos);
-            entry.target = target;
-            entry.kind = kind;
-            ways.insert(0, entry);
+            ways.copy_within(..pos, 1);
+            ways[0] = BtbEntry { tag, target, kind };
             return None;
         }
-        ways.insert(0, BtbEntry { tag, target, kind });
-        if ways.len() > self.ways {
-            let victim = ways.pop().expect("overflow entry");
-            let key = (victim.tag << set_bits) | set as u64;
-            return Some(Addr::new(key << self.set_shift));
+        if len < self.ways {
+            let ways = &mut self.storage[base..base + len + 1];
+            ways.copy_within(..len, 1);
+            ways[0] = BtbEntry { tag, target, kind };
+            self.lens[set] = (len + 1) as u16;
+            return None;
         }
-        None
+        // Full set: shift everything down one and drop the LRU tail.
+        let victim = ways[len - 1];
+        ways.copy_within(..len - 1, 1);
+        ways[0] = BtbEntry { tag, target, kind };
+        let key = (victim.tag << self.set_bits) | set as u64;
+        Some(Addr::new(key << self.set_shift))
     }
 
     /// Removes the entry for `pc` if present.
     pub fn invalidate(&mut self, pc: Addr) -> bool {
         let (set, tag) = self.set_and_tag(pc);
-        let ways = &mut self.sets[set];
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let ways = &mut self.storage[base..base + len];
         match ways.iter().position(|e| e.tag == tag) {
             Some(pos) => {
-                ways.remove(pos);
+                ways.copy_within(pos + 1.., pos);
+                self.lens[set] = (len - 1) as u16;
                 true
             }
             None => false,
@@ -118,19 +156,17 @@ impl Btb {
 
     /// Number of resident entries.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.storage.len()
     }
 
     /// Clears all entries.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
     }
 }
 
@@ -231,5 +267,24 @@ mod tests {
                 assert_eq!(e.target, addr(i));
             }
         }
+    }
+
+    #[test]
+    fn middle_way_invalidation_keeps_lru_order() {
+        let mut btb = Btb::new(BtbGeometry::new(4, 4));
+        // One set, 4 ways; insert 4, drop the 2nd-most-recent, insert 2.
+        let step = 4 << 1; // next address in the same set
+        let pcs: Vec<Addr> = (0..6).map(|i| addr(0x100 + i * step * 64)).collect();
+        for &pc in &pcs[..4] {
+            btb.insert(pc, addr(1), BranchKind::Conditional);
+        }
+        assert!(btb.invalidate(pcs[2]));
+        assert_eq!(btb.occupancy(), 3);
+        // Refill: no eviction on the first insert, LRU (pcs[0]) on the next.
+        assert_eq!(btb.insert(pcs[4], addr(1), BranchKind::Conditional), None);
+        assert_eq!(
+            btb.insert(pcs[5], addr(1), BranchKind::Conditional),
+            Some(pcs[0])
+        );
     }
 }

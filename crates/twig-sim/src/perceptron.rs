@@ -126,7 +126,7 @@ mod tests {
         let stream: Vec<(u64, bool)> = (0..20_000)
             .map(|i| {
                 let b = (i % 16) as u64;
-                (0x1000 + b * 6, b % 3 != 0)
+                (0x1000 + b * 6, !b.is_multiple_of(3))
             })
             .collect();
         let mut p = Perceptron::new(12);

@@ -165,6 +165,29 @@ fn oracle_direction_removes_direction_mispredicts() {
     assert_eq!(stats.direction_mispredicts, 0);
 }
 
+/// Best achievable direction accuracy on the replayed trace: always
+/// predict each conditional branch's majority outcome. Synthetic
+/// conditionals are memoryless draws, so this is the Bayes bound.
+fn bayes_direction_bound(spec: &WorkloadSpec) -> f64 {
+    let program = ProgramGenerator::new(spec.clone()).generate();
+    let events = Walker::new(&program, InputConfig::numbered(0)).run_instructions(BUDGET);
+    let mut counts: std::collections::HashMap<u32, (u64, u64)> = std::collections::HashMap::new();
+    for ev in &events {
+        if let twig_workload::Terminator::Conditional { .. } = program.block(ev.block).term {
+            let e = counts.entry(ev.block.raw()).or_default();
+            if ev.taken {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+    let (best, total) = counts
+        .values()
+        .fold((0u64, 0u64), |(b, t), &(tk, nt)| (b + tk.max(nt), t + tk + nt));
+    best as f64 / total.max(1) as f64
+}
+
 #[test]
 fn tage_beats_small_gshare() {
     let tage = run_with(SimConfig::default(), &tiny());
@@ -175,11 +198,18 @@ fn tage_beats_small_gshare() {
         },
         &tiny(),
     );
-    // Synthetic conditionals are memoryless draws, so accuracy is bounded
-    // by the per-branch bias (Bayes bound ~0.86 for the tiny spec); TAGE
-    // should stay near that bound and not trail a small gshare.
+    // Accuracy is bounded by the per-branch bias; TAGE should track that
+    // bound closely (it reaches ~93% of it on this trace) and not trail a
+    // small gshare. Comparing against the computed bound keeps the test
+    // meaningful regardless of which PRNG stream shaped the workload.
+    let bound = bayes_direction_bound(&tiny());
     assert!(tage.direction_accuracy() >= gshare.direction_accuracy() * 0.97);
-    assert!(tage.direction_accuracy() > 0.75, "{}", tage.direction_accuracy());
+    assert!(
+        tage.direction_accuracy() > bound * 0.9,
+        "TAGE accuracy {:.4} below 90% of Bayes bound {:.4}",
+        tage.direction_accuracy(),
+        bound
+    );
 }
 
 #[test]

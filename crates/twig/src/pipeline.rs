@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use twig_profile::{LbrRecorder, Profile};
 use twig_sim::{speedup_percent, PlainBtb, SimConfig, SimStats, Simulator};
-use twig_workload::{InputConfig, Program, ProgramGenerator, Walker, WorkloadSpec};
+use twig_workload::{BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkloadSpec};
 
 use crate::analysis::{analyze_profile_with_layout, MissPlan};
 use crate::config::TwigConfig;
@@ -94,11 +94,24 @@ impl TwigOptimizer {
         input: InputConfig,
         instructions: u64,
     ) -> Profile {
-        let mut recorder = LbrRecorder::new(program, 1);
         let events = Walker::new(program, input).run_instructions(instructions);
-        recorder.observe_events(program, &events);
+        self.collect_profile_from_events(program, sim_config, &events, instructions)
+    }
+
+    /// Collects an LBR profile from an already-materialized event stream
+    /// (the experiment harness shares one walker trace across figures via
+    /// its artifact cache instead of re-walking per profile).
+    pub fn collect_profile_from_events(
+        &self,
+        program: &Program,
+        sim_config: SimConfig,
+        events: &[BlockEvent],
+        instructions: u64,
+    ) -> Profile {
+        let mut recorder = LbrRecorder::new(program, 1);
+        recorder.observe_events(program, events);
         let mut sim = Simulator::new(program, sim_config, PlainBtb::new(&sim_config));
-        sim.run_observed(events, instructions, &mut recorder);
+        sim.run_observed(events.iter().copied(), instructions, &mut recorder);
         recorder.into_profile()
     }
 
@@ -145,7 +158,19 @@ impl TwigOptimizer {
         instructions: u64,
     ) -> EvalReport {
         let events = Walker::new(original, input).run_instructions(instructions);
+        self.evaluate_with_events(original, optimized, sim_config, &events, instructions)
+    }
 
+    /// Evaluates an optimized binary over an already-materialized event
+    /// stream (cache-friendly variant of [`Self::evaluate`]).
+    pub fn evaluate_with_events(
+        &self,
+        original: &Program,
+        optimized: &OptimizedBinary,
+        sim_config: SimConfig,
+        events: &[BlockEvent],
+        instructions: u64,
+    ) -> EvalReport {
         let mut base_sim = Simulator::new(original, sim_config, PlainBtb::new(&sim_config));
         let baseline = base_sim.run(events.iter().copied(), instructions);
 
