@@ -1,7 +1,7 @@
 //! Microbenchmarks of Twig's offline machinery: profile collection,
 //! injection-site analysis, coalesce-table construction, and rewriting.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use twig_criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use twig::{build_coalesce_plan, TwigConfig, TwigOptimizer};
 use twig_types::BlockId;
 use twig_workload::{InputConfig, ProgramGenerator, Span, WorkloadSpec};

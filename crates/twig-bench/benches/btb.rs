@@ -1,9 +1,9 @@
 //! Microbenchmarks of the frontend structures: BTB lookup/insert, the
 //! prefetch buffer, direction predictors, and the memory hierarchy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use twig_criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twig_rand::rngs::StdRng;
+use twig_rand::{RngExt, SeedableRng};
 use twig_sim::{
     build_predictor, Btb, BtbGeometry, DirectionPredictorKind, MemoryHierarchy, PrefetchBuffer,
     SimConfig,

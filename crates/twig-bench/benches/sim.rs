@@ -2,9 +2,9 @@
 //! `Box<dyn>`-erased `Simulator::run`, and flat-storage BTB lookup/insert
 //! under realistic miss traffic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use twig_criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twig_rand::rngs::StdRng;
+use twig_rand::{RngExt, SeedableRng};
 use twig_sim::{Btb, BtbGeometry, BtbSystem, PlainBtb, SimConfig, Simulator};
 use twig_types::{Addr, BranchKind};
 use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};

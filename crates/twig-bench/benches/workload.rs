@@ -1,7 +1,7 @@
 //! Microbenchmarks of the workload substrate: program generation, walking,
 //! trace encode/decode, and full frontend simulation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twig_criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use twig_sim::{PlainBtb, SimConfig, Simulator};
 use twig_workload::{
     decode_trace, encode_trace, InputConfig, ProgramGenerator, Walker, WorkloadSpec,

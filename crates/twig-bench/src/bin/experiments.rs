@@ -12,7 +12,7 @@
 
 use std::io::Write;
 
-use serde::Serialize;
+use twig_serde::Serialize;
 use twig_bench::{run_experiment, CacheStats, ExpContext, ALL_EXPERIMENTS};
 
 #[derive(Serialize)]
@@ -108,7 +108,7 @@ fn main() {
         cache,
     };
     let path = ctx.results_dir.join("bench_results.json");
-    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    let json = twig_serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&path, json).expect("write bench_results.json");
     println!(
         "wrote {} ({} threads, {:.1}s total, cache: {} hits / {} misses across artifacts)",

@@ -22,7 +22,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use serde::Serialize;
+use twig_serde::Serialize;
 use twig::TwigOptimizer;
 use twig_profile::Profile;
 use twig_sim::SimConfig;

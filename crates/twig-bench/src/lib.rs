@@ -12,6 +12,7 @@ pub mod cache;
 pub mod chart;
 pub mod exp;
 pub mod runner;
+pub mod shapes;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use runner::{ExpContext, HeadlineRow};

@@ -1,0 +1,664 @@
+//! Shape-verdict verification between result sets.
+//!
+//! The workloads are synthetic, so `results/*.txt` reproduces the paper's
+//! *shapes* — who wins, by roughly what factor, where crossovers fall —
+//! not absolute values (EXPERIMENTS.md). That makes the figures sensitive
+//! to the pseudo-random stream: swapping the RNG (as the move to the
+//! vendored `twig-rand` did) shifts every measured number. This module
+//! pins down what must NOT shift: each figure's qualitative verdict,
+//! expressed as machine-checkable predicates that are evaluated against
+//! both the seed-era baseline (`results/seed_baseline/`, generated with
+//! the crates.io `rand` 0.10 stream) and the current `results/`.
+//!
+//! `cargo run -p twig-bench --bin verify_shapes` checks every figure on
+//! both result sets and writes the side-by-side comparison to
+//! `docs/SEED_COMPARISON.md`; a unit test here does the same check so
+//! `cargo test` fails if a regeneration ever flips a verdict.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One parsed report line: a leading label and the numeric cells after it.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Leading non-numeric tokens joined by one space; for sweep rows
+    /// that begin with a number (`8  42.2 …`), the text of that number.
+    pub label: String,
+    /// Every numeric cell after the label.
+    pub values: Vec<f64>,
+}
+
+/// A parsed figure/table report.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Raw report text (for the few text-only checks).
+    pub text: String,
+    /// Data rows, in file order. Header and prose lines parse to zero
+    /// values and are dropped.
+    pub rows: Vec<Row>,
+}
+
+/// The nine application labels used by per-app tables.
+pub const APPS: [&str; 9] = [
+    "cassandra",
+    "drupal",
+    "finagle-chirper",
+    "finagle-http",
+    "kafka",
+    "mediawiki",
+    "tomcat",
+    "verilator",
+    "wordpress",
+];
+
+/// Extracts the numeric value of one whitespace token, tolerating the
+/// decorations the reports use: `38.76%`, `(P=0.33,`, `±`, `0.166)`.
+/// Tokens that merely contain digits (`bb12779`, `32K`, `<=12b%`) are not
+/// numeric.
+fn numeric_token(token: &str) -> Option<f64> {
+    let trimmed = token.trim_matches(|c: char| "()%,;:±".contains(c));
+    let candidate = match trimmed.rsplit_once('=') {
+        Some((_, rhs)) => rhs,
+        None => trimmed,
+    };
+    candidate.parse::<f64>().ok()
+}
+
+impl Figure {
+    /// Parses a report. Each line becomes a [`Row`] when it contains at
+    /// least one numeric cell.
+    pub fn parse(text: &str) -> Figure {
+        let mut rows = Vec::new();
+        for line in text.lines() {
+            let mut label_tokens: Vec<&str> = Vec::new();
+            let mut values = Vec::new();
+            for token in line.split_whitespace() {
+                match numeric_token(token) {
+                    Some(v) if label_tokens.is_empty() && values.is_empty() => {
+                        // Sweep rows lead with their x coordinate; keep it
+                        // as the label, not a data cell.
+                        label_tokens.push(token);
+                        let _ = v;
+                    }
+                    Some(v) => values.push(v),
+                    None if values.is_empty() => label_tokens.push(token),
+                    None => {}
+                }
+            }
+            if !values.is_empty() {
+                rows.push(Row {
+                    label: label_tokens.join(" "),
+                    values,
+                });
+            }
+        }
+        Figure {
+            text: text.to_string(),
+            rows,
+        }
+    }
+
+    /// First row whose label starts with `label` (bar-chart sections may
+    /// repeat an app's label later with fewer cells).
+    pub fn row(&self, label: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.label.starts_with(label))
+    }
+
+    /// Cell `col` of the first row labelled `label`; NaN when missing, so
+    /// a malformed file fails its checks instead of panicking.
+    pub fn value(&self, label: &str, col: usize) -> f64 {
+        self.row(label)
+            .and_then(|r| r.values.get(col))
+            .copied()
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Cell `col` of the MEAN row.
+    pub fn mean(&self, col: usize) -> f64 {
+        self.value("MEAN", col)
+    }
+
+    /// First data row per application, in [`APPS`] order, skipping apps
+    /// the figure does not include.
+    pub fn app_rows(&self) -> Vec<&Row> {
+        APPS.iter().filter_map(|app| self.row(app)).collect()
+    }
+
+    /// Rows with exactly `n` cells (sweep tables whose labels are x
+    /// coordinates), excluding MEAN/app rows is not needed because cell
+    /// counts already distinguish them in every sweep figure.
+    pub fn rows_with(&self, n: usize) -> Vec<&Row> {
+        self.rows.iter().filter(|r| r.values.len() == n).collect()
+    }
+}
+
+/// One named, machine-checkable fragment of a figure's shape verdict.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being asserted, in words.
+    pub name: String,
+    /// The measured quantity the assertion inspected (for the report).
+    pub value: f64,
+    /// Whether the assertion holds.
+    pub pass: bool,
+}
+
+fn check(name: &str, value: f64, pass: bool) -> Check {
+    Check {
+        name: name.to_string(),
+        value,
+        pass,
+    }
+}
+
+/// `value >= floor` with NaN failing.
+fn at_least(name: &str, value: f64, floor: f64) -> Check {
+    check(name, value, value >= floor)
+}
+
+fn at_most(name: &str, value: f64, ceil: f64) -> Check {
+    check(name, value, value <= ceil)
+}
+
+/// Largest increase along `series` (0 when monotonically non-increasing).
+fn max_rise(series: &[f64]) -> f64 {
+    series
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(0.0f64, f64::max)
+}
+
+/// The shape-verdict checks for one figure id, evaluated on one parsed
+/// report. Every check must pass on the seed baseline AND the current
+/// results for the regeneration to be considered shape-preserving.
+pub fn verdicts(id: &str, fig: &Figure) -> Vec<Check> {
+    let apps = fig.app_rows();
+    match id {
+        "fig01" => {
+            let min_frontend = apps
+                .iter()
+                .map(|r| r.values[0])
+                .fold(f64::INFINITY, f64::min);
+            vec![
+                at_least("every app frontend-bound >= 24% (paper band)", min_frontend, 24.0),
+                at_least("mean frontend share > backend share", fig.mean(0) - fig.mean(2), 0.0),
+                check(
+                    "verilator is the frontend-bound extreme",
+                    fig.value("verilator", 0),
+                    apps.iter().all(|r| fig.value("verilator", 0) >= r.values[0]),
+                ),
+            ]
+        }
+        "fig02" => vec![
+            at_least("mean ideal-I$ speedup is large (> 50%)", fig.mean(0), 50.0),
+            at_least("mean ideal-BTB speedup is large (> 20%)", fig.mean(1), 20.0),
+            at_least(
+                "every app gains from an ideal BTB",
+                apps.iter().map(|r| r.values[1]).fold(f64::INFINITY, f64::min),
+                5.0,
+            ),
+        ],
+        "fig03" => {
+            let mut mpki: Vec<f64> = apps.iter().map(|r| r.values[0]).collect();
+            mpki.sort_by(f64::total_cmp);
+            vec![
+                check("mean MPKI in the paper's band (8-60)", fig.mean(0), (8.0..=60.0).contains(&fig.mean(0))),
+                at_least(
+                    "verilator is an outlier (>= 2x the next app)",
+                    mpki[8] / mpki[7],
+                    2.0,
+                ),
+            ]
+        }
+        "fig04" => vec![
+            at_least("capacity+conflict dominate (mean > 40%)", fig.mean(1) + fig.mean(2), 40.0),
+            check(
+                "mean conflict share near the paper's ~24%",
+                fig.mean(2),
+                (10.0..=35.0).contains(&fig.mean(2)),
+            ),
+        ],
+        "fig05" => {
+            let worst_rise = apps.iter().map(|r| max_rise(&r.values)).fold(0.0, f64::max);
+            vec![
+                at_most("capacity misses fall with BTB size (per app)", worst_rise, 1.5),
+                at_least("capacity misses persist past 8K (cassandra)", fig.value("cassandra", 2), 10.0),
+                at_least("verilator still capacity-bound at 32K", fig.value("verilator", 4), 5.0),
+            ]
+        }
+        "fig06" => {
+            let worst_rise = apps.iter().map(|r| max_rise(&r.values)).fold(0.0, f64::max);
+            vec![
+                at_most("conflict misses fall monotonically with ways", worst_rise, 1.0),
+                at_least(
+                    "conflicts remain at 128 ways (cassandra)",
+                    fig.value("cassandra", 5),
+                    0.5,
+                ),
+            ]
+        }
+        "fig07" => vec![
+            at_least("conditionals dominate BTB accesses (mean)", fig.mean(0), 45.0),
+            check(
+                "cond% is the largest mean column",
+                fig.mean(0),
+                (1..6).all(|c| fig.mean(0) > fig.mean(c)),
+            ),
+        ],
+        "fig08" => {
+            let note = fig.row("unconditional direct branches");
+            let (acc, miss) = note
+                .map(|r| (r.values[0], r.values[1]))
+                .unwrap_or((f64::NAN, f64::NAN));
+            vec![
+                check(
+                    "uncond directs ~20% of accesses (15-30%)",
+                    acc,
+                    (15.0..=30.0).contains(&acc),
+                ),
+                at_least("uncond directs miss disproportionately (+5pp)", miss - acc, 5.0),
+            ]
+        }
+        "fig09" => vec![
+            at_most("Shotgun mean speedup is small (|x| <= 5%)", fig.mean(0).abs(), 5.0),
+            check(
+                "Confluence mean modest (0-25%)",
+                fig.mean(1),
+                (0.0..=25.0).contains(&fig.mean(1)),
+            ),
+        ],
+        "fig10" => vec![
+            at_least("recurring streams lead (mean)", fig.mean(0) - fig.mean(1), 0.0),
+            at_least("new streams beat non-repetitive (mean)", fig.mean(1) - fig.mean(2), 0.0),
+        ],
+        "fig11" => {
+            let oversub = apps.iter().filter(|r| r.values[1] > 1.0).count();
+            vec![
+                at_least("U-BTB partition too small for most apps", oversub as f64, 6.0),
+                at_least("verilator wildly oversubscribed (>= 4x)", fig.value("verilator", 1), 4.0),
+            ]
+        }
+        "fig12" => vec![
+            // Known divergence D5: the stable shape HERE is that the
+            // generator keeps conditionals near their targets, unlike the
+            // paper's 26-45%.
+            at_most("out-of-range conds stay small (mean < 10%, D5)", fig.mean(0), 10.0),
+        ],
+        "fig13" => {
+            let profile = fig.row("profile");
+            let (samples, plans) = profile
+                .map(|r| (r.values[0], r.values[2]))
+                .unwrap_or((f64::NAN, f64::NAN));
+            let miss_rows = fig.rows.iter().filter(|r| r.label.starts_with("miss bb")).count();
+            vec![
+                at_least("profile has miss samples", samples, 1.0),
+                at_least("analysis emits plans", plans, 1.0),
+                at_least("report lists planned miss branches", miss_rows as f64, 3.0),
+            ]
+        }
+        "fig14" => vec![check(
+            "~80% of prefetch-branch offsets fit 12 bits (60-95%)",
+            fig.mean(1),
+            (60.0..=95.0).contains(&fig.mean(1)),
+        )],
+        "fig15" => vec![at_least(
+            "branch-target offsets overwhelmingly fit 12 bits",
+            fig.mean(1),
+            75.0,
+        )],
+        "fig16" => {
+            let min_twig = apps.iter().map(|r| r.values[0]).fold(f64::INFINITY, f64::min);
+            vec![
+                at_least("Twig speeds up every app", min_twig, 0.0),
+                at_least("Twig >> Shotgun (mean gap >= 10pp)", fig.mean(0) - fig.mean(2), 10.0),
+                at_least("Twig beats the 4x (32K) BTB", fig.mean(0) - fig.mean(3), 0.0),
+                at_least("ideal BTB bounds Twig from above", fig.mean(1) - fig.mean(0), 0.0),
+            ]
+        }
+        "fig17" => vec![
+            at_least("Twig coverage substantial (mean >= 25%)", fig.mean(0), 25.0),
+            at_least("Twig covers more than Shotgun", fig.mean(0) - fig.mean(1), 10.0),
+            at_least("Confluence between Twig and Shotgun", fig.mean(2) - fig.mean(1), 0.0),
+        ],
+        "fig18" => vec![check(
+            "software prefetching carries most of the benefit (60-90%)",
+            fig.mean(2),
+            (60.0..=90.0).contains(&fig.mean(2)),
+        )],
+        "fig19" => vec![
+            at_least("Twig accuracy beats Shotgun (mean)", fig.mean(0) - fig.mean(1), 0.0),
+            check(
+                "Twig accuracy near the paper's 31.3% (20-45%)",
+                fig.mean(0),
+                (20.0..=45.0).contains(&fig.mean(0)),
+            ),
+        ],
+        "fig20" => vec![
+            at_least("training profile retains real benefit (mean >= 20% of ideal)", fig.mean(0), 20.0),
+            at_least("same-input profile does better still", fig.mean(3) - fig.mean(0), 0.0),
+        ],
+        "fig21" => vec![
+            at_most("static overhead stays modest (mean < 20%)", fig.mean(0), 20.0),
+            check(
+                "verilator has the largest static overhead",
+                fig.value("verilator", 0),
+                apps.iter().all(|r| fig.value("verilator", 0) >= r.values[0]),
+            ),
+        ],
+        "fig22" => vec![
+            at_most("dynamic overhead stays modest (mean < 15%)", fig.mean(0), 15.0),
+            check(
+                "verilator has the largest dynamic overhead",
+                fig.value("verilator", 0),
+                apps.iter().all(|r| fig.value("verilator", 0) >= r.values[0]),
+            ),
+        ],
+        "fig23" | "fig24" => {
+            let rows = fig.rows_with(3);
+            let min_lead = rows
+                .iter()
+                .map(|r| (r.values[0] - r.values[1]).min(r.values[0] - r.values[2]))
+                .fold(f64::INFINITY, f64::min);
+            let min_twig = rows.iter().map(|r| r.values[0]).fold(f64::INFINITY, f64::min);
+            vec![
+                at_least("Twig leads every configuration", min_lead, 0.0),
+                at_least("Twig stays >= 25% of ideal everywhere", min_twig, 25.0),
+            ]
+        }
+        "fig25" => {
+            let rows = fig.rows_with(3);
+            let twig: Vec<f64> = rows.iter().map(|r| r.values[0]).collect();
+            let flatness = |col: usize| {
+                let series: Vec<f64> = rows.iter().map(|r| r.values[col]).collect();
+                series.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+                    - series.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+            };
+            vec![
+                at_least(
+                    "Twig scales with prefetch-buffer size (256 > 8 entries)",
+                    twig[twig.len() - 1] - twig[0],
+                    5.0,
+                ),
+                at_most("Shotgun flat across buffer sizes", flatness(1), 3.0),
+                at_most("Confluence flat across buffer sizes", flatness(2), 3.0),
+            ]
+        }
+        "fig26" => {
+            let rows = fig.rows_with(1);
+            let series: Vec<f64> = rows.iter().map(|r| r.values[0]).collect();
+            let tail_max = series[1..].iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            vec![
+                at_least("timeliness cliff at distance 0", tail_max - series[0], 3.0),
+                at_least(
+                    "useful at every nonzero distance (>= 25% of ideal)",
+                    series[1..].iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+                    25.0,
+                ),
+            ]
+        }
+        "fig27" => {
+            let rows = fig.rows_with(2);
+            let gain8 = rows
+                .iter()
+                .find(|r| r.label == "8")
+                .map(|r| r.values[1])
+                .unwrap_or(f64::NAN);
+            let best = rows.iter().map(|r| r.values[1]).fold(f64::NEG_INFINITY, f64::max);
+            vec![
+                at_least("coalescing adds real benefit at 8 bits", gain8, 3.0),
+                at_most("8 bits capture (almost) all of the gain", best - gain8, 2.0),
+            ]
+        }
+        "fig28" => {
+            let rows = fig.rows_with(3);
+            let deep: Vec<&&Row> = rows.iter().filter(|r| r.label != "1").collect();
+            let twig: Vec<f64> = deep.iter().map(|r| r.values[0]).collect();
+            let spread = twig.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+                - twig.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let min_lead = deep
+                .iter()
+                .map(|r| (r.values[0] - r.values[1]).min(r.values[0] - r.values[2]))
+                .fold(f64::INFINITY, f64::min);
+            vec![
+                at_most("Twig stable across FTQ depths >= 2 (spread)", spread, 20.0),
+                at_least("Twig leads at every depth >= 2", min_lead, 0.0),
+            ]
+        }
+        "tab01" => vec![
+            check(
+                "documents the Table 1 BTB geometry",
+                f64::NAN,
+                fig.text.contains("8192-entry 4-way BTB"),
+            ),
+            check(
+                "documents the FTQ/frontend parameters",
+                f64::NAN,
+                fig.text.contains("FTQ") && fig.text.contains("L1i"),
+            ),
+        ],
+        "tab02" => {
+            let min_gap = apps
+                .iter()
+                .map(|r| r.values[0] - r.values[2])
+                .fold(f64::INFINITY, f64::min);
+            let max_std = apps
+                .iter()
+                .map(|r| r.values[1].max(r.values[3]))
+                .fold(0.0, f64::max);
+            vec![
+                at_least("same-input >= training for every app", min_gap, 0.0),
+                at_most("per-app sigma small (<= 16, as in the paper)", max_std, 16.0),
+            ]
+        }
+        "tab03" => vec![
+            check(
+                "verilator has the largest working set and overhead",
+                fig.value("verilator", 2),
+                apps.iter().all(|r| {
+                    fig.value("verilator", 0) >= r.values[0]
+                        && fig.value("verilator", 2) >= r.values[2]
+                }),
+            ),
+            at_most(
+                "overhead bounded (every app < 40%)",
+                apps.iter().map(|r| r.values[2]).fold(0.0, f64::max),
+                40.0,
+            ),
+        ],
+        "ext01" => {
+            let incr: Vec<(f64, f64)> = fig
+                .rows_with(4)
+                .iter()
+                .map(|r| (r.values[1] - r.values[0], r.values[3] - r.values[2]))
+                .collect();
+            let min_incr = incr
+                .iter()
+                .map(|&(a, b)| a.min(b))
+                .fold(f64::INFINITY, f64::min);
+            let max_gap = incr.iter().map(|&(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            vec![
+                at_least("Twig adds >= 10pp on both organizations", min_incr, 10.0),
+                at_most("increments comparable across organizations", max_gap, 15.0),
+            ]
+        }
+        "ext02" => vec![at_most(
+            "hardware alternatives far below Twig everywhere (< 20%)",
+            fig.rows_with(3)
+                .iter()
+                .flat_map(|r| r.values.iter().copied())
+                .fold(0.0, f64::max),
+            20.0,
+        )],
+        other => vec![check(&format!("unknown figure id {other}"), f64::NAN, false)],
+    }
+}
+
+/// All figure/table ids with shape verdicts (the full `experiments all`
+/// output set).
+pub const VERIFIED_IDS: [&str; 33] = [
+    "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "tab01", "tab02",
+    "tab03", "ext01", "ext02",
+];
+
+/// The verdict comparison for one figure across two result sets.
+pub struct FigureComparison {
+    pub id: String,
+    /// (check, seed evaluation, current evaluation), zipped by position.
+    pub checks: Vec<(Check, Check)>,
+}
+
+impl FigureComparison {
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|(s, c)| s.pass && c.pass)
+    }
+}
+
+/// Evaluates every figure's verdict on the baseline and current result
+/// directories. Returns an error listing missing files.
+pub fn compare_dirs(baseline: &Path, current: &Path) -> Result<Vec<FigureComparison>, String> {
+    let mut out = Vec::new();
+    for id in VERIFIED_IDS {
+        let load = |dir: &Path| -> Result<Figure, String> {
+            let path = dir.join(format!("{id}.txt"));
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Ok(Figure::parse(&text))
+        };
+        let seed = verdicts(id, &load(baseline)?);
+        let cur = verdicts(id, &load(current)?);
+        assert_eq!(seed.len(), cur.len(), "verdicts(id) must be deterministic");
+        out.push(FigureComparison {
+            id: id.to_string(),
+            checks: seed.into_iter().zip(cur).collect(),
+        });
+    }
+    Ok(out)
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders the side-by-side markdown report (docs/SEED_COMPARISON.md).
+pub fn render_report(comparisons: &[FigureComparison]) -> String {
+    let mut doc = String::new();
+    doc.push_str(
+        "# Seed vs. regenerated results — shape-verdict comparison\n\n\
+         Generated by `cargo run --release -p twig-bench --bin verify_shapes`.\n\
+         Do not edit by hand.\n\n\
+         `results/seed_baseline/` preserves the figures as generated by the\n\
+         seed revision with the crates.io `rand` 0.10 stream; `results/` is\n\
+         the current regeneration with the vendored `twig-rand` stream\n\
+         (xoshiro256++, Lemire-unbiased ranges). Absolute values differ —\n\
+         the workloads are synthetic and PRNG-stream-dependent — so what\n\
+         this table verifies is that every figure's *qualitative verdict*\n\
+         (orderings, bands, monotonicity, crossovers) holds identically on\n\
+         both streams. The same checks run in `cargo test` (twig-bench\n\
+         `shapes` tests) and in CI.\n\n\
+         | figure | shape check | seed | current | verdict |\n\
+         |---|---|---|---|---|\n",
+    );
+    for cmp in comparisons {
+        for (seed, cur) in &cmp.checks {
+            let verdict = match (seed.pass, cur.pass) {
+                (true, true) => "✓ / ✓",
+                (true, false) => "✓ / ✗ **FLIPPED**",
+                (false, true) => "✗ **FAILS ON SEED** / ✓",
+                (false, false) => "✗ / ✗",
+            };
+            let _ = writeln!(
+                doc,
+                "| {} | {} | {} | {} | {} |",
+                cmp.id,
+                seed.name,
+                fmt_value(seed.value),
+                fmt_value(cur.value),
+                verdict
+            );
+        }
+    }
+    let failed: Vec<&str> = comparisons
+        .iter()
+        .filter(|c| !c.all_pass())
+        .map(|c| c.id.as_str())
+        .collect();
+    if failed.is_empty() {
+        doc.push_str("\nAll shape verdicts hold on both result sets.\n");
+    } else {
+        let _ = writeln!(doc, "\n**FAILING figures: {}**", failed.join(", "));
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("repo root")
+    }
+
+    #[test]
+    fn parser_reads_labels_numbers_and_sweeps() {
+        let fig = Figure::parse(
+            "Fig. X — header 24-78% text\n\
+             app            a%      b%\n\
+             cassandra    69.08    1.36\n\
+             MEAN         69.89    2.26\n\
+             8            32.5    -0.0\n\
+             note: 20.0% of accesses, 39.3% of misses\n",
+        );
+        assert_eq!(fig.value("cassandra", 0), 69.08);
+        assert_eq!(fig.mean(1), 2.26);
+        let sweep = fig.row("8").expect("sweep row");
+        assert_eq!(sweep.values, vec![32.5, -0.0]);
+        assert_eq!(fig.row("note:").expect("note").values, vec![20.0, 39.3]);
+        // The header contributes no row ("24-78%" is not a number).
+        assert!(fig.rows.iter().all(|r| !r.label.starts_with("Fig.")));
+    }
+
+    #[test]
+    fn tokens_with_digits_are_not_numbers() {
+        assert_eq!(numeric_token("38.76%"), Some(38.76));
+        assert_eq!(numeric_token("(P=0.33,"), Some(0.33));
+        assert_eq!(numeric_token("-7.7"), Some(-7.7));
+        assert_eq!(numeric_token("bb12779"), None);
+        assert_eq!(numeric_token("32K"), None);
+        assert_eq!(numeric_token("<=12b%"), None);
+        assert_eq!(numeric_token("4-way"), None);
+    }
+
+    /// The load-bearing claim: regenerating the figures with the vendored
+    /// RNG preserved every shape verdict of the seed results.
+    #[test]
+    fn all_shape_verdicts_hold_on_seed_and_current() {
+        let root = repo_root();
+        let comparisons = compare_dirs(
+            &root.join("results/seed_baseline"),
+            &root.join("results"),
+        )
+        .expect("both result sets readable");
+        let mut failures = Vec::new();
+        for cmp in &comparisons {
+            for (seed, cur) in &cmp.checks {
+                if !seed.pass {
+                    failures.push(format!("{} [seed]: {} ({})", cmp.id, seed.name, seed.value));
+                }
+                if !cur.pass {
+                    failures.push(format!("{} [current]: {} ({})", cmp.id, cur.name, cur.value));
+                }
+            }
+        }
+        assert!(failures.is_empty(), "shape verdicts violated:\n{}", failures.join("\n"));
+    }
+}

@@ -178,7 +178,7 @@ fn print_stats(stats: &SimStats, json: bool) -> Result<(), String> {
     if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(stats).map_err(|e| e.to_string())?
+            twig_serde_json::to_string_pretty(stats).map_err(|e| e.to_string())?
         );
     } else {
         println!("IPC               {:.4}", stats.ipc());
@@ -256,7 +256,7 @@ fn cmd_optimize(args: &Args<'_>) -> Result<(), String> {
     if args.has("json") {
         println!(
             "{}",
-            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            twig_serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
         );
     } else {
         println!("baseline IPC      {:.4}", report.baseline.ipc());

@@ -3,19 +3,19 @@
 
 use std::path::Path;
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use twig_serde::de::DeserializeOwned;
+use twig_serde::Serialize;
 
 /// Reads a JSON artifact.
 pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    twig_serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
 }
 
 /// Writes a JSON artifact (pretty-printed).
 pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
     let text =
-        serde_json::to_string_pretty(value).map_err(|e| format!("serialize {path}: {e}"))?;
+        twig_serde_json::to_string_pretty(value).map_err(|e| format!("serialize {path}: {e}"))?;
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;

@@ -23,7 +23,7 @@
 //!   history nhist × (varint block, varint cycle-delta-from-previous)
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use twig_bytes::{Buf, BufMut, Bytes, BytesMut};
 use twig_types::{BlockId, BranchKind};
 
 use crate::profile::{MissSample, Profile};

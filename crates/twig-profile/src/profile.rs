@@ -1,7 +1,7 @@
 //! The profile data model: BTB-miss samples with LBR-style block histories
 //! plus block execution counts.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::{BlockId, BranchKind};
 
 /// One sampled BTB miss with its preceding basic-block history.

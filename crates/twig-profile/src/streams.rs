@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::BlockId;
 
 /// Counts of BTB misses by temporal-stream class.

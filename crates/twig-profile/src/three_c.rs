@@ -12,7 +12,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_sim::{Btb, BtbGeometry};
 use twig_types::{Addr, BranchKind};
 

@@ -5,7 +5,7 @@
 //! per-application report rows of Fig. 1 and offers small formatting
 //! helpers shared by the experiment harness.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_sim::SimStats;
 
 /// One application row of the Fig. 1 characterization.

@@ -6,7 +6,7 @@
 //! cache-line spatial range of the last executed unconditional branch
 //! target — conditionals Shotgun structurally cannot prefetch.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::CacheLineAddr;
 use twig_workload::{BlockEvent, Program};
 

@@ -12,6 +12,11 @@
 //! (kept for familiarity with rayon-based setups), then the machine's
 //! available parallelism.
 //!
+//! Budget tokens are owned per-worker and returned the moment a worker
+//! finds the queue empty — not when the whole `parallel_map` joins — so a
+//! concurrent map can scale up while another map's slow last task is
+//! still draining.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,40 +56,37 @@ fn spawn_budget() -> &'static AtomicIsize {
     BUDGET.get_or_init(|| AtomicIsize::new(num_threads() as isize - 1))
 }
 
-/// RAII lease on spawn-budget tokens; returns them on drop (including on
-/// unwind, so a panicking task never leaks the budget).
-struct BudgetLease {
-    tokens: isize,
-}
+/// One spawn-budget token, owned by one worker thread; returned to the
+/// process-wide budget on drop — which happens as soon as that worker
+/// finds the queue empty, not when the whole `parallel_map` scope joins.
+/// Drop also runs on unwind, so a panicking task never leaks the budget.
+struct Token;
 
-impl BudgetLease {
-    fn acquire(want: usize) -> Self {
-        let budget = spawn_budget();
-        let want = want as isize;
-        let mut tokens = 0;
-        while tokens < want {
-            let current = budget.load(Ordering::Relaxed);
-            if current <= 0 {
-                break;
-            }
-            let take = current.min(want - tokens);
-            if budget
-                .compare_exchange(current, current - take, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                tokens += take;
-            }
-        }
-        BudgetLease { tokens }
-    }
-}
-
-impl Drop for BudgetLease {
+impl Drop for Token {
     fn drop(&mut self) {
-        if self.tokens > 0 {
-            spawn_budget().fetch_add(self.tokens, Ordering::AcqRel);
+        spawn_budget().fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Takes up to `want` tokens from the spawn budget (possibly zero).
+fn acquire_tokens(want: usize) -> Vec<Token> {
+    let budget = spawn_budget();
+    let want = want as isize;
+    let mut tokens = Vec::new();
+    while (tokens.len() as isize) < want {
+        let current = budget.load(Ordering::Relaxed);
+        if current <= 0 {
+            break;
+        }
+        let take = current.min(want - tokens.len() as isize);
+        if budget
+            .compare_exchange(current, current - take, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            tokens.extend((0..take).map(|_| Token));
         }
     }
+    tokens
 }
 
 /// Applies `f` to every item, in parallel up to the process-wide thread
@@ -104,8 +106,8 @@ where
     if n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let lease = BudgetLease::acquire(n - 1);
-    if lease.tokens == 0 {
+    let tokens = acquire_tokens(n - 1);
+    if tokens.is_empty() {
         return items.into_iter().map(f).collect();
     }
 
@@ -124,12 +126,17 @@ where
 
     std::thread::scope(|scope| {
         let work = &work;
-        for _ in 0..lease.tokens {
-            scope.spawn(work);
+        for token in tokens {
+            // Each worker owns its token and drops it the moment it runs
+            // out of queued work, so a concurrent `parallel_map` can pick
+            // the budget up while this scope's slow tail still runs.
+            scope.spawn(move || {
+                let _token = token;
+                work();
+            });
         }
         work();
     });
-    drop(lease);
 
     results
         .into_iter()
@@ -181,6 +188,35 @@ mod tests {
             .map(|outer| (0..16u64).map(|inner| outer * 16 + inner).sum())
             .collect();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn idle_workers_return_tokens_before_scope_ends() {
+        // Needs at least two spawned workers to observe early release.
+        if num_threads() < 3 {
+            return;
+        }
+        let full = num_threads() as isize - 1;
+        let observed = std::sync::atomic::AtomicBool::new(false);
+        parallel_map((0..64usize).collect::<Vec<_>>(), |i| {
+            if i == 0 {
+                // Long-tail task: while it still runs, every token except
+                // (at most) the one held by its own worker must come back
+                // as the other workers drain the queue and go idle.
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while std::time::Instant::now() < deadline {
+                    if spawn_budget().load(Ordering::Relaxed) >= full - 1 {
+                        observed.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert!(
+            observed.load(Ordering::Relaxed),
+            "tokens were held until the scope ended"
+        );
     }
 
     #[test]

@@ -62,6 +62,11 @@ impl Btb {
     pub fn new(geometry: BtbGeometry) -> Self {
         let sets = geometry.sets();
         let set_mask = sets as u64 - 1;
+        assert!(
+            geometry.ways <= u16::MAX as usize,
+            "BTB associativity {} exceeds the u16 per-set occupancy counter",
+            geometry.ways
+        );
         Btb {
             storage: vec![EMPTY_ENTRY; sets * geometry.ways],
             lens: vec![0; sets],
@@ -241,6 +246,12 @@ mod tests {
         assert!(btb.invalidate(addr(0x77)));
         assert!(!btb.invalidate(addr(0x77)));
         assert!(btb.lookup(addr(0x77)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 per-set occupancy counter")]
+    fn associativity_beyond_u16_is_rejected() {
+        let _ = Btb::new(BtbGeometry::new(1 << 17, 1 << 17));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! decoupled frontend — 24-entry FTQ, 8K-entry 4-way BTB, 32-entry RAS,
 //! 4K-entry 4-way IBTB, 32 KB 8-way L1i, 1 MB L2, 10 MB L3.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 
 /// Geometry of a set-associative predictor structure (BTB, IBTB).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]

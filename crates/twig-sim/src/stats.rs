@@ -1,6 +1,6 @@
 //! Simulation statistics: IPC, BTB MPKI, resteers, Top-Down slots.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::BranchKind;
 
 use crate::prefetch_buffer::PrefetchBufferStats;

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 
 /// Number of bytes in one instruction-cache line.
 ///

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 
 use crate::Addr;
 

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 
 /// Stable identifier of a basic block within a [`Program`].
 ///

@@ -13,7 +13,7 @@
 //! The encodability analysis (whether the address deltas fit the instruction's
 //! offset fields) is performed against the concrete layout by the core crate.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 
 use crate::BlockId;
 

@@ -13,8 +13,8 @@
 //!
 //! Everything is deterministic in `spec.seed`.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use twig_rand::rngs::StdRng;
+use twig_rand::{RngExt, SeedableRng};
 use twig_types::{BlockId, FuncId};
 
 use crate::layout::{assign_layout, LayoutOptions, LibrarySplit};

@@ -8,7 +8,7 @@
 //! probabilities and indirect-target weights per basic block, changing
 //! *path frequencies* while keeping the program structure fixed.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::BlockId;
 
 /// One application input configuration for the workload walker.

@@ -6,7 +6,7 @@
 //! frontend simulator can model I-cache lines, BTB indices, and signed
 //! address offsets exactly as it would for a real binary.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::{Addr, BlockId, BranchKind, BranchOutcome, BranchRecord, FuncId, PrefetchOp};
 
 /// How a basic block transfers control when it finishes executing.

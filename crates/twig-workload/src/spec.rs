@@ -8,7 +8,7 @@
 //! of conditional branches (Fig. 12), and frontend/backend stall balance
 //! (Fig. 1) — and the generator fabricates a program with that structure.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 
 /// Relative frequencies of basic-block terminators in generated code.
 ///

@@ -6,7 +6,7 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::{BlockId, BranchKind};
 
 use crate::program::Program;

@@ -21,7 +21,7 @@
 
 use std::io::{self, Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use twig_bytes::{Buf, BufMut, Bytes, BytesMut};
 use twig_types::BlockId;
 
 use crate::walker::BlockEvent;

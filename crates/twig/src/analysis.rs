@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_profile::Profile;
 use twig_types::BlockId;
 use twig_workload::Program;

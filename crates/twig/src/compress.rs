@@ -6,7 +6,7 @@
 //! its taken target). The paper shows 12 bits cover ~80% of both; the
 //! remainder goes through the coalesce table (§3.2).
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::{Addr, BlockId};
 use twig_workload::Program;
 

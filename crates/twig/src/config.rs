@@ -1,6 +1,6 @@
 //! Twig's design parameters.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 
 /// Tunable parameters of the Twig optimization pipeline.
 ///

@@ -5,7 +5,7 @@
 //! instructions at link time, and evaluate the rewritten binary under the
 //! same or different inputs against the FDIP baseline and an ideal BTB.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_profile::{LbrRecorder, Profile};
 use twig_sim::{speedup_percent, PlainBtb, SimConfig, SimStats, Simulator};
 use twig_workload::{BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkloadSpec};

@@ -1,6 +1,6 @@
 //! Cross-run metrics and report aggregation helpers.
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_sim::SimStats;
 
 /// Baseline-relative BTB miss coverage (the Fig. 17 definition):

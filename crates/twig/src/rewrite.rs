@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use twig_serde::{Deserialize, Serialize};
 use twig_types::{BlockId, PrefetchOp};
 use twig_workload::{layout::assign_layout, LayoutOptions, Program, StaticStats};
 

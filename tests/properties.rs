@@ -1,7 +1,7 @@
 //! Property-based integration tests (proptest) over the core data
 //! structures and cross-crate invariants.
 
-use proptest::prelude::*;
+use twig_proptest::prelude::*;
 use twig_sim::{Btb, BtbGeometry, PrefetchBuffer, Ras};
 use twig_types::{Addr, BlockId, BranchKind};
 use twig_workload::{

@@ -1,0 +1,234 @@
+//! Original offline stand-in modeled on the `bytes` crate. **Not the
+//! crates.io `bytes` crate** — original code for this repository (see
+//! `vendor/README.md`).
+//!
+//! Provides [`Bytes`], [`BytesMut`], [`Buf`], and [`BufMut`] with exactly
+//! the semantics the trace/profile binary codecs rely on: append-only
+//! building in `BytesMut`, cheap `freeze()` into an immutable shared
+//! [`Bytes`], and cursor-style reading through `impl Buf for &[u8]`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(Vec::new()) }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: Arc::from(data.to_vec()) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+/// A growable byte buffer used to build a [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Removes all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: Arc::from(self.buf) }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Write access to a byte sink (append-only subset).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, slice: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    #[inline]
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.buf.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    #[inline]
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+/// Cursor-style read access to a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `n` bytes. Panics if fewer than `n` remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte. Panics if none remain.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self
+            .split_first()
+            .expect("get_u8 on empty buffer");
+        *self = rest;
+        *first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_read_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(1);
+        b.put_slice(&[2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3, 4]);
+        assert_eq!(frozen.to_vec(), vec![1, 2, 3, 4]);
+
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 4);
+        cursor.advance(1);
+        assert_eq!(cursor.get_u8(), 2);
+        assert!(cursor.has_remaining());
+        assert_eq!(cursor.get_u8(), 3);
+        assert_eq!(cursor.get_u8(), 4);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn clear_keeps_buffer_usable() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello");
+        b.clear();
+        assert!(b.is_empty());
+        b.put_u8(9);
+        assert_eq!(b.freeze().to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(&a[..], &b[..]);
+    }
+}

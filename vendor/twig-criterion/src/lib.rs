@@ -1,0 +1,222 @@
+//! Original offline stand-in modeled on `criterion`. **Not the crates.io
+//! `criterion` crate** — original code for this repository (see
+//! `vendor/README.md`).
+//!
+//! Implements the harness API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!` — with a simple
+//! median-of-samples wall-clock measurement instead of the real crate's
+//! statistical machinery. Results are printed one line per benchmark:
+//! name, median time per iteration, and throughput when configured.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as the real criterion renders it.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+/// Per-iteration timing driver passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    measured_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording the median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs ≳1 ms,
+        // then take `samples` timed samples of that batch size.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / batch as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.measured_ns = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates following benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no parameter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, measured_ns: 0.0 };
+        f(&mut bencher);
+        self.report(name, bencher.measured_ns);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, measured_ns: 0.0 };
+        f(&mut bencher, input);
+        let name = id.id.clone();
+        self.report(&name, bencher.measured_ns);
+        self
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, name: &str, ns_per_iter: f64) {
+        let full = format!("{}/{}", self.name, name);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.1} Melem/s", n as f64 / ns_per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("{full:<50} {:>14} ns/iter{rate}", format_ns(ns_per_iter));
+        self.criterion.results.push((full, ns_per_iter));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_function("sum", |b| {
+                b.iter(|| (0..100u64).sum::<u64>())
+            });
+            g.bench_with_input(BenchmarkId::new("param", 5), &5u64, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(_, ns)| *ns > 0.0));
+        assert!(c.results[1].0.contains("param/5"));
+    }
+}

@@ -1,0 +1,488 @@
+//! Original offline stand-in for this repository, modeled on `proptest`.
+//! **Not the crates.io `proptest` crate** — all code here is original to
+//! this repository (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range / tuple /
+//! `any::<bool>()` strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::select`, `.prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Cases are generated from a deterministic per-test RNG: each test's
+//! stream is seeded from a base seed mixed with a hash of the test's name,
+//! so different tests exercise different cases while any single test is
+//! reproducible run-to-run. Set `PROPTEST_SEED` (decimal or `0x…` hex) to
+//! change the base seed and explore new cases; a failing test prints the
+//! base seed that reproduces it.
+//!
+//! **Known limitation vs. the real proptest:** failing cases are *not
+//! shrunk* — the panic reports the assertion message and the reproduction
+//! seed, but the inputs are whatever the RNG drew, not a minimized
+//! counterexample, and there is no persisted regression file.
+
+use twig_rand::rngs::StdRng;
+use twig_rand::{RngExt, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (does not count as a run).
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Default base seed, used when `PROPTEST_SEED` is not set.
+const DEFAULT_BASE_SEED: u64 = 0x70E5_7C45_E5EE_D001;
+
+/// Deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: StdRng,
+    base_seed: u64,
+}
+
+impl TestRng {
+    /// The generator for one named test: the stream is derived from the
+    /// base seed (the `PROPTEST_SEED` env var when set, else a fixed
+    /// default) mixed with an FNV-1a hash of `test_name`, so every test
+    /// sees its own cases and any run is reproducible from the base seed.
+    pub fn for_test(test_name: &str) -> Self {
+        let base_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(raw) => parse_seed(&raw)
+                .unwrap_or_else(|| panic!("PROPTEST_SEED {raw:?} is not a u64")),
+            Err(_) => DEFAULT_BASE_SEED,
+        };
+        let mut name_hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            name_hash ^= u64::from(byte);
+            name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(base_seed ^ name_hash),
+            base_seed,
+        }
+    }
+
+    /// A deterministic generator with the default base seed and no
+    /// per-test mixing; every caller sees the same cases.
+    pub fn deterministic() -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(DEFAULT_BASE_SEED),
+            base_seed: DEFAULT_BASE_SEED,
+        }
+    }
+
+    /// The base seed this generator was derived from; pass it back via
+    /// `PROPTEST_SEED` to reproduce a failure.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Uniform draw from a range (strategy support).
+    pub fn sample_range<R: twig_rand::SampleRange>(&mut self, range: R) -> R::Output {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform value (strategy support).
+    pub fn sample<T: twig_rand::Random>(&mut self) -> T {
+        self.rng.random()
+    }
+}
+
+/// Parses a `PROPTEST_SEED` value: decimal or `0x`-prefixed hex, with
+/// optional `_` separators.
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim().replace('_', "");
+    match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+}
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.sample()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.sample()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Combinator namespaces mirroring `twig_proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Vectors of `element` values with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.len.start + 1 >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.sample_range(self.len.clone())
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Option<S::Value>`.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `None` half the time, `Some` of the inner strategy otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.sample::<bool>() {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly among fixed items.
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        /// Uniform choice among `items` (must be non-empty).
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires at least one item");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let idx = rng.sample_range(0..self.items.len());
+                self.items[idx].clone()
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a proptest case (fails the case, not the
+/// whole process, so the runner can report the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(__left == __right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (it is regenerated without counting).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each function runs `config.cases` successful
+/// random cases of its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr);) => {};
+    (@funcs ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __passed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __config.cases.saturating_mul(20).max(100),
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                let __outcome = (|__rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })(&mut __rng);
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case failed in {} (case {} of {}; \
+                             rerun with PROPTEST_SEED={:#x}): {}",
+                            stringify!($name),
+                            __attempts,
+                            __config.cases,
+                            __rng.base_seed(),
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn per_test_streams_differ_but_reproduce() {
+        let draw = |name: &str| -> Vec<u64> {
+            let mut rng = crate::TestRng::for_test(name);
+            (0..8).map(|_| rng.sample_range(0u64..u64::MAX)).collect()
+        };
+        assert_ne!(draw("alpha"), draw("beta"), "tests share a case stream");
+        assert_eq!(draw("alpha"), draw("alpha"), "same test must reproduce");
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(crate::parse_seed("42"), Some(42));
+        assert_eq!(crate::parse_seed("0xDEAD_BEEF"), Some(0xDEAD_BEEF));
+        assert_eq!(crate::parse_seed(" 0X10 "), Some(16));
+        assert_eq!(crate::parse_seed("nope"), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(v in 10u32..20, f in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_in_bounds(items in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(items.len() >= 2 && items.len() < 6);
+            for item in items {
+                prop_assert!(item < 10);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn mapped_and_tuple_strategies(pair in (0u32..5, any::<bool>()).prop_map(|(a, b)| (a * 2, b))) {
+            let (a, _b) = pair;
+            prop_assert!(a % 2 == 0 && a < 10);
+        }
+
+        #[test]
+        fn select_picks_members(v in prop::sample::select(vec![1u32, 5, 9])) {
+            prop_assert!([1u32, 5, 9].contains(&v));
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Original offline stand-in for this repository, modeled on the `rand`
+//! crate’s 0.10 API surface. **Not the crates.io `rand` crate** — all
+//! code here is original to this repository (see `vendor/README.md`).
+//!
+//! Implements exactly what this workspace uses: [`SeedableRng::seed_from_u64`],
+//! the [`RngExt`] sampling methods (`random`, `random_range`, `random_bool`),
+//! and the [`rngs::SmallRng`] / [`rngs::StdRng`] generator types. Both
+//! generators are xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and statistically solid for the synthetic-workload generation this
+//! repository does (this is a simulation reproduction, not cryptography).
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ core state (Blackman & Vigna).
+#[derive(Clone, Debug)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp { s: [next(), next(), next(), next()] }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Concrete generator types, mirroring `twig_rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256pp};
+
+    macro_rules! define_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Clone, Debug)]
+            pub struct $name(Xoshiro256pp);
+
+            impl RngCore for $name {
+                #[inline]
+                fn next_u32(&mut self) -> u32 {
+                    (self.0.next() >> 32) as u32
+                }
+
+                #[inline]
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next()
+                }
+            }
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(seed: u64) -> Self {
+                    $name(Xoshiro256pp::from_seed(seed))
+                }
+            }
+        };
+    }
+
+    define_rng!(
+        /// A small, fast generator (xoshiro256++ here).
+        SmallRng
+    );
+    define_rng!(
+        /// The "standard" generator (also xoshiro256++ in this stand-in).
+        StdRng
+    );
+}
+
+/// Types that can be sampled uniformly from a generator's raw output.
+pub trait Random {
+    /// Draws one uniformly distributed value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f32 {
+    #[inline]
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for f64 {
+    #[inline]
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            #[inline]
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw from `[0, span)` without modulo bias, via Lemire's
+/// widening-multiply-with-rejection (the method the real `rand` uses):
+/// `(x * span) >> 64` maps the 64-bit draw onto the span, and draws whose
+/// low word falls below `2^64 mod span` are rejected so every output
+/// value owns exactly the same number of 64-bit inputs.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    if (m as u64) < span {
+        // 2^64 mod span, computed without 128-bit division.
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Ranges a generator can sample from (`rng.random_range(lo..hi)`).
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draws one value uniformly from the range. Panics if empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + <$t as Random>::random_from(rng) * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + <$t as Random>::random_from(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+/// Convenience sampling methods, available on every [`RngCore`]
+/// (rand 0.10's `Rng`/`RngExt` surface).
+pub trait RngExt: RngCore {
+    /// A uniformly random value of `T` (`f32`/`f64` in `[0, 1)`).
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// A uniform draw from `range`. Panics on empty ranges.
+    #[inline]
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+            let g: f32 = rng.random();
+            assert!((0.0..1.0).contains(&g));
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5u64..=5);
+            assert_eq!(w, 5);
+            let x = rng.random_range(-3i64..3);
+            assert!((-3..3).contains(&x));
+            let f = rng.random_range(0.25f32..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn large_span_sampling_is_unbiased() {
+        // span = 3·2^62: naive `next_u64() % span` would land below 2^62
+        // with probability 1/2 (those residues own two 64-bit inputs each)
+        // instead of the uniform 1/3. Lemire rejection must not.
+        let span = 3u64 << 62;
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 30_000;
+        let low = (0..n)
+            .filter(|_| uniform_below(&mut rng, span) < (1u64 << 62))
+            .count();
+        let frac = low as f64 / n as f64;
+        assert!((0.31..0.36).contains(&frac), "P(x < span/3) = {frac}, want ~1/3");
+    }
+
+    #[test]
+    fn small_span_counts_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.random_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            assert!((9_600..10_400).contains(&c), "uneven counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_below_rejects_under_threshold() {
+        // Scripted draws exercising the rejection branch. For
+        // span = 3·2^62 the threshold is 2^64 mod span = 2^62, and the
+        // widening product's low word is (3x mod 4)·2^62 — so x = 4 gives
+        // low word 0 < 2^62 and must be rejected, while the follow-up
+        // x = 1 gives low word 3·2^62 (accepted) and maps to 0.
+        struct Script(Vec<u64>);
+        impl RngCore for Script {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.remove(0)
+            }
+        }
+        let span = 3u64 << 62;
+        let mut rng = Script(vec![4, 1]);
+        assert_eq!(uniform_below(&mut rng, span), 0);
+        assert!(rng.0.is_empty(), "rejected draw was not retried");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.85)).count();
+        assert!((8_200..8_800).contains(&hits), "p=0.85 gave {hits}/10000");
+    }
+
+    #[test]
+    fn all_integer_widths_sample() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _: u8 = rng.random();
+        let _: i32 = rng.random();
+        let _ = rng.random_range(0u8..=255);
+        let _ = rng.random_range(0usize..7);
+    }
+}

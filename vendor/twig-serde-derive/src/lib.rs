@@ -1,0 +1,413 @@
+//! Original offline stand-in modeled on `serde_derive`. **Not the
+//! crates.io `serde_derive` crate** — original code for this repository
+//! (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually derives — non-generic structs with named
+//! fields, tuple structs, and enums with unit/tuple/struct variants — with
+//! no `syn`/`quote` dependency (the build environment is fully offline, so
+//! the macro hand-parses the token stream and emits code as strings).
+//!
+//! Unsupported shapes (generics, `#[serde(...)]` attributes, unions) panic
+//! at compile time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `twig_serde::Serialize` (value-based; see the vendored `serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `twig_serde::Deserialize` (value-based; see the vendored `serde`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+enum Body {
+    /// `struct Foo { a: A, b: B }`
+    NamedStruct(Vec<String>),
+    /// `struct Foo(A, B);` — field count only (codegen is type-free).
+    TupleStruct(usize),
+    /// `enum Foo { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::TupleStruct(0),
+            other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    };
+    Item { name, body }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: A, b: Vec<(X, Y)>, ...` into field names. Types are skipped
+/// with angle-bracket depth tracking (commas inside `<...>` are not field
+/// separators; parenthesized/bracketed types are opaque groups already).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive (vendored): explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::twig_serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::twig_serde::Value::Object(::std::vec![{entries}])")
+        }
+        Body::TupleStruct(1) => "::twig_serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::twig_serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::twig_serde::Value::Array(::std::vec![{entries}])")
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::twig_serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::twig_serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vn} => ::twig_serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let pat = binds.join(", ");
+            let entries: String = binds
+                .iter()
+                .map(|b| format!("::twig_serde::Serialize::to_value({b}),"))
+                .collect();
+            let payload = if *n == 1 {
+                "::twig_serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                format!("::twig_serde::Value::Array(::std::vec![{entries}])")
+            };
+            format!(
+                "{name}::{vn}({pat}) => ::twig_serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), {payload})]),"
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let pat = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::twig_serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {pat} }} => ::twig_serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                 ::twig_serde::Value::Object(::std::vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::twig_serde::__field(__obj, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::std::format!(\"expected object for {name}, got {{__value:?}}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::twig_serde::Deserialize::from_value(__value)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::twig_serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::std::format!(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::std::format!(\"expected {n} fields for {name}, got {{}}\", __items.len())); }}\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Body::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "impl ::twig_serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::twig_serde::Value) -> \
+         ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.kind {
+            VariantKind::Unit => None,
+            VariantKind::Tuple(n) => {
+                let vn = &v.name;
+                let body = if *n == 1 {
+                    format!(
+                        "return ::std::result::Result::Ok({name}::{vn}(\
+                         ::twig_serde::Deserialize::from_value(__payload)?));"
+                    )
+                } else {
+                    let inits: String = (0..*n)
+                        .map(|i| format!("::twig_serde::Deserialize::from_value(&__items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "let __items = __payload.as_array().ok_or_else(|| \
+                         ::std::format!(\"expected array for {name}::{vn}\"))?;\n\
+                         if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::std::format!(\"expected {n} fields for {name}::{vn}\")); }}\n\
+                         return ::std::result::Result::Ok({name}::{vn}({inits}));"
+                    )
+                };
+                Some(format!("\"{vn}\" => {{ {body} }}"))
+            }
+            VariantKind::Struct(fields) => {
+                let vn = &v.name;
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::twig_serde::__field(__obj, \"{f}\", \"{name}::{vn}\")?,")
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{vn}\" => {{\n\
+                     let __obj = __payload.as_object().ok_or_else(|| \
+                     ::std::format!(\"expected object for {name}::{vn}\"))?;\n\
+                     return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n\
+                     }}"
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+         match __s {{ {unit_arms} _ => {{}} }}\n\
+         }}\n\
+         if let ::std::option::Option::Some(__entries) = __value.as_object() {{\n\
+         if __entries.len() == 1 {{\n\
+         let (__tag, __payload) = &__entries[0];\n\
+         match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+         }}\n\
+         }}\n\
+         ::std::result::Result::Err(::std::format!(\
+         \"invalid value for {name}: {{__value:?}}\"))"
+    )
+}

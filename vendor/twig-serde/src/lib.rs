@@ -1,0 +1,443 @@
+//! Original offline stand-in modeled on the `serde` crate. **Not the
+//! crates.io `serde` crate** — original code for this repository (see
+//! `vendor/README.md`).
+//!
+//! The build environment for this repository has no network access, so the
+//! real serde cannot be fetched from crates.io. This crate implements the
+//! subset the workspace actually uses — `#[derive(Serialize, Deserialize)]`
+//! on concrete (non-generic) structs and enums, plus `twig_serde::de::
+//! DeserializeOwned` — on top of a simple self-describing [`Value`] tree.
+//!
+//! The design is intentionally value-based rather than visitor-based:
+//! `Serialize::to_value` produces a [`Value`], `Deserialize::from_value`
+//! consumes one, and `serde_json` (also vendored) converts between `Value`
+//! and JSON text. This roundtrips everything the workspace serializes
+//! (reports, specs, stats, plans) without the real serde's zero-copy
+//! machinery, which nothing here needs.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+pub use twig_serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the common model shared with the
+/// vendored `serde_json`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`; the encoding of `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (used for negative numbers).
+    Int(i64),
+    /// An unsigned integer (used for all non-negative integers).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object payload (ordered key/value pairs), if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers are converted.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(v) => Some(v),
+            Value::UInt(v) => Some(v as f64),
+            Value::Int(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization into the [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` into a serialized value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a serialized value tree.
+    fn from_value(value: &Value) -> Result<Self, String>;
+}
+
+/// Compatibility module mirroring `twig_serde::de`.
+pub mod de {
+    /// Owned deserialization marker (every [`Deserialize`](crate::Deserialize)
+    /// type qualifies, since this model has no borrowed variants).
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Looks up `key` in an object body and deserializes it (derive-macro
+/// support; not intended for direct use).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<T, String> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{key}` in {context}"))?;
+    T::from_value(value).map_err(|e| format!("{context}.{key}: {e}"))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| format!("expected unsigned integer, got {value:?}"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| format!("integer {raw} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| format!("expected integer, got {value:?}"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| format!("integer {raw} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                value
+                    .as_f64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| format!("expected number, got {value:?}"))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, got {value:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, got {value:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_array()
+            .ok_or_else(|| format!("expected array, got {value:?}"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| format!("expected array, got {value:?}"))?;
+        if items.len() != N {
+            return Err(format!("expected array of length {N}, got {}", items.len()));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        T::from_value(value).map(Arc::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| format!("expected array, got {value:?}"))?;
+                if items.len() != $len {
+                    return Err(format!(
+                        "expected tuple of length {}, got {}",
+                        $len,
+                        items.len()
+                    ));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+/// Maps serialize as an array of `[key, value]` pairs so non-string keys
+/// (e.g. `BlockId`) roundtrip without a string encoding.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| format!("expected array of pairs, got {value:?}"))?;
+        let mut out = HashMap::with_capacity_and_hasher(items.len(), S::default());
+        for item in items {
+            let pair = item
+                .as_array()
+                .ok_or_else(|| format!("expected [key, value] pair, got {item:?}"))?;
+            if pair.len() != 2 {
+                return Err(format!("expected [key, value] pair, got {} items", pair.len()));
+            }
+            out.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()), Ok(v));
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()), Ok(None));
+        let arr = [1u64, 2, 3, 4, 5, 6];
+        assert_eq!(<[u64; 6]>::from_value(&arr.to_value()), Ok(arr));
+        let t = (3u32, 0.5f32);
+        assert_eq!(<(u32, f32)>::from_value(&t.to_value()), Ok(t));
+    }
+
+    #[test]
+    fn maps_roundtrip_as_pair_arrays() {
+        let mut m = HashMap::new();
+        m.insert(7u32, vec![1u8, 2]);
+        let back = HashMap::<u32, Vec<u8>>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+}
