@@ -2,18 +2,31 @@
 //!
 //! ```text
 //! experiments <id>...|all [--instructions N] [--sweep-instructions N]
+//!                         [--results-dir DIR] [--resume] [--strict]
 //! ```
 //!
 //! Reports print to stdout and are also written to `results/<id>.txt`.
-//! Every run additionally writes `results/bench_results.json` with the
-//! wall-clock time per figure and the artifact-cache hit/miss counters,
-//! and asserts the exactly-once generation property (each program, trace,
-//! and profile computed at most once per process).
+//! Every run additionally writes `results/bench_results.json` (wall-clock
+//! time per figure plus artifact-cache counters) and
+//! `results/run_manifest.json` (per-cell and per-experiment status,
+//! attempts, wall time — the machine-readable fault/robustness record).
+//!
+//! Fault tolerance: each experiment runs under `catch_unwind`, and each
+//! headline matrix cell runs supervised (panic isolation, watchdog,
+//! retry; see `docs/ROBUSTNESS.md`). A failed cell degrades its figures
+//! to `FAILED(<reason>)` markers; a failed experiment is quarantined and
+//! the run continues. The process still exits 0 for a *completed* run
+//! with quarantined failures — pass `--strict` to exit 1 instead when
+//! anything failed. Completed cells are checkpointed under
+//! `<results-dir>/.checkpoints/`; `--resume` loads them so a crashed or
+//! faulted run re-executes only the missing cells.
 
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use twig_serde::Serialize;
+use twig_bench::manifest::{self, ExperimentRecord};
 use twig_bench::{run_experiment, CacheStats, ExpContext, ALL_EXPERIMENTS};
+use twig_serde::Serialize;
 
 #[derive(Serialize)]
 struct FigureTiming {
@@ -32,7 +45,11 @@ struct BenchReport {
 }
 
 fn main() {
-    let mut ctx = ExpContext::default();
+    let mut ctx = ExpContext {
+        checkpoints: true,
+        ..ExpContext::default()
+    };
+    let mut strict = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,11 +69,13 @@ fn main() {
             "--results-dir" => {
                 ctx.results_dir = args.next().expect("--results-dir needs a path").into();
             }
+            "--resume" => ctx.resume = true,
+            "--strict" => strict = true,
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments <id>...|all [--instructions N] \
-                     [--sweep-instructions N] [--results-dir DIR]\n\
+                     [--sweep-instructions N] [--results-dir DIR] [--resume] [--strict]\n\
                      ids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -73,11 +92,17 @@ fn main() {
 
     let run_started = std::time::Instant::now();
     let mut figures = Vec::new();
+    let mut experiments = Vec::new();
+    let mut unknown_id = false;
     for id in &ids {
         let started = std::time::Instant::now();
-        match run_experiment(id, &ctx) {
-            Ok(report) => {
-                let seconds = started.elapsed().as_secs_f64();
+        // Isolate each experiment: a panic that escapes the supervised
+        // matrix (figure-local code, a degraded-data division, …) fails
+        // this experiment only, never the whole run.
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(id, &ctx)));
+        let seconds = started.elapsed().as_secs_f64();
+        match outcome {
+            Ok(Ok(report)) => {
                 println!("==== {id} ({seconds:.1}s) ====");
                 println!("{report}");
                 let path = ctx.results_dir.join(format!("{id}.txt"));
@@ -87,13 +112,46 @@ fn main() {
                     id: id.clone(),
                     seconds,
                 });
+                experiments.push(ExperimentRecord {
+                    id: id.clone(),
+                    status: "ok".to_string(),
+                    seconds,
+                    reason: None,
+                });
             }
-            Err(e) => {
+            Ok(Err(e)) => {
+                // Unknown id: a usage error, not a fault to quarantine.
                 eprintln!("{id}: {e}");
-                std::process::exit(2);
+                unknown_id = true;
+                experiments.push(ExperimentRecord {
+                    id: id.clone(),
+                    status: "failed".to_string(),
+                    seconds,
+                    reason: Some(e),
+                });
+            }
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("==== {id} FAILED ({seconds:.1}s): {reason}");
+                experiments.push(ExperimentRecord {
+                    id: id.clone(),
+                    status: "failed".to_string(),
+                    seconds,
+                    reason: Some(reason),
+                });
             }
         }
     }
+
+    let run_manifest = manifest::build(ctx.resume, experiments);
+    let manifest_path = ctx.results_dir.join("run_manifest.json");
+    let manifest_json =
+        twig_serde_json::to_string_pretty(&run_manifest).expect("serialize run manifest");
+    std::fs::write(&manifest_path, manifest_json).expect("write run_manifest.json");
 
     let cache = twig_bench::cache::global().stats();
     assert!(
@@ -118,4 +176,20 @@ fn main() {
         report.cache.setup_hits + report.cache.events_hits + report.cache.profile_hits,
         report.cache.setup_misses + report.cache.events_misses + report.cache.profile_misses,
     );
+    let degraded = run_manifest.failed_cells + run_manifest.failed_experiments;
+    if degraded > 0 {
+        println!(
+            "run completed DEGRADED: {} failed cell(s), {} failed experiment(s); \
+             see {} and re-run with --resume to fill the gaps",
+            run_manifest.failed_cells,
+            run_manifest.failed_experiments,
+            manifest_path.display(),
+        );
+    }
+    if unknown_id {
+        std::process::exit(2);
+    }
+    if strict && degraded > 0 {
+        std::process::exit(1);
+    }
 }

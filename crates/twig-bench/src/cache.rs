@@ -1,77 +1,196 @@
 //! Process-wide artifact cache for the experiment harness.
 //!
-//! Program generation, walker traces, and LBR profiles are pure functions
-//! of `(AppId, input, instruction budget)` (plus the simulator config for
-//! profiles), yet the seed harness regenerated them in every figure that
-//! needed them — the dominant cost of `experiments all`. This cache
-//! memoizes each artifact behind an `Arc` so every figure shares one copy
-//! and each key is computed exactly once per process, even when many
+//! Program generation, walker traces, LBR profiles, and the per-app
+//! prepare phase (profile → analyze → rewrite → working sets) are pure
+//! functions of `(AppId, input, instruction budget)` (plus the simulator
+//! config for profiles), yet the seed harness regenerated them in every
+//! figure that needed them — the dominant cost of `experiments all`. This
+//! cache memoizes each artifact behind an `Arc` so every figure shares one
+//! copy and each key is computed exactly once per process, even when many
 //! scheduler workers request it concurrently.
 //!
-//! Exactly-once initialization uses a per-key `Arc<OnceLock<V>>`: the map
-//! lock is held only long enough to fetch/create the slot, then
+//! Exactly-once initialization uses a per-key `Arc<OnceLock<Entry>>`: the
+//! map lock is held only long enough to fetch/create the slot, then
 //! `OnceLock::get_or_init` serializes the (expensive) computation outside
 //! the map lock, so unrelated keys never contend.
 //!
-//! Hit/miss counters per artifact type feed the `bench_results.json`
-//! timing report, which asserts the exactly-once property
-//! (`misses == entries`) at the end of every `experiments` run.
+//! Integrity: every stored entry carries a content fingerprint (sampled
+//! FNV-1a over the artifact's shape and data). Hits re-verify the
+//! fingerprint; a mismatch — a poisoned or corrupted entry, in practice
+//! only producible via the `corrupt-cache` fault injection — evicts the
+//! entry and recomputes it rather than silently serving bad data.
+//! Evictions are counted, and the exactly-once property asserted at the
+//! end of every `experiments` run becomes `misses == entries + evictions`.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use twig_serde::Serialize;
 use twig::TwigOptimizer;
 use twig_profile::Profile;
+use twig_serde::Serialize;
 use twig_sim::SimConfig;
 use twig_workload::{AppId, BlockEvent};
 
-use crate::runner::AppSetup;
+use crate::runner::{AppSetup, PreparedApp};
 
-/// One memoized key space with hit/miss accounting.
-struct Shard<K, V> {
-    map: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+/// Mixes one word into an FNV-1a style accumulator.
+#[inline]
+fn mix(state: u64, word: u64) -> u64 {
+    (state ^ word).wrapping_mul(0x0000_0100_0000_01B3)
 }
 
-impl<K: Eq + Hash, V: Clone> Shard<K, V> {
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn mix_str(state: u64, s: &str) -> u64 {
+    s.bytes().fold(state, |acc, b| mix(acc, u64::from(b)))
+}
+
+/// Cheap content fingerprint used for cache-integrity verification on
+/// every hit. Implementations sample rather than hash exhaustively (a
+/// trace hit must stay O(1)-ish), but always cover the artifact's shape
+/// (lengths, counts) plus strided data words — enough to catch any
+/// realistic poisoning, including the injected kind.
+pub trait Fingerprint {
+    /// The entry's fingerprint.
+    fn fingerprint(&self) -> u64;
+}
+
+impl Fingerprint for Arc<AppSetup> {
+    fn fingerprint(&self) -> u64 {
+        let mut h = mix_str(FNV_OFFSET, self.app.name());
+        h = mix(h, self.program.num_blocks() as u64);
+        h
+    }
+}
+
+impl Fingerprint for Arc<[BlockEvent]> {
+    fn fingerprint(&self) -> u64 {
+        let mut h = mix(FNV_OFFSET, self.len() as u64);
+        let stride = (self.len() / 64).max(1);
+        for ev in self.iter().step_by(stride) {
+            h = mix(h, u64::from(ev.block.raw()));
+            h = mix(h, u64::from(ev.taken));
+            h = mix(h, ev.target.map_or(u64::MAX, |t| u64::from(t.raw())));
+        }
+        h
+    }
+}
+
+impl Fingerprint for Arc<Profile> {
+    fn fingerprint(&self) -> u64 {
+        let mut h = mix(FNV_OFFSET, self.samples.len() as u64);
+        h = mix(h, self.block_executions.len() as u64);
+        h = mix(h, self.instructions);
+        h = mix(h, u64::from(self.sample_period));
+        let stride = (self.samples.len() / 64).max(1);
+        for s in self.samples.iter().step_by(stride) {
+            h = mix(h, u64::from(s.branch_block.raw()));
+            h = mix(h, s.cycle);
+        }
+        h
+    }
+}
+
+impl Fingerprint for Arc<PreparedApp> {
+    fn fingerprint(&self) -> u64 {
+        let mut h = mix(FNV_OFFSET, self.events.len() as u64);
+        h = mix(h, self.working_set_bytes);
+        h = mix(h, self.working_set_bytes_twig);
+        h = mix(h, self.optimized.rewrite.brprefetch_ops);
+        h = mix(h, self.optimized.rewrite.text_bytes_after);
+        h = mix(h, self.optimized_sw.rewrite.brprefetch_ops);
+        h
+    }
+}
+
+/// One stored value plus the fingerprint recorded at store time.
+struct Entry<V> {
+    value: V,
+    fingerprint: u64,
+}
+
+/// One memoized key space with hit/miss/eviction accounting.
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Entry<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone + Fingerprint> Shard<K, V> {
     fn new() -> Self {
         Shard {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        let slot = {
-            let mut map = self.map.lock().expect("cache shard poisoned");
-            Arc::clone(map.entry(key).or_default())
-        };
-        let mut computed = false;
-        let value = slot
-            .get_or_init(|| {
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<K, Arc<OnceLock<Entry<V>>>>> {
+        self.map.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Fetches (or computes exactly once) the value for `key`, verifying
+    /// the stored fingerprint on every hit. A mismatched entry is evicted
+    /// and recomputed. `label` is what `corrupt-cache` fault selectors
+    /// match; the injected corruption lands on the *stored* fingerprint,
+    /// so the value served by the computing call itself is still good and
+    /// the poisoning is discovered (and healed) on the next hit.
+    fn get_or_compute(&self, key: K, label: &str, compute: impl Fn() -> V) -> V {
+        for _attempt in 0..3 {
+            let slot = {
+                let mut map = self.lock_map();
+                Arc::clone(map.entry(key.clone()).or_default())
+            };
+            let mut computed = false;
+            let entry = slot.get_or_init(|| {
                 computed = true;
-                compute()
-            })
-            .clone();
-        if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+                let value = compute();
+                let fingerprint = twig_sched::fault::global()
+                    .corrupt_fingerprint(label, value.fingerprint());
+                Entry { value, fingerprint }
+            });
+            if computed {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return entry.value.clone();
+            }
+            if entry.value.fingerprint() == entry.fingerprint {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.value.clone();
+            }
+            // Poisoned entry: evict (only if the map still holds this
+            // exact slot — another thread may have healed it already) and
+            // retry, which recomputes into a fresh slot.
+            eprintln!("warning: evicting corrupt cache entry {label} (fingerprint mismatch)");
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let mut map = self.lock_map();
+            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                map.remove(&key);
+            }
         }
-        value
+        // Unreachable with budgeted fault clauses; serve a fresh
+        // uncached computation rather than loop forever.
+        eprintln!("warning: cache entry {label} still corrupt after retries; bypassing cache");
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        compute()
     }
 
+    /// Number of *initialized* entries (slots whose computation finished;
+    /// a slot abandoned by a panicking computation does not count, so the
+    /// exactly-once accounting survives supervised retries).
     fn entries(&self) -> u64 {
-        self.map.lock().expect("cache shard poisoned").len() as u64
+        self.lock_map()
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count() as u64
     }
 }
 
-/// Hit/miss/entry counts per artifact type, snapshotted by
+/// Hit/miss/entry/eviction counts per artifact type, snapshotted by
 /// [`ArtifactCache::stats`] and embedded in `results/bench_results.json`.
 #[derive(Clone, Debug, Serialize)]
 pub struct CacheStats {
@@ -81,27 +200,51 @@ pub struct CacheStats {
     pub setup_misses: u64,
     /// Distinct apps generated.
     pub setup_entries: u64,
+    /// Setup entries evicted for failed integrity checks.
+    pub setup_evictions: u64,
     /// Walker event-trace hits.
     pub events_hits: u64,
     /// Walker event-trace misses (= walks performed).
     pub events_misses: u64,
     /// Distinct `(app, input, budget)` traces materialized.
     pub events_entries: u64,
+    /// Trace entries evicted for failed integrity checks.
+    pub events_evictions: u64,
     /// LBR profile hits.
     pub profile_hits: u64,
     /// LBR profile misses (= profiling simulations performed).
     pub profile_misses: u64,
     /// Distinct `(app, input, budget, sim config)` profiles collected.
     pub profile_entries: u64,
+    /// Profile entries evicted for failed integrity checks.
+    pub profile_evictions: u64,
+    /// Prepared-app hits.
+    pub prepared_hits: u64,
+    /// Prepared-app misses (= prepare phases executed).
+    pub prepared_misses: u64,
+    /// Distinct `(app, budget)` prepare phases materialized.
+    pub prepared_entries: u64,
+    /// Prepared entries evicted for failed integrity checks.
+    pub prepared_evictions: u64,
 }
 
 impl CacheStats {
-    /// True iff every artifact was generated exactly once per key — the
-    /// acceptance property the `experiments` binary asserts.
+    /// True iff every artifact was generated exactly once per key, modulo
+    /// integrity evictions (each eviction legitimately forces one
+    /// recomputation) — the property the `experiments` binary asserts.
     pub fn exactly_once(&self) -> bool {
-        self.setup_misses == self.setup_entries
-            && self.events_misses == self.events_entries
-            && self.profile_misses == self.profile_entries
+        self.setup_misses == self.setup_entries + self.setup_evictions
+            && self.events_misses == self.events_entries + self.events_evictions
+            && self.profile_misses == self.profile_entries + self.profile_evictions
+            && self.prepared_misses == self.prepared_entries + self.prepared_evictions
+    }
+
+    /// Total integrity evictions across all shards.
+    pub fn total_evictions(&self) -> u64 {
+        self.setup_evictions
+            + self.events_evictions
+            + self.profile_evictions
+            + self.prepared_evictions
     }
 }
 
@@ -112,6 +255,7 @@ pub struct ArtifactCache {
     // `SimConfig` holds `f64` fields, so the profile key embeds its
     // `Debug` rendering as a config fingerprint instead of deriving Hash.
     profiles: Shard<(AppId, u32, u64, String), Arc<Profile>>,
+    prepared: Shard<(AppId, u64), Arc<PreparedApp>>,
 }
 
 impl ArtifactCache {
@@ -122,22 +266,26 @@ impl ArtifactCache {
             setups: Shard::new(),
             events: Shard::new(),
             profiles: Shard::new(),
+            prepared: Shard::new(),
         }
     }
 
     /// The generated workload for `app` (spec, generator, program,
     /// baseline sim config).
     pub fn setup(&self, app: AppId) -> Arc<AppSetup> {
-        self.setups
-            .get_or_compute(app, || Arc::new(AppSetup::new(app)))
+        self.setups.get_or_compute(app, &format!("cache:setup:{}", app.name()), || {
+            Arc::new(AppSetup::new(app))
+        })
     }
 
     /// The walker event trace for `(app, input)`, bounded by
     /// `instructions`.
     pub fn events(&self, app: AppId, input: u32, instructions: u64) -> Arc<[BlockEvent]> {
-        self.events.get_or_compute((app, input, instructions), || {
-            self.setup(app).fresh_events(input, instructions).into()
-        })
+        self.events.get_or_compute(
+            (app, input, instructions),
+            &format!("cache:events:{}/{input}", app.name()),
+            || self.setup(app).fresh_events(input, instructions).into(),
+        )
     }
 
     /// The LBR profile of `app` under `input` at `sim_config`.
@@ -153,31 +301,54 @@ impl ArtifactCache {
         sim_config: &SimConfig,
     ) -> Arc<Profile> {
         let key = (app, input, instructions, format!("{sim_config:?}"));
-        self.profiles.get_or_compute(key, || {
-            let setup = self.setup(app);
-            let events = self.events(app, input, instructions);
-            let profile = TwigOptimizer::default().collect_profile_from_events(
-                &setup.program,
-                *sim_config,
-                &events,
-                instructions,
-            );
-            Arc::new(profile)
-        })
+        self.profiles.get_or_compute(
+            key,
+            &format!("cache:profile:{}/{input}", app.name()),
+            || {
+                let setup = self.setup(app);
+                let events = self.events(app, input, instructions);
+                let profile = TwigOptimizer::default().collect_profile_from_events(
+                    &setup.program,
+                    *sim_config,
+                    &events,
+                    instructions,
+                );
+                Arc::new(profile)
+            },
+        )
     }
 
-    /// Snapshot of the hit/miss/entry counters.
+    /// The fully prepared app (profiled on input #0, rewritten, test
+    /// trace walked, working sets measured) at `budget` instructions —
+    /// computed lazily and exactly once per `(app, budget)`, so a resumed
+    /// run whose every cell was checkpointed never pays for it.
+    pub(crate) fn prepared(&self, app: AppId, budget: u64) -> Arc<PreparedApp> {
+        self.prepared.get_or_compute(
+            (app, budget),
+            &format!("cache:prepared:{}", app.name()),
+            || Arc::new(crate::runner::prepare_app(app, budget)),
+        )
+    }
+
+    /// Snapshot of the hit/miss/entry/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             setup_hits: self.setups.hits.load(Ordering::Relaxed),
             setup_misses: self.setups.misses.load(Ordering::Relaxed),
             setup_entries: self.setups.entries(),
+            setup_evictions: self.setups.evictions.load(Ordering::Relaxed),
             events_hits: self.events.hits.load(Ordering::Relaxed),
             events_misses: self.events.misses.load(Ordering::Relaxed),
             events_entries: self.events.entries(),
+            events_evictions: self.events.evictions.load(Ordering::Relaxed),
             profile_hits: self.profiles.hits.load(Ordering::Relaxed),
             profile_misses: self.profiles.misses.load(Ordering::Relaxed),
             profile_entries: self.profiles.entries(),
+            profile_evictions: self.profiles.evictions.load(Ordering::Relaxed),
+            prepared_hits: self.prepared.hits.load(Ordering::Relaxed),
+            prepared_misses: self.prepared.misses.load(Ordering::Relaxed),
+            prepared_entries: self.prepared.entries(),
+            prepared_evictions: self.prepared.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -208,6 +379,7 @@ mod tests {
         assert_eq!(stats.setup_misses, 1);
         assert_eq!(stats.setup_hits, 1);
         assert_eq!(stats.setup_entries, 1);
+        assert_eq!(stats.setup_evictions, 0);
         assert!(stats.exactly_once());
     }
 
@@ -270,6 +442,74 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.events_misses, 1, "trace must be walked exactly once");
         assert_eq!(stats.events_hits, 15);
+        assert!(stats.exactly_once());
+    }
+
+    #[test]
+    fn poisoned_entry_is_evicted_and_recomputed() {
+        // Corrupt the stored fingerprint by hand (the same effect the
+        // `corrupt-cache` fault clause has) and verify the next hit heals
+        // the shard while keeping the exactly-once accounting honest.
+        let shard: Shard<u32, Arc<[BlockEvent]>> = Shard::new();
+        let make = || -> Arc<[BlockEvent]> {
+            ArtifactCache::new().events(AppId::Kafka, 0, 2_000)
+        };
+        let first = shard.get_or_compute(7, "cache:test", make);
+        {
+            let map = shard.lock_map();
+            let slot = map.get(&7).unwrap();
+            // Rebuild the slot with a wrong fingerprint.
+            let poisoned = Arc::new(OnceLock::new());
+            poisoned
+                .set(Entry {
+                    value: Arc::clone(slot.get().map(|e| &e.value).unwrap()),
+                    fingerprint: 0xDEAD_BEEF,
+                })
+                .ok()
+                .unwrap();
+            drop(map);
+            shard.lock_map().insert(7, poisoned);
+        }
+        let healed = shard.get_or_compute(7, "cache:test", make);
+        assert_eq!(&healed[..], &first[..], "healed value matches");
+        assert_eq!(shard.evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(shard.misses.load(Ordering::Relaxed), 2);
+        assert_eq!(shard.entries(), 1);
+        // misses == entries + evictions
+        assert_eq!(
+            shard.misses.load(Ordering::Relaxed),
+            shard.entries() + shard.evictions.load(Ordering::Relaxed)
+        );
+        // Subsequent hits verify cleanly.
+        let again = shard.get_or_compute(7, "cache:test", make);
+        assert_eq!(&again[..], &first[..]);
+        assert_eq!(shard.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn entries_counts_only_initialized_slots() {
+        let shard: Shard<u32, Arc<[BlockEvent]>> = Shard::new();
+        // Simulate a slot abandoned by a panicking computation: present in
+        // the map but never initialized.
+        shard.lock_map().insert(1, Arc::new(OnceLock::new()));
+        assert_eq!(shard.entries(), 0);
+        let _ = shard.get_or_compute(2, "cache:test", || {
+            ArtifactCache::new().events(AppId::Kafka, 0, 1_000)
+        });
+        assert_eq!(shard.entries(), 1);
+    }
+
+    #[test]
+    fn prepared_app_is_memoized_per_budget() {
+        let cache = ArtifactCache::new();
+        let a = cache.prepared(AppId::Tomcat, 20_000);
+        let b = cache.prepared(AppId::Tomcat, 20_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.prepared(AppId::Tomcat, 30_000);
+        assert!(!Arc::ptr_eq(&a, &c), "different budget, different prepare");
+        let stats = cache.stats();
+        assert_eq!(stats.prepared_misses, 2);
+        assert_eq!(stats.prepared_entries, 2);
         assert!(stats.exactly_once());
     }
 }

@@ -17,16 +17,16 @@ pub fn fig01(ctx: &ExpContext) -> String {
     let rows = headline(ctx)
         .iter()
         .map(|row| {
-            let td = TopDownRow::from_stats(row.app.name(), &row.baseline);
-            (
-                row.app,
+            let values = row.baseline.values(4, |stats| {
+                let td = TopDownRow::from_stats(row.app.name(), stats);
                 vec![
                     td.frontend_bound * 100.0,
                     td.bad_speculation * 100.0,
                     td.backend_bound * 100.0,
                     td.retiring * 100.0,
-                ],
-            )
+                ]
+            });
+            (row.app, values)
         })
         .collect::<Vec<_>>();
     out.push_str(&table(&["frontend%", "badspec%", "backend%", "retiring%"], &rows));
@@ -78,7 +78,7 @@ pub fn fig03(ctx: &ExpContext) -> String {
     let mut out = String::from("Fig. 3 — BTB MPKI (paper: 8-121, avg 29.7)\n");
     let rows = headline(ctx)
         .iter()
-        .map(|row| (row.app, vec![row.baseline.btb_mpki()]))
+        .map(|row| (row.app, vec![row.baseline.value(|s| s.btb_mpki())]))
         .collect::<Vec<_>>();
     out.push_str(&table(&["MPKI"], &rows));
     out
@@ -187,7 +187,7 @@ pub fn fig07(ctx: &ExpContext) -> String {
     );
     let rows = headline(ctx)
         .iter()
-        .map(|row| (row.app, kind_shares(&row.baseline.btb_accesses)))
+        .map(|row| (row.app, row.baseline.values(6, |s| kind_shares(&s.btb_accesses))))
         .collect::<Vec<_>>();
     out.push_str(&table(
         &["cond%", "jmp%", "call%", "ijmp%", "icall%", "ret%"],
@@ -204,7 +204,7 @@ pub fn fig08(ctx: &ExpContext) -> String {
     );
     let rows = headline(ctx)
         .iter()
-        .map(|row| (row.app, kind_shares(&row.baseline.btb_misses)))
+        .map(|row| (row.app, row.baseline.values(6, |s| kind_shares(&s.btb_misses))))
         .collect::<Vec<_>>();
     out.push_str(&table(
         &["cond%", "jmp%", "call%", "ijmp%", "icall%", "ret%"],
@@ -213,9 +213,13 @@ pub fn fig08(ctx: &ExpContext) -> String {
     // Aggregate: unconditional-direct share of accesses vs misses.
     let (mut acc_u, mut acc_t, mut miss_u, mut miss_t) = (0u64, 0u64, 0u64, 0u64);
     for row in headline(ctx) {
+        // Aggregate over the rows whose baseline survived.
+        let Some(baseline) = row.baseline.stats() else {
+            continue;
+        };
         for k in BranchKind::ALL {
-            let a = row.baseline.btb_accesses[k.index()];
-            let m = row.baseline.btb_misses[k.index()];
+            let a = baseline.btb_accesses[k.index()];
+            let m = baseline.btb_misses[k.index()];
             acc_t += a;
             miss_t += m;
             if k.is_unconditional() && k.is_direct() {
@@ -243,8 +247,8 @@ pub fn fig09(ctx: &ExpContext) -> String {
             (
                 row.app,
                 vec![
-                    speedup_percent(&row.baseline, &row.shotgun),
-                    speedup_percent(&row.baseline, &row.confluence),
+                    row.speedup_of(&row.shotgun),
+                    row.speedup_of(&row.confluence),
                 ],
             )
         })

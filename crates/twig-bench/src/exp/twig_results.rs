@@ -1,7 +1,6 @@
 //! §4.2 main results: Figs. 13–22 and Tables 2–3.
 
 use twig::{MeanStd, OffsetCdf, TwigConfig, TwigOptimizer};
-use twig_sim::speedup_percent;
 use twig_workload::AppId;
 
 use crate::runner::{for_all_apps, headline, table, AppSetup, ExpContext};
@@ -110,8 +109,8 @@ pub fn fig16(ctx: &ExpContext) -> String {
                 vec![
                     row.twig_speedup(),
                     row.ideal_speedup(),
-                    speedup_percent(&row.baseline, &row.shotgun),
-                    speedup_percent(&row.baseline, &row.btb32k),
+                    row.speedup_of(&row.shotgun),
+                    row.speedup_of(&row.btb32k),
                 ],
             )
         })
@@ -120,7 +119,7 @@ pub fn fig16(ctx: &ExpContext) -> String {
     out.push('\n');
     let bars: Vec<(String, f64)> = rows
         .iter()
-        .map(|(app, v)| (app.name().to_owned(), v[0]))
+        .filter_map(|(app, v)| v[0].num().map(|x| (app.name().to_owned(), x)))
         .collect();
     out.push_str("Twig speedup per application:\n");
     out.push_str(&crate::chart::bar_chart(&bars, 48, "%"));
@@ -139,9 +138,9 @@ pub fn fig17(ctx: &ExpContext) -> String {
             (
                 row.app,
                 vec![
-                    row.coverage(&row.twig) * 100.0,
-                    row.coverage(&row.shotgun) * 100.0,
-                    row.coverage(&row.confluence) * 100.0,
+                    row.coverage(&row.twig).map(|c| c * 100.0),
+                    row.coverage(&row.shotgun).map(|c| c * 100.0),
+                    row.coverage(&row.confluence).map(|c| c * 100.0),
                 ],
             )
         })
@@ -160,13 +159,16 @@ pub fn fig18(ctx: &ExpContext) -> String {
         .iter()
         .map(|row| {
             let full = row.twig_speedup();
-            let sw = speedup_percent(&row.baseline, &row.twig_sw_only);
-            let share = if full > 0.0 {
-                (sw / full * 100.0).clamp(0.0, 100.0)
-            } else {
-                0.0
-            };
-            (row.app, vec![sw, full - sw, share])
+            let sw = row.speedup_of(&row.twig_sw_only);
+            let coalesce = full.zip_with(&sw, |f, s| f - s);
+            let share = sw.zip_with(&full, |s, f| {
+                if f > 0.0 {
+                    (s / f * 100.0).clamp(0.0, 100.0)
+                } else {
+                    0.0
+                }
+            });
+            (row.app, vec![sw, coalesce, share])
         })
         .collect::<Vec<_>>();
     out.push_str(&table(&["swOnly%", "+coalesce%", "swShare%"], &rows));
@@ -184,9 +186,9 @@ pub fn fig19(ctx: &ExpContext) -> String {
             (
                 row.app,
                 vec![
-                    row.twig.prefetch_accuracy() * 100.0,
-                    row.shotgun.prefetch_accuracy() * 100.0,
-                    row.confluence.prefetch_accuracy() * 100.0,
+                    row.twig.value(|s| s.prefetch_accuracy() * 100.0),
+                    row.shotgun.value(|s| s.prefetch_accuracy() * 100.0),
+                    row.confluence.value(|s| s.prefetch_accuracy() * 100.0),
                 ],
             )
         })
@@ -283,7 +285,7 @@ pub fn fig21(ctx: &ExpContext) -> String {
     );
     let rows = headline(ctx)
         .iter()
-        .map(|row| (row.app, vec![row.rewrite.static_overhead() * 100.0]))
+        .map(|row| (row.app, vec![row.meta_value(|m| m.rewrite.static_overhead() * 100.0)]))
         .collect::<Vec<_>>();
     out.push_str(&table(&["static%"], &rows));
     out
@@ -297,7 +299,7 @@ pub fn fig22(ctx: &ExpContext) -> String {
     );
     let rows = headline(ctx)
         .iter()
-        .map(|row| (row.app, vec![row.twig.dynamic_overhead() * 100.0]))
+        .map(|row| (row.app, vec![row.twig.value(|s| s.dynamic_overhead() * 100.0)]))
         .collect::<Vec<_>>();
     out.push_str(&table(&["dynamic%"], &rows));
     out
@@ -313,17 +315,29 @@ pub fn tab03(ctx: &ExpContext) -> String {
         "app", "workingSetMB", "addedMB", "overhead%"
     ));
     for row in headline(ctx) {
-        let ws = row.working_set_bytes as f64 / (1 << 20) as f64;
-        let added = (row.working_set_bytes_twig - row.working_set_bytes.min(row.working_set_bytes_twig))
-            as f64
-            / (1 << 20) as f64;
-        out.push_str(&format!(
-            "{:<16} {:>14.2} {:>14.3} {:>10.2}\n",
-            row.app.name(),
-            ws,
-            added,
-            added / ws * 100.0,
-        ));
+        match &row.meta {
+            Ok(meta) => {
+                let ws = meta.working_set_bytes as f64 / (1 << 20) as f64;
+                let added = (meta.working_set_bytes_twig
+                    - meta.working_set_bytes.min(meta.working_set_bytes_twig))
+                    as f64
+                    / (1 << 20) as f64;
+                out.push_str(&format!(
+                    "{:<16} {:>14.2} {:>14.3} {:>10.2}\n",
+                    row.app.name(),
+                    ws,
+                    added,
+                    added / ws * 100.0,
+                ));
+            }
+            Err(reason) => {
+                let failed = format!("FAILED({reason})");
+                out.push_str(&format!(
+                    "{:<16} {failed:>14} {failed:>14} {failed:>10}\n",
+                    row.app.name(),
+                ));
+            }
+        }
     }
     out
 }

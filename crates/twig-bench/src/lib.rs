@@ -10,12 +10,15 @@
 
 pub mod cache;
 pub mod chart;
+pub mod checkpoint;
 pub mod exp;
+pub mod manifest;
 pub mod runner;
 pub mod shapes;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use runner::{ExpContext, HeadlineRow};
+pub use checkpoint::CheckpointStore;
+pub use runner::{Cell, CellValue, ExpContext, HeadlineRow, RowMeta};
 
 /// All experiment identifiers, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[

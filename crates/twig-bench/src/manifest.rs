@@ -1,0 +1,166 @@
+//! The machine-readable run manifest (`results/run_manifest.json`).
+//!
+//! Every supervised matrix cell and every experiment report records its
+//! outcome here; the `experiments` binary snapshots the collector at the
+//! end of the run (successful *or* degraded) and writes one JSON document
+//! listing per-cell status, attempts, and wall time. CI's fault-injection
+//! job greps this file to assert that injected faults were quarantined
+//! and that a `--resume` run went back to fully green.
+
+use std::sync::Mutex;
+
+use twig_serde::Serialize;
+
+/// Manifest schema version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// How a cell's value was obtained (or lost).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellStatus {
+    /// Computed in this run.
+    Ok,
+    /// Loaded from a checkpoint written by a previous run.
+    Checkpointed,
+    /// Failed after all retries; quarantined.
+    Failed,
+}
+
+impl CellStatus {
+    /// The manifest's string encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Checkpointed => "checkpointed",
+            CellStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One matrix cell's outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct CellRecord {
+    /// Cell id, e.g. `sim:kafka/twig` or `meta:kafka`.
+    pub id: String,
+    /// `ok` / `checkpointed` / `failed`.
+    pub status: String,
+    /// Attempts made (0 when served from a checkpoint).
+    pub attempts: u32,
+    /// Wall time across attempts, milliseconds.
+    pub wall_ms: u64,
+    /// Failure detail (panic payload, timeout), if any.
+    pub reason: Option<String>,
+}
+
+/// One experiment report's outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`fig16`, `tab03`, …).
+    pub id: String,
+    /// `ok` / `failed`.
+    pub status: String,
+    /// Wall time, seconds.
+    pub seconds: f64,
+    /// Failure detail, if any.
+    pub reason: Option<String>,
+}
+
+/// The document written to `run_manifest.json`.
+#[derive(Debug, Serialize)]
+pub struct RunManifest {
+    /// Schema version.
+    pub version: u32,
+    /// Whether this run resumed from checkpoints.
+    pub resume: bool,
+    /// The active `TWIG_FAULT_SPEC`, if any.
+    pub fault_spec: Option<String>,
+    /// Number of cells with status `failed`.
+    pub failed_cells: usize,
+    /// Number of experiments with status `failed`.
+    pub failed_experiments: usize,
+    /// Per-cell outcomes, sorted by id.
+    pub cells: Vec<CellRecord>,
+    /// Per-experiment outcomes, in run order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+static CELLS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
+
+fn cells() -> std::sync::MutexGuard<'static, Vec<CellRecord>> {
+    CELLS.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Records one cell outcome into the process-wide collector.
+pub fn record_cell(
+    id: &str,
+    status: CellStatus,
+    attempts: u32,
+    wall_ms: u64,
+    reason: Option<String>,
+) {
+    cells().push(CellRecord {
+        id: id.to_string(),
+        status: status.as_str().to_string(),
+        attempts,
+        wall_ms,
+        reason,
+    });
+}
+
+/// Snapshot of all recorded cells, sorted by id for a deterministic
+/// manifest layout regardless of scheduling order.
+pub fn snapshot_cells() -> Vec<CellRecord> {
+    let mut out = cells().clone();
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
+/// Clears the collector (tests only; the experiments binary records one
+/// process-lifetime of cells).
+pub fn reset_cells() {
+    cells().clear();
+}
+
+/// Assembles the manifest document.
+pub fn build(resume: bool, experiments: Vec<ExperimentRecord>) -> RunManifest {
+    let cells = snapshot_cells();
+    let failed_cells = cells.iter().filter(|c| c.status == "failed").count();
+    let failed_experiments = experiments.iter().filter(|e| e.status == "failed").count();
+    RunManifest {
+        version: MANIFEST_VERSION,
+        resume,
+        fault_spec: twig_sched::fault::global().raw.clone(),
+        failed_cells,
+        failed_experiments,
+        cells,
+        experiments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_sorted_and_counted() {
+        reset_cells();
+        record_cell("sim:z/late", CellStatus::Failed, 2, 10, Some("panicked: x".into()));
+        record_cell("sim:a/early", CellStatus::Ok, 1, 5, None);
+        record_cell("meta:kafka", CellStatus::Checkpointed, 0, 0, None);
+        let manifest = build(true, vec![ExperimentRecord {
+            id: "fig16".into(),
+            status: "ok".into(),
+            seconds: 1.5,
+            reason: None,
+        }]);
+        assert_eq!(manifest.version, MANIFEST_VERSION);
+        assert!(manifest.resume);
+        assert_eq!(manifest.failed_cells, 1);
+        assert_eq!(manifest.failed_experiments, 0);
+        let ids: Vec<&str> = manifest.cells.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids, vec!["meta:kafka", "sim:a/early", "sim:z/late"]);
+        let json = twig_serde_json::to_string_pretty(&manifest).unwrap();
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("panicked: x"));
+        reset_cells();
+    }
+}

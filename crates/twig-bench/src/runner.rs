@@ -9,11 +9,20 @@
 //! walker traces, profiles) come from the process-wide
 //! [`crate::cache::ArtifactCache`], so each is generated exactly once no
 //! matter how many figures or tasks consume it.
+//!
+//! Fault tolerance: every headline cell runs under
+//! [`twig_sched::run_supervised`] — a panicking or hung cell is
+//! quarantined as [`Cell::Failed`] instead of aborting the run, figures
+//! render such cells as `FAILED(<reason>)`, and completed cells are
+//! persisted through [`crate::checkpoint::CheckpointStore`] so a killed
+//! run resumes from where it stopped (see `docs/ROBUSTNESS.md`).
 
 use std::sync::{Arc, OnceLock};
 
 use twig::{TwigConfig, TwigOptimizer};
 use twig_prefetchers::{Confluence, Shotgun};
+use twig_sched::{CancelToken, TaskPolicy};
+use twig_serde::{Deserialize, Serialize};
 use twig_sim::{
     speedup_percent, BtbSystem, PlainBtb, SimConfig, SimStats, Simulator,
 };
@@ -22,6 +31,8 @@ use twig_workload::{
 };
 
 use crate::cache;
+use crate::checkpoint::CheckpointStore;
+use crate::manifest::{self, CellStatus};
 
 /// Experiment context: instruction budget and output directory.
 #[derive(Clone, Debug)]
@@ -32,6 +43,13 @@ pub struct ExpContext {
     pub sweep_instructions: u64,
     /// Output directory for report files.
     pub results_dir: std::path::PathBuf,
+    /// Persist completed headline cells under
+    /// `<results_dir>/.checkpoints/` (the `experiments` binary turns this
+    /// on; library/unit-test use leaves it off).
+    pub checkpoints: bool,
+    /// Load cells persisted by a previous run instead of recomputing
+    /// them (`experiments --resume`).
+    pub resume: bool,
 }
 
 impl Default for ExpContext {
@@ -40,6 +58,8 @@ impl Default for ExpContext {
             instructions: 2_000_000,
             sweep_instructions: 1_000_000,
             results_dir: "results".into(),
+            checkpoints: false,
+            resume: false,
         }
     }
 }
@@ -112,26 +132,112 @@ pub fn for_all_apps<T: Send>(f: impl Fn(AppId) -> T + Sync) -> Vec<(AppId, T)> {
     twig_sched::parallel_map(AppId::ALL.to_vec(), |app| (app, f(app)))
 }
 
-/// The per-application headline result matrix shared by Figs. 16–22 and
-/// Tables 2–3: baseline / ideal / 32K BTB / Shotgun / Confluence / Twig
-/// (trained on input #0, tested on input #1), plus rewrite metadata.
-pub struct HeadlineRow {
-    /// The application.
-    pub app: AppId,
-    /// FDIP baseline.
-    pub baseline: SimStats,
-    /// Ideal BTB.
-    pub ideal: SimStats,
-    /// 32K-entry BTB (4-way), no prefetching.
-    pub btb32k: SimStats,
-    /// Shotgun.
-    pub shotgun: SimStats,
-    /// Confluence.
-    pub confluence: SimStats,
-    /// Twig (full).
-    pub twig: SimStats,
-    /// Twig without coalescing (Fig. 18 ablation).
-    pub twig_sw_only: SimStats,
+/// One value destined for a report table: a number, or an explicit
+/// failure marker rendered as `FAILED(<reason>)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellValue {
+    /// A healthy numeric value.
+    Num(f64),
+    /// The cell (or one of its inputs) failed; the short reason tag.
+    Failed(String),
+}
+
+impl From<f64> for CellValue {
+    fn from(v: f64) -> Self {
+        CellValue::Num(v)
+    }
+}
+
+impl CellValue {
+    /// The number, if healthy.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            CellValue::Num(v) => Some(*v),
+            CellValue::Failed(_) => None,
+        }
+    }
+
+    /// Applies `f` to a healthy value; failures pass through.
+    pub fn map(&self, f: impl FnOnce(f64) -> f64) -> CellValue {
+        match self {
+            CellValue::Num(v) => CellValue::Num(f(*v)),
+            CellValue::Failed(r) => CellValue::Failed(r.clone()),
+        }
+    }
+
+    /// Combines two values; any failure wins (first one's reason).
+    pub fn zip_with(&self, other: &CellValue, f: impl FnOnce(f64, f64) -> f64) -> CellValue {
+        match (self, other) {
+            (CellValue::Num(a), CellValue::Num(b)) => CellValue::Num(f(*a, *b)),
+            (CellValue::Failed(r), _) | (_, CellValue::Failed(r)) => {
+                CellValue::Failed(r.clone())
+            }
+        }
+    }
+}
+
+/// One headline matrix cell: the simulation's statistics, or a
+/// quarantined failure.
+// `Ok(SimStats)` is the overwhelmingly common variant — boxing it to
+// shrink the rare `Failed` case would add a pointer chase to every
+// healthy-cell read.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// The simulation completed.
+    Ok(SimStats),
+    /// The cell failed after all retries; short reason tag
+    /// (`panic` / `timeout` / `cancelled` / `prepare`).
+    Failed(String),
+}
+
+impl Cell {
+    /// The stats, if the cell is healthy.
+    pub fn stats(&self) -> Option<&SimStats> {
+        match self {
+            Cell::Ok(stats) => Some(stats),
+            Cell::Failed(_) => None,
+        }
+    }
+
+    /// The failure reason, if any.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            Cell::Ok(_) => None,
+            Cell::Failed(reason) => Some(reason),
+        }
+    }
+
+    /// Projects one number out of a healthy cell, else the failure.
+    pub fn value(&self, f: impl FnOnce(&SimStats) -> f64) -> CellValue {
+        match self {
+            Cell::Ok(stats) => CellValue::Num(f(stats)),
+            Cell::Failed(reason) => CellValue::Failed(reason.clone()),
+        }
+    }
+
+    /// Projects several numbers out of a healthy cell; a failed cell
+    /// yields `n` copies of the failure marker (one per table column).
+    pub fn values(&self, n: usize, f: impl FnOnce(&SimStats) -> Vec<f64>) -> Vec<CellValue> {
+        match self {
+            Cell::Ok(stats) => f(stats).into_iter().map(CellValue::Num).collect(),
+            Cell::Failed(reason) => vec![CellValue::Failed(reason.clone()); n],
+        }
+    }
+}
+
+/// Combines two cells into one number; either failure wins.
+pub fn cell2(a: &Cell, b: &Cell, f: impl FnOnce(&SimStats, &SimStats) -> f64) -> CellValue {
+    match (a, b) {
+        (Cell::Ok(sa), Cell::Ok(sb)) => CellValue::Num(f(sa, sb)),
+        (Cell::Failed(r), _) | (_, Cell::Failed(r)) => CellValue::Failed(r.clone()),
+    }
+}
+
+/// Rewrite metadata of one app's prepare phase (Figs. 21–22, Table 3);
+/// integer-only fields, so its JSON checkpoint round-trips bit-exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RowMeta {
     /// Rewrite outcome of the full Twig binary.
     pub rewrite: twig::RewriteOutcome,
     /// Rewrite outcome of the software-only binary.
@@ -142,35 +248,88 @@ pub struct HeadlineRow {
     pub working_set_bytes_twig: u64,
 }
 
+/// The per-application headline result matrix shared by Figs. 16–22 and
+/// Tables 2–3: baseline / ideal / 32K BTB / Shotgun / Confluence / Twig
+/// (trained on input #0, tested on input #1), plus rewrite metadata.
+/// Every field is a quarantine-aware [`Cell`]: a failed simulation marks
+/// only its own column, not the whole run.
+pub struct HeadlineRow {
+    /// The application.
+    pub app: AppId,
+    /// FDIP baseline.
+    pub baseline: Cell,
+    /// Ideal BTB.
+    pub ideal: Cell,
+    /// 32K-entry BTB (4-way), no prefetching.
+    pub btb32k: Cell,
+    /// Shotgun.
+    pub shotgun: Cell,
+    /// Confluence.
+    pub confluence: Cell,
+    /// Twig (full).
+    pub twig: Cell,
+    /// Twig without coalescing (Fig. 18 ablation).
+    pub twig_sw_only: Cell,
+    /// Rewrite/working-set metadata, or the prepare failure reason.
+    pub meta: Result<RowMeta, String>,
+}
+
 impl HeadlineRow {
     /// Twig speedup over baseline, percent.
-    pub fn twig_speedup(&self) -> f64 {
-        speedup_percent(&self.baseline, &self.twig)
+    pub fn twig_speedup(&self) -> CellValue {
+        cell2(&self.baseline, &self.twig, speedup_percent)
     }
 
     /// Ideal-BTB speedup over baseline, percent.
-    pub fn ideal_speedup(&self) -> f64 {
-        speedup_percent(&self.baseline, &self.ideal)
+    pub fn ideal_speedup(&self) -> CellValue {
+        cell2(&self.baseline, &self.ideal, speedup_percent)
     }
 
-    /// Baseline-relative miss coverage of a system run.
-    pub fn coverage(&self, system: &SimStats) -> f64 {
-        twig::baseline_relative_coverage(&self.baseline, system)
+    /// Speedup of an arbitrary system cell over baseline, percent.
+    pub fn speedup_of(&self, system: &Cell) -> CellValue {
+        cell2(&self.baseline, system, speedup_percent)
+    }
+
+    /// Baseline-relative miss coverage of a system cell.
+    pub fn coverage(&self, system: &Cell) -> CellValue {
+        cell2(&self.baseline, system, |base, sys| {
+            twig::baseline_relative_coverage(base, sys)
+        })
+    }
+
+    /// Projects one number out of the rewrite metadata.
+    pub fn meta_value(&self, f: impl FnOnce(&RowMeta) -> f64) -> CellValue {
+        match &self.meta {
+            Ok(meta) => CellValue::Num(f(meta)),
+            Err(reason) => CellValue::Failed(reason.clone()),
+        }
     }
 }
 
 /// Everything per-app the headline simulations need, produced by the
-/// parallel prepare phase.
-struct PreparedApp {
-    setup: Arc<AppSetup>,
-    optimized: twig::OptimizedBinary,
-    optimized_sw: twig::OptimizedBinary,
-    events: Arc<[BlockEvent]>,
-    working_set_bytes: u64,
-    working_set_bytes_twig: u64,
+/// (lazy, cached, exactly-once) prepare phase.
+pub(crate) struct PreparedApp {
+    pub(crate) setup: Arc<AppSetup>,
+    pub(crate) optimized: twig::OptimizedBinary,
+    pub(crate) optimized_sw: twig::OptimizedBinary,
+    pub(crate) events: Arc<[BlockEvent]>,
+    pub(crate) working_set_bytes: u64,
+    pub(crate) working_set_bytes_twig: u64,
 }
 
-fn prepare_app(app: AppId, budget: u64) -> PreparedApp {
+impl PreparedApp {
+    /// The metadata checkpointed per app.
+    fn meta(&self) -> RowMeta {
+        RowMeta {
+            rewrite: self.optimized.rewrite,
+            rewrite_sw_only: self.optimized_sw.rewrite,
+            working_set_bytes: self.working_set_bytes,
+            working_set_bytes_twig: self.working_set_bytes_twig,
+        }
+    }
+}
+
+pub(crate) fn prepare_app(app: AppId, budget: u64) -> PreparedApp {
     let setup = AppSetup::shared(app);
     let config = setup.sim_config;
     let optimizer = TwigOptimizer::new(TwigConfig::default());
@@ -211,6 +370,21 @@ enum SimSlot {
     Confluence,
     Twig,
     TwigSwOnly,
+}
+
+impl SimSlot {
+    /// Stable name used in cell ids, checkpoint keys, and fault specs.
+    fn name(self) -> &'static str {
+        match self {
+            SimSlot::Baseline => "baseline",
+            SimSlot::Ideal => "ideal",
+            SimSlot::Btb32k => "btb32k",
+            SimSlot::Shotgun => "shotgun",
+            SimSlot::Confluence => "confluence",
+            SimSlot::Twig => "twig",
+            SimSlot::TwigSwOnly => "twig-sw",
+        }
+    }
 }
 
 const SLOTS: [SimSlot; 7] = [
@@ -274,39 +448,168 @@ fn run_slot(p: &PreparedApp, slot: SimSlot, budget: u64) -> SimStats {
     }
 }
 
+/// Outcome of one flat headline task (a simulation cell or an app's
+/// metadata cell).
+enum MatrixOutcome {
+    Sim(Cell),
+    Meta(Result<RowMeta, String>),
+}
+
+/// One flat headline task.
+#[derive(Clone, Copy)]
+enum MatrixTask {
+    Sim(usize, SimSlot),
+    Meta(usize),
+}
+
+/// Loads a cell from the checkpoint store, verifying that the payload
+/// still parses (the CRC layer already rejected torn records).
+fn load_checkpointed<T: twig_serde::de::DeserializeOwned>(
+    store: &CheckpointStore,
+    key: &str,
+    id: &str,
+) -> Option<T> {
+    let payload = store.load(key)?;
+    let text = String::from_utf8(payload).ok()?;
+    match twig_serde_json::from_str::<T>(&text) {
+        Ok(value) => {
+            manifest::record_cell(id, CellStatus::Checkpointed, 0, 0, None);
+            Some(value)
+        }
+        Err(_) => None,
+    }
+}
+
+/// Runs one supervised + checkpointed cell computation.
+fn run_cell<T, F>(
+    store: &CheckpointStore,
+    policy: &TaskPolicy,
+    key: &str,
+    id: &str,
+    index: usize,
+    compute: F,
+) -> Result<T, String>
+where
+    T: Serialize + twig_serde::de::DeserializeOwned + Send,
+    F: Fn(&CancelToken) -> Result<T, twig_sched::TaskError>,
+{
+    if let Some(value) = load_checkpointed::<T>(store, key, id) {
+        return Ok(value);
+    }
+    let report = twig_sched::run_supervised(id, index, policy, compute);
+    match report.result {
+        Ok(value) => {
+            if let Ok(json) = twig_serde_json::to_string(&value) {
+                store.store(key, json.as_bytes());
+            }
+            manifest::record_cell(id, CellStatus::Ok, report.attempts, report.wall_ms, None);
+            Ok(value)
+        }
+        Err(error) => {
+            manifest::record_cell(
+                id,
+                CellStatus::Failed,
+                report.attempts,
+                report.wall_ms,
+                Some(error.to_string()),
+            );
+            Err(error.kind().to_string())
+        }
+    }
+}
+
 static HEADLINE: OnceLock<Vec<HeadlineRow>> = OnceLock::new();
 
 /// Computes (once per process) the headline matrix at the context's budget.
 ///
-/// Three phases, each a flat task list over the scheduler:
-/// 1. per-app prepare (profile → analyze → rewrite ×2 → trace → working
-///    sets) — 9 tasks;
-/// 2. the full `(app × system)` simulation matrix — 63 independent tasks,
-///    so a slow app no longer serializes the six other systems behind its
-///    own; each task dispatches on the concrete BTB system type;
-/// 3. serial assembly of the rows.
+/// The work is one flat task list over the scheduler: the full
+/// `(app × system)` simulation matrix (63 tasks) plus one metadata task
+/// per app (9 tasks). Each task is supervised (panic isolation, watchdog,
+/// retry) and checkpointed; per-app preparation (profile → analyze →
+/// rewrite ×2 → trace → working sets) happens lazily through the artifact
+/// cache, exactly once per app, and only when some cell actually needs it
+/// — an app whose every cell was checkpointed is never re-prepared.
 pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
     HEADLINE.get_or_init(|| {
         let budget = ctx.instructions;
-        let prepared = twig_sched::parallel_map(AppId::ALL.to_vec(), |app| {
-            prepare_app(app, budget)
+        let store = if ctx.checkpoints {
+            CheckpointStore::open(&ctx.results_dir.join(".checkpoints"), ctx.resume)
+        } else {
+            CheckpointStore::disabled()
+        };
+        let policy = TaskPolicy::from_env();
+
+        // Task order is fixed (apps × slots, then metas), so `task=N`
+        // fault selectors hit the same cell on every run.
+        let mut tasks: Vec<MatrixTask> = Vec::with_capacity(AppId::ALL.len() * (SLOTS.len() + 1));
+        for i in 0..AppId::ALL.len() {
+            for slot in SLOTS {
+                tasks.push(MatrixTask::Sim(i, slot));
+            }
+        }
+        for i in 0..AppId::ALL.len() {
+            tasks.push(MatrixTask::Meta(i));
+        }
+
+        let tagged: Vec<(usize, MatrixTask)> = tasks.into_iter().enumerate().collect();
+        let outcomes = twig_sched::parallel_map(tagged, |(index, task)| match task {
+            MatrixTask::Sim(i, slot) => {
+                let app = AppId::ALL[i];
+                let id = format!("sim:{}/{}", app.name(), slot.name());
+                let key = format!("sim-{}-{}-i{}", app.name(), slot.name(), budget);
+                let cell = match run_cell::<SimStats, _>(&store, &policy, &key, &id, index, |_| {
+                    let prepared = cache::global().prepared(app, budget);
+                    Ok(run_slot(&prepared, slot, budget))
+                }) {
+                    Ok(stats) => Cell::Ok(stats),
+                    Err(reason) => Cell::Failed(reason),
+                };
+                MatrixOutcome::Sim(cell)
+            }
+            MatrixTask::Meta(i) => {
+                let app = AppId::ALL[i];
+                let id = format!("meta:{}", app.name());
+                let key = format!("meta-{}-i{}", app.name(), budget);
+                let meta = run_cell::<RowMeta, _>(&store, &policy, &key, &id, index, |_| {
+                    Ok(cache::global().prepared(app, budget).meta())
+                });
+                MatrixOutcome::Meta(meta)
+            }
         });
 
-        let tasks: Vec<(usize, SimSlot)> = (0..prepared.len())
-            .flat_map(|i| SLOTS.iter().map(move |&slot| (i, slot)))
+        let mut outcomes = outcomes.into_iter();
+        let mut sim_cells: Vec<Vec<Cell>> = Vec::with_capacity(AppId::ALL.len());
+        for _ in 0..AppId::ALL.len() {
+            let mut row = Vec::with_capacity(SLOTS.len());
+            for _ in 0..SLOTS.len() {
+                match outcomes.next() {
+                    Some(MatrixOutcome::Sim(cell)) => row.push(cell),
+                    _ => row.push(Cell::Failed("lost".to_string())),
+                }
+            }
+            sim_cells.push(row);
+        }
+        let metas: Vec<Result<RowMeta, String>> = outcomes
+            .map(|o| match o {
+                MatrixOutcome::Meta(meta) => meta,
+                MatrixOutcome::Sim(_) => Err("lost".to_string()),
+            })
             .collect();
-        let stats =
-            twig_sched::parallel_map(tasks, |(i, slot)| run_slot(&prepared[i], slot, budget));
-        let mut stats: Vec<Option<SimStats>> = stats.into_iter().map(Some).collect();
 
-        prepared
+        sim_cells
             .into_iter()
+            .zip(metas)
             .enumerate()
-            .map(|(i, p)| {
-                let mut take =
-                    |slot: usize| stats[i * SLOTS.len() + slot].take().expect("slot filled");
+            .map(|(i, (mut cells, meta))| {
+                let mut take = |_slot: usize| {
+                    if cells.is_empty() {
+                        Cell::Failed("lost".to_string())
+                    } else {
+                        cells.remove(0)
+                    }
+                };
                 HeadlineRow {
-                    app: p.setup.app,
+                    app: AppId::ALL[i],
                     baseline: take(0),
                     ideal: take(1),
                     btb32k: take(2),
@@ -314,10 +617,7 @@ pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
                     confluence: take(4),
                     twig: take(5),
                     twig_sw_only: take(6),
-                    rewrite: p.optimized.rewrite,
-                    rewrite_sw_only: p.optimized_sw.rewrite,
-                    working_set_bytes: p.working_set_bytes,
-                    working_set_bytes_twig: p.working_set_bytes_twig,
+                    meta,
                 }
             })
             .collect()
@@ -325,8 +625,13 @@ pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
 }
 
 /// Formats a per-app table: header, one row per app, and a mean line
-/// computed over the numeric columns.
-pub fn table(header: &[&str], rows: &[(AppId, Vec<f64>)]) -> String {
+/// computed over the numeric columns. Failed cells render as
+/// `FAILED(<reason>)` and are excluded from the mean (which then divides
+/// by the number of healthy values in that column).
+pub fn table<V>(header: &[&str], rows: &[(AppId, Vec<V>)]) -> String
+where
+    V: Clone + Into<CellValue>,
+{
     let mut out = String::new();
     out.push_str(&format!("{:<16}", "app"));
     for h in header {
@@ -335,17 +640,34 @@ pub fn table(header: &[&str], rows: &[(AppId, Vec<f64>)]) -> String {
     out.push('\n');
     let n = header.len();
     let mut sums = vec![0.0; n];
+    let mut counts = vec![0usize; n];
     for (app, values) in rows {
         out.push_str(&format!("{:<16}", app.name()));
         for (i, v) in values.iter().enumerate() {
-            out.push_str(&format!(" {v:>12.2}"));
-            sums[i] += v;
+            match v.clone().into() {
+                CellValue::Num(v) => {
+                    out.push_str(&format!(" {v:>12.2}"));
+                    sums[i] += v;
+                    counts[i] += 1;
+                }
+                CellValue::Failed(reason) => {
+                    out.push_str(&format!(" {:>12}", format!("FAILED({reason})")));
+                }
+            }
         }
         out.push('\n');
     }
     out.push_str(&format!("{:<16}", "MEAN"));
-    for s in &sums {
-        out.push_str(&format!(" {:>12.2}", s / rows.len().max(1) as f64));
+    for (i, s) in sums.iter().enumerate() {
+        // All-healthy columns divide by the row count (the historical
+        // behavior, byte-identical on green runs); degraded columns
+        // average whatever survived.
+        let divisor = if counts[i] == rows.len() {
+            rows.len().max(1)
+        } else {
+            counts[i].max(1)
+        };
+        out.push_str(&format!(" {:>12.2}", s / divisor as f64));
     }
     out.push('\n');
     out
@@ -368,6 +690,84 @@ mod tests {
         assert!(mean_line.starts_with("MEAN"));
         assert!(mean_line.contains("15.00"));
         assert!(mean_line.contains("3.00"));
+    }
+
+    #[test]
+    fn table_marks_failed_cells_and_means_over_survivors() {
+        let rows = vec![
+            (AppId::Kafka, vec![CellValue::Num(10.0), CellValue::Num(2.0)]),
+            (
+                AppId::Tomcat,
+                vec![CellValue::Failed("panic".into()), CellValue::Num(4.0)],
+            ),
+        ];
+        let out = table(&["a", "b"], &rows);
+        assert!(out.contains("FAILED(panic)"), "{out}");
+        let mean_line = out.lines().last().unwrap();
+        // Column a: only kafka survived -> mean 10.00; column b: 3.00.
+        assert!(mean_line.contains("10.00"), "{mean_line}");
+        assert!(mean_line.contains("3.00"), "{mean_line}");
+    }
+
+    #[test]
+    fn cell_combinators_propagate_failures() {
+        let ok = Cell::Ok(SimStats {
+            cycles: 100,
+            retired_instructions: 200,
+            ..SimStats::default()
+        });
+        let bad = Cell::Failed("timeout".into());
+        assert_eq!(ok.value(|s| s.ipc()), CellValue::Num(2.0));
+        assert_eq!(bad.value(|s| s.ipc()), CellValue::Failed("timeout".into()));
+        assert_eq!(
+            cell2(&ok, &bad, |a, b| a.ipc() + b.ipc()),
+            CellValue::Failed("timeout".into())
+        );
+        assert_eq!(
+            bad.values(3, |_| vec![1.0, 2.0, 3.0]),
+            vec![CellValue::Failed("timeout".into()); 3]
+        );
+        assert_eq!(
+            CellValue::Num(4.0).zip_with(&CellValue::Num(2.0), |a, b| a / b),
+            CellValue::Num(2.0)
+        );
+    }
+
+    #[test]
+    fn row_meta_checkpoint_payload_roundtrips_bit_exactly() {
+        let meta = RowMeta {
+            rewrite: twig::RewriteOutcome {
+                brprefetch_ops: 123,
+                brcoalesce_ops: 45,
+                coalesce_entries: 6,
+                injection_sites: 78,
+                dropped_pairs: 9,
+                text_bytes_before: 1_000_000,
+                text_bytes_after: 1_060_000,
+            },
+            rewrite_sw_only: twig::RewriteOutcome::default(),
+            working_set_bytes: 42,
+            working_set_bytes_twig: 43,
+        };
+        let json = twig_serde_json::to_string(&meta).unwrap();
+        let back: RowMeta = twig_serde_json::from_str(&json).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn sim_stats_checkpoint_payload_roundtrips_bit_exactly() {
+        let setup = AppSetup::shared(AppId::Tomcat);
+        let events = setup.events(1, 20_000);
+        let stats = run_mono(
+            &setup.program,
+            setup.sim_config,
+            PlainBtb::new(&setup.sim_config),
+            &events,
+            20_000,
+        );
+        let json = twig_serde_json::to_string(&stats).unwrap();
+        let back: SimStats = twig_serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats, "SimStats is integer-only; JSON must be exact");
     }
 
     #[test]
@@ -396,6 +796,41 @@ mod tests {
         let cached = setup.events(3, 4_000);
         let fresh = setup.fresh_events(3, 4_000);
         assert_eq!(&cached[..], &fresh[..]);
+    }
+
+    #[test]
+    fn supervised_checkpointed_cell_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("twig-runner-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir, false);
+        let policy = TaskPolicy {
+            attempts: 1,
+            backoff_ms: 0,
+            timeout_ms: None,
+        };
+        // First computation runs and persists…
+        let first = run_cell::<RowMeta, _>(&store, &policy, "meta-x-i1", "meta:x", 0, |_| {
+            Ok(RowMeta {
+                rewrite: twig::RewriteOutcome::default(),
+                rewrite_sw_only: twig::RewriteOutcome::default(),
+                working_set_bytes: 7,
+                working_set_bytes_twig: 8,
+            })
+        })
+        .unwrap();
+        // …a resume-style store then serves it without running the task.
+        let resumed = CheckpointStore::open(&dir, true);
+        let second = run_cell::<RowMeta, _>(&resumed, &policy, "meta-x-i1", "meta:x", 0, |_| {
+            panic!("must not recompute a checkpointed cell");
+        })
+        .unwrap();
+        assert_eq!(second, first);
+        // A failing cell is quarantined with the panic's kind as reason.
+        let failed = run_cell::<RowMeta, _>(&resumed, &policy, "meta-y-i1", "meta:y", 0, |_| {
+            panic!("no checkpoint for this one");
+        });
+        assert_eq!(failed.unwrap_err(), "panic");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

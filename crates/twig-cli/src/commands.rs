@@ -8,6 +8,7 @@ use twig_workload::{
     AppId, InputConfig, Program, ProgramGenerator, Walker, WorkloadSpec,
 };
 
+use crate::error::CliError;
 use crate::io::{read_json, read_profile, read_trace_file, write_json, write_profile, write_trace_file, Args};
 
 const USAGE: &str = "\
@@ -37,7 +38,7 @@ systems: plain (default), ideal, shotgun, confluence, btb-x, phantom-btb,
 ";
 
 /// Dispatches a parsed command line.
-pub fn dispatch(args: &[String]) -> Result<(), String> {
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         eprint!("{USAGE}");
         return Ok(());
@@ -55,11 +56,11 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             eprint!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try `twig help`")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}; try `twig help`"))),
     }
 }
 
-fn cmd_apps() -> Result<(), String> {
+fn cmd_apps() -> Result<(), CliError> {
     println!("{:<16} {:>10} {:>12} {:>10}", "app", "functions", "footprint", "handlers");
     for app in AppId::ALL {
         let spec = WorkloadSpec::preset(app);
@@ -74,27 +75,27 @@ fn cmd_apps() -> Result<(), String> {
     Ok(())
 }
 
-fn load_spec(args: &Args<'_>) -> Result<WorkloadSpec, String> {
+fn load_spec(args: &Args<'_>) -> Result<WorkloadSpec, CliError> {
     let path = args.require("spec")?;
     let spec: WorkloadSpec = read_json(path)?;
-    spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+    spec.validate().map_err(|e| CliError::Invalid(format!("invalid spec: {e}")))?;
     Ok(spec)
 }
 
-fn cmd_spec(args: &Args<'_>) -> Result<(), String> {
+fn cmd_spec(args: &Args<'_>) -> Result<(), CliError> {
     let name = args.require("app")?;
     let app = AppId::ALL
         .iter()
         .copied()
         .find(|a| a.name() == name)
-        .ok_or_else(|| format!("unknown app {name:?}; see `twig apps`"))?;
+        .ok_or_else(|| CliError::Invalid(format!("unknown app {name:?}; see `twig apps`")))?;
     let out = args.require("out")?;
     write_json(out, &WorkloadSpec::preset(app))?;
     eprintln!("wrote {out}");
     Ok(())
 }
 
-fn cmd_trace(args: &Args<'_>) -> Result<(), String> {
+fn cmd_trace(args: &Args<'_>) -> Result<(), CliError> {
     let spec = load_spec(args)?;
     let out = args.require("out")?;
     let input: u32 = args.parse_or("input", 0)?;
@@ -107,7 +108,7 @@ fn cmd_trace(args: &Args<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(args: &Args<'_>) -> Result<(), String> {
+fn cmd_profile(args: &Args<'_>) -> Result<(), CliError> {
     let spec = load_spec(args)?;
     let out = args.require("out")?;
     let input: u32 = args.parse_or("input", 0)?;
@@ -132,7 +133,7 @@ fn cmd_profile(args: &Args<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &Args<'_>) -> Result<(), String> {
+fn cmd_analyze(args: &Args<'_>) -> Result<(), CliError> {
     let spec = load_spec(args)?;
     let profile: twig_profile::Profile = read_profile(args.require("profile")?)?;
     let out = args.require("out")?;
@@ -150,7 +151,7 @@ fn cmd_analyze(args: &Args<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn twig_config(args: &Args<'_>) -> Result<TwigConfig, String> {
+fn twig_config(args: &Args<'_>) -> Result<TwigConfig, CliError> {
     let mut config = TwigConfig::default();
     config.prefetch_distance = args.parse_or("prefetch-distance", config.prefetch_distance)?;
     config.coalesce_bitmask_bits =
@@ -158,11 +159,11 @@ fn twig_config(args: &Args<'_>) -> Result<TwigConfig, String> {
     if args.has("no-coalesce") {
         config.enable_coalescing = false;
     }
-    config.validate()?;
+    config.validate().map_err(CliError::Invalid)?;
     Ok(config)
 }
 
-fn build_system(name: &str, config: &SimConfig) -> Result<Box<dyn BtbSystem>, String> {
+fn build_system(name: &str, config: &SimConfig) -> Result<Box<dyn BtbSystem>, CliError> {
     Ok(match name {
         "plain" | "ideal" => Box::new(PlainBtb::new(config)),
         "shotgun" => Box::new(Shotgun::new(config)),
@@ -170,15 +171,15 @@ fn build_system(name: &str, config: &SimConfig) -> Result<Box<dyn BtbSystem>, St
         "btb-x" => Box::new(CompressedBtb::new(config)),
         "phantom-btb" => Box::new(PhantomBtb::new(config)),
         "two-level-bulk" => Box::new(TwoLevelBtb::new(config)),
-        other => return Err(format!("unknown system {other:?}; see `twig help`")),
+        other => return Err(CliError::Invalid(format!("unknown system {other:?}; see `twig help`"))),
     })
 }
 
-fn print_stats(stats: &SimStats, json: bool) -> Result<(), String> {
+fn print_stats(stats: &SimStats, json: bool) -> Result<(), CliError> {
     if json {
         println!(
             "{}",
-            twig_serde_json::to_string_pretty(stats).map_err(|e| e.to_string())?
+            twig_serde_json::to_string_pretty(stats).map_err(|e| CliError::decode("stdout", e))?
         );
     } else {
         println!("IPC               {:.4}", stats.ipc());
@@ -206,7 +207,7 @@ fn print_stats(stats: &SimStats, json: bool) -> Result<(), String> {
 fn maybe_rewrite(
     args: &Args<'_>,
     generator: &ProgramGenerator,
-) -> Result<Program, String> {
+) -> Result<Program, CliError> {
     match args.flag("plans") {
         None => Ok(generator.generate()),
         Some(path) => {
@@ -217,7 +218,7 @@ fn maybe_rewrite(
     }
 }
 
-fn cmd_simulate(args: &Args<'_>) -> Result<(), String> {
+fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
     let spec = load_spec(args)?;
     let system_name = args.flag("system").unwrap_or("plain");
     let input: u32 = args.parse_or("input", 0)?;
@@ -243,7 +244,7 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), String> {
     print_stats(&stats, args.has("json"))
 }
 
-fn cmd_optimize(args: &Args<'_>) -> Result<(), String> {
+fn cmd_optimize(args: &Args<'_>) -> Result<(), CliError> {
     let spec = load_spec(args)?;
     let train: u32 = args.parse_or("train", 0)?;
     let test: u32 = args.parse_or("test", 1)?;
@@ -256,7 +257,7 @@ fn cmd_optimize(args: &Args<'_>) -> Result<(), String> {
     if args.has("json") {
         println!(
             "{}",
-            twig_serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            twig_serde_json::to_string_pretty(&report).map_err(|e| CliError::decode("stdout", e))?
         );
     } else {
         println!("baseline IPC      {:.4}", report.baseline.ipc());
@@ -308,6 +309,38 @@ mod tests {
         ] {
             assert!(build_system(name, &config).is_ok(), "{name}");
         }
+    }
+
+    #[test]
+    fn error_categories_map_to_distinct_exit_codes() {
+        // Unknown command: usage (2).
+        let e = dispatch(&strs(&["frobnicate"])).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        // Missing required flag: usage (2).
+        let e = dispatch(&strs(&["trace"])).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        // Missing file: I/O (3).
+        let e = dispatch(&strs(&["trace", "--spec", "/nonexistent/spec.json", "--out", "/tmp/x"]))
+            .unwrap_err();
+        assert_eq!(e.exit_code(), 3);
+        // Corrupt artifact: decode (4).
+        let dir = std::env::temp_dir().join(format!("twig-cli-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, b"{not json").unwrap();
+        let e = dispatch(&strs(&[
+            "trace",
+            "--spec",
+            &bad.to_string_lossy(),
+            "--out",
+            "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 4);
+        // Semantically invalid: (5).
+        let e = dispatch(&strs(&["spec", "--app", "not-an-app", "--out", "/tmp/x"])).unwrap_err();
+        assert_eq!(e.exit_code(), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

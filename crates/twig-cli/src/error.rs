@@ -1,0 +1,126 @@
+//! Typed CLI errors with distinct exit codes.
+//!
+//! Every fallible path maps onto one of four categories, each with its
+//! own nonzero exit code so scripts can tell a typo from a missing file
+//! from a corrupt artifact:
+//!
+//! | variant   | exit | meaning                                        |
+//! |-----------|------|------------------------------------------------|
+//! | `Usage`   | 2    | bad command line (unknown command/flag/value)  |
+//! | `Io`      | 3    | filesystem failure (missing file, permissions) |
+//! | `Decode`  | 4    | artifact exists but does not parse/verify      |
+//! | `Invalid` | 5    | well-formed input that fails semantic checks   |
+//!
+//! `Io` and `Decode` keep their underlying error as a
+//! [`std::error::Error::source`] chain, printed by `main` one `caused
+//! by:` line per link.
+
+/// A categorized CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line: unknown command, missing flag, unparseable value.
+    Usage(String),
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// What was being done (`read`, `write`, `mkdir for`).
+        action: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// An artifact was read but could not be decoded (corrupt JSON,
+    /// bad `.twpf`/`.twgt` bytes) — or could not be encoded.
+    Decode {
+        /// The path involved.
+        path: String,
+        /// The underlying codec error.
+        source: Box<dyn std::error::Error + Send + Sync>,
+    },
+    /// Input parsed fine but is semantically invalid (spec/config
+    /// validation, unknown app or system name).
+    Invalid(String),
+}
+
+impl CliError {
+    /// The process exit code for this category.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Decode { .. } => 4,
+            CliError::Invalid(_) => 5,
+        }
+    }
+
+    /// Convenience constructor for [`CliError::Io`].
+    pub fn io(action: &'static str, path: &str, source: std::io::Error) -> Self {
+        CliError::Io {
+            path: path.to_string(),
+            action,
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`CliError::Decode`].
+    pub fn decode(
+        path: &str,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        CliError::Decode {
+            path: path.to_string(),
+            source: Box::new(source),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, action, .. } => write!(f, "cannot {action} {path}"),
+            CliError::Decode { path, .. } => write!(f, "cannot decode {path}"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Decode { source, .. } => Some(source.as_ref()),
+            CliError::Usage(_) | CliError::Invalid(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errors = [
+            CliError::Usage("u".into()),
+            CliError::io("read", "f", std::io::Error::other("x")),
+            CliError::decode("f", std::io::Error::other("y")),
+            CliError::Invalid("i".into()),
+        ];
+        let codes: Vec<i32> = errors.iter().map(CliError::exit_code).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5]);
+        for e in &errors {
+            assert_ne!(e.exit_code(), 0);
+        }
+    }
+
+    #[test]
+    fn io_and_decode_chain_their_sources() {
+        let io = CliError::io("read", "missing.json", std::io::Error::other("boom"));
+        assert!(io.source().unwrap().to_string().contains("boom"));
+        let decode = CliError::decode("p.twpf", std::io::Error::other("bad bytes"));
+        assert!(decode.source().unwrap().to_string().contains("bad bytes"));
+        assert!(CliError::Usage("u".into()).source().is_none());
+    }
+}

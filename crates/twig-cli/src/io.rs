@@ -1,35 +1,40 @@
 //! File I/O helpers: JSON for structured artifacts (specs, profiles,
-//! plans, reports) and the binary `.twgt` format for traces.
+//! plans, reports) and the binary `.twgt` format for traces. All
+//! failures are typed [`CliError`]s: filesystem problems map to
+//! [`CliError::Io`] (exit 3), undecodable artifacts to
+//! [`CliError::Decode`] (exit 4).
 
 use std::path::Path;
 
 use twig_serde::de::DeserializeOwned;
 use twig_serde::Serialize;
 
+use crate::error::CliError;
+
 /// Reads a JSON artifact.
-pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    twig_serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
+    twig_serde_json::from_str(&text).map_err(|e| CliError::decode(path, e))
 }
 
 /// Writes a JSON artifact (pretty-printed).
-pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let text =
-        twig_serde_json::to_string_pretty(value).map_err(|e| format!("serialize {path}: {e}"))?;
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    let text = twig_serde_json::to_string_pretty(value).map_err(|e| CliError::decode(path, e))?;
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir for {path}: {e}"))?;
+            std::fs::create_dir_all(parent)
+                .map_err(|e| CliError::io("mkdir for", path, e))?;
         }
     }
-    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
+    std::fs::write(path, text).map_err(|e| CliError::io("write", path, e))
 }
 
 /// Reads a profile, selecting the format by extension: `.twpf` binary,
 /// everything else JSON.
-pub fn read_profile(path: &str) -> Result<twig_profile::Profile, String> {
+pub fn read_profile(path: &str) -> Result<twig_profile::Profile, CliError> {
     if path.ends_with(".twpf") {
-        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-        twig_profile::decode_profile(&bytes).map_err(|e| format!("decode {path}: {e}"))
+        let bytes = std::fs::read(path).map_err(|e| CliError::io("read", path, e))?;
+        twig_profile::decode_profile(&bytes).map_err(|e| CliError::decode(path, e))
     } else {
         read_json(path)
     }
@@ -37,28 +42,28 @@ pub fn read_profile(path: &str) -> Result<twig_profile::Profile, String> {
 
 /// Writes a profile, selecting the format by extension (see
 /// [`read_profile`]).
-pub fn write_profile(path: &str, profile: &twig_profile::Profile) -> Result<(), String> {
+pub fn write_profile(path: &str, profile: &twig_profile::Profile) -> Result<(), CliError> {
     if path.ends_with(".twpf") {
         let bytes = twig_profile::encode_profile(profile);
-        std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))
+        std::fs::write(path, &bytes).map_err(|e| CliError::io("write", path, e))
     } else {
         write_json(path, profile)
     }
 }
 
 /// Reads a binary trace file.
-pub fn read_trace_file(path: &str) -> Result<Vec<twig_workload::BlockEvent>, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-    twig_workload::decode_trace(&bytes).map_err(|e| format!("decode {path}: {e}"))
+pub fn read_trace_file(path: &str) -> Result<Vec<twig_workload::BlockEvent>, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| CliError::io("read", path, e))?;
+    twig_workload::decode_trace(&bytes).map_err(|e| CliError::decode(path, e))
 }
 
 /// Writes a binary trace file.
 pub fn write_trace_file(
     path: &str,
     events: &[twig_workload::BlockEvent],
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let bytes = twig_workload::encode_trace(events);
-    std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))
+    std::fs::write(path, &bytes).map_err(|e| CliError::io("write", path, e))
 }
 
 /// Tiny argument cursor: `--key value` flags plus positionals.
@@ -82,19 +87,19 @@ impl<'a> Args<'a> {
             .map(String::as_str)
     }
 
-    /// The value of `--name`, or an error mentioning the flag.
-    pub fn require(&self, name: &str) -> Result<&'a str, String> {
+    /// The value of `--name`, or a usage error mentioning the flag.
+    pub fn require(&self, name: &str) -> Result<&'a str, CliError> {
         self.flag(name)
-            .ok_or_else(|| format!("missing required flag --{name}"))
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
     }
 
     /// Parsed value of `--name`, or `default`.
-    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flag(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {v:?}"))),
         }
     }
 

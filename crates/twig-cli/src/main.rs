@@ -3,8 +3,12 @@
 //! Mirrors how the real tool chain would be operated in production:
 //! workloads, traces, profiles, and plans are files; each pipeline stage is
 //! a subcommand. Run `twig help` for usage.
+//!
+//! Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 undecodable
+//! artifact, 5 semantically invalid input (see [`error::CliError`]).
 
 mod commands;
+mod error;
 mod io;
 
 fn main() {
@@ -13,7 +17,12 @@ fn main() {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("twig: {e}");
-            2
+            let mut source = std::error::Error::source(&e);
+            while let Some(cause) = source {
+                eprintln!("twig:   caused by: {cause}");
+                source = cause.source();
+            }
+            e.exit_code()
         }
     };
     std::process::exit(code);

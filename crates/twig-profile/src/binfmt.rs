@@ -42,6 +42,25 @@ pub enum ProfileCodecError {
     Truncated,
     /// Invalid enum encoding.
     BadKind(u8),
+    /// A declared collection length exceeds what the remaining bytes
+    /// could possibly encode — a corrupt or hostile header. Rejected
+    /// *before* allocating, so no input can over-allocate the decoder.
+    Oversized {
+        /// Which length field was implausible.
+        field: &'static str,
+        /// The declared element count.
+        declared: u64,
+        /// The maximum count the remaining bytes could hold.
+        budget: u64,
+    },
+    /// A value field exceeds its target type's range (e.g. a block id
+    /// above `u32::MAX`); previously these were silently truncated.
+    Overflow {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The decoded raw value.
+        value: u64,
+    },
 }
 
 impl std::fmt::Display for ProfileCodecError {
@@ -51,6 +70,18 @@ impl std::fmt::Display for ProfileCodecError {
             ProfileCodecError::BadVersion(v) => write!(f, "unsupported profile version {v}"),
             ProfileCodecError::Truncated => write!(f, "profile ended unexpectedly"),
             ProfileCodecError::BadKind(k) => write!(f, "invalid branch kind {k}"),
+            ProfileCodecError::Oversized {
+                field,
+                declared,
+                budget,
+            } => write!(
+                f,
+                "declared {field} count {declared} exceeds what the remaining \
+                 bytes could encode ({budget})"
+            ),
+            ProfileCodecError::Overflow { field, value } => {
+                write!(f, "{field} value {value} out of range")
+            }
         }
     }
 }
@@ -108,17 +139,23 @@ pub fn decode_profile(mut buf: &[u8]) -> Result<Profile, ProfileCodecError> {
         return Err(ProfileCodecError::BadVersion(version));
     }
     buf.advance(5);
-    let sample_period = get_varint(&mut buf)? as u32;
+    let sample_period = get_u32(&mut buf, "sample period")?;
     let instructions = get_varint(&mut buf)?;
-    let nblocks = get_varint(&mut buf)? as usize;
-    let mut block_executions = Vec::with_capacity(nblocks.min(1 << 26));
+    // Every declared count is validated against the bytes actually left
+    // before any allocation sized by it: each block execution is at least
+    // one varint byte, each sample at least four bytes (block, kind,
+    // cycle, history length), each history entry at least two. A header
+    // claiming more than that is corrupt — reject it with a typed error
+    // instead of reserving gigabytes.
+    let nblocks = get_count(&mut buf, "block execution", 1)?;
+    let mut block_executions = Vec::with_capacity(nblocks);
     for _ in 0..nblocks {
         block_executions.push(get_varint(&mut buf)?);
     }
-    let nsamples = get_varint(&mut buf)? as usize;
-    let mut samples = Vec::with_capacity(nsamples.min(1 << 26));
+    let nsamples = get_count(&mut buf, "sample", 4)?;
+    let mut samples = Vec::with_capacity(nsamples);
     for _ in 0..nsamples {
-        let branch_block = BlockId::new(get_varint(&mut buf)? as u32);
+        let branch_block = BlockId::new(get_u32(&mut buf, "branch block id")?);
         if !buf.has_remaining() {
             return Err(ProfileCodecError::Truncated);
         }
@@ -131,12 +168,15 @@ pub fn decode_profile(mut buf: &[u8]) -> Result<Profile, ProfileCodecError> {
             return Err(ProfileCodecError::Truncated);
         }
         let nhist = buf.get_u8() as usize;
+        if buf.remaining() < nhist * 2 {
+            return Err(ProfileCodecError::Truncated);
+        }
         let mut history = Vec::with_capacity(nhist);
         let mut prev_cycle = 0u64;
         for _ in 0..nhist {
-            let block = BlockId::new(get_varint(&mut buf)? as u32);
+            let block = BlockId::new(get_u32(&mut buf, "history block id")?);
             let delta = get_varint(&mut buf)?;
-            prev_cycle += delta;
+            prev_cycle = prev_cycle.saturating_add(delta);
             history.push((block, prev_cycle));
         }
         samples.push(MissSample {
@@ -164,6 +204,31 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
         }
         buf.put_u8(byte | 0x80);
     }
+}
+
+/// Decodes a varint that must fit in `u32` (block ids, sample period).
+fn get_u32(buf: &mut &[u8], field: &'static str) -> Result<u32, ProfileCodecError> {
+    let value = get_varint(buf)?;
+    u32::try_from(value).map_err(|_| ProfileCodecError::Overflow { field, value })
+}
+
+/// Decodes a collection length and validates it against the remaining
+/// byte budget (`min_bytes` per element) before the caller allocates.
+fn get_count(
+    buf: &mut &[u8],
+    field: &'static str,
+    min_bytes: u64,
+) -> Result<usize, ProfileCodecError> {
+    let declared = get_varint(buf)?;
+    let budget = buf.remaining() as u64 / min_bytes;
+    if declared > budget {
+        return Err(ProfileCodecError::Oversized {
+            field,
+            declared,
+            budget,
+        });
+    }
+    Ok(declared as usize)
 }
 
 fn get_varint(buf: &mut &[u8]) -> Result<u64, ProfileCodecError> {
@@ -244,6 +309,40 @@ mod tests {
         let decoded = decode_profile(&encode_profile(&p)).unwrap();
         assert_eq!(decoded.sample_period, 3);
         assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn oversized_counts_rejected_before_allocating() {
+        // Header declaring u64::MAX blocks with no bytes behind it: must
+        // fail with the typed error, instantly, without reserving memory.
+        let mut bytes = b"TWPF\x01\x01\x00".to_vec();
+        bytes.extend_from_slice(&[0xff; 9]);
+        bytes.push(0x01); // varint u64::MAX-ish block count
+        assert!(matches!(
+            decode_profile(&bytes),
+            Err(ProfileCodecError::Oversized { field: "block execution", .. })
+        ));
+        // Same for the sample count after a valid empty block array.
+        let mut bytes = b"TWPF\x01\x01\x00\x00".to_vec();
+        bytes.extend_from_slice(&[0xff; 9]);
+        bytes.push(0x01);
+        assert!(matches!(
+            decode_profile(&bytes),
+            Err(ProfileCodecError::Oversized { field: "sample", .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_values_are_typed_errors_not_truncations() {
+        // period=1, instrs=0, nblocks=0, nsamples=1, branch block id
+        // 2^40 — above u32::MAX, which the old decoder truncated silently.
+        let mut bytes = b"TWPF\x01\x01\x00\x00\x01".to_vec();
+        bytes.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x40]); // varint 2^40
+        bytes.extend_from_slice(&[0x00, 0x00, 0x00]); // kind, cycle, nhist
+        assert!(matches!(
+            decode_profile(&bytes),
+            Err(ProfileCodecError::Overflow { field: "branch block id", .. })
+        ));
     }
 
     #[test]

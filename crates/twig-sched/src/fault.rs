@@ -1,0 +1,328 @@
+//! Deterministic fault injection, driven by the `TWIG_FAULT_SPEC`
+//! environment variable.
+//!
+//! The harness's fault-tolerance machinery (panic isolation, watchdogs,
+//! retry, cache integrity checks) is only trustworthy if it can be
+//! exercised on demand; this module provides the lever. A spec is a
+//! `;`-separated list of clauses, each `kind[:sel,sel,...]`:
+//!
+//! ```text
+//! panic:task=3                     panic before the 4th task of a batch
+//! panic:cell=sim:kafka/twig        panic in tasks whose label contains the text
+//! delay:app=tomcat,ms=60000        sleep 60s (cooperatively) in matching tasks
+//! corrupt-cache:app=kafka,times=1  poison the first matching cache populate
+//! ```
+//!
+//! Selectors (all present selectors must match):
+//!
+//! * `task=N`  — the task's index within its batch equals `N`;
+//! * `cell=S` / `app=S` / `label=S` — the task label contains `S`;
+//! * `ms=N`    — delay duration (only meaningful for `delay`);
+//! * `times=N` — fire at most `N` times (default: unlimited for
+//!   `panic`/`delay`, once for `corrupt-cache` so the evicted entry can
+//!   repopulate cleanly).
+//!
+//! Matching is purely a function of the spec and the task's
+//! `(label, index)`, so injected failures land on the same cells on every
+//! run — the property the resume tests rely on.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use crate::supervise::CancelToken;
+
+/// The kind of fault a clause injects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Panic (with a recognizable payload) before the task body runs.
+    Panic,
+    /// Sleep cooperatively for `ms`, polling the cancellation token.
+    Delay,
+    /// Corrupt the integrity fingerprint of a matching cache populate.
+    CorruptCache,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "delay" => Some(FaultKind::Delay),
+            "corrupt-cache" => Some(FaultKind::CorruptCache),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed clause of a fault spec.
+#[derive(Debug)]
+pub struct FaultClause {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Required task index (`task=N`), if any.
+    pub task: Option<usize>,
+    /// Required label substrings (`cell=`/`app=`/`label=`).
+    pub label_contains: Vec<String>,
+    /// Delay duration in milliseconds (`ms=N`).
+    pub ms: u64,
+    /// Maximum number of firings (`times=N`).
+    pub times: u32,
+    fired: AtomicU32,
+}
+
+impl FaultClause {
+    /// True when the clause's selectors match `(label, index)`.
+    fn matches(&self, label: &str, index: usize) -> bool {
+        if let Some(task) = self.task {
+            if task != index {
+                return false;
+            }
+        }
+        self.label_contains.iter().all(|s| label.contains(s))
+    }
+
+    /// Consumes one firing if the selectors match and the budget allows.
+    fn try_fire(&self, label: &str, index: usize) -> bool {
+        if !self.matches(label, index) {
+            return false;
+        }
+        let prev = self.fired.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.times {
+            // Over budget: undo so the counter cannot wrap.
+            self.fired.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+}
+
+/// A parsed `TWIG_FAULT_SPEC`.
+#[derive(Debug, Default)]
+pub struct FaultSpec {
+    clauses: Vec<FaultClause>,
+    /// The raw spec text, echoed into the run manifest.
+    pub raw: Option<String>,
+}
+
+impl FaultSpec {
+    /// Parses a spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause.
+    pub fn parse(raw: &str) -> Result<FaultSpec, String> {
+        let mut clauses = Vec::new();
+        for part in raw.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind_str, sels) = match part.split_once(':') {
+                Some((k, s)) => (k, s),
+                None => (part, ""),
+            };
+            let kind = FaultKind::parse(kind_str.trim())
+                .ok_or_else(|| format!("unknown fault kind {kind_str:?} in {part:?}"))?;
+            let mut clause = FaultClause {
+                kind,
+                task: None,
+                label_contains: Vec::new(),
+                ms: 0,
+                times: if kind == FaultKind::CorruptCache {
+                    1
+                } else {
+                    u32::MAX
+                },
+                fired: AtomicU32::new(0),
+            };
+            for sel in sels.split(',') {
+                let sel = sel.trim();
+                if sel.is_empty() {
+                    continue;
+                }
+                let (key, value) = sel
+                    .split_once('=')
+                    .ok_or_else(|| format!("selector {sel:?} is not key=value in {part:?}"))?;
+                match key.trim() {
+                    "task" => {
+                        clause.task = Some(
+                            value
+                                .trim()
+                                .parse()
+                                .map_err(|_| format!("task index {value:?} is not a number"))?,
+                        );
+                    }
+                    "cell" | "app" | "label" => {
+                        clause.label_contains.push(value.trim().to_string());
+                    }
+                    "ms" => {
+                        clause.ms = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("delay ms {value:?} is not a number"))?;
+                    }
+                    "times" => {
+                        clause.times = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("times {value:?} is not a number"))?;
+                    }
+                    other => return Err(format!("unknown selector key {other:?} in {part:?}")),
+                }
+            }
+            if kind == FaultKind::Delay && clause.ms == 0 {
+                return Err(format!("delay clause {part:?} needs ms=N"));
+            }
+            clauses.push(clause);
+        }
+        Ok(FaultSpec {
+            clauses,
+            raw: Some(raw.to_string()),
+        })
+    }
+
+    /// An empty spec (injects nothing).
+    pub fn none() -> FaultSpec {
+        FaultSpec::default()
+    }
+
+    /// True when no clause is present.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Applies `panic`/`delay` clauses matching `(label, index)`.
+    ///
+    /// Returns `false` when an injected delay was cut short by the
+    /// cancellation token — the caller must treat the task as timed out
+    /// without running its body. Panics (on purpose) when a `panic` clause
+    /// fires; the supervisor's `catch_unwind` turns that into a typed
+    /// task failure.
+    pub fn apply_task_faults(&self, label: &str, index: usize, token: &CancelToken) -> bool {
+        for clause in &self.clauses {
+            match clause.kind {
+                FaultKind::Panic => {
+                    if clause.try_fire(label, index) {
+                        panic!("injected panic (fault spec) in task {label:?}");
+                    }
+                }
+                FaultKind::Delay => {
+                    if clause.try_fire(label, index) {
+                        let deadline = std::time::Instant::now()
+                            + std::time::Duration::from_millis(clause.ms);
+                        while std::time::Instant::now() < deadline {
+                            if token.is_cancelled() {
+                                return false;
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                    }
+                }
+                FaultKind::CorruptCache => {}
+            }
+        }
+        !token.is_cancelled()
+    }
+
+    /// Corrupts `fingerprint` when a `corrupt-cache` clause matches
+    /// `label`; identity otherwise. Cache populates run this over their
+    /// freshly computed integrity fingerprint, so a fired clause makes the
+    /// stored entry fail its next verification — exactly what a torn or
+    /// poisoned populate would look like.
+    pub fn corrupt_fingerprint(&self, label: &str, fingerprint: u64) -> u64 {
+        for clause in &self.clauses {
+            if clause.kind == FaultKind::CorruptCache && clause.try_fire(label, 0) {
+                return fingerprint ^ 0xDEAD_BEEF_DEAD_BEEF;
+            }
+        }
+        fingerprint
+    }
+}
+
+/// The process-wide spec parsed from `TWIG_FAULT_SPEC` (empty when the
+/// variable is unset). A malformed spec aborts: silently ignoring an
+/// operator's injection request would make a fault-tolerance CI job pass
+/// vacuously.
+pub fn global() -> &'static FaultSpec {
+    static SPEC: OnceLock<FaultSpec> = OnceLock::new();
+    SPEC.get_or_init(|| match std::env::var("TWIG_FAULT_SPEC") {
+        Ok(raw) => FaultSpec::parse(&raw)
+            .unwrap_or_else(|e| panic!("malformed TWIG_FAULT_SPEC: {e}")),
+        Err(_) => FaultSpec::none(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let spec =
+            FaultSpec::parse("panic:task=3;delay:task=7,ms=500;corrupt-cache:app=kafka").unwrap();
+        assert_eq!(spec.clauses.len(), 3);
+        assert_eq!(spec.clauses[0].kind, FaultKind::Panic);
+        assert_eq!(spec.clauses[0].task, Some(3));
+        assert_eq!(spec.clauses[1].kind, FaultKind::Delay);
+        assert_eq!(spec.clauses[1].ms, 500);
+        assert_eq!(spec.clauses[2].kind, FaultKind::CorruptCache);
+        assert_eq!(spec.clauses[2].label_contains, vec!["kafka".to_string()]);
+        assert_eq!(spec.clauses[2].times, 1, "corrupt-cache defaults to once");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultSpec::parse("explode:task=1").is_err());
+        assert!(FaultSpec::parse("panic:task=abc").is_err());
+        assert!(FaultSpec::parse("panic:notakv").is_err());
+        assert!(FaultSpec::parse("panic:zzz=1").is_err());
+        assert!(FaultSpec::parse("delay:task=1").is_err(), "delay needs ms");
+        assert!(FaultSpec::parse("").unwrap().is_empty());
+        assert!(FaultSpec::parse(" ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn matching_is_conjunctive_over_selectors() {
+        let spec = FaultSpec::parse("panic:task=2,cell=sim:kafka").unwrap();
+        let c = &spec.clauses[0];
+        assert!(c.matches("sim:kafka/twig", 2));
+        assert!(!c.matches("sim:kafka/twig", 3), "wrong index");
+        assert!(!c.matches("sim:tomcat/twig", 2), "wrong label");
+    }
+
+    #[test]
+    fn injected_panic_fires_and_respects_times() {
+        let spec = FaultSpec::parse("panic:cell=victim,times=1").unwrap();
+        let token = CancelToken::new();
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            spec.apply_task_faults("victim", 0, &token)
+        }));
+        assert!(hit.is_err(), "first firing panics");
+        // Budget exhausted: the same task now passes through.
+        assert!(spec.apply_task_faults("victim", 0, &token));
+        // Non-matching labels never fire.
+        assert!(spec.apply_task_faults("bystander", 0, &token));
+    }
+
+    #[test]
+    fn delay_is_cut_short_by_cancellation() {
+        let spec = FaultSpec::parse("delay:cell=slow,ms=60000").unwrap();
+        let token = CancelToken::with_deadline_ms(30);
+        let started = std::time::Instant::now();
+        let proceed = spec.apply_task_faults("slow", 0, &token);
+        assert!(!proceed, "cancelled delay must abort the task");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "delay must not run to its full 60s"
+        );
+    }
+
+    #[test]
+    fn corrupt_fingerprint_flips_once() {
+        let spec = FaultSpec::parse("corrupt-cache:label=events:kafka").unwrap();
+        let a = spec.corrupt_fingerprint("events:kafka/1", 42);
+        assert_ne!(a, 42, "first populate is corrupted");
+        let b = spec.corrupt_fingerprint("events:kafka/1", 42);
+        assert_eq!(b, 42, "repopulate after eviction is clean");
+        assert_eq!(spec.corrupt_fingerprint("events:tomcat/1", 7), 7);
+    }
+}

@@ -25,8 +25,16 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+pub mod fault;
+pub mod supervise;
+
+pub use fault::{FaultKind, FaultSpec};
+pub use supervise::{
+    run_supervised, supervised_map, CancelToken, TaskError, TaskPolicy, TaskReport,
+};
 
 /// Maximum number of concurrently working threads (including callers),
 /// resolved once per process from `TWIG_NUM_THREADS`, `RAYON_NUM_THREADS`,
@@ -96,6 +104,15 @@ fn acquire_tokens(want: usize) -> Vec<Token> {
 /// long task on one thread never serializes the rest of the batch behind
 /// it. Safe to nest: inner calls reuse whatever budget remains and fall
 /// back to running on the calling thread.
+///
+/// # Panics
+///
+/// If a task panics, the remaining queue is abandoned (fail-fast), the
+/// already-running tasks finish, all workers join cleanly, and the *first*
+/// panic's payload is re-raised on the calling thread — never on a worker,
+/// so a panicking task cannot cross-thread-poison the scope or leak spawn
+/// budget. Callers that need per-task quarantine instead of fail-fast
+/// should use [`supervised_map`].
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -113,12 +130,35 @@ where
 
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let aborted = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let work = || loop {
-        let job = queue.lock().expect("task queue poisoned").pop_front();
+        if aborted.load(Ordering::Acquire) {
+            break;
+        }
+        let job = queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop_front();
         match job {
             Some((index, item)) => {
-                let output = f(item);
-                *results[index].lock().expect("result slot poisoned") = Some(output);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+                    Ok(output) => {
+                        *results[index]
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(output);
+                    }
+                    Err(payload) => {
+                        aborted.store(true, Ordering::Release);
+                        let mut slot = first_panic
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        break;
+                    }
+                }
             }
             None => break,
         }
@@ -138,11 +178,18 @@ where
         work();
     });
 
+    if let Some(payload) = first_panic
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    {
+        std::panic::resume_unwind(payload);
+    }
+
     results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .expect("every queued task stores a result")
         })
         .collect()
@@ -217,6 +264,28 @@ mod tests {
             observed.load(Ordering::Relaxed),
             "tokens were held until the scope ended"
         );
+    }
+
+    #[test]
+    fn panic_propagates_to_caller_after_clean_join() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..64u32).collect::<Vec<_>>(), |v| {
+                if v == 17 {
+                    panic!("task 17 exploded");
+                }
+                v
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(text.contains("task 17 exploded"), "payload was {text:?}");
+        // The budget must be fully restored despite the panic.
+        let available = spawn_budget().load(Ordering::Relaxed);
+        assert_eq!(available, num_threads() as isize - 1);
     }
 
     #[test]

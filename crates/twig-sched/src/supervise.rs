@@ -1,0 +1,523 @@
+//! Per-task fault tolerance: panic isolation, cooperative
+//! deadline/watchdog cancellation, and bounded retry with backoff.
+//!
+//! The experiment harness flattens its work onto [`crate::parallel_map`];
+//! before this module, one panicking or hung task aborted the whole
+//! multi-minute run. [`run_supervised`] quarantines each task instead:
+//!
+//! * **Panic isolation** — the task body runs under `catch_unwind`; the
+//!   panic payload is captured into [`TaskError::Panicked`] and the
+//!   default panic hook's backtrace spew is suppressed for supervised
+//!   regions (real unexpected panics elsewhere still print normally).
+//! * **Watchdog** — each attempt gets a [`CancelToken`] carrying the
+//!   policy deadline. A process-wide watchdog thread trips the token's
+//!   flag when the deadline passes; cancellation is *cooperative* (Rust
+//!   threads cannot be killed), so long-running bodies should poll
+//!   [`CancelToken::is_cancelled`] and bail. `is_cancelled` also checks
+//!   the clock directly, so correctness never depends on watchdog timing.
+//! * **Retry with backoff** — panics and timeouts are retried up to
+//!   [`TaskPolicy::attempts`] times with exponential backoff; explicit
+//!   cancellation is not retried.
+//!
+//! Injected faults from [`crate::fault`] (the `TWIG_FAULT_SPEC` layer)
+//! are applied inside the isolation boundary, before the task body, so
+//! tests and CI can drive every path above deterministically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+use crate::fault;
+
+/// Shared state behind a [`CancelToken`].
+#[derive(Debug)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Cooperative cancellation token handed to every supervised task.
+///
+/// Cheap to clone; all clones observe the same cancellation.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline (cancelled only explicitly).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that auto-cancels `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        let token = CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + Duration::from_millis(ms)),
+            }),
+        };
+        watchdog_register(&token);
+        token
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once cancelled or past the deadline. Long-running task bodies
+    /// should poll this and return early ([`TaskError::Cancelled`]).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch, so later polls are a plain flag read.
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when the token has a deadline and it has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        matches!(self.inner.deadline, Some(d) if Instant::now() >= d)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// Registry of live deadline tokens, scanned by the watchdog thread.
+fn watchdog_registry() -> &'static Mutex<Vec<Weak<TokenInner>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<TokenInner>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Adds a token to the watchdog's scan list, starting the (detached,
+/// process-wide) watchdog thread on first use.
+fn watchdog_register(token: &CancelToken) {
+    static WATCHDOG: OnceLock<()> = OnceLock::new();
+    {
+        let mut registry = watchdog_registry()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        registry.push(Arc::downgrade(&token.inner));
+    }
+    WATCHDOG.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("twig-watchdog".into())
+            .spawn(|| loop {
+                std::thread::sleep(Duration::from_millis(25));
+                let mut registry = watchdog_registry()
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                registry.retain(|weak| match weak.upgrade() {
+                    None => false,
+                    Some(inner) => {
+                        if let Some(deadline) = inner.deadline {
+                            if Instant::now() >= deadline {
+                                inner.cancelled.store(true, Ordering::Release);
+                                return false;
+                            }
+                        }
+                        true
+                    }
+                });
+            })
+            .expect("spawn watchdog thread");
+    });
+}
+
+/// Why a supervised task failed (after all retries).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task panicked; the payload (if a string) is captured.
+    Panicked(String),
+    /// The task exceeded its deadline and observed cancellation.
+    TimedOut {
+        /// Milliseconds elapsed when the timeout was recorded.
+        elapsed_ms: u64,
+    },
+    /// The task was cancelled explicitly (not retried).
+    Cancelled,
+}
+
+impl TaskError {
+    /// A short machine-stable kind tag (`panic` / `timeout` /
+    /// `cancelled`), used for `FAILED(<reason>)` markers in reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TaskError::Panicked(_) => "panic",
+            TaskError::TimedOut { .. } => "timeout",
+            TaskError::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the supervisor should retry after this error.
+    pub fn retryable(&self) -> bool {
+        !matches!(self, TaskError::Cancelled)
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked(payload) => write!(f, "panicked: {payload}"),
+            TaskError::TimedOut { elapsed_ms } => {
+                write!(f, "timed out after {elapsed_ms} ms")
+            }
+            TaskError::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Retry/deadline policy for supervised tasks.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskPolicy {
+    /// Total attempts (first run + retries); at least 1.
+    pub attempts: u32,
+    /// Base backoff between attempts, doubled each retry.
+    pub backoff_ms: u64,
+    /// Per-attempt deadline; `None` disables the watchdog.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for TaskPolicy {
+    fn default() -> Self {
+        TaskPolicy {
+            attempts: 2,
+            backoff_ms: 100,
+            timeout_ms: Some(600_000),
+        }
+    }
+}
+
+impl TaskPolicy {
+    /// The default policy with `TWIG_TASK_ATTEMPTS`, `TWIG_TASK_BACKOFF_MS`
+    /// and `TWIG_TASK_TIMEOUT_MS` (0 = no deadline) applied on top.
+    pub fn from_env() -> Self {
+        fn env_u64(name: &str) -> Option<u64> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut policy = TaskPolicy::default();
+        if let Some(n) = env_u64("TWIG_TASK_ATTEMPTS") {
+            policy.attempts = (n as u32).max(1);
+        }
+        if let Some(n) = env_u64("TWIG_TASK_BACKOFF_MS") {
+            policy.backoff_ms = n;
+        }
+        if let Some(n) = env_u64("TWIG_TASK_TIMEOUT_MS") {
+            policy.timeout_ms = if n == 0 { None } else { Some(n) };
+        }
+        policy
+    }
+
+    /// This policy with a different deadline.
+    pub fn with_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.timeout_ms = ms;
+        self
+    }
+}
+
+/// Outcome of one supervised task, with attempt/wall-time accounting for
+/// the run manifest.
+#[derive(Debug)]
+pub struct TaskReport<R> {
+    /// The task's label (as matched by fault specs).
+    pub label: String,
+    /// Attempts actually made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Wall time across all attempts, milliseconds.
+    pub wall_ms: u64,
+    /// The task's value, or the last attempt's error.
+    pub result: Result<R, TaskError>,
+}
+
+thread_local! {
+    /// Set while a supervised body runs, so the panic hook stays quiet for
+    /// payloads we are about to capture anyway.
+    static IN_SUPERVISED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that suppresses printing for panics inside
+/// supervised regions and defers to the previous hook otherwise.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_SUPERVISED.with(|flag| flag.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Stringifies a panic payload (`&str` / `String` payloads pass through).
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` under full supervision: injected faults applied first, panics
+/// caught, the deadline watchdog armed, and retryable failures retried
+/// per `policy`. `index` is the task's position within its batch (what
+/// `task=N` fault selectors match).
+pub fn run_supervised<R, F>(label: &str, index: usize, policy: &TaskPolicy, f: F) -> TaskReport<R>
+where
+    F: Fn(&CancelToken) -> Result<R, TaskError>,
+{
+    install_quiet_hook();
+    let started = Instant::now();
+    let attempts_allowed = policy.attempts.max(1);
+    let mut attempts = 0;
+    let mut last_error = TaskError::Cancelled;
+    while attempts < attempts_allowed {
+        attempts += 1;
+        let token = match policy.timeout_ms {
+            Some(ms) => CancelToken::with_deadline_ms(ms),
+            None => CancelToken::new(),
+        };
+        let attempt_started = Instant::now();
+        let caught = {
+            let token = &token;
+            catch_unwind(AssertUnwindSafe(|| {
+                IN_SUPERVISED.with(|flag| flag.set(true));
+                let result = if fault::global().apply_task_faults(label, index, token) {
+                    f(token)
+                } else {
+                    Err(TaskError::Cancelled)
+                };
+                IN_SUPERVISED.with(|flag| flag.set(false));
+                result
+            }))
+        };
+        IN_SUPERVISED.with(|flag| flag.set(false));
+        let error = match caught {
+            Ok(Ok(value)) => {
+                return TaskReport {
+                    label: label.to_string(),
+                    attempts,
+                    wall_ms: started.elapsed().as_millis() as u64,
+                    result: Ok(value),
+                }
+            }
+            Ok(Err(e)) => e,
+            Err(payload) => TaskError::Panicked(payload_to_string(payload)),
+        };
+        // A cancellation caused by the deadline is a watchdog timeout.
+        let error = match error {
+            TaskError::Cancelled if token.deadline_exceeded() => TaskError::TimedOut {
+                elapsed_ms: attempt_started.elapsed().as_millis() as u64,
+            },
+            other => other,
+        };
+        let retry = error.retryable() && attempts < attempts_allowed;
+        last_error = error;
+        if !retry {
+            break;
+        }
+        let backoff = policy.backoff_ms.saturating_mul(1u64 << (attempts - 1).min(16));
+        if backoff > 0 {
+            std::thread::sleep(Duration::from_millis(backoff));
+        }
+    }
+    TaskReport {
+        label: label.to_string(),
+        attempts,
+        wall_ms: started.elapsed().as_millis() as u64,
+        result: Err(last_error),
+    }
+}
+
+/// [`crate::parallel_map`] with every task supervised: the returned
+/// reports preserve input order, and one panicking or hung task cannot
+/// take down the batch. `label(index, item)` names each task for fault
+/// matching and manifests.
+pub fn supervised_map<T, R, L, F>(
+    items: Vec<T>,
+    policy: &TaskPolicy,
+    label: L,
+    f: F,
+) -> Vec<TaskReport<R>>
+where
+    T: Send,
+    R: Send,
+    L: Fn(usize, &T) -> String + Sync,
+    F: Fn(&T, &CancelToken) -> Result<R, TaskError> + Sync,
+{
+    let tagged: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    crate::parallel_map(tagged, |(index, item)| {
+        let name = label(index, &item);
+        run_supervised(&name, index, policy, |token| f(&item, token))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn quick_policy() -> TaskPolicy {
+        TaskPolicy {
+            attempts: 1,
+            backoff_ms: 0,
+            timeout_ms: None,
+        }
+    }
+
+    #[test]
+    fn success_reports_one_attempt() {
+        let report = run_supervised("ok", 0, &quick_policy(), |_| Ok(41 + 1));
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.result.unwrap(), 42);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_payload_captured() {
+        let report: TaskReport<u32> = run_supervised("boom", 0, &quick_policy(), |_| {
+            panic!("it broke: {}", 7);
+        });
+        match report.result {
+            Err(TaskError::Panicked(payload)) => assert!(payload.contains("it broke: 7")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn one_panicking_task_does_not_poison_the_batch() {
+        let policy = quick_policy();
+        let reports = supervised_map(
+            (0..8u32).collect(),
+            &policy,
+            |i, _| format!("task-{i}"),
+            |&v, _| {
+                if v == 3 {
+                    panic!("task three always fails");
+                }
+                Ok(v * 2)
+            },
+        );
+        for (i, report) in reports.iter().enumerate() {
+            if i == 3 {
+                assert!(matches!(report.result, Err(TaskError::Panicked(_))));
+            } else {
+                assert_eq!(*report.result.as_ref().unwrap(), i as u32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_cancels_past_deadline() {
+        let policy = TaskPolicy {
+            attempts: 1,
+            backoff_ms: 0,
+            timeout_ms: Some(50),
+        };
+        let started = Instant::now();
+        let report: TaskReport<()> = run_supervised("hang", 0, &policy, |token| {
+            // A cooperative "hang": spins until the watchdog trips the
+            // token, then bails (bounded by the outer assert's deadline).
+            let bail_out = Instant::now() + Duration::from_secs(30);
+            while !token.is_cancelled() {
+                if Instant::now() > bail_out {
+                    return Ok(());
+                }
+                std::thread::yield_now();
+            }
+            Err(TaskError::Cancelled)
+        });
+        match report.result {
+            Err(TaskError::TimedOut { elapsed_ms }) => {
+                assert!(elapsed_ms >= 40, "cancelled too early: {elapsed_ms} ms");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "watchdog never fired"
+        );
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_panic_deterministically() {
+        let failures = AtomicU32::new(0);
+        let policy = TaskPolicy {
+            attempts: 3,
+            backoff_ms: 1,
+            timeout_ms: None,
+        };
+        let report = run_supervised("flaky", 0, &policy, |_| {
+            if failures.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("transient");
+            }
+            Ok("recovered")
+        });
+        assert_eq!(report.attempts, 3, "two failures then success");
+        assert_eq!(report.result.unwrap(), "recovered");
+    }
+
+    #[test]
+    fn retries_stop_at_the_attempt_budget() {
+        let runs = AtomicU32::new(0);
+        let policy = TaskPolicy {
+            attempts: 3,
+            backoff_ms: 0,
+            timeout_ms: None,
+        };
+        let report: TaskReport<()> = run_supervised("always-bad", 0, &policy, |_| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            panic!("permanent");
+        });
+        assert_eq!(report.attempts, 3);
+        assert_eq!(runs.load(Ordering::Relaxed), 3);
+        assert!(matches!(report.result, Err(TaskError::Panicked(_))));
+    }
+
+    #[test]
+    fn explicit_cancellation_is_not_retried() {
+        let runs = AtomicU32::new(0);
+        let policy = TaskPolicy {
+            attempts: 5,
+            backoff_ms: 0,
+            timeout_ms: None,
+        };
+        let report: TaskReport<()> = run_supervised("cancelled", 0, &policy, |_| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            Err(TaskError::Cancelled)
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        assert!(matches!(report.result, Err(TaskError::Cancelled)));
+    }
+
+    #[test]
+    fn token_cancel_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

@@ -171,3 +171,108 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Binary profile (.twpf) decoder robustness: no input may panic the decoder
+// or make it over-allocate; every well-formed encoding round-trips.
+
+use twig_profile::{decode_profile, encode_profile, MissSample, Profile, ProfileCodecError};
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    let sample = (
+        0u32..1_000_000,
+        arb_kind(),
+        0u64..u64::MAX / 2,
+        prop::collection::vec((0u32..1_000_000, 0u64..1_000_000), 0..8),
+    )
+        .prop_map(|(block, kind, cycle, mut history)| {
+            // The format delta-encodes history cycles, which assumes the
+            // recorder's nondecreasing order; sort to match.
+            history.sort_by_key(|&(_, c)| c);
+            MissSample {
+                branch_block: BlockId::new(block),
+                kind,
+                cycle,
+                history: history
+                    .into_iter()
+                    .map(|(b, c)| (BlockId::new(b), c))
+                    .collect(),
+            }
+        });
+    (
+        prop::collection::vec(0u64..1_000_000, 0..64),
+        prop::collection::vec(sample, 0..32),
+        1u32..10_000,
+        0u64..u64::MAX / 2,
+    )
+        .prop_map(|(block_executions, samples, sample_period, instructions)| Profile {
+            samples,
+            block_executions,
+            instructions,
+            sample_period,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every encodable profile decodes back bit-identically.
+    #[test]
+    fn profile_roundtrip(profile in arb_profile()) {
+        let bytes = encode_profile(&profile);
+        let decoded = decode_profile(&bytes).expect("well-formed encoding decodes");
+        prop_assert_eq!(decoded, profile);
+    }
+
+    /// Arbitrary bytes never panic the decoder: they decode or fail with a
+    /// typed error, and declared-length checks mean no input can make the
+    /// decoder reserve more memory than the input's own size justifies.
+    #[test]
+    fn profile_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_profile(&bytes);
+        // Magic-prefixed garbage exercises the post-header paths.
+        let mut with_magic = b"TWPF\x01".to_vec();
+        with_magic.extend_from_slice(&bytes);
+        let _ = decode_profile(&with_magic);
+    }
+
+    /// Corrupting one byte of a valid encoding never panics and never
+    /// yields an unclassified failure.
+    #[test]
+    fn profile_decoder_survives_single_byte_corruption(
+        profile in arb_profile(),
+        pos_fraction in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_profile(&profile).to_vec();
+        prop_assume!(!bytes.is_empty());
+        let pos = ((bytes.len() - 1) as f64 * pos_fraction) as usize;
+        bytes[pos] ^= xor;
+        match decode_profile(&bytes) {
+            Ok(_) => {}
+            Err(
+                ProfileCodecError::BadMagic
+                | ProfileCodecError::BadVersion(_)
+                | ProfileCodecError::Truncated
+                | ProfileCodecError::BadKind(_)
+                | ProfileCodecError::Oversized { .. }
+                | ProfileCodecError::Overflow { .. },
+            ) => {}
+        }
+    }
+
+    /// Truncating a valid encoding at any point is either an error or (at
+    /// byte boundaries that happen to be self-delimiting) a valid decode —
+    /// never a panic.
+    #[test]
+    fn profile_decoder_survives_truncation(
+        profile in arb_profile(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = encode_profile(&profile);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            let _ = decode_profile(&bytes[..cut]);
+        }
+    }
+}
