@@ -1,11 +1,14 @@
 //! Microbenchmarks proving the hot-loop optimizations: monomorphized vs
-//! `Box<dyn>`-erased `Simulator::run`, and flat-storage BTB lookup/insert
-//! under realistic miss traffic.
+//! `Box<dyn>`-erased `Simulator::run`, flat-storage BTB lookup/insert
+//! under realistic miss traffic, and the cost of the simulation
+//! integrity tiers (`off` must be free; `sampled`/`paranoid` priced).
 
 use twig_criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use twig_rand::rngs::StdRng;
 use twig_rand::{RngExt, SeedableRng};
-use twig_sim::{Btb, BtbGeometry, BtbSystem, PlainBtb, SimConfig, Simulator};
+use twig_sim::{
+    Btb, BtbGeometry, BtbSystem, IntegrityConfig, PlainBtb, SimConfig, Simulator,
+};
 use twig_types::{Addr, BranchKind};
 use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
 
@@ -153,5 +156,61 @@ fn bench_btb_flat_storage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_btb_flat_storage);
+/// Prices the integrity tiers against each other on the same event
+/// stream. The `off` tier leaves the hot loop paying one never-taken
+/// branch per cycle, so its row should be indistinguishable from the
+/// `monomorphized` dispatch row above; `sampled=64` buys continuous
+/// invariant coverage for a bounded surcharge; `paranoid` is the
+/// debugging tier and is expected to be several times slower.
+///
+/// Before timing anything, this bench asserts the zero-perturbation
+/// contract: every tier must produce bit-identical statistics — checking
+/// may cost time but must never change the simulation.
+fn bench_integrity_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrity_overhead");
+    group.sample_size(10);
+    let program = ProgramGenerator::new(WorkloadSpec::preset(twig_workload::AppId::Kafka))
+        .generate();
+    let events: Vec<_> =
+        Walker::new(&program, InputConfig::numbered(0)).run_instructions(INSTRS);
+    group.throughput(Throughput::Elements(INSTRS));
+
+    let tiers: [(&str, IntegrityConfig); 4] = [
+        ("off", IntegrityConfig::off()),
+        ("sampled64", IntegrityConfig::sampled(64)),
+        ("sampled1024", IntegrityConfig::sampled(1024)),
+        ("paranoid", IntegrityConfig::paranoid()),
+    ];
+    let run = |integrity: IntegrityConfig| {
+        let config = SimConfig {
+            integrity,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+        sim.run(events.iter().copied(), INSTRS)
+    };
+
+    let reference = run(IntegrityConfig::off());
+    for &(name, integrity) in &tiers {
+        assert_eq!(
+            run(integrity),
+            reference,
+            "integrity tier {name} perturbed the simulation",
+        );
+    }
+
+    for &(name, integrity) in &tiers {
+        group.bench_function(name, |b| {
+            b.iter(|| run(integrity).cycles);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_btb_flat_storage,
+    bench_integrity_overhead
+);
 criterion_main!(benches);

@@ -89,6 +89,14 @@ fn main() {
         std::process::exit(2);
     }
     std::fs::create_dir_all(&ctx.results_dir).expect("create results dir");
+    // Forensic integrity dumps land next to the run's other outputs
+    // (unless the caller already pinned the directory).
+    if std::env::var(twig_sim::integrity::dump::DUMP_DIR_ENV).is_err() {
+        std::env::set_var(
+            twig_sim::integrity::dump::DUMP_DIR_ENV,
+            ctx.results_dir.join(".integrity"),
+        );
+    }
 
     let run_started = std::time::Instant::now();
     let mut figures = Vec::new();

@@ -24,7 +24,7 @@ use twig_prefetchers::{Confluence, Shotgun};
 use twig_sched::{CancelToken, TaskPolicy};
 use twig_serde::{Deserialize, Serialize};
 use twig_sim::{
-    speedup_percent, BtbSystem, PlainBtb, SimConfig, SimStats, Simulator,
+    speedup_percent, BtbSystem, IntegrityViolation, PlainBtb, SimConfig, SimStats, Simulator,
 };
 use twig_workload::{
     AppId, BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkingSet, WorkloadSpec,
@@ -399,37 +399,52 @@ const SLOTS: [SimSlot; 7] = [
 
 /// Runs one simulation with the concrete system type visible to the event
 /// loop (monomorphized — no `Box<dyn>` indirection per branch).
+///
+/// `label` stamps integrity violations and forensic dumps with the cell
+/// identity (e.g. `sim:kafka/twig`); a violation surfaces as a typed
+/// error, not a panic, so the supervisor can degrade the cell.
 fn run_mono<B: BtbSystem>(
     program: &Program,
     config: SimConfig,
     system: B,
     events: &[BlockEvent],
     budget: u64,
-) -> SimStats {
+    label: &str,
+) -> Result<SimStats, Box<IntegrityViolation>> {
     let mut sim = Simulator::new(program, config, system);
-    sim.run(events.iter().copied(), budget)
+    sim.set_integrity_label(label);
+    sim.try_run(events.iter().copied(), budget)
 }
 
-fn run_slot(p: &PreparedApp, slot: SimSlot, budget: u64) -> SimStats {
+fn run_slot(
+    p: &PreparedApp,
+    slot: SimSlot,
+    budget: u64,
+    label: &str,
+) -> Result<SimStats, Box<IntegrityViolation>> {
     let config = p.setup.sim_config;
     let program = &p.setup.program;
     let events = &p.events;
     match slot {
-        SimSlot::Baseline => run_mono(program, config, PlainBtb::new(&config), events, budget),
+        SimSlot::Baseline => {
+            run_mono(program, config, PlainBtb::new(&config), events, budget, label)
+        }
         SimSlot::Ideal => {
             let cfg = SimConfig {
                 ideal_btb: true,
                 ..config
             };
-            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget)
+            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget, label)
         }
         SimSlot::Btb32k => {
             let cfg = config.with_btb_entries(32 * 1024);
-            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget)
+            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget, label)
         }
-        SimSlot::Shotgun => run_mono(program, config, Shotgun::new(&config), events, budget),
+        SimSlot::Shotgun => {
+            run_mono(program, config, Shotgun::new(&config), events, budget, label)
+        }
         SimSlot::Confluence => {
-            run_mono(program, config, Confluence::new(&config), events, budget)
+            run_mono(program, config, Confluence::new(&config), events, budget, label)
         }
         SimSlot::Twig => run_mono(
             &p.optimized.program,
@@ -437,6 +452,7 @@ fn run_slot(p: &PreparedApp, slot: SimSlot, budget: u64) -> SimStats {
             PlainBtb::new(&config),
             events,
             budget,
+            label,
         ),
         SimSlot::TwigSwOnly => run_mono(
             &p.optimized_sw.program,
@@ -444,6 +460,7 @@ fn run_slot(p: &PreparedApp, slot: SimSlot, budget: u64) -> SimStats {
             PlainBtb::new(&config),
             events,
             budget,
+            label,
         ),
     }
 }
@@ -559,7 +576,12 @@ pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
                 let key = format!("sim-{}-{}-i{}", app.name(), slot.name(), budget);
                 let cell = match run_cell::<SimStats, _>(&store, &policy, &key, &id, index, |_| {
                     let prepared = cache::global().prepared(app, budget);
-                    Ok(run_slot(&prepared, slot, budget))
+                    run_slot(&prepared, slot, budget, &id).map_err(|violation| {
+                        twig_sched::TaskError::Domain {
+                            kind: format!("integrity: {}", violation.kind.as_str()),
+                            detail: violation.to_string(),
+                        }
+                    })
                 }) {
                     Ok(stats) => Cell::Ok(stats),
                     Err(reason) => Cell::Failed(reason),
@@ -764,7 +786,9 @@ mod tests {
             PlainBtb::new(&setup.sim_config),
             &events,
             20_000,
-        );
+            "test:checkpoint-roundtrip",
+        )
+        .expect("no integrity violation");
         let json = twig_serde_json::to_string(&stats).unwrap();
         let back: SimStats = twig_serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats, "SimStats is integer-only; JSON must be exact");
@@ -854,11 +878,24 @@ mod tests {
             };
             let events = setup.events(1, budget);
             match slot {
-                SimSlot::Shotgun => {
-                    run_mono(&setup.program, config, Shotgun::new(&config), &events, budget)
-                }
-                _ => run_mono(&setup.program, config, PlainBtb::new(&config), &events, budget),
+                SimSlot::Shotgun => run_mono(
+                    &setup.program,
+                    config,
+                    Shotgun::new(&config),
+                    &events,
+                    budget,
+                    "test:matrix",
+                ),
+                _ => run_mono(
+                    &setup.program,
+                    config,
+                    PlainBtb::new(&config),
+                    &events,
+                    budget,
+                    "test:matrix",
+                ),
             }
+            .expect("no integrity violation")
         };
         let tasks: Vec<(usize, SimSlot)> = (0..apps.len())
             .flat_map(|i| slots.iter().map(move |&s| (i, s)))

@@ -10,8 +10,8 @@
 //! [`SoftwarePrefetcher`] so Twig's instructions work unchanged.
 
 use twig_sim::{
-    Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, PrefetchBufferStats, SimConfig,
-    SoftwarePrefetcher,
+    Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBufferStats,
+    SimConfig, SoftwarePrefetcher, Validator,
 };
 use twig_types::{Addr, BlockId, BranchRecord, PrefetchOp};
 
@@ -145,6 +145,29 @@ impl BtbSystem for CompressedBtb {
 
     fn prefetch_stats(&self) -> PrefetchBufferStats {
         self.software.stats()
+    }
+
+    fn enable_differential(&mut self) {
+        for p in &mut self.partitions {
+            p.btb.enable_shadow();
+        }
+    }
+
+    fn validators(&self) -> Vec<&dyn Validator> {
+        let mut v: Vec<&dyn Validator> =
+            self.partitions.iter().map(|p| &p.btb as &dyn Validator).collect();
+        v.push(self.software.buffer());
+        v
+    }
+
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        match kind {
+            MutationKind::BtbOccupancy => {
+                self.partitions[0].btb.corrupt_occupancy();
+                true
+            }
+            MutationKind::RasDepth => false,
+        }
     }
 }
 

@@ -11,8 +11,8 @@
 use std::collections::HashMap;
 
 use twig_sim::{
-    Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, PrefetchBuffer,
-    PrefetchBufferStats, SimConfig,
+    Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBuffer,
+    PrefetchBufferStats, SimConfig, Validator,
 };
 use twig_types::{Addr, BlockId, BranchKind, BranchRecord};
 
@@ -128,6 +128,24 @@ impl BtbSystem for TwoLevelBtb {
 
     fn prefetch_stats(&self) -> PrefetchBufferStats {
         self.buffer.stats()
+    }
+
+    fn enable_differential(&mut self) {
+        self.l1.enable_shadow();
+    }
+
+    fn validators(&self) -> Vec<&dyn Validator> {
+        vec![&self.l1, &self.buffer]
+    }
+
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        match kind {
+            MutationKind::BtbOccupancy => {
+                self.l1.corrupt_occupancy();
+                true
+            }
+            MutationKind::RasDepth => false,
+        }
     }
 }
 

@@ -17,7 +17,8 @@
 use std::collections::HashMap;
 
 use twig_sim::{
-    BtbSystem, FrontendCtx, LookupOutcome, PrefetchBufferStats, SimConfig,
+    BtbSystem, Fault, FrontendCtx, LookupOutcome, PrefetchBufferStats, SimConfig, Validator,
+    ViolationKind,
 };
 use twig_types::{Addr, BlockId, BranchKind, BranchRecord, CacheLineAddr};
 
@@ -192,6 +193,63 @@ impl BtbSystem for Confluence {
 
     fn prefetch_stats(&self) -> PrefetchBufferStats {
         self.stats
+    }
+
+    fn validators(&self) -> Vec<&dyn Validator> {
+        vec![self]
+    }
+}
+
+/// Integrity checks for the line-synchronized AirBTB.
+///
+/// Exact insert/use/evict conservation does not hold here: `resolve_taken`
+/// may re-predecode a resident line (dropping its unused-prefetch flags),
+/// so the cheap check uses the one-sided bound each entry guarantees —
+/// an entry is counted used or evicted-unused at most once per insertion.
+impl Validator for Confluence {
+    fn component(&self) -> &'static str {
+        "airbtb"
+    }
+
+    fn check(&self, deep: bool) -> Result<(), Fault> {
+        let s = &self.stats;
+        if s.used + s.evicted_unused > s.inserted {
+            return Err(Fault::new(
+                ViolationKind::PrefetchBuffer,
+                format!(
+                    "airbtb accounting: used {} + evicted-unused {} exceeds inserted {}",
+                    s.used, s.evicted_unused, s.inserted
+                ),
+            ));
+        }
+        if deep {
+            for (line, entries) in &self.lines {
+                for (i, (pc, _)) in entries.iter().enumerate() {
+                    if pc.line() != *line {
+                        return Err(Fault::new(
+                            ViolationKind::PrefetchBuffer,
+                            format!("airbtb entry at {pc:?} filed under wrong line {line:?}"),
+                        ));
+                    }
+                    if entries[..i].iter().any(|(p, _)| p == pc) {
+                        return Err(Fault::new(
+                            ViolationKind::PrefetchBuffer,
+                            format!("airbtb line {line:?} holds duplicate entry for {pc:?}"),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> String {
+        format!(
+            "airbtb: {} resident lines, {} entries, stats {:?}",
+            self.lines.len(),
+            self.lines.values().map(Vec::len).sum::<usize>(),
+            self.stats
+        )
     }
 }
 

@@ -12,7 +12,8 @@
 use std::collections::HashMap;
 
 use twig_sim::{
-    Btb, BtbSystem, FrontendCtx, LookupOutcome, PrefetchBuffer, PrefetchBufferStats, SimConfig,
+    Btb, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBuffer,
+    PrefetchBufferStats, SimConfig, Validator,
 };
 use twig_types::{Addr, BlockId, BranchKind, BranchRecord};
 
@@ -150,6 +151,24 @@ impl BtbSystem for PhantomBtb {
 
     fn prefetch_stats(&self) -> PrefetchBufferStats {
         self.buffer.stats()
+    }
+
+    fn enable_differential(&mut self) {
+        self.btb.enable_shadow();
+    }
+
+    fn validators(&self) -> Vec<&dyn Validator> {
+        vec![&self.btb, &self.buffer]
+    }
+
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        match kind {
+            MutationKind::BtbOccupancy => {
+                self.btb.corrupt_occupancy();
+                true
+            }
+            MutationKind::RasDepth => false,
+        }
     }
 }
 

@@ -17,8 +17,8 @@
 //!    unconditional target can be prefetched (Fig. 12).
 
 use twig_sim::{
-    Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, PrefetchBuffer,
-    PrefetchBufferStats, SimConfig,
+    Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBuffer,
+    PrefetchBufferStats, SimConfig, Validator,
 };
 use twig_types::{Addr, BlockId, BranchKind, BranchRecord, CacheLineAddr};
 
@@ -70,8 +70,8 @@ impl Shotgun {
     /// size follows the simulator configuration (Fig. 25 sweeps it).
     pub fn new(config: &SimConfig) -> Self {
         Shotgun {
-            ubtb: Btb::new(BtbGeometry::new(UBTB_ENTRIES, UBTB_WAYS)),
-            cbtb: Btb::new(BtbGeometry::new(CBTB_ENTRIES, CBTB_WAYS)),
+            ubtb: Btb::named(BtbGeometry::new(UBTB_ENTRIES, UBTB_WAYS), "ubtb"),
+            cbtb: Btb::named(BtbGeometry::new(CBTB_ENTRIES, CBTB_WAYS), "cbtb"),
             footprints: std::collections::HashMap::new(),
             buffer: PrefetchBuffer::new(config.prefetch_buffer_entries),
             recording: None,
@@ -193,6 +193,25 @@ impl BtbSystem for Shotgun {
 
     fn prefetch_stats(&self) -> PrefetchBufferStats {
         self.buffer.stats()
+    }
+
+    fn enable_differential(&mut self) {
+        self.ubtb.enable_shadow();
+        self.cbtb.enable_shadow();
+    }
+
+    fn validators(&self) -> Vec<&dyn Validator> {
+        vec![&self.ubtb, &self.cbtb, &self.buffer]
+    }
+
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        match kind {
+            MutationKind::BtbOccupancy => {
+                self.ubtb.corrupt_occupancy();
+                true
+            }
+            MutationKind::RasDepth => false,
+        }
     }
 }
 

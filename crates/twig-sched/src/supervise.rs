@@ -154,22 +154,35 @@ pub enum TaskError {
     },
     /// The task was cancelled explicitly (not retried).
     Cancelled,
+    /// The task failed with a domain-specific error it diagnosed itself
+    /// (e.g. a simulation integrity violation). Deterministic, so never
+    /// retried.
+    Domain {
+        /// Machine-stable kind tag for `FAILED(<kind>)` cell markers
+        /// (e.g. `integrity: btb-occupancy`).
+        kind: String,
+        /// Full human-readable diagnosis.
+        detail: String,
+    },
 }
 
 impl TaskError {
-    /// A short machine-stable kind tag (`panic` / `timeout` /
-    /// `cancelled`), used for `FAILED(<reason>)` markers in reports.
-    pub fn kind(&self) -> &'static str {
+    /// A short machine-stable kind tag (`panic` / `timeout` / `cancelled`,
+    /// or the domain error's own tag), used for `FAILED(<reason>)` markers
+    /// in reports.
+    pub fn kind(&self) -> &str {
         match self {
             TaskError::Panicked(_) => "panic",
             TaskError::TimedOut { .. } => "timeout",
             TaskError::Cancelled => "cancelled",
+            TaskError::Domain { kind, .. } => kind,
         }
     }
 
-    /// Whether the supervisor should retry after this error.
+    /// Whether the supervisor should retry after this error. Domain errors
+    /// are deterministic diagnoses, so retrying cannot help.
     pub fn retryable(&self) -> bool {
-        !matches!(self, TaskError::Cancelled)
+        !matches!(self, TaskError::Cancelled | TaskError::Domain { .. })
     }
 }
 
@@ -181,6 +194,7 @@ impl std::fmt::Display for TaskError {
                 write!(f, "timed out after {elapsed_ms} ms")
             }
             TaskError::Cancelled => write!(f, "cancelled"),
+            TaskError::Domain { detail, .. } => write!(f, "{detail}"),
         }
     }
 }

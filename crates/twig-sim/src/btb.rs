@@ -3,6 +3,8 @@
 use twig_types::{Addr, BranchKind};
 
 use crate::config::BtbGeometry;
+use crate::integrity::refmodel::RefBtb;
+use crate::integrity::{Fault, Validator, ViolationKind};
 
 /// One BTB entry: tag, target, and branch classification.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -15,11 +17,24 @@ pub struct BtbEntry {
     pub kind: BranchKind,
 }
 
+/// The vacancy sentinel. `Addr::ZERO` is never a real branch target
+/// (generated programs live well above address zero), so a slot equal to
+/// this constant is structurally *vacant* — the integrity layer's
+/// occupancy scan relies on vacated slots being scrubbed back to it.
 const EMPTY_ENTRY: BtbEntry = BtbEntry {
     tag: 0,
     target: Addr::ZERO,
     kind: BranchKind::Conditional,
 };
+
+/// Differential shadow state: the naive reference model plus the first
+/// recorded divergence. Boxed behind an `Option` so the `off` tier pays
+/// one pointer-null check per operation.
+#[derive(Clone, Debug)]
+struct BtbShadow {
+    reference: RefBtb,
+    divergence: Option<Fault>,
+}
 
 /// A set-associative, true-LRU branch target buffer.
 ///
@@ -55,11 +70,20 @@ pub struct Btb {
     set_shift: u32,
     set_bits: u32,
     set_mask: u64,
+    geometry: BtbGeometry,
+    name: &'static str,
+    shadow: Option<Box<BtbShadow>>,
 }
 
 impl Btb {
     /// Creates an empty BTB with the given geometry.
     pub fn new(geometry: BtbGeometry) -> Self {
+        Btb::named(geometry, "btb")
+    }
+
+    /// Creates an empty BTB with a component name for integrity reports
+    /// (`ibtb`, `ubtb`, …).
+    pub fn named(geometry: BtbGeometry, name: &'static str) -> Self {
         let sets = geometry.sets();
         let set_mask = sets as u64 - 1;
         assert!(
@@ -77,7 +101,26 @@ impl Btb {
             set_shift: 1,
             set_bits: set_mask.count_ones(),
             set_mask,
+            geometry,
+            name,
+            shadow: None,
         }
+    }
+
+    /// Arms the differential shadow: every subsequent operation is
+    /// mirrored into a naive [`RefBtb`] and compared. Must be called on an
+    /// empty BTB so both models start from the same state.
+    pub fn enable_shadow(&mut self) {
+        assert_eq!(self.occupancy(), 0, "shadow must start from an empty BTB");
+        self.shadow = Some(Box::new(BtbShadow {
+            reference: RefBtb::new(self.geometry),
+            divergence: None,
+        }));
+    }
+
+    /// Whether the differential shadow is armed.
+    pub fn shadowed(&self) -> bool {
+        self.shadow.is_some()
     }
 
     #[inline]
@@ -100,13 +143,38 @@ impl Btb {
         let base = set * self.ways;
         let len = self.lens[set] as usize;
         let ways = &mut self.storage[base..base + len];
-        let pos = ways.iter().position(|e| e.tag == tag)?;
-        let entry = ways[pos];
-        // Promote to MRU: one forward memmove of [0, pos), then overwrite
-        // the head (entries are `Copy`, so this beats a slice rotation).
-        ways.copy_within(..pos, 1);
-        ways[0] = entry;
-        Some(entry)
+        let hit = match ways.iter().position(|e| e.tag == tag) {
+            Some(pos) => {
+                let entry = ways[pos];
+                // Promote to MRU: one forward memmove of [0, pos), then
+                // overwrite the head (entries are `Copy`, so this beats a
+                // slice rotation).
+                ways.copy_within(..pos, 1);
+                ways[0] = entry;
+                Some(entry)
+            }
+            None => None,
+        };
+        if self.shadow.is_some() {
+            self.shadow_lookup(pc, hit);
+        }
+        hit
+    }
+
+    #[inline(never)]
+    fn shadow_lookup(&mut self, pc: Addr, hit: Option<BtbEntry>) {
+        let shadow = self.shadow.as_mut().expect("shadow armed");
+        let ref_hit = shadow.reference.lookup(pc);
+        let got = hit.map(|e| (e.target, e.kind));
+        let expected = ref_hit.map(|e| (e.target, e.kind));
+        if got != expected && shadow.divergence.is_none() {
+            shadow.divergence = Some(Fault::new(
+                ViolationKind::BtbDivergence,
+                format!(
+                    "lookup({pc:?}) returned {got:?}, reference model says {expected:?}"
+                ),
+            ));
+        }
     }
 
     /// Checks for `pc` without touching recency state.
@@ -119,6 +187,14 @@ impl Btb {
     /// Inserts or updates the entry for `pc` at MRU, returning the evicted
     /// entry's tag-reconstructed PC if the set overflowed.
     pub fn insert(&mut self, pc: Addr, target: Addr, kind: BranchKind) -> Option<Addr> {
+        let evicted = self.insert_inner(pc, target, kind);
+        if self.shadow.is_some() {
+            self.shadow_insert(pc, target, kind, evicted);
+        }
+        evicted
+    }
+
+    fn insert_inner(&mut self, pc: Addr, target: Addr, kind: BranchKind) -> Option<Addr> {
         let (set, tag) = self.set_and_tag(pc);
         let base = set * self.ways;
         let len = self.lens[set] as usize;
@@ -143,19 +219,54 @@ impl Btb {
         Some(Addr::new(key << self.set_shift))
     }
 
+    #[inline(never)]
+    fn shadow_insert(&mut self, pc: Addr, target: Addr, kind: BranchKind, evicted: Option<Addr>) {
+        let shadow = self.shadow.as_mut().expect("shadow armed");
+        let ref_evicted = shadow.reference.insert(pc, target, kind);
+        if evicted != ref_evicted && shadow.divergence.is_none() {
+            shadow.divergence = Some(Fault::new(
+                ViolationKind::BtbDivergence,
+                format!(
+                    "insert({pc:?}) evicted {evicted:?}, reference model says {ref_evicted:?}"
+                ),
+            ));
+        }
+    }
+
     /// Removes the entry for `pc` if present.
     pub fn invalidate(&mut self, pc: Addr) -> bool {
         let (set, tag) = self.set_and_tag(pc);
         let base = set * self.ways;
         let len = self.lens[set] as usize;
         let ways = &mut self.storage[base..base + len];
-        match ways.iter().position(|e| e.tag == tag) {
+        let removed = match ways.iter().position(|e| e.tag == tag) {
             Some(pos) => {
                 ways.copy_within(pos + 1.., pos);
+                // Scrub the vacated tail slot so the occupancy scan can
+                // tell vacant slots from live ones.
+                ways[len - 1] = EMPTY_ENTRY;
                 self.lens[set] = (len - 1) as u16;
                 true
             }
             None => false,
+        };
+        if self.shadow.is_some() {
+            self.shadow_invalidate(pc, removed);
+        }
+        removed
+    }
+
+    #[inline(never)]
+    fn shadow_invalidate(&mut self, pc: Addr, removed: bool) {
+        let shadow = self.shadow.as_mut().expect("shadow armed");
+        let ref_removed = shadow.reference.invalidate(pc);
+        if removed != ref_removed && shadow.divergence.is_none() {
+            shadow.divergence = Some(Fault::new(
+                ViolationKind::BtbDivergence,
+                format!(
+                    "invalidate({pc:?}) removed={removed}, reference model says {ref_removed}"
+                ),
+            ));
         }
     }
 
@@ -172,6 +283,130 @@ impl Btb {
     /// Clears all entries.
     pub fn clear(&mut self) {
         self.lens.fill(0);
+        // Scrub so the occupancy scan's vacancy invariant keeps holding.
+        self.storage.fill(EMPTY_ENTRY);
+        if let Some(shadow) = &mut self.shadow {
+            shadow.reference.clear();
+        }
+    }
+
+    /// Seeds a BTB-occupancy corruption for the integrity mutation drill:
+    /// bumps (or, if the set is full, drops) one per-set occupancy counter
+    /// without touching the entries, exactly the class of bookkeeping bug
+    /// a hot-loop rewrite could introduce.
+    #[doc(hidden)]
+    pub fn corrupt_occupancy(&mut self) {
+        if (self.lens[0] as usize) < self.ways {
+            self.lens[0] += 1;
+        } else {
+            self.lens[0] -= 1;
+        }
+    }
+
+    /// Full structural scan: per-set occupancy counters vs. live entries,
+    /// vacancy sentinels, duplicate tags, and (when shadowed) lockstep
+    /// equality with the naive reference model.
+    fn check_deep(&self) -> Result<(), Fault> {
+        for set in 0..self.lens.len() {
+            let len = self.lens[set] as usize;
+            if len > self.ways {
+                return Err(Fault::new(
+                    ViolationKind::BtbOccupancy,
+                    format!("set {set}: occupancy {len} exceeds {} ways", self.ways),
+                ));
+            }
+            let base = set * self.ways;
+            let live = &self.storage[base..base + len];
+            for (way, entry) in live.iter().enumerate() {
+                if *entry == EMPTY_ENTRY {
+                    return Err(Fault::new(
+                        ViolationKind::BtbOccupancy,
+                        format!(
+                            "set {set}: occupancy {len} but way {way} is vacant \
+                             (counter ahead of live entries)"
+                        ),
+                    ));
+                }
+                if live[..way].iter().any(|e| e.tag == entry.tag) {
+                    return Err(Fault::new(
+                        ViolationKind::BtbDuplicate,
+                        format!("set {set}: duplicate tag {:#x}", entry.tag),
+                    ));
+                }
+            }
+            for (off, entry) in self.storage[base + len..base + self.ways].iter().enumerate() {
+                if *entry != EMPTY_ENTRY {
+                    return Err(Fault::new(
+                        ViolationKind::BtbOccupancy,
+                        format!(
+                            "set {set}: live entry at way {} beyond occupancy {len} \
+                             (counter behind live entries)",
+                            len + off
+                        ),
+                    ));
+                }
+            }
+            if let Some(shadow) = &self.shadow {
+                let reference = shadow.reference.set_entries(set);
+                let matches = reference.len() == len
+                    && live.iter().zip(reference).all(|(e, r)| {
+                        e.tag == r.tag && e.target == r.target && e.kind == r.kind
+                    });
+                if !matches {
+                    return Err(Fault::new(
+                        ViolationKind::BtbDivergence,
+                        format!(
+                            "set {set}: {len} live entries do not match the reference \
+                             model's {} entries",
+                            reference.len()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Validator for Btb {
+    fn component(&self) -> &'static str {
+        self.name
+    }
+
+    fn check(&self, deep: bool) -> Result<(), Fault> {
+        if let Some(shadow) = &self.shadow {
+            if let Some(divergence) = &shadow.divergence {
+                return Err(divergence.clone());
+            }
+        }
+        if deep {
+            self.check_deep()?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> String {
+        let sets = self.lens.len();
+        let mut text = format!(
+            "{} {}x{} occupancy {}/{}",
+            self.name,
+            sets,
+            self.ways,
+            self.occupancy(),
+            self.capacity()
+        );
+        // The densest few sets, MRU first: enough to see the corruption
+        // without dumping 8 K sets.
+        let mut order: Vec<usize> = (0..sets).collect();
+        order.sort_by_key(|&s| std::cmp::Reverse(self.lens[s]));
+        for &set in order.iter().take(4) {
+            let live = self.set_slice(set);
+            text.push_str(&format!("\nset {set} (len {}):", self.lens[set]));
+            for e in live {
+                text.push_str(&format!(" [tag {:#x} -> {:?} {:?}]", e.tag, e.target, e.kind));
+            }
+        }
+        text
     }
 }
 

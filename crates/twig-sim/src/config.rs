@@ -6,6 +6,8 @@
 
 use twig_serde::{Deserialize, Serialize};
 
+use crate::integrity::IntegrityConfig;
+
 /// Geometry of a set-associative predictor structure (BTB, IBTB).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct BtbGeometry {
@@ -174,6 +176,10 @@ pub struct SimConfig {
     pub ideal_btb: bool,
     /// Limit study: every I-cache access hits (Fig. 2).
     pub ideal_icache: bool,
+    /// Simulation integrity layer: checking tier, watchdog budgets, and
+    /// the optional seeded mutation. Defaults from the `TWIG_INTEGRITY`
+    /// environment (off unless set).
+    pub integrity: IntegrityConfig,
 }
 
 impl Default for SimConfig {
@@ -207,6 +213,7 @@ impl Default for SimConfig {
             wrong_path_lines: 8,
             ideal_btb: false,
             ideal_icache: false,
+            integrity: IntegrityConfig::default(),
         }
     }
 }
@@ -259,6 +266,7 @@ impl SimConfig {
         if self.backend_extra_cpki < 0.0 {
             return Err("backend_extra_cpki must be non-negative".into());
         }
+        self.integrity.validate()?;
         Ok(())
     }
 }

@@ -23,6 +23,9 @@ use crate::btb::Btb;
 use crate::config::{DirectionPredictorKind, SimConfig};
 use crate::direction::{build_predictor, DirectionPredictor};
 use crate::icache::MemoryHierarchy;
+use crate::integrity::dump::{DumpBranch, StateDump, DUMP_VERSION};
+use crate::integrity::watchdog::Watchdogs;
+use crate::integrity::{Fault, IntegrityViolation, MutationKind, Validator, ViolationKind};
 use crate::ras::Ras;
 use crate::stats::SimStats;
 use crate::system::{BtbSystem, FrontendCtx, LookupOutcome};
@@ -119,31 +122,57 @@ pub struct Simulator<'p, B> {
     ras: Ras,
     stats: SimStats,
     history: VecDeque<HistoryEntry>,
+    /// Block events consumed from the trace (the cursor recorded in dumps).
+    events_consumed: u64,
+    /// Label stamped on integrity violations and dumps (e.g. `sim:kafka/twig`).
+    integrity_label: String,
 }
 
 impl<'p, B: BtbSystem> Simulator<'p, B> {
     /// Creates a simulator for `program` with the given BTB system.
+    ///
+    /// Under the `paranoid` integrity tier this also arms the differential
+    /// reference models inside the IBTB, RAS, and the BTB system.
     ///
     /// # Panics
     ///
     /// Panics if `config` fails validation.
     pub fn new(program: &'p Program, config: SimConfig, system: B) -> Self {
         config.validate().expect("invalid sim config");
-        Simulator {
+        let mut sim = Simulator {
             program,
             config,
             system,
             mem: MemoryHierarchy::new(&config),
             direction: build_predictor(config.direction),
-            ibtb: Btb::new(config.ibtb),
+            ibtb: Btb::named(config.ibtb, "ibtb"),
             ras: Ras::new(config.ras_entries),
             stats: SimStats::default(),
             history: VecDeque::with_capacity(LBR_DEPTH + 1),
+            events_consumed: 0,
+            integrity_label: String::from("sim"),
+        };
+        if config.integrity.level.differential() {
+            sim.ibtb.enable_shadow();
+            sim.ras.enable_shadow();
+            sim.system.enable_differential();
         }
+        sim
+    }
+
+    /// Sets the label stamped on integrity violations and forensic dumps
+    /// (the harness uses its cell id, e.g. `sim:kafka/twig`).
+    pub fn set_integrity_label(&mut self, label: impl Into<String>) {
+        self.integrity_label = label.into();
     }
 
     /// Runs until `instruction_budget` original instructions retire (or the
     /// event stream ends), returning the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an enabled integrity tier detects a violation; use
+    /// [`Self::try_run`] to handle violations as typed errors.
     pub fn run(
         &mut self,
         events: impl IntoIterator<Item = BlockEvent>,
@@ -154,12 +183,49 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
 
     /// Like [`Self::run`], also reporting every real BTB miss (with LBR-style
     /// history) to `observer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an enabled integrity tier detects a violation.
     pub fn run_observed(
         &mut self,
         events: impl IntoIterator<Item = BlockEvent>,
         instruction_budget: u64,
         observer: &mut dyn MissObserver,
     ) -> SimStats {
+        match self.try_run_observed(events, instruction_budget, observer) {
+            Ok(stats) => stats,
+            Err(violation) => panic!("{violation}"),
+        }
+    }
+
+    /// Runs until the budget retires, surfacing integrity violations as a
+    /// typed error instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityViolation`] an enabled checking tier
+    /// detects (after writing a forensic dump unless dumping is disabled).
+    pub fn try_run(
+        &mut self,
+        events: impl IntoIterator<Item = BlockEvent>,
+        instruction_budget: u64,
+    ) -> Result<SimStats, Box<IntegrityViolation>> {
+        self.try_run_observed(events, instruction_budget, &mut ())
+    }
+
+    /// Like [`Self::try_run`], also reporting every real BTB miss to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityViolation`] detected.
+    pub fn try_run_observed(
+        &mut self,
+        events: impl IntoIterator<Item = BlockEvent>,
+        instruction_budget: u64,
+        observer: &mut dyn MissObserver,
+    ) -> Result<SimStats, Box<IntegrityViolation>> {
         let mut events = events.into_iter();
         let mut events_done = false;
 
@@ -179,8 +245,29 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         let mut resteer_until: u64 = 0;
         let mut resteer_is_exec = false;
 
-        // Safety valve for malformed configurations.
-        let max_cycles = instruction_budget.saturating_mul(200).max(1 << 22);
+        // Integrity instrumentation. `period` is `None` for the `off`
+        // tier, reducing the per-cycle cost to one predictable branch.
+        let integrity = self.config.integrity;
+        let period = integrity.level.check_period();
+        let mut watchdogs = period.map(|_| Watchdogs::new(&integrity, instruction_budget));
+        // Safety valve for malformed configurations; with checking enabled
+        // the same ceiling is reported as a typed `cycle-budget` violation.
+        let max_cycles = match &watchdogs {
+            Some(w) => w.max_cycles(),
+            None => instruction_budget.saturating_mul(200).max(1 << 22),
+        };
+        // The seeded mutation drill: armed only when checking is enabled
+        // (a corruption no tier would catch must never skew results) and
+        // the label selector matches.
+        let mutate = match integrity.mutate {
+            Some(spec) if period.is_some() && self.mutation_label_selected() => Some(spec),
+            _ => None,
+        };
+        // Next cycle (at or after which) a full structural scan is due.
+        // Tracking the next-due cycle instead of `cycle % deep_period`
+        // keeps the detection-latency bound (one deep period plus one
+        // sample period) even when the sample period does not divide it.
+        let mut next_deep: u64 = 0;
 
         loop {
             // ---- BPU: advance prediction, fill the FTQ. -----------------
@@ -303,6 +390,49 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 }
             }
 
+            // ---- Integrity: mutation drill, invariant sweep, watchdogs. --
+            if let Some(p) = period {
+                if let Some(spec) = mutate {
+                    if cycle == spec.at_cycle {
+                        self.inject_mutation(spec.kind);
+                    }
+                }
+                if cycle.is_multiple_of(p) {
+                    let deep = cycle >= next_deep;
+                    if deep {
+                        next_deep = cycle + integrity.deep_period;
+                    }
+                    if let Err((fault, component, structure)) =
+                        self.sweep(deep, &ftq, &deliveries, &avail, rob_occupancy)
+                    {
+                        return Err(self.raise(
+                            fault,
+                            component,
+                            structure,
+                            cycle,
+                            instruction_budget,
+                        ));
+                    }
+                    let queued =
+                        ftq.len() + deliveries.len() + avail.len() + self.mem.inflight_len();
+                    let watchdogs = watchdogs.as_mut().expect("checking enabled");
+                    if let Err(fault) = watchdogs.check(
+                        cycle,
+                        self.stats.retired_instructions + self.stats.retired_prefetch_ops,
+                        || self.mem.has_outstanding_fill(cycle),
+                        queued,
+                    ) {
+                        return Err(self.raise(
+                            fault,
+                            "watchdog",
+                            String::new(),
+                            cycle,
+                            instruction_budget,
+                        ));
+                    }
+                }
+            }
+
             cycle += 1;
 
             if self.stats.retired_instructions >= instruction_budget {
@@ -312,7 +442,34 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 break;
             }
             if cycle >= max_cycles {
+                // With checking enabled the watchdog reports this as a
+                // typed violation before the silent valve can trip; hitting
+                // it here means checking is off (or sampling skipped past
+                // the boundary), so report it if we can.
+                if period.is_some() {
+                    let fault = Fault::new(
+                        ViolationKind::CycleBudget,
+                        format!("cycle budget exhausted: {cycle} cycles (limit {max_cycles})"),
+                    );
+                    return Err(self.raise(
+                        fault,
+                        "watchdog",
+                        String::new(),
+                        cycle,
+                        instruction_budget,
+                    ));
+                }
                 break;
+            }
+        }
+
+        // Final deep sweep: end-of-run structural state must be coherent
+        // even if the sampling cadence never lined up mid-run.
+        if period.is_some() {
+            if let Err((fault, component, structure)) =
+                self.sweep(true, &ftq, &deliveries, &avail, rob_occupancy)
+            {
+                return Err(self.raise(fault, component, structure, cycle, instruction_budget));
             }
         }
 
@@ -322,7 +479,185 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         self.stats.icache_demand_accesses = mem.demand_accesses;
         self.stats.icache_demand_misses = mem.demand_misses;
         self.stats.icache_prefetches = mem.prefetches;
-        self.stats.clone()
+        Ok(self.stats.clone())
+    }
+
+    /// Whether the `TWIG_INTEGRITY_MUTATE_LABEL` selector (a substring of
+    /// the integrity label) matches this run. Unset selects every run.
+    fn mutation_label_selected(&self) -> bool {
+        match std::env::var("TWIG_INTEGRITY_MUTATE_LABEL") {
+            Ok(sel) if !sel.trim().is_empty() => self.integrity_label.contains(sel.trim()),
+            _ => true,
+        }
+    }
+
+    /// Applies the armed seeded corruption (the CI mutation drill).
+    fn inject_mutation(&mut self, kind: MutationKind) {
+        match kind {
+            MutationKind::RasDepth => self.ras.corrupt_depth(),
+            MutationKind::BtbOccupancy => {
+                // Prefer the system's main BTB; fall back to the IBTB so
+                // the drill always has a target (e.g. the ideal baseline).
+                if !self.system.inject_corruption(kind) {
+                    self.ibtb.corrupt_occupancy();
+                }
+            }
+        }
+    }
+
+    /// One invariant sweep: loop-local queue invariants plus every
+    /// registered structure [`Validator`]. On failure returns the fault,
+    /// the failing component's name, and its forensic snapshot.
+    ///
+    /// The cheap (`deep == false`) tier is strictly O(1) — occupancy
+    /// counters only — so the `sampled` tier's cost stays independent of
+    /// queue depth. The O(queue) walks (FTQ region ordering, delivery
+    /// monotonicity, exact ROB accounting) run on deep scans, bounding
+    /// their detection latency by `deep_period + period` like every
+    /// other structural check.
+    fn sweep(
+        &self,
+        deep: bool,
+        ftq: &VecDeque<FtqEntry>,
+        deliveries: &VecDeque<Delivery>,
+        avail: &VecDeque<(u32, u32)>,
+        rob_occupancy: usize,
+    ) -> Result<(), (Fault, &'static str, String)> {
+        if ftq.len() > self.config.ftq_entries {
+            return Err((
+                Fault::new(
+                    ViolationKind::FtqOccupancy,
+                    format!(
+                        "ftq holds {} entries, capacity {}",
+                        ftq.len(),
+                        self.config.ftq_entries
+                    ),
+                ),
+                "ftq",
+                format!("{ftq:?}"),
+            ));
+        }
+        if !deep {
+            return self.check_validators(false);
+        }
+        for (i, entry) in ftq.iter().enumerate() {
+            // `first_line == u64::MAX` marks a region that consumed no
+            // block (stream exhausted); anything else must be ordered.
+            if entry.first_line != u64::MAX && entry.first_line > entry.last_line {
+                return Err((
+                    Fault::new(
+                        ViolationKind::FtqOrder,
+                        format!(
+                            "ftq[{i}] lines out of order: first {} > last {}",
+                            entry.first_line, entry.last_line
+                        ),
+                    ),
+                    "ftq",
+                    format!("{entry:?}"),
+                ));
+            }
+        }
+        let mut prev_ready = 0u64;
+        for (i, d) in deliveries.iter().enumerate() {
+            if d.ready_at < prev_ready {
+                return Err((
+                    Fault::new(
+                        ViolationKind::FtqOrder,
+                        format!(
+                            "delivery[{i}] ready_at {} precedes predecessor at {}",
+                            d.ready_at, prev_ready
+                        ),
+                    ),
+                    "deliveries",
+                    format!("{deliveries:?}"),
+                ));
+            }
+            prev_ready = d.ready_at;
+        }
+        let in_flight: u64 = deliveries
+            .iter()
+            .map(|d| u64::from(d.instrs) + u64::from(d.ops))
+            .sum();
+        let waiting: u64 = avail
+            .iter()
+            .map(|&(orig, ops)| u64::from(orig) + u64::from(ops))
+            .sum();
+        if rob_occupancy as u64 != in_flight + waiting {
+            return Err((
+                Fault::new(
+                    ViolationKind::RobAccounting,
+                    format!(
+                        "rob occupancy {rob_occupancy} != in-flight deliveries {in_flight} \
+                         + retire queue {waiting}"
+                    ),
+                ),
+                "rob",
+                format!("deliveries={deliveries:?} avail={avail:?}"),
+            ));
+        }
+        self.check_validators(true)
+    }
+
+    /// Runs every registered structure [`Validator`] at the given depth.
+    fn check_validators(&self, deep: bool) -> Result<(), (Fault, &'static str, String)> {
+        let base: [&dyn Validator; 3] = [&self.ibtb, &self.ras, &self.mem];
+        for validator in base.into_iter().chain(self.system.validators()) {
+            if let Err(fault) = validator.check(deep) {
+                return Err((fault, validator.component(), validator.snapshot()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the typed violation for `fault`, writing a cycle-stamped
+    /// forensic [`StateDump`] unless dumping is disabled.
+    fn raise(
+        &self,
+        fault: Fault,
+        component: &str,
+        structure: String,
+        cycle: u64,
+        instruction_budget: u64,
+    ) -> Box<IntegrityViolation> {
+        let mut violation = IntegrityViolation {
+            kind: fault.kind,
+            component: component.to_string(),
+            cycle,
+            detail: fault.detail,
+            dump_path: None,
+        };
+        if self.config.integrity.dump {
+            let dump = StateDump {
+                version: DUMP_VERSION,
+                label: self.integrity_label.clone(),
+                kind: violation.kind.as_str().to_string(),
+                component: violation.component.clone(),
+                cycle,
+                detail: violation.detail.clone(),
+                config: self.config,
+                instruction_budget,
+                retired_instructions: self.stats.retired_instructions,
+                events_consumed: self.events_consumed,
+                history: self
+                    .history
+                    .iter()
+                    .map(|h| DumpBranch {
+                        block: h.block.raw(),
+                        cycle: h.cycle,
+                    })
+                    .collect(),
+                structure,
+            };
+            match dump.write() {
+                Ok(path) => violation.dump_path = Some(path),
+                // Dump failure must not mask the violation itself.
+                Err(err) => eprintln!(
+                    "twig-sim: failed to write integrity dump for {}: {err}",
+                    violation.component
+                ),
+            }
+        }
+        Box::new(violation)
     }
 
     /// The statistics collected so far (valid after [`Self::run`]).
@@ -360,6 +695,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 break;
             };
             consumed = true;
+            self.events_consumed += 1;
             let block = self.program.block(ev.block);
             self.history.push_back(HistoryEntry {
                 block: ev.block,

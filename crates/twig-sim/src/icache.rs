@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use twig_types::CacheLineAddr;
 
 use crate::config::{CacheGeometry, SimConfig};
+use crate::integrity::{Fault, Validator, ViolationKind};
 
 /// Where a request was satisfied (for statistics).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,6 +100,40 @@ impl TagArray {
         let (set, tag) = self.set_and_tag(line);
         self.sets[set].contains(&tag)
     }
+
+    /// Structural scan: per-set occupancy within associativity and no
+    /// duplicate tags.
+    fn check(&self, name: &str) -> Result<(), Fault> {
+        self.check_window(name, 0, self.sets.len())
+    }
+
+    /// Structural scan of `count` sets starting at `start` (wrapping).
+    ///
+    /// Large tag arrays (L2/L3) are validated in rotating windows so a
+    /// deep scan's cost is bounded regardless of cache size; the caller
+    /// advances its cursor between scans for full coverage.
+    fn check_window(&self, name: &str, start: usize, count: usize) -> Result<(), Fault> {
+        let n = self.sets.len();
+        for off in 0..count.min(n) {
+            let set = (start + off) % n;
+            let ways = &self.sets[set];
+            if ways.len() > self.ways {
+                return Err(Fault::new(
+                    ViolationKind::IcacheAccounting,
+                    format!("{name} set {set}: {} tags exceed {} ways", ways.len(), self.ways),
+                ));
+            }
+            for (i, tag) in ways.iter().enumerate() {
+                if ways[..i].contains(tag) {
+                    return Err(Fault::new(
+                        ViolationKind::IcacheAccounting,
+                        format!("{name} set {set}: duplicate tag {tag:#x}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Counters for the instruction-side hierarchy.
@@ -155,6 +190,11 @@ pub struct MemoryHierarchy {
     /// Lines newly filled into L1i since the last drain, with the cycle at
     /// which their bytes arrive.
     filled_l1i: Vec<(CacheLineAddr, u64)>,
+    /// Rotating start set for windowed L2/L3 deep scans. Interior
+    /// mutability because [`Validator::check`] takes `&self`; the cursor
+    /// never influences simulation state, only which window the next
+    /// deep scan validates.
+    scan_cursor: std::cell::Cell<usize>,
 }
 
 impl MemoryHierarchy {
@@ -173,6 +213,7 @@ impl MemoryHierarchy {
             ideal: config.ideal_icache,
             evicted_l1i: Vec::new(),
             filled_l1i: Vec::new(),
+            scan_cursor: std::cell::Cell::new(0),
         }
     }
 
@@ -281,6 +322,86 @@ impl MemoryHierarchy {
     /// Access statistics so far.
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
+    }
+
+    /// Number of fills tracked in the MSHR-like in-flight map. Removal is
+    /// lazy (a completed fill's entry is dropped on its next access), so
+    /// this is an upper bound on truly outstanding fills.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether any fill is still genuinely outstanding at `cycle`
+    /// (feeds the livelock watchdog: no retirement *and* no pending fill
+    /// means the simulation can never make progress again).
+    pub fn has_outstanding_fill(&self, cycle: u64) -> bool {
+        self.inflight.values().any(|&ready| ready > cycle)
+    }
+}
+
+impl Validator for MemoryHierarchy {
+    fn component(&self) -> &'static str {
+        "icache"
+    }
+
+    fn check(&self, deep: bool) -> Result<(), Fault> {
+        // MSHR / statistics accounting: joins are a subset of misses, which
+        // are a subset of accesses; redundant prefetches never exceed
+        // prefetches; fills are bounded by the misses that caused them.
+        let s = &self.stats;
+        if s.demand_joined_inflight > s.demand_misses || s.demand_misses > s.demand_accesses {
+            return Err(Fault::new(
+                ViolationKind::IcacheAccounting,
+                format!(
+                    "demand counters inconsistent: joined {} / misses {} / accesses {}",
+                    s.demand_joined_inflight, s.demand_misses, s.demand_accesses
+                ),
+            ));
+        }
+        if s.redundant_prefetches > s.prefetches {
+            return Err(Fault::new(
+                ViolationKind::IcacheAccounting,
+                format!(
+                    "redundant prefetches {} exceed prefetches {}",
+                    s.redundant_prefetches, s.prefetches
+                ),
+            ));
+        }
+        let fills = s.fills_l2 + s.fills_l3 + s.fills_memory;
+        if fills > s.demand_accesses + s.prefetches {
+            return Err(Fault::new(
+                ViolationKind::IcacheAccounting,
+                format!(
+                    "{} fills exceed {} total requests",
+                    fills,
+                    s.demand_accesses + s.prefetches
+                ),
+            ));
+        }
+        if deep {
+            // L1i is small — scan it whole. L2/L3 tag stores are large
+            // enough that a full walk would dominate the deep scan, so
+            // they are validated in rotating windows: bounded cost per
+            // scan, full coverage every few deep periods.
+            const DEEP_SCAN_SETS: usize = 256;
+            self.l1i.check("l1i")?;
+            let cursor = self.scan_cursor.get();
+            self.l2.check_window("l2", cursor, DEEP_SCAN_SETS)?;
+            self.l3.check_window("l3", cursor, DEEP_SCAN_SETS)?;
+            self.scan_cursor.set(cursor.wrapping_add(DEEP_SCAN_SETS));
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> String {
+        format!(
+            "icache stats {:?}, {} in-flight fills, {} pending fill events, \
+             {} pending eviction events",
+            self.stats,
+            self.inflight.len(),
+            self.filled_l1i.len(),
+            self.evicted_l1i.len()
+        )
     }
 }
 

@@ -34,6 +34,7 @@ pub mod config;
 pub mod core;
 pub mod direction;
 pub mod icache;
+pub mod integrity;
 pub mod perceptron;
 pub mod prefetch_buffer;
 pub mod ras;
@@ -43,6 +44,10 @@ pub mod system;
 pub use btb::{Btb, BtbEntry};
 pub use config::{BtbGeometry, CacheGeometry, DirectionPredictorKind, SimConfig};
 pub use core::{HistoryEntry, MissObserver, Simulator, LBR_DEPTH};
+pub use integrity::{
+    Fault, IntegrityConfig, IntegrityLevel, IntegrityViolation, MutationKind, MutationSpec,
+    Validator, ViolationKind,
+};
 pub use direction::{build_predictor, DirectionPredictor, Gshare, TageLite};
 pub use perceptron::Perceptron;
 pub use icache::{AccessResult, FillSource, MemoryHierarchy, MemoryStats};

@@ -11,6 +11,8 @@ use std::collections::HashMap;
 
 use twig_types::{Addr, BranchKind};
 
+use crate::integrity::{Fault, Validator, ViolationKind};
+
 /// One buffered prefetched BTB entry.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BufferedEntry {
@@ -77,7 +79,11 @@ impl PrefetchBuffer {
     /// Inserts a prefetched entry that becomes usable at `ready_at`.
     ///
     /// Re-prefetching a resident branch refreshes its payload but is not
-    /// double-counted. When full, the oldest entry is evicted (FIFO).
+    /// double-counted. When full, the oldest entry is evicted (FIFO). An
+    /// entry's FIFO age is its earliest un-evicted enqueue: consuming an
+    /// entry leaves its key in the order queue, so a branch prefetched
+    /// again after a demand hit inherits its original age (pinned by the
+    /// reference-model property tests in `tests/properties.rs`).
     pub fn insert(&mut self, pc: Addr, target: Addr, kind: BranchKind, ready_at: u64) {
         if let Some(existing) = self.entries.get_mut(&pc) {
             existing.target = target;
@@ -147,6 +153,64 @@ impl PrefetchBuffer {
     /// Coverage/accuracy counters.
     pub fn stats(&self) -> PrefetchBufferStats {
         self.stats
+    }
+}
+
+impl Validator for PrefetchBuffer {
+    fn component(&self) -> &'static str {
+        "prefetch-buffer"
+    }
+
+    fn check(&self, deep: bool) -> Result<(), Fault> {
+        if self.entries.len() > self.capacity {
+            return Err(Fault::new(
+                ViolationKind::PrefetchBuffer,
+                format!(
+                    "{} resident entries exceed capacity {}",
+                    self.entries.len(),
+                    self.capacity
+                ),
+            ));
+        }
+        // Conservation: every insertion is still resident, was consumed,
+        // or was evicted unused. (The map is keyed by PC, so no-duplicate
+        // holds by construction; the FIFO list may keep stale keys of
+        // already-consumed entries, which eviction skips.)
+        let accounted = self.stats.used + self.stats.evicted_unused + self.entries.len() as u64;
+        if self.stats.inserted != accounted {
+            return Err(Fault::new(
+                ViolationKind::PrefetchBuffer,
+                format!(
+                    "conservation broken: inserted {} != used {} + evicted {} + resident {}",
+                    self.stats.inserted,
+                    self.stats.used,
+                    self.stats.evicted_unused,
+                    self.entries.len()
+                ),
+            ));
+        }
+        if deep {
+            let order: std::collections::HashSet<&Addr> = self.order.iter().collect();
+            for pc in self.entries.keys() {
+                if !order.contains(pc) {
+                    return Err(Fault::new(
+                        ViolationKind::PrefetchBuffer,
+                        format!("resident entry {pc:?} missing from the FIFO order list"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> String {
+        format!(
+            "prefetch-buffer {}/{} resident, stats {:?}, {} order keys",
+            self.entries.len(),
+            self.capacity,
+            self.stats,
+            self.order.len()
+        )
     }
 }
 

@@ -2,11 +2,16 @@
 
 use twig_types::Addr;
 
+use crate::integrity::refmodel::RefRas;
+use crate::integrity::{Fault, Validator, ViolationKind};
+
 /// A fixed-capacity circular return address stack.
 ///
 /// Pushes past capacity overwrite the oldest entry (the classic RAS
 /// overflow/corruption behaviour), and pops from an empty stack return
 /// `None` — both show up as return mispredicts in deep call chains.
+/// These edge semantics are pinned by the `overflow_*`/`underflow_*`
+/// tests below and documented in DESIGN.md §"RAS edge semantics".
 ///
 /// # Examples
 ///
@@ -26,6 +31,15 @@ pub struct Ras {
     slots: Vec<Addr>,
     top: usize,
     depth: usize,
+    shadow: Option<Box<RasShadow>>,
+}
+
+/// Differential shadow: the naive bounded-`Vec` reference stack plus the
+/// first recorded divergence.
+#[derive(Clone, Debug)]
+struct RasShadow {
+    reference: RefRas,
+    divergence: Option<Fault>,
 }
 
 impl Ras {
@@ -40,7 +54,18 @@ impl Ras {
             slots: vec![Addr::ZERO; capacity],
             top: 0,
             depth: 0,
+            shadow: None,
         }
+    }
+
+    /// Arms the differential shadow ([`RefRas`]); every push/pop is
+    /// mirrored and compared. Must be called on an empty RAS.
+    pub fn enable_shadow(&mut self) {
+        assert_eq!(self.depth, 0, "shadow must start from an empty RAS");
+        self.shadow = Some(Box::new(RasShadow {
+            reference: RefRas::new(self.slots.len()),
+            divergence: None,
+        }));
     }
 
     /// Pushes a return address, overwriting the oldest entry on overflow.
@@ -48,16 +73,36 @@ impl Ras {
         self.slots[self.top] = addr;
         self.top = (self.top + 1) % self.slots.len();
         self.depth = (self.depth + 1).min(self.slots.len());
+        if let Some(shadow) = &mut self.shadow {
+            shadow.reference.push(addr);
+        }
     }
 
     /// Pops the youngest return address, or `None` if empty/underflowed.
     pub fn pop(&mut self) -> Option<Addr> {
-        if self.depth == 0 {
-            return None;
+        let popped = if self.depth == 0 {
+            None
+        } else {
+            self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+            self.depth -= 1;
+            Some(self.slots[self.top])
+        };
+        if self.shadow.is_some() {
+            self.shadow_pop(popped);
         }
-        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
-        self.depth -= 1;
-        Some(self.slots[self.top])
+        popped
+    }
+
+    #[inline(never)]
+    fn shadow_pop(&mut self, popped: Option<Addr>) {
+        let shadow = self.shadow.as_mut().expect("shadow armed");
+        let ref_popped = shadow.reference.pop();
+        if popped != ref_popped && shadow.divergence.is_none() {
+            shadow.divergence = Some(Fault::new(
+                ViolationKind::RasDivergence,
+                format!("pop returned {popped:?}, reference stack says {ref_popped:?}"),
+            ));
+        }
     }
 
     /// The youngest return address without popping.
@@ -77,6 +122,83 @@ impl Ras {
     /// Capacity in slots.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Seeds a RAS-depth corruption for the integrity mutation drill:
+    /// pushes the depth counter past capacity, the bookkeeping bug the
+    /// bounds check exists to catch. Pop arithmetic stays in range (slot
+    /// indices are modular), so the corruption is observable, not fatal.
+    #[doc(hidden)]
+    pub fn corrupt_depth(&mut self) {
+        self.depth = self.slots.len() + 1;
+    }
+
+    /// The live entries, oldest first (for deep shadow comparison).
+    fn live_entries(&self) -> Vec<Addr> {
+        let cap = self.slots.len();
+        let depth = self.depth.min(cap);
+        (0..depth)
+            .map(|i| self.slots[(self.top + cap - depth + i) % cap])
+            .collect()
+    }
+}
+
+impl Validator for Ras {
+    fn component(&self) -> &'static str {
+        "ras"
+    }
+
+    fn check(&self, deep: bool) -> Result<(), Fault> {
+        if self.depth > self.slots.len() {
+            return Err(Fault::new(
+                ViolationKind::RasBounds,
+                format!(
+                    "depth {} exceeds capacity {}",
+                    self.depth,
+                    self.slots.len()
+                ),
+            ));
+        }
+        if self.top >= self.slots.len() {
+            return Err(Fault::new(
+                ViolationKind::RasBounds,
+                format!("top {} outside {} slots", self.top, self.slots.len()),
+            ));
+        }
+        if let Some(shadow) = &self.shadow {
+            if let Some(divergence) = &shadow.divergence {
+                return Err(divergence.clone());
+            }
+            if deep {
+                if self.depth != shadow.reference.depth() {
+                    return Err(Fault::new(
+                        ViolationKind::RasDivergence,
+                        format!(
+                            "depth {} but reference stack holds {}",
+                            self.depth,
+                            shadow.reference.depth()
+                        ),
+                    ));
+                }
+                if self.live_entries() != shadow.reference.entries() {
+                    return Err(Fault::new(
+                        ViolationKind::RasDivergence,
+                        "live entries do not match the reference stack".to_string(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> String {
+        format!(
+            "ras depth {}/{} top {} entries {:?}",
+            self.depth,
+            self.slots.len(),
+            self.top,
+            self.live_entries()
+        )
     }
 }
 
@@ -136,5 +258,68 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = Ras::new(0);
+    }
+
+    // ---- Edge-semantics pins (see DESIGN.md, "RAS edge semantics"). ----
+
+    #[test]
+    fn overflow_wrap_pops_in_reverse_push_order_of_survivors() {
+        // Capacity 3, push 5: entries 1 and 2 are overwritten by the wrap.
+        // The survivors pop youngest-first, then the stack underflows —
+        // it does NOT wrap around to re-serve overwritten slots.
+        let mut ras = Ras::new(3);
+        for i in 1..=5u64 {
+            ras.push(a(i));
+        }
+        assert_eq!(ras.depth(), 3);
+        assert_eq!(ras.pop(), Some(a(5)));
+        assert_eq!(ras.pop(), Some(a(4)));
+        assert_eq!(ras.pop(), Some(a(3)));
+        assert_eq!(ras.pop(), None, "overwritten entries must not resurface");
+        assert_eq!(ras.depth(), 0);
+    }
+
+    #[test]
+    fn underflow_pop_is_sticky_none_and_push_recovers() {
+        // Pops past empty return `None` without corrupting state; a
+        // subsequent push starts a fresh, consistent stack.
+        let mut ras = Ras::new(4);
+        ras.push(a(1));
+        assert_eq!(ras.pop(), Some(a(1)));
+        for _ in 0..10 {
+            assert_eq!(ras.pop(), None);
+            assert_eq!(ras.depth(), 0);
+        }
+        ras.push(a(2));
+        ras.push(a(3));
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(a(3)));
+        assert_eq!(ras.pop(), Some(a(2)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn shadowed_ras_agrees_through_overflow_and_underflow() {
+        let mut ras = Ras::new(2);
+        ras.enable_shadow();
+        for i in 1..=4u64 {
+            ras.push(a(i));
+        }
+        assert_eq!(ras.pop(), Some(a(4)));
+        assert_eq!(ras.pop(), Some(a(3)));
+        assert_eq!(ras.pop(), None);
+        ras.push(a(9));
+        assert_eq!(ras.pop(), Some(a(9)));
+        assert!(ras.check(true).is_ok(), "reference stack must stay in lockstep");
+    }
+
+    #[test]
+    fn corrupt_depth_is_caught_by_bounds_check() {
+        let mut ras = Ras::new(4);
+        ras.push(a(1));
+        assert!(ras.check(true).is_ok());
+        ras.corrupt_depth();
+        let fault = ras.check(false).unwrap_err();
+        assert_eq!(fault.kind, ViolationKind::RasBounds);
     }
 }

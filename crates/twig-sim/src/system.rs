@@ -12,6 +12,7 @@ use twig_workload::Program;
 use crate::btb::Btb;
 use crate::config::SimConfig;
 use crate::icache::MemoryHierarchy;
+use crate::integrity::{MutationKind, Validator};
 use crate::prefetch_buffer::{PrefetchBuffer, PrefetchBufferStats};
 
 /// Mutable frontend state handed to [`BtbSystem`] hooks.
@@ -108,6 +109,25 @@ pub trait BtbSystem {
 
     /// Prefetch coverage/accuracy counters.
     fn prefetch_stats(&self) -> PrefetchBufferStats;
+
+    /// Arms differential reference models inside the system's structures
+    /// (called once, before the first lookup, under `paranoid`).
+    fn enable_differential(&mut self) {}
+
+    /// The system's self-checking structures, polled by the integrity
+    /// layer. Default: none.
+    fn validators(&self) -> Vec<&dyn Validator> {
+        Vec::new()
+    }
+
+    /// Applies a seeded corruption for the integrity mutation drill.
+    /// Returns whether the system owns a structure of that kind (the
+    /// simulator falls back to its own IBTB/RAS otherwise).
+    #[doc(hidden)]
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        let _ = kind;
+        false
+    }
 }
 
 impl<T: BtbSystem + ?Sized> BtbSystem for Box<T> {
@@ -142,6 +162,15 @@ impl<T: BtbSystem + ?Sized> BtbSystem for Box<T> {
     }
     fn prefetch_stats(&self) -> PrefetchBufferStats {
         (**self).prefetch_stats()
+    }
+    fn enable_differential(&mut self) {
+        (**self).enable_differential()
+    }
+    fn validators(&self) -> Vec<&dyn Validator> {
+        (**self).validators()
+    }
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        (**self).inject_corruption(kind)
     }
 }
 
@@ -191,6 +220,11 @@ impl SoftwarePrefetcher {
     /// Whether an entry for `pc` is resident.
     pub fn contains(&self, pc: Addr) -> bool {
         self.buffer.contains(pc)
+    }
+
+    /// The underlying prefetch buffer (integrity checking).
+    pub fn buffer(&self) -> &PrefetchBuffer {
+        &self.buffer
     }
 
     /// Executes one decoded prefetch op.
@@ -312,6 +346,24 @@ impl BtbSystem for PlainBtb {
 
     fn prefetch_stats(&self) -> PrefetchBufferStats {
         self.software.stats()
+    }
+
+    fn enable_differential(&mut self) {
+        self.btb.enable_shadow();
+    }
+
+    fn validators(&self) -> Vec<&dyn Validator> {
+        vec![&self.btb, self.software.buffer()]
+    }
+
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        match kind {
+            MutationKind::BtbOccupancy => {
+                self.btb.corrupt_occupancy();
+                true
+            }
+            MutationKind::RasDepth => false,
+        }
     }
 }
 

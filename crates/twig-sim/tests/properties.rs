@@ -1,0 +1,259 @@
+//! Property tests for the prefetch buffer.
+//!
+//! Random operation sequences are replayed against a naive reference
+//! model (the same differential style the integrity layer uses for the
+//! BTB and RAS), and the buffer's own [`Validator`] invariants are
+//! checked after every operation. Pinned here:
+//!
+//! * capacity is never exceeded, under any interleaving of inserts,
+//!   re-inserts, and demand takes;
+//! * an inserted entry is hittable immediately once its ready cycle
+//!   passes (hit-after-insert), and a take returns exactly the payload
+//!   the most recent insert wrote;
+//! * eviction order is stable FIFO: victims leave in first-insert order,
+//!   unaffected by payload-refreshing re-inserts.
+
+use std::collections::VecDeque;
+
+use twig_proptest::prelude::*;
+use twig_sim::integrity::Validator;
+use twig_sim::{BufferedEntry, PrefetchBuffer};
+use twig_types::{Addr, BranchKind};
+
+const KINDS: [BranchKind; 6] = [
+    BranchKind::Conditional,
+    BranchKind::DirectJump,
+    BranchKind::DirectCall,
+    BranchKind::IndirectJump,
+    BranchKind::IndirectCall,
+    BranchKind::Return,
+];
+
+/// Naive reference with the documented semantics — re-insert refreshes
+/// the payload in place (keeping the earlier ready cycle, not
+/// double-counted, age unchanged), insert-when-full evicts the oldest
+/// resident entry, take removes a ready entry and leaves a late one
+/// resident.
+///
+/// One deliberate subtlety mirrored here: a PC's FIFO age is its
+/// *earliest un-evicted enqueue*, which survives take + re-insert. A
+/// consumed entry leaves a stale key in the push history, and if the PC
+/// is prefetched again before that key reaches the front, the new
+/// incarnation inherits the old age and can be evicted first-insert
+/// order early. The model keeps residence (a flat pair list) separate
+/// from push history, so it stays structurally independent of the
+/// `HashMap + VecDeque` implementation while pinning that behavior.
+struct RefBuffer {
+    entries: Vec<(Addr, BufferedEntry)>,
+    pushes: VecDeque<Addr>,
+    capacity: usize,
+    evicted: Vec<Addr>,
+}
+
+impl RefBuffer {
+    fn new(capacity: usize) -> Self {
+        RefBuffer {
+            entries: Vec::new(),
+            pushes: VecDeque::new(),
+            capacity,
+            evicted: Vec::new(),
+        }
+    }
+
+    fn resident(&self, pc: Addr) -> Option<usize> {
+        self.entries.iter().position(|(p, _)| *p == pc)
+    }
+
+    fn insert(&mut self, pc: Addr, target: Addr, kind: BranchKind, ready_at: u64) {
+        if let Some(idx) = self.resident(pc) {
+            let e = &mut self.entries[idx].1;
+            e.target = target;
+            e.kind = kind;
+            e.ready_at = e.ready_at.min(ready_at);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            // Oldest un-evicted enqueue that still names a resident
+            // entry; stale keys of consumed entries are skipped.
+            while let Some(victim) = self.pushes.pop_front() {
+                if let Some(idx) = self.resident(victim) {
+                    self.entries.remove(idx);
+                    self.evicted.push(victim);
+                    break;
+                }
+            }
+        }
+        self.entries.push((
+            pc,
+            BufferedEntry {
+                target,
+                kind,
+                ready_at,
+            },
+        ));
+        self.pushes.push_back(pc);
+    }
+
+    fn take(&mut self, pc: Addr, cycle: u64) -> Option<BufferedEntry> {
+        let idx = self.resident(pc)?;
+        if self.entries[idx].1.ready_at <= cycle {
+            Some(self.entries.remove(idx).1)
+        } else {
+            None
+        }
+    }
+}
+
+/// One generated operation against the buffer.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { pc: u64, target: u64, kind: usize, ready_at: u64 },
+    Take { pc: u64, cycle: u64 },
+}
+
+/// Strategy for an operation over a small PC pool (so re-inserts, hits,
+/// and misses all occur often).
+fn op_strategy() -> impl Strategy<Value = Op> {
+    ((0u8..3, 0u64..24), (0u64..1 << 20, 0usize..KINDS.len(), 0u64..64)).prop_map(
+        |((sel, pc), (target, kind, when))| {
+            let pc = 0x4000 + pc * 4;
+            if sel == 0 {
+                Op::Take { pc, cycle: when }
+            } else {
+                Op::Insert {
+                    pc,
+                    target,
+                    kind,
+                    ready_at: when,
+                }
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Differential check against the reference model: identical take
+    /// results, identical resident sets, identical FIFO victim order,
+    /// capacity never exceeded, and the [`Validator`] invariants hold
+    /// after every operation.
+    #[test]
+    fn buffer_matches_reference_model(
+        capacity in 1usize..12,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut buf = PrefetchBuffer::new(capacity);
+        let mut reference = RefBuffer::new(capacity);
+        for op in &ops {
+            match *op {
+                Op::Insert { pc, target, kind, ready_at } => {
+                    buf.insert(Addr::new(pc), Addr::new(target), KINDS[kind], ready_at);
+                    reference.insert(Addr::new(pc), Addr::new(target), KINDS[kind], ready_at);
+                }
+                Op::Take { pc, cycle } => {
+                    let got = buf.take(Addr::new(pc), cycle);
+                    let want = reference.take(Addr::new(pc), cycle);
+                    prop_assert_eq!(got, want, "take({pc:#x}, {cycle}) diverged");
+                }
+            }
+            prop_assert!(buf.len() <= capacity, "capacity exceeded: {} > {capacity}", buf.len());
+            prop_assert_eq!(buf.len(), reference.entries.len());
+            for (pc, _) in &reference.entries {
+                prop_assert!(buf.contains(*pc), "reference-resident {pc:?} missing");
+            }
+            if let Err(fault) = buf.check(true) {
+                prop_assert!(false, "validator fault after {op:?}: {fault:?}");
+            }
+        }
+    }
+
+    /// Hit-after-insert: an entry just inserted is immediately takeable
+    /// at any cycle at or past its ready cycle, and the take returns the
+    /// exact payload written.
+    #[test]
+    fn hit_after_insert(
+        warm in prop::collection::vec(op_strategy(), 0..40),
+        capacity in 1usize..12,
+        target in 1u64..1 << 20,
+        kind in 0usize..KINDS.len(),
+        ready_at in 0u64..64,
+        slack in 0u64..16,
+    ) {
+        let mut buf = PrefetchBuffer::new(capacity);
+        for op in warm {
+            match op {
+                Op::Insert { pc, target, kind, ready_at } => {
+                    buf.insert(Addr::new(pc), Addr::new(target), KINDS[kind], ready_at);
+                }
+                Op::Take { pc, cycle } => {
+                    let _ = buf.take(Addr::new(pc), cycle);
+                }
+            }
+        }
+        // A PC outside the warm-up pool, so the insert below fully
+        // determines the payload (a pool PC could keep an earlier,
+        // smaller ready cycle from a past insert).
+        let pc = Addr::new(0x9_0000);
+        buf.insert(pc, Addr::new(target), KINDS[kind], ready_at);
+        prop_assert!(buf.contains(pc));
+        let before = buf.stats().late;
+        if ready_at > 0 {
+            prop_assert_eq!(buf.take(pc, ready_at - 1), None);
+            prop_assert_eq!(buf.stats().late, before + 1, "late lookup not counted");
+        }
+        let got = buf.take(pc, ready_at + slack);
+        prop_assert_eq!(
+            got,
+            Some(BufferedEntry { target: Addr::new(target), kind: KINDS[kind], ready_at }),
+        );
+        prop_assert!(!buf.contains(pc), "take must consume the entry");
+    }
+
+    /// Eviction order is stable FIFO over first-insert order: filling a
+    /// buffer with distinct PCs and then overflowing it evicts exactly
+    /// the oldest entries, in order, regardless of interleaved
+    /// payload-refreshing re-inserts (which must not move an entry to
+    /// the back of the queue).
+    #[test]
+    fn eviction_order_is_stable_fifo(
+        capacity in 1usize..10,
+        overflow in 1usize..10,
+        refresh in prop::collection::vec((0u64..10, 0u64..64), 0..20),
+    ) {
+        let total = capacity + overflow;
+        let mut buf = PrefetchBuffer::new(capacity);
+        let mut reference = RefBuffer::new(capacity);
+        let pc = |i: usize| Addr::new(0x1000 + i as u64 * 4);
+        for i in 0..total {
+            // Re-insert a random still-resident PC first: refreshes
+            // payload but must not perturb FIFO age. (An already-evicted
+            // PC is skipped — re-inserting it would be a fresh insert.)
+            for &(j, when) in &refresh {
+                let j = j as usize % (i + 1);
+                if !buf.contains(pc(j)) {
+                    continue;
+                }
+                buf.insert(pc(j), Addr::new(0xFFFF), KINDS[j % KINDS.len()], when);
+                reference.insert(pc(j), Addr::new(0xFFFF), KINDS[j % KINDS.len()], when);
+            }
+            buf.insert(pc(i), Addr::new(i as u64), KINDS[i % KINDS.len()], 0);
+            reference.insert(pc(i), Addr::new(i as u64), KINDS[i % KINDS.len()], 0);
+            prop_assert!(buf.len() <= capacity);
+        }
+        // The survivors are exactly the `capacity` most recent first
+        // inserts; the victims left in first-insert order.
+        let expected_victims: Vec<Addr> = (0..overflow).map(pc).collect();
+        prop_assert_eq!(&reference.evicted, &expected_victims);
+        for i in 0..overflow {
+            prop_assert!(!buf.contains(pc(i)), "victim {i} still resident");
+        }
+        for i in overflow..total {
+            prop_assert!(buf.contains(pc(i)), "survivor {i} evicted early");
+        }
+        prop_assert_eq!(buf.stats().evicted_unused, overflow as u64);
+        if let Err(fault) = buf.check(true) {
+            prop_assert!(false, "validator fault after overflow: {fault:?}");
+        }
+    }
+}

@@ -51,10 +51,21 @@ impl ProgramGenerator {
     ///
     /// # Panics
     ///
-    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    /// Panics if the spec fails [`WorkloadSpec::validate`]; use
+    /// [`Self::try_new`] to handle invalid specs as typed errors.
     pub fn new(spec: WorkloadSpec) -> Self {
-        spec.validate().expect("invalid workload spec");
-        ProgramGenerator { spec }
+        Self::try_new(spec).expect("invalid workload spec")
+    }
+
+    /// Creates a generator for `spec`, surfacing validation failures as a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's first violated constraint.
+    pub fn try_new(spec: WorkloadSpec) -> Result<Self, crate::spec::SpecError> {
+        spec.validate()?;
+        Ok(ProgramGenerator { spec })
     }
 
     /// The spec this generator was built from.

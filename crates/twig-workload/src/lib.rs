@@ -38,7 +38,7 @@ pub use generator::ProgramGenerator;
 pub use inputs::InputConfig;
 pub use layout::{LayoutOptions, LibrarySplit};
 pub use program::{BasicBlock, Function, Program, Terminator};
-pub use spec::{AppId, Span, Span1, TerminatorMix, WorkloadSpec};
+pub use spec::{AppId, Span, Span1, SpecError, TerminatorMix, WorkloadSpec};
 pub use stats::{StaticStats, WorkingSet};
 pub use trace::{decode_trace, encode_trace, read_trace, write_trace, TraceError};
 pub use walker::{BlockEvent, Walker};

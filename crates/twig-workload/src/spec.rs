@@ -10,6 +10,56 @@
 
 use twig_serde::{Deserialize, Serialize};
 
+/// Why a [`WorkloadSpec`] failed validation.
+///
+/// Specs arrive from two construction paths the `Span`/`Span1` asserts
+/// cannot cover: field-by-field literal construction and deserialization,
+/// both of which bypass the checked constructors. [`WorkloadSpec::validate`]
+/// therefore re-checks every band.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SpecError {
+    /// The structural parameters imply an empty text segment.
+    ZeroFootprint,
+    /// The terminator mix weights do not sum to ≈ 1 (tolerance 0.05); the
+    /// generator normalizes internally, but a far-off total means the spec
+    /// author's intended frequencies were silently rescaled.
+    MixImbalance {
+        /// The actual sum of the mix weights.
+        total: f32,
+    },
+    /// An integer band has `min > max`, or a probability band is out of
+    /// order or outside `[0, 1]`.
+    BandOutOfOrder {
+        /// The offending field's name.
+        field: &'static str,
+    },
+    /// A structural constraint is violated.
+    Degenerate {
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ZeroFootprint => {
+                write!(f, "structural parameters imply a zero-byte text segment")
+            }
+            SpecError::MixImbalance { total } => write!(
+                f,
+                "terminator mix sums to {total} (expected ≈ 1 within 0.05)"
+            ),
+            SpecError::BandOutOfOrder { field } => {
+                write!(f, "band {field} is out of order (or outside [0, 1])")
+            }
+            SpecError::Degenerate { reason } => write!(f, "{reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// Relative frequencies of basic-block terminators in generated code.
 ///
 /// Weights need not sum to 1; `Return` terminators are structural (every
@@ -362,37 +412,68 @@ impl WorkloadSpec {
         funcs * blocks * instrs * bytes
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency. Bands are re-checked here because
+    /// literal construction and deserialization bypass the [`Span`] /
+    /// [`Span1`] constructor asserts.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`SpecError`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        fn degenerate(reason: impl Into<String>) -> SpecError {
+            SpecError::Degenerate {
+                reason: reason.into(),
+            }
+        }
         if self.handlers == 0 {
-            return Err("handlers must be >= 1".into());
+            return Err(degenerate("handlers must be >= 1"));
         }
         if self.app_funcs < self.handlers + 1 {
-            return Err(format!(
+            return Err(degenerate(format!(
                 "app_funcs ({}) must exceed handlers ({}) plus dispatcher",
                 self.app_funcs, self.handlers
-            ));
+            )));
+        }
+        for (field, span) in [
+            ("blocks_per_func", self.blocks_per_func),
+            ("instrs_per_block", self.instrs_per_block),
+            ("instr_bytes", self.instr_bytes),
+            ("indirect_call_fanout", self.indirect_call_fanout),
+            ("indirect_jump_fanout", self.indirect_jump_fanout),
+        ] {
+            if span.min > span.max {
+                return Err(SpecError::BandOutOfOrder { field });
+            }
+        }
+        for (field, span) in [
+            ("loop_taken_prob", self.loop_taken_prob),
+            ("biased_taken_prob", self.biased_taken_prob),
+        ] {
+            if !(span.min >= 0.0 && span.min <= span.max && span.max <= 1.0) {
+                return Err(SpecError::BandOutOfOrder { field });
+            }
         }
         if self.blocks_per_func.min < 2 {
-            return Err("functions need at least 2 blocks (body + return)".into());
+            return Err(degenerate("functions need at least 2 blocks (body + return)"));
         }
         if self.instrs_per_block.min < 1 {
-            return Err("blocks need at least 1 instruction".into());
+            return Err(degenerate("blocks need at least 1 instruction"));
         }
-        if self.mix.total() <= 0.0 {
-            return Err("terminator mix must have positive total weight".into());
+        if self.estimated_footprint_bytes() == 0 {
+            return Err(SpecError::ZeroFootprint);
+        }
+        let total = self.mix.total();
+        if !total.is_finite() || (total - 1.0).abs() > 0.05 {
+            return Err(SpecError::MixImbalance { total });
         }
         if self.call_levels == 0 {
-            return Err("call_levels must be >= 1".into());
+            return Err(degenerate("call_levels must be >= 1"));
         }
         if !(0.0..=1.0).contains(&self.loop_fraction)
             || !(0.0..=1.0).contains(&self.unbiased_fraction)
+            || !(0.0..=1.0).contains(&self.library_call_fraction)
         {
-            return Err("fractions must be within [0, 1]".into());
+            return Err(degenerate("fractions must be within [0, 1]"));
         }
         Ok(())
     }
@@ -465,6 +546,46 @@ mod tests {
         let mut s = WorkloadSpec::tiny_test();
         s.blocks_per_func = Span::new(1, 1);
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_types_band_mix_and_footprint_errors() {
+        // Out-of-order integer band, built literally (bypasses Span::new).
+        let mut s = WorkloadSpec::tiny_test();
+        s.instrs_per_block = Span { min: 9, max: 3 };
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::BandOutOfOrder {
+                field: "instrs_per_block"
+            })
+        );
+
+        // Probability band escaping [0, 1].
+        let mut s = WorkloadSpec::tiny_test();
+        s.loop_taken_prob = Span1 { min: 0.2, max: 1.5 };
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::BandOutOfOrder {
+                field: "loop_taken_prob"
+            })
+        );
+
+        // Zero-size footprint: zero-byte instructions.
+        let mut s = WorkloadSpec::tiny_test();
+        s.instr_bytes = Span { min: 0, max: 0 };
+        assert_eq!(s.validate(), Err(SpecError::ZeroFootprint));
+
+        // Mix weights far from 1.
+        let mut s = WorkloadSpec::tiny_test();
+        s.mix.conditional = 3.0;
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::MixImbalance { total }) if total > 3.0
+        ));
+
+        // Errors render as readable text.
+        let text = SpecError::MixImbalance { total: 2.5 }.to_string();
+        assert!(text.contains("2.5"), "{text}");
     }
 
     #[test]
