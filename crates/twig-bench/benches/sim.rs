@@ -1,13 +1,14 @@
 //! Microbenchmarks proving the hot-loop optimizations: monomorphized vs
 //! `Box<dyn>`-erased `Simulator::run`, flat-storage BTB lookup/insert
 //! under realistic miss traffic, and the cost of the simulation
-//! integrity tiers (`off` must be free; `sampled`/`paranoid` priced).
+//! integrity and observability tiers (`off` must be free; the richer
+//! tiers priced).
 
 use twig_criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use twig_rand::rngs::StdRng;
 use twig_rand::{RngExt, SeedableRng};
 use twig_sim::{
-    Btb, BtbGeometry, BtbSystem, IntegrityConfig, PlainBtb, SimConfig, Simulator,
+    Btb, BtbGeometry, BtbSystem, IntegrityConfig, ObsConfig, PlainBtb, SimConfig, Simulator,
 };
 use twig_types::{Addr, BranchKind};
 use twig_workload::{InputConfig, ProgramGenerator, Walker, WorkloadSpec};
@@ -207,10 +208,62 @@ fn bench_integrity_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Prices the observability tiers on the same event stream. The `off`
+/// tier leaves the hot loop paying one never-taken branch per cycle
+/// (the `obs` state is `None`), so its row should be within noise of the
+/// `monomorphized` dispatch row above; `counters` records through
+/// preallocated integer handles; `trace`/`trace=64` add the sampled span
+/// ring on top.
+///
+/// Before timing anything, this bench asserts the zero-perturbation
+/// contract: every tier must produce bit-identical statistics —
+/// recording may cost time but must never change the simulation.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    let program = ProgramGenerator::new(WorkloadSpec::preset(twig_workload::AppId::Kafka))
+        .generate();
+    let events: Vec<_> =
+        Walker::new(&program, InputConfig::numbered(0)).run_instructions(INSTRS);
+    group.throughput(Throughput::Elements(INSTRS));
+
+    let tiers: [(&str, ObsConfig); 4] = [
+        ("off", ObsConfig::off()),
+        ("counters", ObsConfig::counters()),
+        ("trace", ObsConfig::trace(1)),
+        ("trace64", ObsConfig::trace(64)),
+    ];
+    let run = |obs: ObsConfig| {
+        let config = SimConfig {
+            obs,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+        sim.run(events.iter().copied(), INSTRS)
+    };
+
+    let reference = run(ObsConfig::off());
+    for &(name, obs) in &tiers {
+        assert_eq!(
+            run(obs),
+            reference,
+            "observability tier {name} perturbed the simulation",
+        );
+    }
+
+    for &(name, obs) in &tiers {
+        group.bench_function(name, |b| {
+            b.iter(|| run(obs).cycles);
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dispatch,
     bench_btb_flat_storage,
-    bench_integrity_overhead
+    bench_integrity_overhead,
+    bench_obs_overhead
 );
 criterion_main!(benches);

@@ -71,11 +71,21 @@ fn main() {
             }
             "--resume" => ctx.resume = true,
             "--strict" => strict = true,
+            "--obs" => {
+                let text = args.next().expect("--obs needs off | counters | trace[=N]");
+                let level = twig_obs::ObsLevel::parse(&text)
+                    .unwrap_or_else(|e| panic!("--obs: {e}"));
+                twig_obs::set_global_override(twig_obs::ObsConfig {
+                    level,
+                    ..twig_obs::ObsConfig::off()
+                });
+            }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments <id>...|all [--instructions N] \
-                     [--sweep-instructions N] [--results-dir DIR] [--resume] [--strict]\n\
+                     [--sweep-instructions N] [--results-dir DIR] [--resume] [--strict] \
+                     [--obs off|counters|trace[=N]]\n\
                      ids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -90,12 +100,16 @@ fn main() {
     }
     std::fs::create_dir_all(&ctx.results_dir).expect("create results dir");
     // Forensic integrity dumps land next to the run's other outputs
-    // (unless the caller already pinned the directory).
-    if std::env::var(twig_sim::integrity::dump::DUMP_DIR_ENV).is_err() {
-        std::env::set_var(
-            twig_sim::integrity::dump::DUMP_DIR_ENV,
-            ctx.results_dir.join(".integrity"),
-        );
+    // (unless the operator already pinned the directory via
+    // TWIG_INTEGRITY_DUMP_DIR).
+    let harness = twig_types::HarnessConfig::global();
+    if harness.integrity_dump_dir.value.is_none() {
+        twig_sim::integrity::dump::set_dump_dir(ctx.results_dir.join(".integrity"));
+    }
+    // At counters tier and up, per-cell metrics snapshots (and traces at
+    // the trace tier) land under <results-dir>/metrics/.
+    if twig_obs::ObsConfig::default().level.counters() {
+        twig_bench::telemetry::set_metrics_dir(ctx.results_dir.join("metrics"));
     }
 
     let run_started = std::time::Instant::now();

@@ -10,14 +10,19 @@
 //! same design space the paper surveys.
 
 use twig::{TwigConfig, TwigOptimizer};
-use twig_prefetchers::{CompressedBtb, PhantomBtb, TwoLevelBtb};
-use twig_sim::{speedup_percent, BtbSystem, PlainBtb, SimConfig, SimStats, Simulator};
+use twig_sim::{speedup_percent, BtbSystem, SimConfig, SimStats, Simulator};
 use twig_workload::AppId;
 
 use crate::runner::{AppSetup, ExpContext};
 
 /// Apps used for the extension studies.
 const EXT_APPS: [AppId; 3] = [AppId::Kafka, AppId::Cassandra, AppId::Verilator];
+
+/// Constructs a registered system (these sweeps select by name, so they
+/// go through the shared factory rather than per-callsite constructors).
+fn system(name: &str, config: &SimConfig) -> Box<dyn BtbSystem> {
+    twig_prefetchers::by_name(name, config).expect("registered prefetcher")
+}
 
 fn run_on(
     program: &twig_workload::Program,
@@ -52,28 +57,28 @@ pub fn ext01(ctx: &ExpContext) -> String {
 
         let base = run_on(
             &setup.program,
-            Box::new(PlainBtb::new(&config)),
+            system("twig", &config),
             config,
             &events,
             budget,
         );
         let plain_twig = run_on(
             &optimized.program,
-            Box::new(PlainBtb::new(&config)),
+            system("twig", &config),
             config,
             &events,
             budget,
         );
         let btbx = run_on(
             &setup.program,
-            Box::new(CompressedBtb::new(&config)),
+            system("btbx", &config),
             config,
             &events,
             budget,
         );
         let btbx_twig = run_on(
             &optimized.program,
-            Box::new(CompressedBtb::new(&config)),
+            system("btbx", &config),
             config,
             &events,
             budget,
@@ -111,28 +116,28 @@ pub fn ext02(ctx: &ExpContext) -> String {
         let events = setup.events(1, budget);
         let base = run_on(
             &setup.program,
-            Box::new(PlainBtb::new(&config)),
+            system("twig", &config),
             config,
             &events,
             budget,
         );
         let btbx = run_on(
             &setup.program,
-            Box::new(CompressedBtb::new(&config)),
+            system("btbx", &config),
             config,
             &events,
             budget,
         );
         let phantom = run_on(
             &setup.program,
-            Box::new(PhantomBtb::new(&config)),
+            system("phantom", &config),
             config,
             &events,
             budget,
         );
         let two_level = run_on(
             &setup.program,
-            Box::new(TwoLevelBtb::new(&config)),
+            system("bulk", &config),
             config,
             &events,
             budget,

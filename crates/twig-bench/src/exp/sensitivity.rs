@@ -6,7 +6,6 @@
 //! same configuration, averaged across applications — the paper's y-axis.
 
 use twig::{TwigConfig, TwigOptimizer};
-use twig_prefetchers::{Confluence, Shotgun};
 use twig_sim::{speedup_percent, BtbSystem, PlainBtb, SimConfig, Simulator};
 use twig_workload::AppId;
 
@@ -42,14 +41,17 @@ fn sweep_point(
             let run = |sys: Box<dyn BtbSystem>, cfg: SimConfig| {
                 setup.run_system(sys, cfg, &events, budget)
             };
-            let baseline = run(Box::new(PlainBtb::new(&config)), config);
+            let system = |name: &str, cfg: &SimConfig| {
+                twig_prefetchers::by_name(name, cfg).expect("registered prefetcher")
+            };
+            let baseline = run(system("twig", &config), config);
             let ideal_cfg = SimConfig {
                 ideal_btb: true,
                 ..config
             };
-            let ideal = run(Box::new(PlainBtb::new(&ideal_cfg)), ideal_cfg);
-            let shotgun = run(Box::new(Shotgun::new(&config)), config);
-            let confluence = run(Box::new(Confluence::new(&config)), config);
+            let ideal = run(system("ideal", &ideal_cfg), ideal_cfg);
+            let shotgun = run(system("shotgun", &config), config);
+            let confluence = run(system("confluence", &config), config);
             let twig = {
                 let mut sim = Simulator::new(&optimized.program, config, PlainBtb::new(&config));
                 sim.run(events.iter().copied(), budget)

@@ -15,6 +15,7 @@ pub mod exp;
 pub mod manifest;
 pub mod runner;
 pub mod shapes;
+pub mod telemetry;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use checkpoint::CheckpointStore;

@@ -12,7 +12,10 @@ use std::sync::Mutex;
 use twig_serde::Serialize;
 
 /// Manifest schema version.
-pub const MANIFEST_VERSION: u32 = 1;
+///
+/// v2 added `effective_config` (the typed `TWIG_*` harness settings and
+/// where each came from) and `metrics` (per-cell observability exports).
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// How a cell's value was obtained (or lost).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,6 +67,31 @@ pub struct ExperimentRecord {
     pub reason: Option<String>,
 }
 
+/// One harness setting as resolved at startup (the `Display` dump of the
+/// typed config, structured).
+#[derive(Clone, Debug, Serialize)]
+pub struct EffectiveSetting {
+    /// Environment-variable name (`TWIG_NUM_THREADS`, …).
+    pub name: String,
+    /// Resolved value (`"auto"`/`"none"` for unset optionals).
+    pub value: String,
+    /// Where it came from: `default` / `env` / `explicit`.
+    pub source: String,
+}
+
+/// One cell's exported observability snapshot (counters tier and up).
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsRecord {
+    /// Cell id, e.g. `sim:kafka/twig`.
+    pub id: String,
+    /// Path of the metrics JSON, relative to the results directory.
+    pub path: String,
+    /// Number of counters in the snapshot.
+    pub counters: usize,
+    /// Number of histograms in the snapshot.
+    pub histograms: usize,
+}
+
 /// The document written to `run_manifest.json`.
 #[derive(Debug, Serialize)]
 pub struct RunManifest {
@@ -73,6 +101,10 @@ pub struct RunManifest {
     pub resume: bool,
     /// The active `TWIG_FAULT_SPEC`, if any.
     pub fault_spec: Option<String>,
+    /// The observability tier the run executed at.
+    pub obs: String,
+    /// Every `TWIG_*` knob as resolved by the typed harness config.
+    pub effective_config: Vec<EffectiveSetting>,
     /// Number of cells with status `failed`.
     pub failed_cells: usize,
     /// Number of experiments with status `failed`.
@@ -81,6 +113,8 @@ pub struct RunManifest {
     pub cells: Vec<CellRecord>,
     /// Per-experiment outcomes, in run order.
     pub experiments: Vec<ExperimentRecord>,
+    /// Per-cell metrics exports, sorted by id (empty at the `off` tier).
+    pub metrics: Vec<MetricsRecord>,
 }
 
 static CELLS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
@@ -118,6 +152,43 @@ pub fn snapshot_cells() -> Vec<CellRecord> {
 /// process-lifetime of cells).
 pub fn reset_cells() {
     cells().clear();
+    metrics().clear();
+}
+
+static METRICS: Mutex<Vec<MetricsRecord>> = Mutex::new(Vec::new());
+
+fn metrics() -> std::sync::MutexGuard<'static, Vec<MetricsRecord>> {
+    METRICS.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Records one cell's metrics export into the process-wide collector.
+pub fn record_metrics(id: &str, path: &str, counters: usize, histograms: usize) {
+    metrics().push(MetricsRecord {
+        id: id.to_string(),
+        path: path.to_string(),
+        counters,
+        histograms,
+    });
+}
+
+/// Snapshot of all recorded metrics exports, sorted by id.
+pub fn snapshot_metrics() -> Vec<MetricsRecord> {
+    let mut out = metrics().clone();
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
+/// The effective harness configuration, structured for the manifest.
+pub fn effective_config() -> Vec<EffectiveSetting> {
+    twig_types::HarnessConfig::global()
+        .entries()
+        .into_iter()
+        .map(|entry| EffectiveSetting {
+            name: entry.name.to_string(),
+            value: entry.value,
+            source: entry.source.to_string(),
+        })
+        .collect()
 }
 
 /// Assembles the manifest document.
@@ -129,10 +200,13 @@ pub fn build(resume: bool, experiments: Vec<ExperimentRecord>) -> RunManifest {
         version: MANIFEST_VERSION,
         resume,
         fault_spec: twig_sched::fault::global().raw.clone(),
+        obs: twig_sim::ObsConfig::default().level.as_text(),
+        effective_config: effective_config(),
         failed_cells,
         failed_experiments,
         cells,
         experiments,
+        metrics: snapshot_metrics(),
     }
 }
 

@@ -413,7 +413,14 @@ fn run_mono<B: BtbSystem>(
 ) -> Result<SimStats, Box<IntegrityViolation>> {
     let mut sim = Simulator::new(program, config, system);
     sim.set_integrity_label(label);
-    sim.try_run(events.iter().copied(), budget)
+    let stats = sim.try_run(events.iter().copied(), budget)?;
+    if let Some(snapshot) = sim.metrics_snapshot() {
+        crate::telemetry::record_cell_metrics(label, &snapshot);
+        if let Some(trace) = sim.chrome_trace() {
+            crate::telemetry::record_cell_trace(label, &trace);
+        }
+    }
+    Ok(stats)
 }
 
 fn run_slot(

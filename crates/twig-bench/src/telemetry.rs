@@ -1,0 +1,98 @@
+//! Harness-side observability plumbing: where per-cell metrics
+//! snapshots and trace exports land on disk.
+//!
+//! The `experiments` binary pins the export directory (normally
+//! `<results-dir>/metrics/`) once at startup; every supervised matrix
+//! cell whose simulator ran at `counters` tier or above then writes
+//! `<app>_<config>.json` there (and `<app>_<config>.trace.json` at the
+//! `trace` tier), and records the export in the run manifest. With no
+//! directory pinned — unit tests, library use — recording is a no-op,
+//! and at the `off` tier the simulator produces no snapshot at all.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use twig_sim::MetricsSnapshot;
+
+use crate::manifest;
+
+static METRICS_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Pins the process-wide metrics export directory. First caller wins.
+pub fn set_metrics_dir(dir: PathBuf) {
+    let _ = METRICS_DIR.set(dir);
+}
+
+/// The pinned export directory, if any.
+pub fn metrics_dir() -> Option<&'static Path> {
+    METRICS_DIR.get().map(PathBuf::as_path)
+}
+
+/// Derives the export file stem from a cell label: `sim:kafka/twig` →
+/// `kafka_twig`. Path separators and whitespace never survive into file
+/// names.
+pub fn cell_file_stem(label: &str) -> String {
+    let tail = label.split_once(':').map(|(_, t)| t).unwrap_or(label);
+    tail.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '.' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Writes one cell's metrics snapshot as
+/// `<metrics-dir>/<app>_<config>.json` and folds the export into the run
+/// manifest. No-op when no export directory is pinned.
+pub fn record_cell_metrics(label: &str, snapshot: &MetricsSnapshot) {
+    let Some(dir) = metrics_dir() else { return };
+    let stem = cell_file_stem(label);
+    let file = format!("{stem}.json");
+    let path = dir.join(&file);
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if std::fs::write(&path, snapshot.to_json()).is_ok() {
+        manifest::record_metrics(
+            label,
+            &format!("metrics/{file}"),
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+        );
+    }
+}
+
+/// Writes one cell's chrome://tracing export as
+/// `<metrics-dir>/<app>_<config>.trace.json`. No-op when no export
+/// directory is pinned.
+pub fn record_cell_trace(label: &str, chrome_json: &str) {
+    let Some(dir) = metrics_dir() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{}.trace.json", cell_file_stem(label)));
+    let _ = std::fs::write(path, chrome_json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_become_safe_file_stems() {
+        assert_eq!(cell_file_stem("sim:kafka/twig"), "kafka_twig");
+        assert_eq!(cell_file_stem("meta:tomcat"), "tomcat");
+        assert_eq!(cell_file_stem("no-colon label"), "no-colon_label");
+        assert_eq!(cell_file_stem("sim:a/../b"), "a_.._b");
+    }
+
+    #[test]
+    fn recording_without_a_pinned_dir_is_a_noop() {
+        // METRICS_DIR may or may not be pinned by another test in this
+        // process; rely only on the pure helpers here and on the fact
+        // that an empty snapshot round-trips.
+        let snap = MetricsSnapshot::empty();
+        record_cell_metrics("sim:test/none", &snap);
+        record_cell_trace("sim:test/none", "{}");
+    }
+}

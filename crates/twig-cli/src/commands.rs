@@ -1,7 +1,6 @@
 //! Subcommand implementations.
 
 use twig::{TwigConfig, TwigOptimizer};
-use twig_prefetchers::{CompressedBtb, Confluence, PhantomBtb, Shotgun, TwoLevelBtb};
 use twig_profile::LbrRecorder;
 use twig_sim::{BtbSystem, PlainBtb, SimConfig, SimStats, Simulator};
 use twig_workload::{
@@ -29,12 +28,24 @@ commands:
                                          select prefetch injection sites
   simulate  --spec SPEC.json [--system NAME] [--plans PLANS.json]
             [--trace T.twgt] [--input N] [--instructions N] [--json]
+            [--obs off|counters|trace[=N]] [--metrics-out M.json]
+            [--trace-out T.json]
                                          run the frontend simulator
   optimize  --spec SPEC.json [--train N] [--test N] [--instructions N] [--json]
                                          full profile->rewrite->evaluate flow
+  metrics   diff A.json B.json           semantic diff of two metrics exports
+                                         (exit 1 when they differ)
+  metrics   validate DOC.json SCHEMA.json
+                                         check an exported metrics/trace JSON
+                                         against a schema
 
-systems: plain (default), ideal, shotgun, confluence, btb-x, phantom-btb,
-         two-level-bulk
+systems: twig (default; aliases plain/baseline, or ideal for a perfect
+         BTB), shotgun, confluence, phantom, btbx, bulk, stream
+         (legacy spellings btb-x, phantom-btb, two-level-bulk still work)
+
+observability: --obs selects the recording tier for this run (beats the
+         TWIG_OBS environment variable); --metrics-out/--trace-out write
+         the snapshot and chrome://tracing export after the run
 ";
 
 /// Dispatches a parsed command line.
@@ -52,6 +63,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "analyze" => cmd_analyze(&rest),
         "simulate" => cmd_simulate(&rest),
         "optimize" => cmd_optimize(&rest),
+        "metrics" => cmd_metrics(&args[1..]),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             Ok(())
@@ -164,15 +176,7 @@ fn twig_config(args: &Args<'_>) -> Result<TwigConfig, CliError> {
 }
 
 fn build_system(name: &str, config: &SimConfig) -> Result<Box<dyn BtbSystem>, CliError> {
-    Ok(match name {
-        "plain" | "ideal" => Box::new(PlainBtb::new(config)),
-        "shotgun" => Box::new(Shotgun::new(config)),
-        "confluence" => Box::new(Confluence::new(config)),
-        "btb-x" => Box::new(CompressedBtb::new(config)),
-        "phantom-btb" => Box::new(PhantomBtb::new(config)),
-        "two-level-bulk" => Box::new(TwoLevelBtb::new(config)),
-        other => return Err(CliError::Invalid(format!("unknown system {other:?}; see `twig help`"))),
-    })
+    twig_prefetchers::by_name(name, config).map_err(|e| CliError::Invalid(e.to_string()))
 }
 
 fn print_stats(stats: &SimStats, json: bool) -> Result<(), CliError> {
@@ -229,6 +233,16 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
     if system_name == "ideal" {
         config.ideal_btb = true;
     }
+    // Explicit --obs beats the TWIG_OBS environment variable (which
+    // paper_baseline already folded into config.obs via the default).
+    if let Some(text) = args.flag("obs") {
+        let level = twig_obs::ObsLevel::parse(text)
+            .map_err(|e| CliError::Usage(format!("--obs: {e}")))?;
+        config.obs = twig_obs::ObsConfig {
+            level,
+            ..config.obs
+        };
+    }
     let system = build_system(system_name, &config)?;
     let mut sim = Simulator::new(&program, config, system);
     let stats = match args.flag("trace") {
@@ -241,7 +255,71 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
             instructions,
         ),
     };
+    if let Some(path) = args.flag("metrics-out") {
+        let snapshot = sim.metrics_snapshot().ok_or_else(|| {
+            CliError::Invalid(
+                "--metrics-out needs a recording tier; pass --obs counters (or trace)".into(),
+            )
+        })?;
+        std::fs::write(path, snapshot.to_json()).map_err(|e| CliError::io("write", path, e))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.flag("trace-out") {
+        let chrome = sim.chrome_trace().ok_or_else(|| {
+            CliError::Invalid("--trace-out needs the trace tier; pass --obs trace[=N]".into())
+        })?;
+        std::fs::write(path, chrome).map_err(|e| CliError::io("write", path, e))?;
+        eprintln!("wrote {path}");
+    }
     print_stats(&stats, args.has("json"))
+}
+
+fn read_snapshot(path: &str) -> Result<twig_obs::MetricsSnapshot, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
+    twig_obs::MetricsSnapshot::from_json(&text)
+        .map_err(|e| CliError::decode(path, std::io::Error::other(e)))
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
+    let usage = || {
+        CliError::Usage(
+            "usage: twig metrics diff A.json B.json | twig metrics validate DOC.json SCHEMA.json"
+                .into(),
+        )
+    };
+    let sub = args.first().ok_or_else(usage)?;
+    match sub.as_str() {
+        "diff" => {
+            let [a, b] = [args.get(1).ok_or_else(usage)?, args.get(2).ok_or_else(usage)?];
+            let before = read_snapshot(a)?;
+            let after = read_snapshot(b)?;
+            let diff = twig_obs::diff_snapshots(&before, &after);
+            print!("{diff}");
+            if diff.is_empty() {
+                Ok(())
+            } else {
+                Err(CliError::Differs(format!(
+                    "{} counter(s) and {} histogram(s) differ",
+                    diff.counters.len(),
+                    diff.histograms.len()
+                )))
+            }
+        }
+        "validate" => {
+            let doc_path = args.get(1).ok_or_else(usage)?;
+            let schema_path = args.get(2).ok_or_else(usage)?;
+            let doc: twig_serde::Value = read_json(doc_path)?;
+            let schema: twig_serde::Value = read_json(schema_path)?;
+            twig_obs::validate(&doc, &schema).map_err(|e| {
+                CliError::Invalid(format!("{doc_path} does not match {schema_path}: {e}"))
+            })?;
+            eprintln!("{doc_path}: valid against {schema_path}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown metrics subcommand {other:?}; expected diff | validate"
+        ))),
+    }
 }
 
 fn cmd_optimize(args: &Args<'_>) -> Result<(), CliError> {
@@ -297,12 +375,23 @@ mod tests {
     fn unknown_command_and_system_error() {
         assert!(dispatch(&strs(&["frobnicate"])).is_err());
         let config = SimConfig::default();
-        assert!(build_system("nope", &config).is_err());
+        let err = match build_system("nope", &config) {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error for an unknown system"),
+        };
+        assert!(err.to_string().contains("shotgun"), "error lists options: {err}");
         for name in [
-            "plain",
-            "ideal",
+            // Canonical registry names.
+            "twig",
             "shotgun",
             "confluence",
+            "phantom",
+            "btbx",
+            "bulk",
+            "stream",
+            // Legacy CLI spellings stay accepted.
+            "plain",
+            "ideal",
             "btb-x",
             "phantom-btb",
             "two-level-bulk",
@@ -340,6 +429,46 @@ mod tests {
         // Semantically invalid: (5).
         let e = dispatch(&strs(&["spec", "--app", "not-an-app", "--out", "/tmp/x"])).unwrap_err();
         assert_eq!(e.exit_code(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_diff_and_validate_subcommands() {
+        let dir = std::env::temp_dir().join(format!("twig-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let mut reg = twig_obs::MetricsRegistry::new();
+        reg.set_by_name("btb.hits", 10);
+        std::fs::write(p("a.json"), reg.snapshot().to_json()).unwrap();
+        std::fs::write(p("same.json"), reg.snapshot().to_json()).unwrap();
+        reg.set_by_name("btb.hits", 12);
+        std::fs::write(p("b.json"), reg.snapshot().to_json()).unwrap();
+
+        // Identical snapshots: clean exit.
+        dispatch(&strs(&["metrics", "diff", &p("a.json"), &p("same.json")])).unwrap();
+        // Differing snapshots: exit code 1, like diff(1).
+        let e = dispatch(&strs(&["metrics", "diff", &p("a.json"), &p("b.json")])).unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+
+        // The export validates against a minimal schema; a wrong-shape
+        // document does not.
+        std::fs::write(
+            p("schema.json"),
+            r#"{"type": "object", "required": ["version", "counters"],
+                "properties": {"version": {"type": "integer"},
+                               "counters": {"type": "array"}}}"#,
+        )
+        .unwrap();
+        dispatch(&strs(&["metrics", "validate", &p("a.json"), &p("schema.json")])).unwrap();
+        std::fs::write(p("bad.json"), r#"{"version": "one"}"#).unwrap();
+        let e = dispatch(&strs(&["metrics", "validate", &p("bad.json"), &p("schema.json")]))
+            .unwrap_err();
+        assert_eq!(e.exit_code(), 5);
+
+        // Bad sub-usage is a usage error.
+        let e = dispatch(&strs(&["metrics", "frobnicate"])).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

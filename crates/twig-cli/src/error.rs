@@ -6,6 +6,7 @@
 //!
 //! | variant   | exit | meaning                                        |
 //! |-----------|------|------------------------------------------------|
+//! | `Differs` | 1    | a comparison found differences (`metrics diff`)|
 //! | `Usage`   | 2    | bad command line (unknown command/flag/value)  |
 //! | `Io`      | 3    | filesystem failure (missing file, permissions) |
 //! | `Decode`  | 4    | artifact exists but does not parse/verify      |
@@ -40,12 +41,16 @@ pub enum CliError {
     /// Input parsed fine but is semantically invalid (spec/config
     /// validation, unknown app or system name).
     Invalid(String),
+    /// A comparison command found differences (`metrics diff`) — exit 1,
+    /// like `diff(1)`, so scripts can branch on "same or not".
+    Differs(String),
 }
 
 impl CliError {
     /// The process exit code for this category.
     pub fn exit_code(&self) -> i32 {
         match self {
+            CliError::Differs(_) => 1,
             CliError::Usage(_) => 2,
             CliError::Io { .. } => 3,
             CliError::Decode { .. } => 4,
@@ -81,6 +86,7 @@ impl std::fmt::Display for CliError {
             CliError::Io { path, action, .. } => write!(f, "cannot {action} {path}"),
             CliError::Decode { path, .. } => write!(f, "cannot decode {path}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
+            CliError::Differs(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -90,7 +96,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Io { source, .. } => Some(source),
             CliError::Decode { source, .. } => Some(source.as_ref()),
-            CliError::Usage(_) | CliError::Invalid(_) => None,
+            CliError::Usage(_) | CliError::Invalid(_) | CliError::Differs(_) => None,
         }
     }
 }
@@ -103,13 +109,14 @@ mod tests {
     #[test]
     fn exit_codes_are_distinct_and_nonzero() {
         let errors = [
+            CliError::Differs("d".into()),
             CliError::Usage("u".into()),
             CliError::io("read", "f", std::io::Error::other("x")),
             CliError::decode("f", std::io::Error::other("y")),
             CliError::Invalid("i".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(CliError::exit_code).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
         for e in &errors {
             assert_ne!(e.exit_code(), 0);
         }

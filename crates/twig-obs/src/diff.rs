@@ -1,0 +1,216 @@
+//! Structural diffing of two metrics snapshots — the engine behind
+//! `twig-cli metrics diff <a.json> <b.json>`.
+//!
+//! The diff is **semantic**, not textual: counters are matched by name
+//! and compared by value; histograms by their summary statistics. Only
+//! differing metrics appear, so a clean diff is the empty report — which
+//! is exactly what the determinism tests assert across thread counts.
+
+use std::fmt;
+
+use crate::metrics::MetricsSnapshot;
+
+/// One differing counter (or one present on only one side).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CounterDiff {
+    /// Metric name.
+    pub name: String,
+    /// Value on the left side (`None` = absent).
+    pub before: Option<u64>,
+    /// Value on the right side (`None` = absent).
+    pub after: Option<u64>,
+}
+
+impl CounterDiff {
+    /// Signed change for two-sided rows.
+    pub fn delta(&self) -> Option<i128> {
+        Some(self.after? as i128 - self.before? as i128)
+    }
+}
+
+/// One differing histogram, compared by summary statistics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramDiff {
+    /// Metric name.
+    pub name: String,
+    /// `(count, sum)` on the left side (`None` = absent).
+    pub before: Option<(u64, u64)>,
+    /// `(count, sum)` on the right side (`None` = absent).
+    pub after: Option<(u64, u64)>,
+}
+
+/// The semantic difference between two snapshots.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MetricsDiff {
+    /// Differing counters, name-sorted.
+    pub counters: Vec<CounterDiff>,
+    /// Differing histograms, name-sorted.
+    pub histograms: Vec<HistogramDiff>,
+}
+
+impl MetricsDiff {
+    /// Whether the two snapshots are semantically identical.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Compares two snapshots; the result lists only what differs.
+pub fn diff_snapshots(before: &MetricsSnapshot, after: &MetricsSnapshot) -> MetricsDiff {
+    let mut diff = MetricsDiff::default();
+
+    let mut names: Vec<&str> = before
+        .counters
+        .iter()
+        .chain(after.counters.iter())
+        .map(|e| e.name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let b = before.counter(name);
+        let a = after.counter(name);
+        if b != a {
+            diff.counters.push(CounterDiff {
+                name: name.to_string(),
+                before: b,
+                after: a,
+            });
+        }
+    }
+
+    let mut names: Vec<&str> = before
+        .histograms
+        .iter()
+        .chain(after.histograms.iter())
+        .map(|e| e.name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let b = before.histogram(name).map(|h| (h.count, h.sum));
+        let a = after.histogram(name).map(|h| (h.count, h.sum));
+        if b != a {
+            diff.histograms.push(HistogramDiff {
+                name: name.to_string(),
+                before: b,
+                after: a,
+            });
+        }
+    }
+
+    diff
+}
+
+fn render_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+impl fmt::Display for MetricsDiff {
+    /// Human-readable table; "metrics identical" for the empty diff.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "metrics identical");
+        }
+        if !self.counters.is_empty() {
+            writeln!(
+                f,
+                "{:<44} {:>16} {:>16} {:>12}",
+                "counter", "before", "after", "delta"
+            )?;
+            for row in &self.counters {
+                let delta = match row.delta() {
+                    Some(d) => format!("{d:+}"),
+                    None => "-".to_string(),
+                };
+                writeln!(
+                    f,
+                    "{:<44} {:>16} {:>16} {:>12}",
+                    row.name,
+                    render_opt(row.before),
+                    render_opt(row.after),
+                    delta
+                )?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "{:<44} {:>16} {:>16}",
+                "histogram", "before(count/sum)", "after(count/sum)"
+            )?;
+            for row in &self.histograms {
+                let render = |v: Option<(u64, u64)>| match v {
+                    Some((count, sum)) => format!("{count}/{sum}"),
+                    None => "-".to_string(),
+                };
+                writeln!(
+                    f,
+                    "{:<44} {:>16} {:>16}",
+                    row.name,
+                    render(row.before),
+                    render(row.after)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn snap(counters: &[(&str, u64)], hist: &[(&str, &[u64])]) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for &(name, value) in counters {
+            reg.set_by_name(name, value);
+        }
+        for &(name, samples) in hist {
+            let id = reg.histogram(name);
+            for &s in samples {
+                reg.record(id, s);
+            }
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let a = snap(&[("x", 1), ("y", 2)], &[("h", &[1, 2, 3])]);
+        let b = snap(&[("y", 2), ("x", 1)], &[("h", &[1, 2, 3])]);
+        let diff = diff_snapshots(&a, &b);
+        assert!(diff.is_empty());
+        assert!(diff.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn reports_changed_added_and_removed() {
+        let a = snap(&[("same", 5), ("changed", 10), ("gone", 1)], &[]);
+        let b = snap(&[("same", 5), ("changed", 12), ("new", 7)], &[]);
+        let diff = diff_snapshots(&a, &b);
+        let names: Vec<&str> = diff.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["changed", "gone", "new"]);
+        let changed = &diff.counters[0];
+        assert_eq!(changed.delta(), Some(2));
+        assert_eq!(diff.counters[1].after, None);
+        assert_eq!(diff.counters[2].before, None);
+        let rendered = diff.to_string();
+        assert!(rendered.contains("changed"), "{rendered}");
+        assert!(rendered.contains("+2"), "{rendered}");
+    }
+
+    #[test]
+    fn histogram_changes_surface() {
+        let a = snap(&[], &[("h", &[1, 2])]);
+        let b = snap(&[], &[("h", &[1, 2, 3])]);
+        let diff = diff_snapshots(&a, &b);
+        assert_eq!(diff.histograms.len(), 1);
+        assert_eq!(diff.histograms[0].before, Some((2, 3)));
+        assert_eq!(diff.histograms[0].after, Some((3, 6)));
+    }
+}

@@ -1,0 +1,288 @@
+//! The observability layer: structured metrics, stage tracing, and run
+//! telemetry for the Twig harness — zero-cost when off.
+//!
+//! Twig's evaluation hinges on per-component frontend telemetry (BTB
+//! MPKI, FTQ occupancy, prefetch timeliness, stall attribution). This
+//! crate gives every component one way to expose those numbers:
+//!
+//! * [`MetricsRegistry`] — typed counters and log2-bucketed fixed-size
+//!   histograms. Registration allocates once at construction; the hot
+//!   loop records through integer handles ([`CounterId`], [`HistId`])
+//!   with no allocation and no hashing. [`MetricsSnapshot`] freezes the
+//!   registry into a name-sorted, deterministic form serialized to
+//!   `results/metrics/<app>_<config>.json`.
+//! * [`TraceRing`] — a sampled bounded ring buffer of span events
+//!   ([`TraceEvent`]) over the decoupled-frontend stages, exportable as
+//!   chrome://tracing JSON ([`chrome_trace_json`]).
+//! * [`diff`] — structural comparison of two metrics snapshots (the
+//!   `twig-cli metrics diff` subcommand).
+//! * [`schema`] — a minimal JSON-schema-subset validator used by CI to
+//!   pin the exported metrics/trace formats.
+//!
+//! Tiering mirrors the integrity layer and is selected via
+//! [`ObsConfig`] or the `TWIG_OBS` environment variable (parsed through
+//! the unified `twig_types::HarnessConfig`):
+//!
+//! * `off` — the default; instrumentation compiles to one never-taken
+//!   branch per cycle.
+//! * `counters` — counters and histograms; deterministic for a fixed
+//!   seed regardless of thread count (each simulation is
+//!   single-threaded; the registry holds no clocks and no addresses).
+//! * `trace[=N]` — counters plus span events, sampling one event in `N`
+//!   (default 1) into the bounded ring.
+//!
+//! # Examples
+//!
+//! ```
+//! use twig_obs::{MetricsRegistry, ObsLevel};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! let hits = reg.counter("btb.hits");
+//! let occ = reg.histogram("ftq.occupancy");
+//! reg.inc(hits, 3);
+//! reg.record(occ, 17);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("btb.hits"), Some(3));
+//! assert_eq!(ObsLevel::parse("trace=8").unwrap(), ObsLevel::Trace { sample: 8 });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod metrics;
+pub mod schema;
+pub mod trace;
+
+pub use diff::{diff_snapshots, MetricsDiff};
+pub use metrics::{
+    CounterId, Hist64, HistId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    METRICS_VERSION,
+};
+pub use schema::{validate, SchemaError};
+pub use trace::{chrome_trace_json, Stage, TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
+
+use twig_serde::{Deserialize, Serialize};
+
+/// How much the observability layer records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum ObsLevel {
+    /// Nothing: the hot loop pays only one never-taken branch per cycle.
+    #[default]
+    Off,
+    /// Counters and histograms (allocation-free in the hot loop).
+    Counters,
+    /// Counters plus span events sampled one-in-`sample` into the ring.
+    Trace {
+        /// Record every `sample`-th span event (min 1 = every event).
+        sample: u64,
+    },
+}
+
+impl ObsLevel {
+    /// Whether counters/histograms are recorded at this tier.
+    pub fn counters(&self) -> bool {
+        !matches!(self, ObsLevel::Off)
+    }
+
+    /// The trace sampling period; `None` when tracing is off.
+    pub fn trace_sample(&self) -> Option<u64> {
+        match *self {
+            ObsLevel::Trace { sample } => Some(sample.max(1)),
+            _ => None,
+        }
+    }
+
+    /// Parses `off` | `counters` | `trace` | `trace=N`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.trim() {
+            "off" | "" => Ok(ObsLevel::Off),
+            "counters" => Ok(ObsLevel::Counters),
+            "trace" => Ok(ObsLevel::Trace { sample: 1 }),
+            other => {
+                if let Some(n) = other.strip_prefix("trace=") {
+                    let sample: u64 = n
+                        .parse()
+                        .map_err(|_| format!("bad trace sample period {n:?} in {other:?}"))?;
+                    if sample == 0 {
+                        return Err("trace sample period must be >= 1".into());
+                    }
+                    Ok(ObsLevel::Trace { sample })
+                } else {
+                    Err(format!(
+                        "unknown observability level {other:?} \
+                         (expected off | counters | trace[=N])"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Stable textual form (round-trips through [`ObsLevel::parse`]).
+    pub fn as_text(&self) -> String {
+        match *self {
+            ObsLevel::Off => "off".to_string(),
+            ObsLevel::Counters => "counters".to_string(),
+            ObsLevel::Trace { sample: 1 } => "trace".to_string(),
+            ObsLevel::Trace { sample } => format!("trace={sample}"),
+        }
+    }
+}
+
+/// Observability knobs, carried inside the simulator configuration.
+///
+/// `Copy` on purpose (the owning `SimConfig` is `Copy`); the actual
+/// recording state lives behind an `Option<Box<_>>` in the simulator so
+/// the `off` tier allocates nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Recording tier.
+    pub level: ObsLevel,
+    /// Trace ring capacity in events (oldest events are overwritten).
+    pub trace_capacity: u32,
+}
+
+impl ObsConfig {
+    /// Observability disabled.
+    pub fn off() -> Self {
+        ObsConfig {
+            level: ObsLevel::Off,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+
+    /// Counters and histograms only.
+    pub fn counters() -> Self {
+        ObsConfig {
+            level: ObsLevel::Counters,
+            ..ObsConfig::off()
+        }
+    }
+
+    /// Counters plus span tracing, sampling one event in `sample`.
+    pub fn trace(sample: u64) -> Self {
+        ObsConfig {
+            level: ObsLevel::Trace {
+                sample: sample.max(1),
+            },
+            ..ObsConfig::off()
+        }
+    }
+
+    /// Builds from the environment (`TWIG_OBS`) via the unified harness
+    /// configuration.
+    pub fn from_env() -> Result<Self, String> {
+        Self::from_harness(twig_types::HarnessConfig::global())
+    }
+
+    /// Builds from an already-parsed harness configuration (the tier
+    /// grammar is owned here, not in `twig-types`).
+    pub fn from_harness(harness: &twig_types::HarnessConfig) -> Result<Self, String> {
+        let level =
+            ObsLevel::parse(&harness.obs.value).map_err(|e| format!("TWIG_OBS: {e}"))?;
+        Ok(ObsConfig {
+            level,
+            ..ObsConfig::off()
+        })
+    }
+
+    /// Validates the knobs (called from the simulator's config validation).
+    pub fn validate(&self) -> Result<(), String> {
+        if let ObsLevel::Trace { sample } = self.level {
+            if sample == 0 {
+                return Err("obs trace sample period must be >= 1".into());
+            }
+        }
+        if self.trace_capacity == 0 {
+            return Err("obs trace_capacity must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ObsConfig {
+    /// The effective process-wide configuration: an explicit override
+    /// installed via [`set_global_override`] wins over the environment
+    /// (`TWIG_OBS`), which wins over `off` — the harness-wide
+    /// *explicit arg > env > default* precedence rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `TWIG_OBS` is malformed — a misconfigured run must not
+    /// silently fall back to `off`.
+    fn default() -> Self {
+        if let Some(config) = GLOBAL_OVERRIDE.get() {
+            return *config;
+        }
+        ObsConfig::from_env().expect("invalid observability environment")
+    }
+}
+
+static GLOBAL_OVERRIDE: std::sync::OnceLock<ObsConfig> = std::sync::OnceLock::new();
+
+/// Pins the process-wide observability configuration, overriding
+/// `TWIG_OBS` for every subsequent `ObsConfig::default()` (binaries call
+/// this when the user passes an explicit `--obs` flag). The first caller
+/// wins; later calls are ignored, like the integrity dump-dir override.
+pub fn set_global_override(config: ObsConfig) {
+    let _ = GLOBAL_OVERRIDE.set(config);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_grammar_round_trips() {
+        for (text, level) in [
+            ("off", ObsLevel::Off),
+            ("counters", ObsLevel::Counters),
+            ("trace", ObsLevel::Trace { sample: 1 }),
+            ("trace=64", ObsLevel::Trace { sample: 64 }),
+        ] {
+            assert_eq!(ObsLevel::parse(text).unwrap(), level, "{text}");
+            assert_eq!(ObsLevel::parse(&level.as_text()).unwrap(), level);
+        }
+        assert_eq!(ObsLevel::parse("  counters  ").unwrap(), ObsLevel::Counters);
+        assert_eq!(ObsLevel::parse("").unwrap(), ObsLevel::Off);
+    }
+
+    #[test]
+    fn level_grammar_rejects_garbage() {
+        assert!(ObsLevel::parse("verbose").unwrap_err().contains("verbose"));
+        assert!(ObsLevel::parse("trace=0").is_err());
+        assert!(ObsLevel::parse("trace=lots").is_err());
+    }
+
+    #[test]
+    fn config_tiers_and_validation() {
+        assert_eq!(ObsConfig::off().level, ObsLevel::Off);
+        assert!(ObsConfig::counters().level.counters());
+        assert_eq!(ObsConfig::trace(0).level.trace_sample(), Some(1));
+        assert!(ObsConfig::off().validate().is_ok());
+        let bad = ObsConfig {
+            trace_capacity: 0,
+            ..ObsConfig::counters()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn from_harness_parses_the_tier() {
+        let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
+            "TWIG_OBS" => Some("trace=4".to_string()),
+            _ => None,
+        })
+        .unwrap();
+        let obs = ObsConfig::from_harness(&harness).unwrap();
+        assert_eq!(obs.level, ObsLevel::Trace { sample: 4 });
+
+        let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
+            "TWIG_OBS" => Some("loud".to_string()),
+            _ => None,
+        })
+        .unwrap();
+        let err = ObsConfig::from_harness(&harness).unwrap_err();
+        assert!(err.contains("TWIG_OBS"), "{err}");
+    }
+}

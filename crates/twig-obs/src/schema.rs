@@ -1,0 +1,223 @@
+//! A minimal JSON-Schema-subset validator, enough for CI to pin the
+//! exported metrics/trace formats against checked-in schema files.
+//!
+//! Supported keywords: `type` (a string or an array of strings, with
+//! JSON Schema's names — `integer` matches whole numbers, `number`
+//! matches any numeric), `required`, `properties`, `items`, and
+//! `minItems`. Unknown keywords are ignored (like real JSON Schema),
+//! so the checked-in schemas stay forward-portable to a full validator.
+//!
+//! # Examples
+//!
+//! ```
+//! let schema = twig_serde_json::from_str(
+//!     r#"{"type": "object", "required": ["version"],
+//!         "properties": {"version": {"type": "integer"}}}"#,
+//! ).unwrap();
+//! let doc = twig_serde_json::from_str(r#"{"version": 1}"#).unwrap();
+//! assert!(twig_obs::validate(&doc, &schema).is_ok());
+//! let bad = twig_serde_json::from_str(r#"{"version": "one"}"#).unwrap();
+//! assert!(twig_obs::validate(&bad, &schema).is_err());
+//! ```
+
+use twig_serde::Value;
+
+/// A validation failure: where in the document, and what was expected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SchemaError {
+    /// JSON-pointer-style path to the offending value (`$` is the root).
+    pub path: String,
+    /// What the schema required there.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Validates `value` against `schema`, reporting the first failure.
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] naming the offending path; also fails if
+/// the schema itself is not an object.
+pub fn validate(value: &Value, schema: &Value) -> Result<(), SchemaError> {
+    validate_at(value, schema, "$")
+}
+
+fn type_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Int(_) | Value::UInt(_) => "integer",
+        Value::Float(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn matches_type(value: &Value, wanted: &str) -> bool {
+    match wanted {
+        // Every integer is also a number.
+        "number" => matches!(value, Value::Int(_) | Value::UInt(_) | Value::Float(_)),
+        other => type_name(value) == other,
+    }
+}
+
+fn lookup<'a>(object: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    object.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn validate_at(value: &Value, schema: &Value, path: &str) -> Result<(), SchemaError> {
+    let schema = schema.as_object().ok_or_else(|| SchemaError {
+        path: path.to_string(),
+        message: "schema node is not an object".to_string(),
+    })?;
+
+    if let Some(wanted) = lookup(schema, "type") {
+        let allowed: Vec<&str> = match wanted {
+            Value::Str(one) => vec![one.as_str()],
+            Value::Array(list) => list.iter().filter_map(|v| v.as_str()).collect(),
+            _ => Vec::new(),
+        };
+        if !allowed.iter().any(|t| matches_type(value, t)) {
+            return Err(SchemaError {
+                path: path.to_string(),
+                message: format!(
+                    "expected type {}, found {}",
+                    allowed.join(" | "),
+                    type_name(value)
+                ),
+            });
+        }
+    }
+
+    if let Some(required) = lookup(schema, "required").and_then(|v| v.as_array()) {
+        if let Some(entries) = value.as_object() {
+            for key in required.iter().filter_map(|v| v.as_str()) {
+                if lookup(entries, key).is_none() {
+                    return Err(SchemaError {
+                        path: path.to_string(),
+                        message: format!("missing required property {key:?}"),
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some(properties) = lookup(schema, "properties").and_then(|v| v.as_object()) {
+        if let Some(entries) = value.as_object() {
+            for (key, subschema) in properties {
+                if let Some(subvalue) = lookup(entries, key) {
+                    validate_at(subvalue, subschema, &format!("{path}.{key}"))?;
+                }
+            }
+        }
+    }
+
+    if let Some(min_items) = lookup(schema, "minItems").and_then(|v| v.as_u64()) {
+        if let Some(items) = value.as_array() {
+            if (items.len() as u64) < min_items {
+                return Err(SchemaError {
+                    path: path.to_string(),
+                    message: format!(
+                        "expected at least {min_items} item(s), found {}",
+                        items.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    if let Some(item_schema) = lookup(schema, "items") {
+        if let Some(items) = value.as_array() {
+            for (i, item) in items.iter().enumerate() {
+                validate_at(item, item_schema, &format!("{path}[{i}]"))?;
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(text: &str) -> Value {
+        twig_serde_json::from_str(text).unwrap()
+    }
+
+    #[test]
+    fn accepts_a_conforming_document() {
+        let schema = v(r#"{
+            "type": "object",
+            "required": ["version", "counters"],
+            "properties": {
+                "version": {"type": "integer"},
+                "counters": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["name", "value"],
+                        "properties": {
+                            "name": {"type": "string"},
+                            "value": {"type": "integer"}
+                        }
+                    }
+                }
+            }
+        }"#);
+        let doc = v(r#"{"version": 1, "counters": [{"name": "a", "value": 2}]}"#);
+        validate(&doc, &schema).unwrap();
+    }
+
+    #[test]
+    fn reports_path_of_nested_failure() {
+        let schema = v(r#"{
+            "type": "object",
+            "properties": {
+                "counters": {"type": "array", "items": {
+                    "type": "object", "required": ["value"]
+                }}
+            }
+        }"#);
+        let doc = v(r#"{"counters": [{"value": 1}, {"name": "b"}]}"#);
+        let err = validate(&doc, &schema).unwrap_err();
+        assert_eq!(err.path, "$.counters[1]");
+        assert!(err.message.contains("value"), "{err}");
+    }
+
+    #[test]
+    fn integer_is_a_number_but_not_vice_versa() {
+        let number = v(r#"{"type": "number"}"#);
+        let integer = v(r#"{"type": "integer"}"#);
+        validate(&v("3"), &number).unwrap();
+        validate(&v("3.5"), &number).unwrap();
+        validate(&v("3"), &integer).unwrap();
+        assert!(validate(&v("3.5"), &integer).is_err());
+    }
+
+    #[test]
+    fn type_unions_and_min_items() {
+        let schema = v(r#"{"type": ["string", "null"]}"#);
+        validate(&v(r#""hi""#), &schema).unwrap();
+        validate(&v("null"), &schema).unwrap();
+        assert!(validate(&v("4"), &schema).is_err());
+
+        let schema = v(r#"{"type": "array", "minItems": 1}"#);
+        assert!(validate(&v("[]"), &schema).is_err());
+        validate(&v("[1]"), &schema).unwrap();
+    }
+
+    #[test]
+    fn unknown_keywords_are_ignored() {
+        let schema = v(r#"{"type": "string", "format": "uuid", "$comment": "x"}"#);
+        validate(&v(r#""anything""#), &schema).unwrap();
+    }
+}

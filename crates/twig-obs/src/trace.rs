@@ -1,0 +1,240 @@
+//! Span-style stage tracing: a sampled, bounded ring buffer of frontend
+//! events exportable as chrome://tracing JSON.
+//!
+//! The simulator emits one [`TraceEvent`] per interesting stage span
+//! (a fetch-block's life in the FTQ, a prefetch burst, a resteer
+//! penalty). The ring keeps the **last** `capacity` sampled events, so a
+//! long run's trace shows its tail — the steady state — rather than its
+//! warm-up. Sampling (`trace=N`) keeps one event in `N` per ring, making
+//! the cost of the trace tier tunable independently of its window.
+//!
+//! The export format is the Trace Event Format's complete-event (`ph:
+//! "X"`) flavor, with the simulated cycle standing in for microseconds,
+//! so `chrome://tracing` / Perfetto render the frontend pipeline
+//! directly.
+
+use twig_serde::Value;
+
+/// Default ring capacity, in events.
+pub const DEFAULT_TRACE_CAPACITY: u32 = 65_536;
+
+/// Pipeline stage a span belongs to; becomes the trace's thread lane.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Branch-prediction unit walking basic blocks into the FTQ.
+    Predict,
+    /// Instruction fetch draining the FTQ.
+    Fetch,
+    /// Decode-stage activity (decode-time resteers).
+    Decode,
+    /// BTB/cache prefetch activity.
+    Prefetch,
+    /// Retirement.
+    Commit,
+}
+
+impl Stage {
+    /// Stable lower-case name (the trace's `cat` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Predict => "predict",
+            Stage::Fetch => "fetch",
+            Stage::Decode => "decode",
+            Stage::Prefetch => "prefetch",
+            Stage::Commit => "commit",
+        }
+    }
+
+    /// The lane (trace `tid`) this stage renders on, in pipeline order.
+    pub fn lane(&self) -> u32 {
+        match self {
+            Stage::Predict => 0,
+            Stage::Fetch => 1,
+            Stage::Decode => 2,
+            Stage::Prefetch => 3,
+            Stage::Commit => 4,
+        }
+    }
+}
+
+/// One complete span: a named interval of simulated cycles on a stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// The pipeline stage (render lane).
+    pub stage: Stage,
+    /// Event name (static so recording never allocates).
+    pub name: &'static str,
+    /// First cycle of the span.
+    pub start_cycle: u64,
+    /// Span length in cycles (0 renders as an instant).
+    pub duration: u64,
+}
+
+/// A sampled bounded ring of [`TraceEvent`]s (keeps the most recent).
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    events: Vec<TraceEvent>,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    capacity: usize,
+    /// Keep one event in `sample`.
+    sample: u64,
+    /// Events offered to the ring (sampled or not).
+    seen: u64,
+}
+
+impl TraceRing {
+    /// An empty ring keeping the last `capacity` of every `sample`-th
+    /// event (both floored to 1).
+    pub fn new(capacity: u32, sample: u64) -> Self {
+        let capacity = capacity.max(1) as usize;
+        TraceRing {
+            events: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            sample: sample.max(1),
+            seen: 0,
+        }
+    }
+
+    /// Offers one span to the ring (hot-path: integer math plus at most
+    /// one slot write; the only allocation is the ring filling up to
+    /// capacity the first time).
+    #[inline]
+    pub fn record(&mut self, stage: Stage, name: &'static str, start_cycle: u64, duration: u64) {
+        let index = self.seen;
+        self.seen += 1;
+        if !index.is_multiple_of(self.sample) {
+            return;
+        }
+        let event = TraceEvent {
+            stage,
+            name,
+            start_cycle,
+            duration,
+        };
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Events offered to the ring over its lifetime.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Sampled events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+}
+
+/// Renders events as chrome://tracing JSON (Trace Event Format,
+/// complete-event flavor; `ts`/`dur` carry simulated cycles).
+pub fn chrome_trace_json(label: &str, events: &[TraceEvent]) -> String {
+    let trace_events: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(e.name.to_string())),
+                ("cat".to_string(), Value::Str(e.stage.name().to_string())),
+                ("ph".to_string(), Value::Str("X".to_string())),
+                ("ts".to_string(), Value::UInt(e.start_cycle)),
+                ("dur".to_string(), Value::UInt(e.duration)),
+                ("pid".to_string(), Value::UInt(0)),
+                ("tid".to_string(), Value::UInt(e.stage.lane() as u64)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        (
+            "otherData".to_string(),
+            Value::Object(vec![(
+                "label".to_string(),
+                Value::Str(label.to_string()),
+            )]),
+        ),
+        ("traceEvents".to_string(), Value::Array(trace_events)),
+    ]);
+    twig_serde_json::to_string_pretty(&doc).expect("trace document serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let mut ring = TraceRing::new(4, 1);
+        for i in 0..10u64 {
+            ring.record(Stage::Fetch, "blk", i, 1);
+        }
+        assert_eq!(ring.total_seen(), 10);
+        assert_eq!(ring.len(), 4);
+        let starts: Vec<u64> = ring.events().iter().map(|e| e.start_cycle).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n() {
+        let mut ring = TraceRing::new(100, 4);
+        for i in 0..17u64 {
+            ring.record(Stage::Predict, "bb", i, 0);
+        }
+        let starts: Vec<u64> = ring.events().iter().map(|e| e.start_cycle).collect();
+        assert_eq!(starts, vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_row_per_event() {
+        let mut ring = TraceRing::new(8, 1);
+        ring.record(Stage::Fetch, "blk", 5, 3);
+        ring.record(Stage::Prefetch, "burst", 6, 1);
+        let json = chrome_trace_json("kafka/twig", &ring.events());
+        let doc: Value = twig_serde_json::from_str(&json).unwrap();
+        let events = doc
+            .as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_array())
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        let first = events[0].as_object().unwrap();
+        let field = |k: &str| {
+            first
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(field("ph").as_str(), Some("X"));
+        assert_eq!(field("ts").as_u64(), Some(5));
+        assert_eq!(field("dur").as_u64(), Some(3));
+        assert_eq!(field("cat").as_str(), Some("fetch"));
+    }
+
+    #[test]
+    fn zero_capacity_and_sample_are_floored() {
+        let mut ring = TraceRing::new(0, 0);
+        ring.record(Stage::Commit, "retire", 1, 0);
+        ring.record(Stage::Commit, "retire", 2, 0);
+        assert_eq!(ring.len(), 1);
+    }
+}

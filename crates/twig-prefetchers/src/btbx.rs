@@ -169,6 +169,15 @@ impl BtbSystem for CompressedBtb {
             MutationKind::RasDepth => false,
         }
     }
+
+    fn register_metrics(&self, registry: &mut twig_sim::MetricsRegistry) {
+        registry.set_by_name("system.btb-x.total_entries", self.total_entries() as u64);
+        registry.set_by_name(
+            "system.btb-x.occupancy",
+            self.partitions.iter().map(|p| p.btb.occupancy()).sum::<usize>() as u64,
+        );
+        registry.set_by_name("system.btb-x.partitions", self.partitions.len() as u64);
+    }
 }
 
 #[cfg(test)]

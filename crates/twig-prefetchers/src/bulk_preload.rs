@@ -147,6 +147,17 @@ impl BtbSystem for TwoLevelBtb {
             MutationKind::RasDepth => false,
         }
     }
+
+    fn register_metrics(&self, registry: &mut twig_sim::MetricsRegistry) {
+        registry.set_by_name(
+            "system.two-level-bulk.l1_occupancy",
+            self.l1.occupancy() as u64,
+        );
+        registry.set_by_name(
+            "system.two-level-bulk.l2_regions",
+            self.l2.len() as u64,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -198,6 +198,15 @@ impl BtbSystem for Confluence {
     fn validators(&self) -> Vec<&dyn Validator> {
         vec![self]
     }
+
+    fn register_metrics(&self, registry: &mut twig_sim::MetricsRegistry) {
+        registry.set_by_name("system.confluence.resident_lines", self.lines.len() as u64);
+        registry.set_by_name(
+            "system.confluence.resident_entries",
+            self.lines.values().map(Vec::len).sum::<usize>() as u64,
+        );
+        registry.set_by_name("system.confluence.stream_history", self.streams.len() as u64);
+    }
 }
 
 /// Integrity checks for the line-synchronized AirBTB.

@@ -46,6 +46,7 @@ pub mod btbx;
 pub mod bulk_preload;
 pub mod confluence;
 pub mod phantom;
+pub mod registry;
 pub mod shotgun;
 pub mod stream;
 
@@ -53,5 +54,6 @@ pub use btbx::CompressedBtb;
 pub use bulk_preload::TwoLevelBtb;
 pub use confluence::Confluence;
 pub use phantom::PhantomBtb;
+pub use registry::{by_name, UnknownPrefetcherError, VALID_NAMES};
 pub use shotgun::Shotgun;
-pub use stream::StreamTable;
+pub use stream::{StreamTable, TemporalStream};

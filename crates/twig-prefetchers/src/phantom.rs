@@ -170,6 +170,17 @@ impl BtbSystem for PhantomBtb {
             MutationKind::RasDepth => false,
         }
     }
+
+    fn register_metrics(&self, registry: &mut twig_sim::MetricsRegistry) {
+        registry.set_by_name(
+            "system.phantom-btb.btb_occupancy",
+            self.btb.occupancy() as u64,
+        );
+        registry.set_by_name(
+            "system.phantom-btb.virtual_groups",
+            self.virtual_tables.len() as u64,
+        );
+    }
 }
 
 #[cfg(test)]

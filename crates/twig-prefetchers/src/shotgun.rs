@@ -213,6 +213,12 @@ impl BtbSystem for Shotgun {
             MutationKind::RasDepth => false,
         }
     }
+
+    fn register_metrics(&self, registry: &mut twig_sim::MetricsRegistry) {
+        registry.set_by_name("system.shotgun.ubtb_occupancy", self.ubtb.occupancy() as u64);
+        registry.set_by_name("system.shotgun.cbtb_occupancy", self.cbtb.occupancy() as u64);
+        registry.set_by_name("system.shotgun.footprints", self.footprints.len() as u64);
+    }
 }
 
 #[cfg(test)]

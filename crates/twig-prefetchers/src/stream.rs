@@ -13,7 +13,11 @@
 
 use std::collections::HashMap;
 
-use twig_types::CacheLineAddr;
+use twig_sim::{
+    Btb, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBufferStats, SimConfig,
+    Validator,
+};
+use twig_types::{Addr, BlockId, BranchRecord, CacheLineAddr};
 
 /// Default history capacity (entries). SHIFT virtualizes ~32K history
 /// entries into the LLC; we keep them in a plain circular buffer.
@@ -130,6 +134,107 @@ impl StreamTable {
             out.push(self.history[p]);
         }
         out
+    }
+}
+
+/// A standalone SHIFT-style system: the baseline BTB plus temporal-stream
+/// instruction prefetching, with no AirBTB line synchronization.
+///
+/// This isolates the record-and-replay mechanism itself — the ablation the
+/// paper's Fig. 10 discussion implies: how much of Confluence's benefit
+/// comes from the stream engine alone when the BTB is left conventional.
+///
+/// # Examples
+///
+/// ```
+/// use twig_prefetchers::TemporalStream;
+/// use twig_sim::{BtbSystem, SimConfig};
+///
+/// let stream = TemporalStream::new(&SimConfig::default());
+/// assert_eq!(stream.name(), "stream");
+/// ```
+#[derive(Debug)]
+pub struct TemporalStream {
+    btb: Btb,
+    streams: StreamTable,
+    issued_prefetches: u64,
+}
+
+impl TemporalStream {
+    /// Builds the system with the baseline BTB geometry and SHIFT-default
+    /// stream-table sizing.
+    pub fn new(config: &SimConfig) -> Self {
+        TemporalStream {
+            btb: Btb::new(config.btb),
+            streams: StreamTable::with_defaults(),
+            issued_prefetches: 0,
+        }
+    }
+
+    /// Number of L1i line prefetches issued by stream replay.
+    pub fn issued_prefetches(&self) -> u64 {
+        self.issued_prefetches
+    }
+}
+
+impl BtbSystem for TemporalStream {
+    fn name(&self) -> &str {
+        "stream"
+    }
+
+    fn lookup(&mut self, pc: Addr, _ctx: &mut FrontendCtx<'_>) -> LookupOutcome {
+        match self.btb.lookup(pc) {
+            Some(entry) => LookupOutcome::Hit {
+                target: entry.target,
+                kind: entry.kind,
+            },
+            None => LookupOutcome::Miss,
+        }
+    }
+
+    fn resolve_taken(&mut self, rec: &BranchRecord, _block: BlockId, _ctx: &mut FrontendCtx<'_>) {
+        if let Some(target) = rec.outcome.target() {
+            self.btb.insert(rec.pc, target, rec.kind);
+        }
+    }
+
+    fn line_demand_miss(&mut self, line: CacheLineAddr, ctx: &mut FrontendCtx<'_>) {
+        for next in self.streams.record_and_lookup(line) {
+            if ctx.mem.l1i_contains(next) {
+                continue;
+            }
+            ctx.mem.prefetch(next, ctx.cycle);
+            self.issued_prefetches += 1;
+        }
+    }
+
+    fn prefetch_stats(&self) -> PrefetchBufferStats {
+        // Stream replay fills the I-cache, not the BTB: no buffer traffic.
+        PrefetchBufferStats::default()
+    }
+
+    fn enable_differential(&mut self) {
+        self.btb.enable_shadow();
+    }
+
+    fn validators(&self) -> Vec<&dyn Validator> {
+        vec![&self.btb]
+    }
+
+    fn inject_corruption(&mut self, kind: MutationKind) -> bool {
+        match kind {
+            MutationKind::BtbOccupancy => {
+                self.btb.corrupt_occupancy();
+                true
+            }
+            MutationKind::RasDepth => false,
+        }
+    }
+
+    fn register_metrics(&self, registry: &mut twig_sim::MetricsRegistry) {
+        registry.set_by_name("system.stream.btb_occupancy", self.btb.occupancy() as u64);
+        registry.set_by_name("system.stream.history_len", self.streams.len() as u64);
+        registry.set_by_name("system.stream.issued_prefetches", self.issued_prefetches);
     }
 }
 

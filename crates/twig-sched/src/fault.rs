@@ -244,11 +244,13 @@ impl FaultSpec {
 /// vacuously.
 pub fn global() -> &'static FaultSpec {
     static SPEC: OnceLock<FaultSpec> = OnceLock::new();
-    SPEC.get_or_init(|| match std::env::var("TWIG_FAULT_SPEC") {
-        Ok(raw) => FaultSpec::parse(&raw)
-            .unwrap_or_else(|e| panic!("malformed TWIG_FAULT_SPEC: {e}")),
-        Err(_) => FaultSpec::none(),
-    })
+    SPEC.get_or_init(
+        || match &twig_types::HarnessConfig::global().fault_spec.value {
+            Some(raw) => FaultSpec::parse(raw)
+                .unwrap_or_else(|e| panic!("malformed TWIG_FAULT_SPEC: {e}")),
+            None => FaultSpec::none(),
+        },
+    )
 }
 
 #[cfg(test)]

@@ -37,23 +37,20 @@ pub use supervise::{
 };
 
 /// Maximum number of concurrently working threads (including callers),
-/// resolved once per process from `TWIG_NUM_THREADS`, `RAYON_NUM_THREADS`,
-/// or the machine's available parallelism, in that order.
+/// resolved once per process from the unified harness configuration
+/// (`TWIG_NUM_THREADS`, with `RAYON_NUM_THREADS` as a fallback spelling)
+/// or the machine's available parallelism.
 pub fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        for var in ["TWIG_NUM_THREADS", "RAYON_NUM_THREADS"] {
-            if let Ok(raw) = std::env::var(var) {
-                if let Ok(n) = raw.trim().parse::<usize>() {
-                    if n >= 1 {
-                        return n;
-                    }
-                }
-            }
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        twig_types::HarnessConfig::global()
+            .num_threads
+            .value
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
     })
 }
 

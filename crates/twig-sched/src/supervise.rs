@@ -224,22 +224,20 @@ impl Default for TaskPolicy {
 
 impl TaskPolicy {
     /// The default policy with `TWIG_TASK_ATTEMPTS`, `TWIG_TASK_BACKOFF_MS`
-    /// and `TWIG_TASK_TIMEOUT_MS` (0 = no deadline) applied on top.
+    /// and `TWIG_TASK_TIMEOUT_MS` (0 = no deadline) applied on top, via
+    /// the unified harness configuration (malformed values abort there
+    /// with the variable named, instead of silently using defaults).
     pub fn from_env() -> Self {
-        fn env_u64(name: &str) -> Option<u64> {
-            std::env::var(name).ok()?.trim().parse().ok()
+        Self::from_config(twig_types::HarnessConfig::global())
+    }
+
+    /// The policy carried by an already-parsed harness configuration.
+    pub fn from_config(config: &twig_types::HarnessConfig) -> Self {
+        TaskPolicy {
+            attempts: config.task_attempts.value,
+            backoff_ms: config.task_backoff_ms.value,
+            timeout_ms: config.task_timeout_ms.value,
         }
-        let mut policy = TaskPolicy::default();
-        if let Some(n) = env_u64("TWIG_TASK_ATTEMPTS") {
-            policy.attempts = (n as u32).max(1);
-        }
-        if let Some(n) = env_u64("TWIG_TASK_BACKOFF_MS") {
-            policy.backoff_ms = n;
-        }
-        if let Some(n) = env_u64("TWIG_TASK_TIMEOUT_MS") {
-            policy.timeout_ms = if n == 0 { None } else { Some(n) };
-        }
-        policy
     }
 
     /// This policy with a different deadline.

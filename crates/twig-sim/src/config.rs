@@ -4,9 +4,33 @@
 //! decoupled frontend — 24-entry FTQ, 8K-entry 4-way BTB, 32-entry RAS,
 //! 4K-entry 4-way IBTB, 32 KB 8-way L1i, 1 MB L2, 10 MB L3.
 
+use std::fmt;
+
+use twig_obs::ObsConfig;
 use twig_serde::{Deserialize, Serialize};
 
 use crate::integrity::IntegrityConfig;
+
+/// A rejected simulator configuration: which field, and why.
+///
+/// Produced by [`SimConfig::builder`]'s `build()` and by
+/// [`SimConfig::validate_typed`]; the legacy [`SimConfig::validate`]
+/// flattens it to a string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimConfigError {
+    /// The offending field (dotted path, e.g. `btb.entries`).
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SimConfig field {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for SimConfigError {}
 
 /// Geometry of a set-associative predictor structure (BTB, IBTB).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -23,14 +47,34 @@ impl BtbGeometry {
     /// # Panics
     ///
     /// Panics if `entries` is not a positive multiple of `ways`, or the set
-    /// count is not a power of two.
+    /// count is not a power of two. Use [`BtbGeometry::try_new`] for a
+    /// typed error instead.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0 && entries > 0 && entries.is_multiple_of(ways));
-        assert!(
-            (entries / ways).is_power_of_two(),
-            "set count must be a power of two"
-        );
-        BtbGeometry { entries, ways }
+        match BtbGeometry::try_new(entries, ways) {
+            Ok(geometry) => geometry,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a geometry, rejecting bad shapes with a description.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `entries` is not a positive multiple of `ways`, or the set
+    /// count is not a power of two.
+    pub fn try_new(entries: usize, ways: usize) -> Result<Self, String> {
+        if ways == 0 || entries == 0 || !entries.is_multiple_of(ways) {
+            return Err(format!(
+                "entries ({entries}) must be a positive multiple of ways ({ways})"
+            ));
+        }
+        if !(entries / ways).is_power_of_two() {
+            return Err(format!(
+                "set count ({}) must be a power of two",
+                entries / ways
+            ));
+        }
+        Ok(BtbGeometry { entries, ways })
     }
 
     /// Number of sets.
@@ -180,6 +224,9 @@ pub struct SimConfig {
     /// the optional seeded mutation. Defaults from the `TWIG_INTEGRITY`
     /// environment (off unless set).
     pub integrity: IntegrityConfig,
+    /// Observability layer: metrics/tracing tier and trace-ring capacity.
+    /// Defaults from the `TWIG_OBS` environment (off unless set).
+    pub obs: ObsConfig,
 }
 
 impl Default for SimConfig {
@@ -214,6 +261,7 @@ impl Default for SimConfig {
             ideal_btb: false,
             ideal_icache: false,
             integrity: IntegrityConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -239,35 +287,232 @@ impl SimConfig {
         self
     }
 
-    /// Validates cross-field constraints.
+    /// Starts a builder seeded with the Table 1 baseline — the preferred
+    /// construction path: every setter takes raw values and `build()`
+    /// reports the first bad one as a typed [`SimConfigError`] instead of
+    /// panicking mid-experiment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twig_sim::SimConfig;
+    ///
+    /// let config = SimConfig::builder()
+    ///     .btb(32 * 1024, 4)
+    ///     .ftq_entries(32)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.btb.entries, 32 * 1024);
+    ///
+    /// let err = SimConfig::builder().btb(100, 3).build().unwrap_err();
+    /// assert_eq!(err.field, "btb");
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Validates cross-field constraints, naming the offending field.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.fetch_width == 0 || self.retire_width == 0 {
-            return Err("widths must be positive".into());
+    /// Returns the first violated constraint as a [`SimConfigError`].
+    pub fn validate_typed(&self) -> Result<(), SimConfigError> {
+        fn reject(field: &'static str, reason: impl Into<String>) -> Result<(), SimConfigError> {
+            Err(SimConfigError {
+                field,
+                reason: reason.into(),
+            })
+        }
+        if self.fetch_width == 0 {
+            return reject("fetch_width", "must be positive");
+        }
+        if self.retire_width == 0 {
+            return reject("retire_width", "must be positive");
         }
         if self.ftq_entries == 0 {
-            return Err("FTQ needs at least one entry".into());
+            return reject("ftq_entries", "FTQ needs at least one entry");
         }
         if self.bpu_regions_per_cycle == 0 || self.region_max_instrs == 0 {
-            return Err("BPU must advance at least one region per cycle".into());
+            return reject(
+                "bpu_regions_per_cycle",
+                "BPU must advance at least one region per cycle",
+            );
         }
         if self.rob_entries < self.retire_width as usize {
-            return Err("ROB must hold at least one retire group".into());
+            return reject("rob_entries", "ROB must hold at least one retire group");
         }
         if !(self.l1i_latency <= self.l2_latency
             && self.l2_latency <= self.l3_latency
             && self.l3_latency <= self.mem_latency)
         {
-            return Err("memory latencies must be monotone".into());
+            return reject("mem_latency", "memory latencies must be monotone");
         }
         if self.backend_extra_cpki < 0.0 {
-            return Err("backend_extra_cpki must be non-negative".into());
+            return reject("backend_extra_cpki", "must be non-negative");
         }
-        self.integrity.validate()?;
+        if let Err(reason) = self.integrity.validate() {
+            return reject("integrity", reason);
+        }
+        if let Err(reason) = self.obs.validate() {
+            return reject("obs", reason);
+        }
         Ok(())
+    }
+
+    /// Validates cross-field constraints (legacy string-error form).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.validate_typed().map_err(|e| e.to_string())
+    }
+}
+
+/// Builder for [`SimConfig`]: mutate freely, validate once at
+/// [`SimConfigBuilder::build`].
+///
+/// Structural fields that can be *shaped wrong* (BTB/IBTB/cache
+/// geometries) are held as raw numbers and only checked at build time, so
+/// a sweep over invalid shapes surfaces as a typed error naming the field
+/// rather than a panic inside a worker thread.
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+    btb: (usize, usize),
+    ibtb: (usize, usize),
+    l1i: (usize, usize),
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        let config = SimConfig::default();
+        SimConfigBuilder {
+            btb: (config.btb.entries, config.btb.ways),
+            ibtb: (config.ibtb.entries, config.ibtb.ways),
+            l1i: (config.l1i.bytes, config.l1i.ways),
+            config,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Fetch and retire width (instructions per cycle).
+    pub fn widths(mut self, fetch: u32, retire: u32) -> Self {
+        self.config.fetch_width = fetch;
+        self.config.retire_width = retire;
+        self
+    }
+
+    /// Fetch target queue capacity in basic-block regions.
+    pub fn ftq_entries(mut self, entries: usize) -> Self {
+        self.config.ftq_entries = entries;
+        self
+    }
+
+    /// Reorder-buffer capacity.
+    pub fn rob_entries(mut self, entries: usize) -> Self {
+        self.config.rob_entries = entries;
+        self
+    }
+
+    /// Main BTB shape (entries, ways); validated at build.
+    pub fn btb(mut self, entries: usize, ways: usize) -> Self {
+        self.btb = (entries, ways);
+        self
+    }
+
+    /// Indirect-target BTB shape (entries, ways); validated at build.
+    pub fn ibtb(mut self, entries: usize, ways: usize) -> Self {
+        self.ibtb = (entries, ways);
+        self
+    }
+
+    /// L1 instruction cache shape (bytes, ways); validated at build.
+    pub fn l1i(mut self, bytes: usize, ways: usize) -> Self {
+        self.l1i = (bytes, ways);
+        self
+    }
+
+    /// Return address stack depth.
+    pub fn ras_entries(mut self, entries: usize) -> Self {
+        self.config.ras_entries = entries;
+        self
+    }
+
+    /// BTB prefetch buffer capacity.
+    pub fn prefetch_buffer_entries(mut self, entries: usize) -> Self {
+        self.config.prefetch_buffer_entries = entries;
+        self
+    }
+
+    /// Conditional direction predictor.
+    pub fn direction(mut self, kind: DirectionPredictorKind) -> Self {
+        self.config.direction = kind;
+        self
+    }
+
+    /// Extra backend-stall cycles per 1000 retired instructions.
+    pub fn backend_extra_cpki(mut self, cpki: f64) -> Self {
+        self.config.backend_extra_cpki = cpki;
+        self
+    }
+
+    /// Limit study: every BTB lookup hits.
+    pub fn ideal_btb(mut self, ideal: bool) -> Self {
+        self.config.ideal_btb = ideal;
+        self
+    }
+
+    /// Limit study: every I-cache access hits.
+    pub fn ideal_icache(mut self, ideal: bool) -> Self {
+        self.config.ideal_icache = ideal;
+        self
+    }
+
+    /// Integrity tier (overrides the `TWIG_INTEGRITY` default).
+    pub fn integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.config.integrity = integrity;
+        self
+    }
+
+    /// Observability tier (overrides the `TWIG_OBS` default).
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Arbitrary access to the remaining fields (latencies, pipeline
+    /// depths, wrong-path knobs) without one setter per field.
+    pub fn tune(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid field as a [`SimConfigError`].
+    pub fn build(self) -> Result<SimConfig, SimConfigError> {
+        let mut config = self.config;
+        config.btb = BtbGeometry::try_new(self.btb.0, self.btb.1)
+            .map_err(|reason| SimConfigError { field: "btb", reason })?;
+        config.ibtb = BtbGeometry::try_new(self.ibtb.0, self.ibtb.1)
+            .map_err(|reason| SimConfigError { field: "ibtb", reason })?;
+        let l1i_sets = self.l1i.0.checked_div(64 * self.l1i.1).unwrap_or(0);
+        if l1i_sets == 0 || !l1i_sets.is_power_of_two() {
+            return Err(SimConfigError {
+                field: "l1i",
+                reason: format!(
+                    "bad cache geometry: {} bytes / {} ways",
+                    self.l1i.0, self.l1i.1
+                ),
+            });
+        }
+        config.l1i = CacheGeometry::new(self.l1i.0, self.l1i.1);
+        config.validate_typed()?;
+        Ok(config)
     }
 }
 
@@ -315,5 +560,67 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());
+        assert_eq!(c.validate_typed().unwrap_err().field, "mem_latency");
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = SimConfig::builder().build().unwrap();
+        assert_eq!(built, SimConfig::default());
+    }
+
+    #[test]
+    fn builder_reports_typed_errors() {
+        let err = SimConfig::builder().btb(96, 4).build().unwrap_err();
+        assert_eq!(err.field, "btb");
+        assert!(err.to_string().contains("power of two"), "{err}");
+
+        let err = SimConfig::builder().ibtb(0, 4).build().unwrap_err();
+        assert_eq!(err.field, "ibtb");
+
+        let err = SimConfig::builder().l1i(1000, 3).build().unwrap_err();
+        assert_eq!(err.field, "l1i");
+
+        let err = SimConfig::builder()
+            .widths(6, 8)
+            .rob_entries(4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "rob_entries");
+
+        let err = SimConfig::builder()
+            .backend_extra_cpki(-1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "backend_extra_cpki");
+    }
+
+    #[test]
+    fn builder_wires_integrity_and_obs_uniformly() {
+        let config = SimConfig::builder()
+            .integrity(IntegrityConfig::sampled(64))
+            .obs(ObsConfig::counters())
+            .build()
+            .unwrap();
+        assert_eq!(config.integrity, IntegrityConfig::sampled(64));
+        assert_eq!(config.obs, ObsConfig::counters());
+
+        let err = SimConfig::builder()
+            .obs(ObsConfig {
+                trace_capacity: 0,
+                ..ObsConfig::counters()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "obs");
+    }
+
+    #[test]
+    fn builder_tune_reaches_every_field() {
+        let config = SimConfig::builder()
+            .tune(|c| c.redirect_penalty = 9)
+            .build()
+            .unwrap();
+        assert_eq!(config.redirect_penalty, 9);
     }
 }

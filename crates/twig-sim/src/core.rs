@@ -16,6 +16,7 @@
 
 use std::collections::VecDeque;
 
+use twig_obs::Stage;
 use twig_types::{Addr, BlockId, BranchKind, BranchOutcome, CacheLineAddr};
 use twig_workload::{BlockEvent, Program};
 
@@ -26,6 +27,7 @@ use crate::icache::MemoryHierarchy;
 use crate::integrity::dump::{DumpBranch, StateDump, DUMP_VERSION};
 use crate::integrity::watchdog::Watchdogs;
 use crate::integrity::{Fault, IntegrityViolation, MutationKind, Validator, ViolationKind};
+use crate::obs::ObsState;
 use crate::ras::Ras;
 use crate::stats::SimStats;
 use crate::system::{BtbSystem, FrontendCtx, LookupOutcome};
@@ -126,6 +128,10 @@ pub struct Simulator<'p, B> {
     events_consumed: u64,
     /// Label stamped on integrity violations and dumps (e.g. `sim:kafka/twig`).
     integrity_label: String,
+    /// Observability recording state; `None` at the `off` tier, so the
+    /// hot loop pays one never-taken branch per cycle (same discipline
+    /// as the integrity layer).
+    obs: Option<Box<ObsState>>,
 }
 
 impl<'p, B: BtbSystem> Simulator<'p, B> {
@@ -151,6 +157,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             history: VecDeque::with_capacity(LBR_DEPTH + 1),
             events_consumed: 0,
             integrity_label: String::from("sim"),
+            obs: ObsState::from_config(&config.obs),
         };
         if config.integrity.level.differential() {
             sim.ibtb.enable_shadow();
@@ -283,6 +290,11 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                     };
                     let stall = region.resteer.is_some();
                     ftq.push_back(region);
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        if let Some(ring) = obs.ring.as_mut() {
+                            ring.record(Stage::Predict, "bpu-region", cycle, 0);
+                        }
+                    }
                     if stall {
                         bpu_stalled_until = u64::MAX;
                         break;
@@ -315,6 +327,16 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                         ops: entry.ops,
                     });
                     rob_occupancy += (entry.instrs + entry.ops) as usize;
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.registry
+                            .record(obs.fetch_region_instrs, u64::from(total));
+                        if let Some(ring) = obs.ring.as_mut() {
+                            ring.record(Stage::Fetch, "fetch-region", cycle, fetch_cycles);
+                            if !entry.ops_blocks.is_empty() {
+                                ring.record(Stage::Prefetch, "sw-prefetch", cycle, 0);
+                            }
+                        }
+                    }
                     for &block in &entry.ops_blocks {
                         self.execute_prefetch_ops(block, decode_done, cycle);
                     }
@@ -330,6 +352,16 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                         match kind {
                             ResteerKind::Decode => self.stats.decode_resteers += 1,
                             ResteerKind::Execute => self.stats.exec_resteers += 1,
+                        }
+                        if let Some(obs) = self.obs.as_deref_mut() {
+                            obs.registry.record(obs.resteer_penalty, resume - cycle);
+                            if let Some(ring) = obs.ring.as_mut() {
+                                let name = match kind {
+                                    ResteerKind::Decode => "resteer-decode",
+                                    ResteerKind::Execute => "resteer-execute",
+                                };
+                                ring.record(Stage::Decode, name, cycle, resume - cycle);
+                            }
                         }
                     }
                     // Start the next head's I-cache access in the same
@@ -378,6 +410,13 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                     }
                 }
                 self.stats.retired_instructions += u64::from(retired_orig);
+                if retired_orig > 0 {
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        if let Some(ring) = obs.ring.as_mut() {
+                            ring.record(Stage::Commit, "retire", cycle, 0);
+                        }
+                    }
+                }
                 backend_deficit +=
                     f64::from(retired_orig) * self.config.backend_extra_cpki / 1000.0;
                 if slots > 0 {
@@ -388,6 +427,14 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                         self.stats.topdown.frontend_bound += u64::from(slots);
                     }
                 }
+            }
+
+            // ---- Observability: per-cycle occupancy histograms. ----------
+            // One never-taken branch per cycle at the `off` tier, exactly
+            // like the integrity gate below.
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.registry.record(obs.ftq_occupancy, ftq.len() as u64);
+                obs.registry.record(obs.rob_occupancy, rob_occupancy as u64);
             }
 
             // ---- Integrity: mutation drill, invariant sweep, watchdogs. --
@@ -475,19 +522,53 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
 
         self.stats.cycles = cycle;
         self.stats.prefetch_buffer = self.system.prefetch_stats().into();
-        let mem = self.mem.stats();
+        let mem = *self.mem.stats();
         self.stats.icache_demand_accesses = mem.demand_accesses;
         self.stats.icache_demand_misses = mem.demand_misses;
         self.stats.icache_prefetches = mem.prefetches;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.mirror_stats(&self.stats, &mem);
+            self.system.register_metrics(&mut obs.registry);
+        }
         Ok(self.stats.clone())
+    }
+
+    /// The end-of-run metrics snapshot: the legacy statistics mirrored as
+    /// counters plus the hot-loop occupancy histograms and any
+    /// system-specific metrics. `None` at the `off` observability tier.
+    pub fn metrics_snapshot(&self) -> Option<twig_obs::MetricsSnapshot> {
+        self.obs.as_deref().map(|obs| obs.snapshot())
+    }
+
+    /// Sampled span events recorded so far, oldest first (empty unless
+    /// the `trace` tier is on).
+    pub fn trace_events(&self) -> Vec<twig_obs::TraceEvent> {
+        self.obs
+            .as_deref()
+            .and_then(|obs| obs.ring.as_ref())
+            .map(|ring| ring.events())
+            .unwrap_or_default()
+    }
+
+    /// chrome://tracing JSON of the sampled spans, labelled with this
+    /// run's integrity label. `None` unless the `trace` tier is on.
+    pub fn chrome_trace(&self) -> Option<String> {
+        let ring = self.obs.as_deref()?.ring.as_ref()?;
+        Some(twig_obs::chrome_trace_json(
+            &self.integrity_label,
+            &ring.events(),
+        ))
     }
 
     /// Whether the `TWIG_INTEGRITY_MUTATE_LABEL` selector (a substring of
     /// the integrity label) matches this run. Unset selects every run.
     fn mutation_label_selected(&self) -> bool {
-        match std::env::var("TWIG_INTEGRITY_MUTATE_LABEL") {
-            Ok(sel) if !sel.trim().is_empty() => self.integrity_label.contains(sel.trim()),
-            _ => true,
+        match &twig_types::HarnessConfig::global()
+            .integrity_mutate_label
+            .value
+        {
+            Some(sel) => self.integrity_label.contains(sel.as_str()),
+            None => true,
         }
     }
 

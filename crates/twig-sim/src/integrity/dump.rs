@@ -63,12 +63,27 @@ pub struct StateDump {
     pub structure: String,
 }
 
-/// The dump directory: `TWIG_INTEGRITY_DUMP_DIR` if set, else
-/// `results/.integrity`.
+/// Process-wide explicit override, set once by the harness (an explicit
+/// `--results-dir` outranks the environment, per the precedence rule).
+static DUMP_DIR_OVERRIDE: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+
+/// Overrides the dump directory for the rest of the process (explicit-arg
+/// tier of the precedence chain). First caller wins; later calls are
+/// ignored so library users cannot redirect an operator's choice.
+pub fn set_dump_dir(dir: impl Into<PathBuf>) {
+    let _ = DUMP_DIR_OVERRIDE.set(dir.into());
+}
+
+/// The dump directory: explicit [`set_dump_dir`] override if any, else
+/// `TWIG_INTEGRITY_DUMP_DIR` (via the unified harness configuration),
+/// else `results/.integrity`.
 pub fn dump_dir() -> PathBuf {
-    match std::env::var(DUMP_DIR_ENV) {
-        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
-        _ => PathBuf::from(DEFAULT_DUMP_DIR),
+    if let Some(dir) = DUMP_DIR_OVERRIDE.get() {
+        return dir.clone();
+    }
+    match &twig_types::HarnessConfig::global().integrity_dump_dir.value {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(DEFAULT_DUMP_DIR),
     }
 }
 

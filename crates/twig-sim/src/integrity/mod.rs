@@ -206,20 +206,22 @@ impl IntegrityConfig {
         }
     }
 
-    /// Builds from the environment: `TWIG_INTEGRITY` selects the tier and
+    /// Builds from the environment via the unified harness configuration:
+    /// `TWIG_INTEGRITY` selects the tier and
     /// `TWIG_INTEGRITY_MUTATE=<kind>@<cycle>` arms the mutation drill.
     pub fn from_env() -> Result<Self, String> {
+        Self::from_harness(twig_types::HarnessConfig::global())
+    }
+
+    /// Builds from an already-parsed harness configuration (the grammar of
+    /// the tier and mutation strings is owned here, not in `twig-types`).
+    pub fn from_harness(harness: &twig_types::HarnessConfig) -> Result<Self, String> {
         let mut cfg = IntegrityConfig::off();
-        if let Ok(level) = std::env::var("TWIG_INTEGRITY") {
-            cfg.level =
-                IntegrityLevel::parse(&level).map_err(|e| format!("TWIG_INTEGRITY: {e}"))?;
-        }
-        if let Ok(spec) = std::env::var("TWIG_INTEGRITY_MUTATE") {
-            if !spec.trim().is_empty() {
-                cfg.mutate = Some(
-                    MutationSpec::parse(&spec).map_err(|e| format!("TWIG_INTEGRITY_MUTATE: {e}"))?,
-                );
-            }
+        cfg.level = IntegrityLevel::parse(&harness.integrity.value)
+            .map_err(|e| format!("TWIG_INTEGRITY: {e}"))?;
+        if let Some(spec) = &harness.integrity_mutate.value {
+            cfg.mutate =
+                Some(MutationSpec::parse(spec).map_err(|e| format!("TWIG_INTEGRITY_MUTATE: {e}"))?);
         }
         Ok(cfg)
     }

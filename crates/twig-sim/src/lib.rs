@@ -35,6 +35,7 @@ pub mod core;
 pub mod direction;
 pub mod icache;
 pub mod integrity;
+pub mod obs;
 pub mod perceptron;
 pub mod prefetch_buffer;
 pub mod ras;
@@ -42,7 +43,12 @@ pub mod stats;
 pub mod system;
 
 pub use btb::{Btb, BtbEntry};
-pub use config::{BtbGeometry, CacheGeometry, DirectionPredictorKind, SimConfig};
+pub use config::{
+    BtbGeometry, CacheGeometry, DirectionPredictorKind, SimConfig, SimConfigBuilder,
+    SimConfigError,
+};
+pub use obs::ObsState;
+pub use twig_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig, ObsLevel};
 pub use core::{HistoryEntry, MissObserver, Simulator, LBR_DEPTH};
 pub use integrity::{
     Fault, IntegrityConfig, IntegrityLevel, IntegrityViolation, MutationKind, MutationSpec,

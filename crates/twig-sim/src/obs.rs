@@ -1,0 +1,158 @@
+//! Bridge between the simulator core and the `twig-obs` observability
+//! layer.
+//!
+//! [`ObsState`] is the per-simulation recording state: the metrics
+//! registry with pre-registered hot-loop histogram handles, and (at the
+//! `trace` tier) the sampled span ring. It lives behind an
+//! `Option<Box<ObsState>>` on the simulator so the `off` tier costs one
+//! never-taken branch per cycle and zero bytes of state — the same
+//! zero-cost discipline as the integrity layer.
+//!
+//! The canonical run statistics remain the plain [`SimStats`] fields
+//! (that *is* the allocation-free hot path, and the figure pipeline
+//! reads it unchanged); [`ObsState::mirror_stats`] projects them into
+//! the registry at end of run so the exported metrics snapshot is a
+//! strict superset of the legacy stats. A unit test in the integration
+//! suite pins that equivalence.
+
+use twig_obs::{HistId, MetricsRegistry, MetricsSnapshot, ObsConfig, TraceRing};
+use twig_types::BranchKind;
+
+use crate::icache::MemoryStats;
+use crate::stats::SimStats;
+
+/// Live observability state of one simulation (absent at the `off` tier).
+#[derive(Debug)]
+pub struct ObsState {
+    /// The registry all components record into.
+    pub registry: MetricsRegistry,
+    /// The sampled span ring (`trace` tier only).
+    pub ring: Option<TraceRing>,
+    /// Per-cycle FTQ occupancy histogram.
+    pub ftq_occupancy: HistId,
+    /// Per-cycle ROB occupancy histogram.
+    pub rob_occupancy: HistId,
+    /// Instructions (original + injected ops) per issued fetch region.
+    pub fetch_region_instrs: HistId,
+    /// BPU stall cycles charged per resteer.
+    pub resteer_penalty: HistId,
+}
+
+impl ObsState {
+    /// Builds the recording state for `config`, or `None` at `off`.
+    pub fn from_config(config: &ObsConfig) -> Option<Box<ObsState>> {
+        if !config.level.counters() {
+            return None;
+        }
+        let mut registry = MetricsRegistry::new();
+        let ftq_occupancy = registry.histogram("frontend.ftq_occupancy");
+        let rob_occupancy = registry.histogram("frontend.rob_occupancy");
+        let fetch_region_instrs = registry.histogram("frontend.fetch_region_instrs");
+        let resteer_penalty = registry.histogram("frontend.resteer_penalty");
+        let ring = config
+            .level
+            .trace_sample()
+            .map(|sample| TraceRing::new(config.trace_capacity, sample));
+        Some(Box::new(ObsState {
+            registry,
+            ring,
+            ftq_occupancy,
+            rob_occupancy,
+            fetch_region_instrs,
+            resteer_penalty,
+        }))
+    }
+
+    /// Projects the canonical run statistics into the registry (the
+    /// compatibility view: every legacy stat appears as a counter).
+    pub fn mirror_stats(&mut self, stats: &SimStats, mem: &MemoryStats) {
+        let reg = &mut self.registry;
+        reg.set_by_name("sim.cycles", stats.cycles);
+        reg.set_by_name("sim.retired_instructions", stats.retired_instructions);
+        reg.set_by_name("sim.retired_prefetch_ops", stats.retired_prefetch_ops);
+        for kind in BranchKind::ALL {
+            let i = kind.index();
+            let m = kind.mnemonic();
+            reg.set_by_name(&format!("btb.accesses.{m}"), stats.btb_accesses[i]);
+            reg.set_by_name(&format!("btb.misses.{m}"), stats.btb_misses[i]);
+            reg.set_by_name(&format!("btb.covered.{m}"), stats.covered_misses[i]);
+        }
+        reg.set_by_name("btb.accesses.total", stats.total_btb_accesses());
+        reg.set_by_name("btb.misses.total", stats.total_btb_misses());
+        reg.set_by_name("btb.covered.total", stats.total_covered_misses());
+        reg.set_by_name("frontend.decode_resteers", stats.decode_resteers);
+        reg.set_by_name("frontend.exec_resteers", stats.exec_resteers);
+        reg.set_by_name("bpu.conditional_executed", stats.conditional_executed);
+        reg.set_by_name("bpu.direction_mispredicts", stats.direction_mispredicts);
+        reg.set_by_name("bpu.indirect_mispredicts", stats.indirect_mispredicts);
+        reg.set_by_name("bpu.return_mispredicts", stats.return_mispredicts);
+        reg.set_by_name("topdown.retiring", stats.topdown.retiring);
+        reg.set_by_name("topdown.frontend_bound", stats.topdown.frontend_bound);
+        reg.set_by_name("topdown.bad_speculation", stats.topdown.bad_speculation);
+        reg.set_by_name("topdown.backend_bound", stats.topdown.backend_bound);
+        reg.set_by_name("prefetch_buffer.inserted", stats.prefetch_buffer.inserted);
+        reg.set_by_name("prefetch_buffer.used", stats.prefetch_buffer.used);
+        reg.set_by_name(
+            "prefetch_buffer.evicted_unused",
+            stats.prefetch_buffer.evicted_unused,
+        );
+        reg.set_by_name("prefetch_buffer.late", stats.prefetch_buffer.late);
+        reg.set_by_name("icache.demand_accesses", mem.demand_accesses);
+        reg.set_by_name("icache.demand_misses", mem.demand_misses);
+        reg.set_by_name("icache.demand_joined_inflight", mem.demand_joined_inflight);
+        reg.set_by_name("icache.prefetches", mem.prefetches);
+        reg.set_by_name("icache.redundant_prefetches", mem.redundant_prefetches);
+        reg.set_by_name("mem.fills_l2", mem.fills_l2);
+        reg.set_by_name("mem.fills_l3", mem.fills_l3);
+        reg.set_by_name("mem.fills_memory", mem.fills_memory);
+    }
+
+    /// Freezes the registry into its deterministic serialized form.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tier_allocates_nothing() {
+        assert!(ObsState::from_config(&ObsConfig::off()).is_none());
+    }
+
+    #[test]
+    fn counters_tier_has_no_ring() {
+        let state = ObsState::from_config(&ObsConfig::counters()).unwrap();
+        assert!(state.ring.is_none());
+    }
+
+    #[test]
+    fn trace_tier_has_a_ring() {
+        let state = ObsState::from_config(&ObsConfig::trace(8)).unwrap();
+        assert!(state.ring.is_some());
+    }
+
+    #[test]
+    fn mirror_covers_every_stat_field() {
+        let mut state = ObsState::from_config(&ObsConfig::counters()).unwrap();
+        let mut stats = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        stats.btb_misses[BranchKind::Return.index()] = 3;
+        stats.topdown.retiring = 7;
+        let mem = MemoryStats {
+            demand_accesses: 5,
+            ..MemoryStats::default()
+        };
+        state.mirror_stats(&stats, &mem);
+        let snap = state.snapshot();
+        assert_eq!(snap.counter("sim.cycles"), Some(10));
+        assert_eq!(snap.counter("btb.misses.ret"), Some(3));
+        assert_eq!(snap.counter("btb.misses.total"), Some(3));
+        assert_eq!(snap.counter("topdown.retiring"), Some(7));
+        assert_eq!(snap.counter("icache.demand_accesses"), Some(5));
+    }
+}

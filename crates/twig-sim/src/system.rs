@@ -128,6 +128,14 @@ pub trait BtbSystem {
         let _ = kind;
         false
     }
+
+    /// Contributes system-specific counters to the observability
+    /// registry at end of run (called only when the obs tier is on).
+    /// Default: nothing. Implementations should namespace their metrics
+    /// under `system.<name>.`.
+    fn register_metrics(&self, registry: &mut twig_obs::MetricsRegistry) {
+        let _ = registry;
+    }
 }
 
 impl<T: BtbSystem + ?Sized> BtbSystem for Box<T> {
@@ -171,6 +179,9 @@ impl<T: BtbSystem + ?Sized> BtbSystem for Box<T> {
     }
     fn inject_corruption(&mut self, kind: MutationKind) -> bool {
         (**self).inject_corruption(kind)
+    }
+    fn register_metrics(&self, registry: &mut twig_obs::MetricsRegistry) {
+        (**self).register_metrics(registry)
     }
 }
 
@@ -364,6 +375,10 @@ impl BtbSystem for PlainBtb {
             }
             MutationKind::RasDepth => false,
         }
+    }
+
+    fn register_metrics(&self, registry: &mut twig_obs::MetricsRegistry) {
+        registry.set_by_name("system.plain.btb_occupancy", self.btb.occupancy() as u64);
     }
 }
 

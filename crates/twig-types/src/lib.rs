@@ -25,10 +25,12 @@
 
 mod addr;
 mod branch;
+pub mod config;
 mod ids;
 mod prefetch;
 
 pub use addr::{Addr, CacheLineAddr, CACHE_LINE_BYTES};
+pub use config::{ConfigEntry, ConfigError, HarnessConfig, Setting, Source};
 pub use branch::{BranchKind, BranchOutcome, BranchRecord};
 pub use ids::{BlockId, FuncId};
 pub use prefetch::{PrefetchOp, BRCOALESCE_BYTES, BRPREFETCH_BYTES, COALESCE_ENTRY_BYTES};
