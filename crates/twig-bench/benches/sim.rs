@@ -213,7 +213,8 @@ fn bench_integrity_overhead(c: &mut Criterion) {
 /// (the `obs` state is `None`), so its row should be within noise of the
 /// `monomorphized` dispatch row above; `counters` records through
 /// preallocated integer handles; `trace`/`trace=64` add the sampled span
-/// ring on top.
+/// ring on top; `attr` adds the per-branch cycle attribution table
+/// (bounded top-K, charged once per resteer) to the counters tier.
 ///
 /// Before timing anything, this bench asserts the zero-perturbation
 /// contract: every tier must produce bit-identical statistics —
@@ -227,11 +228,15 @@ fn bench_obs_overhead(c: &mut Criterion) {
         Walker::new(&program, InputConfig::numbered(0)).run_instructions(INSTRS);
     group.throughput(Throughput::Elements(INSTRS));
 
-    let tiers: [(&str, ObsConfig); 4] = [
+    let tiers: [(&str, ObsConfig); 5] = [
         ("off", ObsConfig::off()),
         ("counters", ObsConfig::counters()),
         ("trace", ObsConfig::trace(1)),
         ("trace64", ObsConfig::trace(64)),
+        (
+            "attr",
+            ObsConfig::counters().with_attr(twig_sim::AttrConfig::on()),
+        ),
     ];
     let run = |obs: ObsConfig| {
         let config = SimConfig {

@@ -50,6 +50,8 @@ fn main() {
         ..ExpContext::default()
     };
     let mut strict = false;
+    let mut obs_level: Option<twig_obs::ObsLevel> = None;
+    let mut obs_attr: Option<twig_obs::AttrConfig> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,19 +75,25 @@ fn main() {
             "--strict" => strict = true,
             "--obs" => {
                 let text = args.next().expect("--obs needs off | counters | trace[=N]");
-                let level = twig_obs::ObsLevel::parse(&text)
-                    .unwrap_or_else(|e| panic!("--obs: {e}"));
-                twig_obs::set_global_override(twig_obs::ObsConfig {
-                    level,
-                    ..twig_obs::ObsConfig::off()
-                });
+                obs_level = Some(
+                    twig_obs::ObsLevel::parse(&text).unwrap_or_else(|e| panic!("--obs: {e}")),
+                );
+            }
+            "--obs-attr" => {
+                let text = args
+                    .next()
+                    .expect("--obs-attr needs off | on | k=N,sample=N");
+                obs_attr = Some(
+                    twig_obs::AttrConfig::parse(&text)
+                        .unwrap_or_else(|e| panic!("--obs-attr: {e}")),
+                );
             }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments <id>...|all [--instructions N] \
                      [--sweep-instructions N] [--results-dir DIR] [--resume] [--strict] \
-                     [--obs off|counters|trace[=N]]\n\
+                     [--obs off|counters|trace[=N]] [--obs-attr off|on|k=N,sample=N]\n\
                      ids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -98,6 +106,20 @@ fn main() {
         eprintln!("no experiment ids given; try `experiments all` or --help");
         std::process::exit(2);
     }
+    // Compose the observability override: start from the environment
+    // (`TWIG_OBS`/`TWIG_OBS_ATTR`), let explicit flags win field-wise, and
+    // pin the result once (explicit arg > env > default).
+    if obs_level.is_some() || obs_attr.is_some() {
+        let mut obs = twig_obs::ObsConfig::from_env()
+            .unwrap_or_else(|e| panic!("observability environment: {e}"));
+        if let Some(level) = obs_level {
+            obs.level = level;
+        }
+        if let Some(attr) = obs_attr {
+            obs.attr = attr;
+        }
+        twig_obs::set_global_override(obs);
+    }
     std::fs::create_dir_all(&ctx.results_dir).expect("create results dir");
     // Forensic integrity dumps land next to the run's other outputs
     // (unless the operator already pinned the directory via
@@ -106,9 +128,11 @@ fn main() {
     if harness.integrity_dump_dir.value.is_none() {
         twig_sim::integrity::dump::set_dump_dir(ctx.results_dir.join(".integrity"));
     }
-    // At counters tier and up, per-cell metrics snapshots (and traces at
-    // the trace tier) land under <results-dir>/metrics/.
-    if twig_obs::ObsConfig::default().level.counters() {
+    // Whenever anything records — counters tier and up, or attribution
+    // alone — per-cell snapshots (plus traces at the trace tier and
+    // attribution profiles when enabled) land under
+    // <results-dir>/metrics/.
+    if twig_obs::ObsConfig::default().recording() {
         twig_bench::telemetry::set_metrics_dir(ctx.results_dir.join("metrics"));
     }
 

@@ -15,7 +15,9 @@ use twig_serde::Serialize;
 ///
 /// v2 added `effective_config` (the typed `TWIG_*` harness settings and
 /// where each came from) and `metrics` (per-cell observability exports).
-pub const MANIFEST_VERSION: u32 = 2;
+/// v3 added `obs_attr` (the attribution spec) and `attribution`
+/// (per-cell attribution-profile exports).
+pub const MANIFEST_VERSION: u32 = 3;
 
 /// How a cell's value was obtained (or lost).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -92,6 +94,21 @@ pub struct MetricsRecord {
     pub histograms: usize,
 }
 
+/// One cell's exported attribution profile (`TWIG_OBS_ATTR` runs).
+#[derive(Clone, Debug, Serialize)]
+pub struct AttributionRecord {
+    /// Cell id, e.g. `sim:kafka/twig`.
+    pub id: String,
+    /// Path of the attribution JSON, relative to the results directory.
+    pub path: String,
+    /// Path of the folded-stack export, relative to the results directory.
+    pub folded_path: String,
+    /// Number of tracked branch sites in the profile.
+    pub entries: usize,
+    /// Exact cycles attributed across all events.
+    pub total_cycles: u64,
+}
+
 /// The document written to `run_manifest.json`.
 #[derive(Debug, Serialize)]
 pub struct RunManifest {
@@ -103,6 +120,8 @@ pub struct RunManifest {
     pub fault_spec: Option<String>,
     /// The observability tier the run executed at.
     pub obs: String,
+    /// The attribution spec the run executed with (`off` when disabled).
+    pub obs_attr: String,
     /// Every `TWIG_*` knob as resolved by the typed harness config.
     pub effective_config: Vec<EffectiveSetting>,
     /// Number of cells with status `failed`.
@@ -115,6 +134,9 @@ pub struct RunManifest {
     pub experiments: Vec<ExperimentRecord>,
     /// Per-cell metrics exports, sorted by id (empty at the `off` tier).
     pub metrics: Vec<MetricsRecord>,
+    /// Per-cell attribution exports, sorted by id (empty unless
+    /// `TWIG_OBS_ATTR` enabled attribution).
+    pub attribution: Vec<AttributionRecord>,
 }
 
 static CELLS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
@@ -153,6 +175,7 @@ pub fn snapshot_cells() -> Vec<CellRecord> {
 pub fn reset_cells() {
     cells().clear();
     metrics().clear();
+    attribution().clear();
 }
 
 static METRICS: Mutex<Vec<MetricsRecord>> = Mutex::new(Vec::new());
@@ -178,6 +201,38 @@ pub fn snapshot_metrics() -> Vec<MetricsRecord> {
     out
 }
 
+static ATTRIBUTION: Mutex<Vec<AttributionRecord>> = Mutex::new(Vec::new());
+
+fn attribution() -> std::sync::MutexGuard<'static, Vec<AttributionRecord>> {
+    ATTRIBUTION
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Records one cell's attribution export into the process-wide collector.
+pub fn record_attribution(
+    id: &str,
+    path: &str,
+    folded_path: &str,
+    entries: usize,
+    total_cycles: u64,
+) {
+    attribution().push(AttributionRecord {
+        id: id.to_string(),
+        path: path.to_string(),
+        folded_path: folded_path.to_string(),
+        entries,
+        total_cycles,
+    });
+}
+
+/// Snapshot of all recorded attribution exports, sorted by id.
+pub fn snapshot_attribution() -> Vec<AttributionRecord> {
+    let mut out = attribution().clone();
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
 /// The effective harness configuration, structured for the manifest.
 pub fn effective_config() -> Vec<EffectiveSetting> {
     twig_types::HarnessConfig::global()
@@ -196,17 +251,20 @@ pub fn build(resume: bool, experiments: Vec<ExperimentRecord>) -> RunManifest {
     let cells = snapshot_cells();
     let failed_cells = cells.iter().filter(|c| c.status == "failed").count();
     let failed_experiments = experiments.iter().filter(|e| e.status == "failed").count();
+    let obs_config = twig_sim::ObsConfig::default();
     RunManifest {
         version: MANIFEST_VERSION,
         resume,
         fault_spec: twig_sched::fault::global().raw.clone(),
-        obs: twig_sim::ObsConfig::default().level.as_text(),
+        obs: obs_config.level.as_text(),
+        obs_attr: obs_config.attr.as_text(),
         effective_config: effective_config(),
         failed_cells,
         failed_experiments,
         cells,
         experiments,
         metrics: snapshot_metrics(),
+        attribution: snapshot_attribution(),
     }
 }
 

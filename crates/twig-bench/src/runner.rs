@@ -416,9 +416,17 @@ fn run_mono<B: BtbSystem>(
     let stats = sim.try_run(events.iter().copied(), budget)?;
     if let Some(snapshot) = sim.metrics_snapshot() {
         crate::telemetry::record_cell_metrics(label, &snapshot);
-        if let Some(trace) = sim.chrome_trace() {
+        if let Ok(Some(trace)) = sim.chrome_trace() {
             crate::telemetry::record_cell_trace(label, &trace);
         }
+    }
+    // Folded stacks use the bare `<app>/<slot>` cell name as the root
+    // frame (the `sim:` namespace prefix is a harness detail).
+    let folded_label = label.split_once(':').map_or(label, |(_, tail)| tail);
+    if let (Some(attr), Some(folded)) =
+        (sim.attribution_snapshot(), sim.attribution_folded(folded_label))
+    {
+        crate::telemetry::record_cell_attribution(label, &attr, &folded);
     }
     Ok(stats)
 }

@@ -12,7 +12,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-use twig_sim::MetricsSnapshot;
+use twig_sim::{AttributionSnapshot, MetricsSnapshot};
 
 use crate::manifest;
 
@@ -52,12 +52,45 @@ pub fn record_cell_metrics(label: &str, snapshot: &MetricsSnapshot) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
-    if std::fs::write(&path, snapshot.to_json()).is_ok() {
+    let Ok(json) = snapshot.to_json() else {
+        eprintln!("[twig-bench] metrics export for {label} failed to serialize");
+        return;
+    };
+    if std::fs::write(&path, json).is_ok() {
         manifest::record_metrics(
             label,
             &format!("metrics/{file}"),
             snapshot.counters.len(),
             snapshot.histograms.len(),
+        );
+    }
+}
+
+/// Writes one cell's per-branch attribution profile as
+/// `<metrics-dir>/<app>_<config>.attr.json` plus its folded-stack export
+/// as `<app>_<config>.folded.txt`, and folds both into the run manifest.
+/// No-op when no export directory is pinned.
+pub fn record_cell_attribution(label: &str, snapshot: &AttributionSnapshot, folded: &str) {
+    let Some(dir) = metrics_dir() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let stem = cell_file_stem(label);
+    let attr_file = format!("{stem}.attr.json");
+    let folded_file = format!("{stem}.folded.txt");
+    let Ok(json) = snapshot.to_json() else {
+        eprintln!("[twig-bench] attribution export for {label} failed to serialize");
+        return;
+    };
+    if std::fs::write(dir.join(&attr_file), json).is_ok()
+        && std::fs::write(dir.join(&folded_file), folded).is_ok()
+    {
+        manifest::record_attribution(
+            label,
+            &format!("metrics/{attr_file}"),
+            &format!("metrics/{folded_file}"),
+            snapshot.entries.len(),
+            snapshot.total_cycles,
         );
     }
 }

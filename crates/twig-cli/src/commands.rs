@@ -28,24 +28,35 @@ commands:
                                          select prefetch injection sites
   simulate  --spec SPEC.json [--system NAME] [--plans PLANS.json]
             [--trace T.twgt] [--input N] [--instructions N] [--json]
-            [--obs off|counters|trace[=N]] [--metrics-out M.json]
-            [--trace-out T.json]
+            [--obs off|counters|trace[=N]] [--obs-attr off|on|k=N,sample=N]
+            [--metrics-out M.json] [--trace-out T.json]
+            [--attr-out A.attr.json] [--folded-out F.folded.txt]
                                          run the frontend simulator
   optimize  --spec SPEC.json [--train N] [--test N] [--instructions N] [--json]
                                          full profile->rewrite->evaluate flow
+  report    [--top N] SNAPSHOT.json|PROFILE.attr.json ...
+                                         per-cell frontend-bottleneck report
+                                         (deterministic; sorted by cell)
   metrics   diff A.json B.json           semantic diff of two metrics exports
                                          (exit 1 when they differ)
   metrics   validate DOC.json SCHEMA.json
                                          check an exported metrics/trace JSON
                                          against a schema
+  metrics   regress --baseline DIR CURRENT_DIR [--trajectory FILE]
+                                         judge fresh snapshots against
+                                         checked-in baselines (exit 1 on any
+                                         regression)
 
 systems: twig (default; aliases plain/baseline, or ideal for a perfect
          BTB), shotgun, confluence, phantom, btbx, bulk, stream
          (legacy spellings btb-x, phantom-btb, two-level-bulk still work)
 
-observability: --obs selects the recording tier for this run (beats the
-         TWIG_OBS environment variable); --metrics-out/--trace-out write
-         the snapshot and chrome://tracing export after the run
+observability: --obs selects the recording tier for this run and
+         --obs-attr the per-branch cycle attribution profiler (each beats
+         its TWIG_OBS/TWIG_OBS_ATTR environment variable);
+         --metrics-out/--trace-out/--attr-out/--folded-out write the
+         snapshot, chrome://tracing, attribution, and folded-stack
+         exports after the run
 ";
 
 /// Dispatches a parsed command line.
@@ -63,6 +74,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "analyze" => cmd_analyze(&rest),
         "simulate" => cmd_simulate(&rest),
         "optimize" => cmd_optimize(&rest),
+        "report" => crate::report::cmd_report(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
@@ -233,8 +245,9 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
     if system_name == "ideal" {
         config.ideal_btb = true;
     }
-    // Explicit --obs beats the TWIG_OBS environment variable (which
-    // paper_baseline already folded into config.obs via the default).
+    // Explicit --obs/--obs-attr beat their TWIG_OBS*/environment
+    // variables (which paper_baseline already folded into config.obs via
+    // the default).
     if let Some(text) = args.flag("obs") {
         let level = twig_obs::ObsLevel::parse(text)
             .map_err(|e| CliError::Usage(format!("--obs: {e}")))?;
@@ -242,6 +255,11 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
             level,
             ..config.obs
         };
+    }
+    if let Some(text) = args.flag("obs-attr") {
+        let attr = twig_obs::AttrConfig::parse(text)
+            .map_err(|e| CliError::Usage(format!("--obs-attr: {e}")))?;
+        config.obs = config.obs.with_attr(attr);
     }
     let system = build_system(system_name, &config)?;
     let mut sim = Simulator::new(&program, config, system);
@@ -261,14 +279,34 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
                 "--metrics-out needs a recording tier; pass --obs counters (or trace)".into(),
             )
         })?;
-        std::fs::write(path, snapshot.to_json()).map_err(|e| CliError::io("write", path, e))?;
+        let json = snapshot.to_json().map_err(|e| CliError::decode(path, e))?;
+        std::fs::write(path, json).map_err(|e| CliError::io("write", path, e))?;
         eprintln!("wrote {path}");
     }
     if let Some(path) = args.flag("trace-out") {
-        let chrome = sim.chrome_trace().ok_or_else(|| {
-            CliError::Invalid("--trace-out needs the trace tier; pass --obs trace[=N]".into())
-        })?;
+        let chrome = sim
+            .chrome_trace()
+            .map_err(|e| CliError::decode(path, e))?
+            .ok_or_else(|| {
+                CliError::Invalid("--trace-out needs the trace tier; pass --obs trace[=N]".into())
+            })?;
         std::fs::write(path, chrome).map_err(|e| CliError::io("write", path, e))?;
+        eprintln!("wrote {path}");
+    }
+    let attr_label = format!("{}/{}", spec.name, system_name);
+    if let Some(path) = args.flag("attr-out") {
+        let attr = sim.attribution_snapshot().ok_or_else(|| {
+            CliError::Invalid("--attr-out needs attribution; pass --obs-attr on".into())
+        })?;
+        let json = attr.to_json().map_err(|e| CliError::decode(path, e))?;
+        std::fs::write(path, json).map_err(|e| CliError::io("write", path, e))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.flag("folded-out") {
+        let folded = sim.attribution_folded(&attr_label).ok_or_else(|| {
+            CliError::Invalid("--folded-out needs attribution; pass --obs-attr on".into())
+        })?;
+        std::fs::write(path, folded).map_err(|e| CliError::io("write", path, e))?;
         eprintln!("wrote {path}");
     }
     print_stats(&stats, args.has("json"))
@@ -276,14 +314,14 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
 
 fn read_snapshot(path: &str) -> Result<twig_obs::MetricsSnapshot, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
-    twig_obs::MetricsSnapshot::from_json(&text)
-        .map_err(|e| CliError::decode(path, std::io::Error::other(e)))
+    twig_obs::MetricsSnapshot::from_json(&text).map_err(|e| CliError::decode(path, e))
 }
 
 fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
     let usage = || {
         CliError::Usage(
-            "usage: twig metrics diff A.json B.json | twig metrics validate DOC.json SCHEMA.json"
+            "usage: twig metrics diff A.json B.json | twig metrics validate DOC.json \
+             SCHEMA.json | twig metrics regress --baseline DIR CURRENT_DIR"
                 .into(),
         )
     };
@@ -316,8 +354,9 @@ fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
             eprintln!("{doc_path}: valid against {schema_path}");
             Ok(())
         }
+        "regress" => crate::report::cmd_regress(&args[1..]),
         other => Err(CliError::Usage(format!(
-            "unknown metrics subcommand {other:?}; expected diff | validate"
+            "unknown metrics subcommand {other:?}; expected diff | validate | regress"
         ))),
     }
 }
@@ -440,10 +479,10 @@ mod tests {
 
         let mut reg = twig_obs::MetricsRegistry::new();
         reg.set_by_name("btb.hits", 10);
-        std::fs::write(p("a.json"), reg.snapshot().to_json()).unwrap();
-        std::fs::write(p("same.json"), reg.snapshot().to_json()).unwrap();
+        std::fs::write(p("a.json"), reg.snapshot().to_json().unwrap()).unwrap();
+        std::fs::write(p("same.json"), reg.snapshot().to_json().unwrap()).unwrap();
         reg.set_by_name("btb.hits", 12);
-        std::fs::write(p("b.json"), reg.snapshot().to_json()).unwrap();
+        std::fs::write(p("b.json"), reg.snapshot().to_json().unwrap()).unwrap();
 
         // Identical snapshots: clean exit.
         dispatch(&strs(&["metrics", "diff", &p("a.json"), &p("same.json")])).unwrap();

@@ -10,6 +10,7 @@
 mod commands;
 mod error;
 mod io;
+mod report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,525 @@
+//! Frontend-bottleneck reports and the cross-run regression sentinel.
+//!
+//! `twig report` renders a deterministic per-cell digest of exported
+//! metrics snapshots (`<app>_<slot>.json`) and attribution profiles
+//! (`<app>_<slot>.attr.json`): headline rates, Top-Down split, resteer
+//! cost, and the top-N costliest static branches. `twig metrics regress`
+//! compares a directory of fresh snapshots against checked-in baselines
+//! with per-metric relative thresholds and exits 1 on any regression,
+//! optionally appending the run's derived series to a trajectory file
+//! (`BENCH_trajectory.json`).
+
+use twig_obs::{AttributionSnapshot, MetricsSnapshot, MissKind};
+use twig_serde::{Deserialize, Serialize};
+
+use crate::error::CliError;
+
+/// Schema version of `BENCH_trajectory.json`.
+pub const TRAJECTORY_VERSION: u32 = 1;
+
+fn read_metrics(path: &str) -> Result<MetricsSnapshot, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
+    MetricsSnapshot::from_json(&text).map_err(|e| CliError::decode(path, e))
+}
+
+fn read_attribution(path: &str) -> Result<AttributionSnapshot, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
+    AttributionSnapshot::from_json(&text).map_err(|e| CliError::decode(path, e))
+}
+
+/// File stem without the export suffixes: `m/kafka_twig.attr.json` →
+/// `kafka_twig`.
+fn stem(path: &str) -> String {
+    let name = path.rsplit(['/', '\\']).next().unwrap_or(path);
+    let name = name.strip_suffix(".attr.json").unwrap_or(name);
+    let name = name.strip_suffix(".json").unwrap_or(name);
+    name.to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Derived headline metrics
+// ---------------------------------------------------------------------------
+
+/// The headline figures the sentinel tracks, derived from one snapshot.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Derived {
+    /// Retired instructions per cycle.
+    pub ipc: f64,
+    /// BTB misses per kilo-instruction.
+    pub btb_mpki: f64,
+    /// Fraction of BTB misses covered by the active prefetcher.
+    pub coverage: f64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+fn require_counter(snap: &MetricsSnapshot, path: &str, name: &str) -> Result<u64, CliError> {
+    snap.counter(name)
+        .ok_or_else(|| CliError::Invalid(format!("{path}: missing counter {name}")))
+}
+
+/// Derives the sentinel metrics from a counters-tier snapshot.
+pub fn derive(path: &str, snap: &MetricsSnapshot) -> Result<Derived, CliError> {
+    let cycles = require_counter(snap, path, "sim.cycles")?;
+    let instructions = require_counter(snap, path, "sim.retired_instructions")?;
+    let misses = require_counter(snap, path, "btb.misses.total")?;
+    let covered = require_counter(snap, path, "btb.covered.total")?;
+    if cycles == 0 || instructions == 0 {
+        return Err(CliError::Invalid(format!("{path}: empty run (0 cycles or instructions)")));
+    }
+    Ok(Derived {
+        ipc: instructions as f64 / cycles as f64,
+        btb_mpki: misses as f64 * 1000.0 / instructions as f64,
+        coverage: if misses == 0 { 1.0 } else { covered as f64 / misses as f64 },
+        cycles,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// twig report
+// ---------------------------------------------------------------------------
+
+fn print_metrics_section(path: &str, snap: &MetricsSnapshot) -> Result<(), CliError> {
+    let d = derive(path, snap)?;
+    let instructions = require_counter(snap, path, "sim.retired_instructions")?;
+    println!("== {} (metrics) ==", stem(path));
+    println!("  IPC             {:.4}", d.ipc);
+    println!("  cycles          {}", d.cycles);
+    println!("  instructions    {instructions}");
+    println!("  BTB MPKI        {:.2}", d.btb_mpki);
+    println!("  miss coverage   {:.1}%", d.coverage * 100.0);
+    let td: Vec<u64> = ["retiring", "frontend_bound", "bad_speculation", "backend_bound"]
+        .iter()
+        .map(|k| snap.counter(&format!("topdown.{k}")).unwrap_or(0))
+        .collect();
+    let total: u64 = td.iter().sum();
+    if total > 0 {
+        let pct = |v: u64| v as f64 * 100.0 / total as f64;
+        println!(
+            "  topdown         retiring {:.1}% | frontend {:.1}% | bad-spec {:.1}% | backend {:.1}%",
+            pct(td[0]),
+            pct(td[1]),
+            pct(td[2]),
+            pct(td[3]),
+        );
+    }
+    if let Some(penalty) = snap.histogram("frontend.resteer_penalty") {
+        if penalty.count > 0 {
+            println!(
+                "  resteer cost    {} cycles over {} resteers (avg {:.1}, p99 {})",
+                penalty.sum,
+                penalty.count,
+                penalty.sum as f64 / penalty.count as f64,
+                penalty.p99,
+            );
+        }
+    }
+    Ok(())
+}
+
+fn print_attribution_section(path: &str, attr: &AttributionSnapshot, top: usize) {
+    println!("== {} (attribution) ==", stem(path));
+    println!(
+        "  events          {} (sampled {})",
+        attr.total_events, attr.sampled_events
+    );
+    println!(
+        "  cycles          {} (sampled {})",
+        attr.total_cycles, attr.sampled_cycles
+    );
+    println!(
+        "  tracked sites   {} (k={}, sample={})",
+        attr.entries.len(),
+        attr.k,
+        attr.sample
+    );
+    let by_kind = attr.cycles_by_miss_kind();
+    let kinds: Vec<String> = MissKind::ALL
+        .iter()
+        .map(|k| format!("{} {}", k.mnemonic(), by_kind[k.index()]))
+        .collect();
+    println!("  cycles by kind  {}", kinds.join(" | "));
+    if attr.entries.is_empty() {
+        return;
+    }
+    println!("  top {} costly branches:", top.min(attr.entries.len()));
+    println!(
+        "  {:<18} {:<6} {:<12} {:>10} {:>8} {:>8}",
+        "pc", "branch", "miss", "cycles", "events", "±err"
+    );
+    for e in attr.top(top) {
+        println!(
+            "  {:<18} {:<6} {:<12} {:>10} {:>8} {:>8}",
+            format!("{:#x}", e.pc),
+            e.branch,
+            e.miss,
+            e.cycles,
+            e.events,
+            e.error_cycles,
+        );
+    }
+}
+
+/// `twig report [--top N] FILE...` — deterministic bottleneck digest.
+///
+/// Files ending in `.attr.json` are attribution profiles; everything
+/// else is read as a metrics snapshot. Sections print in sorted stem
+/// order regardless of argument order, so reruns and shell-glob order
+/// never change the output.
+pub fn cmd_report(args: &[String]) -> Result<(), CliError> {
+    let mut top: usize = 10;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--top needs a number".into()))?;
+                top = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--top: cannot parse {v:?}")))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown report flag {other:?}")));
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return Err(CliError::Usage(
+            "usage: twig report [--top N] SNAPSHOT.json|PROFILE.attr.json ...".into(),
+        ));
+    }
+    files.sort_by_key(|path| (stem(path), path.ends_with(".attr.json")));
+
+    let mut coverage_rows: Vec<(String, Derived)> = Vec::new();
+    let mut first = true;
+    for path in files {
+        if !first {
+            println!();
+        }
+        first = false;
+        if path.ends_with(".attr.json") {
+            let attr = read_attribution(path)?;
+            print_attribution_section(path, &attr, top);
+        } else {
+            let snap = read_metrics(path)?;
+            print_metrics_section(path, &snap)?;
+            coverage_rows.push((stem(path), derive(path, &snap)?));
+        }
+    }
+    if coverage_rows.len() > 1 {
+        println!();
+        println!("== coverage by configuration ==");
+        println!("  {:<24} {:>8} {:>10} {:>10}", "cell", "IPC", "BTB MPKI", "coverage");
+        for (name, d) in &coverage_rows {
+            println!(
+                "  {:<24} {:>8.4} {:>10.2} {:>9.1}%",
+                name,
+                d.ipc,
+                d.btb_mpki,
+                d.coverage * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// twig metrics regress
+// ---------------------------------------------------------------------------
+
+/// Outcome of one metric comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Within the threshold of the baseline.
+    Ok,
+    /// Moved past the threshold in the good direction.
+    Improved,
+    /// Moved past the threshold in the bad direction.
+    Regressed,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+        }
+    }
+}
+
+struct MetricSpec {
+    name: &'static str,
+    /// Relative change tolerated before a verdict flips (e.g. 0.02 = 2%).
+    threshold: f64,
+    higher_is_better: bool,
+    read: fn(&Derived) -> f64,
+}
+
+/// The sentinel's metric set. Thresholds are relative; the simulator is
+/// bit-deterministic, so a clean rerun of the pinned command reproduces
+/// the baselines exactly and any nonzero delta reflects a real change.
+const METRICS: [MetricSpec; 4] = [
+    MetricSpec { name: "ipc", threshold: 0.005, higher_is_better: true, read: |d| d.ipc },
+    MetricSpec { name: "cycles", threshold: 0.005, higher_is_better: false, read: |d| d.cycles as f64 },
+    MetricSpec { name: "btb_mpki", threshold: 0.02, higher_is_better: false, read: |d| d.btb_mpki },
+    MetricSpec { name: "coverage", threshold: 0.02, higher_is_better: true, read: |d| d.coverage },
+];
+
+fn judge(spec: &MetricSpec, base: f64, current: f64) -> (f64, Verdict) {
+    let delta = if base == 0.0 {
+        if current == 0.0 { 0.0 } else { f64::INFINITY * (current - base).signum() }
+    } else {
+        (current - base) / base
+    };
+    let verdict = if delta.abs() <= spec.threshold {
+        Verdict::Ok
+    } else if (delta > 0.0) == spec.higher_is_better {
+        Verdict::Improved
+    } else {
+        Verdict::Regressed
+    };
+    (delta, verdict)
+}
+
+/// Metrics-snapshot stems (`<app>_<slot>`) in a directory, sorted.
+/// Attribution/trace exports and non-JSON files are skipped.
+fn snapshot_stems(dir: &str) -> Result<Vec<String>, CliError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CliError::io("read", dir, e))?;
+    let mut stems = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError::io("read", dir, e))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json")
+            && !name.ends_with(".attr.json")
+            && !name.ends_with(".trace.json")
+        {
+            stems.push(name.trim_end_matches(".json").to_string());
+        }
+    }
+    stems.sort();
+    Ok(stems)
+}
+
+/// One cell's derived figures in the trajectory series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrajectoryCell {
+    /// Cell stem, e.g. `kafka_twig`.
+    pub id: String,
+    /// Derived IPC.
+    pub ipc: f64,
+    /// Derived BTB MPKI.
+    pub btb_mpki: f64,
+    /// Derived miss coverage.
+    pub coverage: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+}
+
+/// One sentinel run in the trajectory series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrajectoryRun {
+    /// 1-based run index (append order; the file keeps no wall-clock).
+    pub run: u64,
+    /// Whether this run regressed against its baseline.
+    pub regressed: bool,
+    /// Per-cell derived figures, sorted by id.
+    pub cells: Vec<TrajectoryCell>,
+}
+
+/// The `BENCH_trajectory.json` document: run-over-run derived series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Schema version.
+    pub version: u32,
+    /// Runs in append order.
+    pub runs: Vec<TrajectoryRun>,
+}
+
+fn append_trajectory(
+    path: &str,
+    cells: Vec<TrajectoryCell>,
+    regressed: bool,
+) -> Result<(), CliError> {
+    let mut trajectory = match std::fs::read_to_string(path) {
+        Ok(text) => twig_serde_json::from_str::<Trajectory>(&text)
+            .map_err(|e| CliError::decode(path, e))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Trajectory {
+            version: TRAJECTORY_VERSION,
+            runs: Vec::new(),
+        },
+        Err(e) => return Err(CliError::io("read", path, e)),
+    };
+    trajectory.runs.push(TrajectoryRun {
+        run: trajectory.runs.len() as u64 + 1,
+        regressed,
+        cells,
+    });
+    let json = twig_serde_json::to_string_pretty(&trajectory)
+        .map_err(|e| CliError::decode(path, e))?;
+    std::fs::write(path, json).map_err(|e| CliError::io("write", path, e))?;
+    eprintln!("appended run {} to {path}", trajectory.runs.len());
+    Ok(())
+}
+
+/// `twig metrics regress --baseline DIR CURRENT_DIR [--trajectory FILE]`
+/// — compare fresh snapshots against checked-in baselines.
+///
+/// Every `<stem>.json` in the baseline directory must exist in the
+/// current directory (a missing cell is itself a failure). Each cell is
+/// judged on the derived metric set with per-metric relative thresholds;
+/// any `REGRESSED` verdict makes the command exit 1.
+pub fn cmd_regress(args: &[String]) -> Result<(), CliError> {
+    let mut baseline_dir: Option<&String> = None;
+    let mut trajectory_path: Option<&String> = None;
+    let mut current_dir: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_dir =
+                    Some(it.next().ok_or_else(|| {
+                        CliError::Usage("--baseline needs a directory".into())
+                    })?);
+            }
+            "--trajectory" => {
+                trajectory_path =
+                    Some(it.next().ok_or_else(|| {
+                        CliError::Usage("--trajectory needs a path".into())
+                    })?);
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown regress flag {other:?}")));
+            }
+            _ if current_dir.is_none() => current_dir = Some(arg),
+            _ => return Err(CliError::Usage("regress takes one current directory".into())),
+        }
+    }
+    let usage =
+        "usage: twig metrics regress --baseline DIR CURRENT_DIR [--trajectory FILE]";
+    let baseline_dir = baseline_dir.ok_or_else(|| CliError::Usage(usage.into()))?;
+    let current_dir = current_dir.ok_or_else(|| CliError::Usage(usage.into()))?;
+
+    let stems = snapshot_stems(baseline_dir)?;
+    if stems.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "{baseline_dir}: no metrics snapshots to compare against"
+        )));
+    }
+
+    let mut regressions = 0usize;
+    let mut cells: Vec<TrajectoryCell> = Vec::new();
+    println!(
+        "{:<24} {:<10} {:>12} {:>12} {:>9}  verdict",
+        "cell", "metric", "baseline", "current", "delta"
+    );
+    for cell in &stems {
+        let base_path = format!("{baseline_dir}/{cell}.json");
+        let cur_path = format!("{current_dir}/{cell}.json");
+        if !std::path::Path::new(&cur_path).exists() {
+            // A cell that vanished from the run is the worst regression
+            // of all — count it and keep judging the rest.
+            println!("{cell:<24} {:<10} {:>12} {:>12} {:>9}  REGRESSED (missing)", "-", "-", "-", "-");
+            regressions += 1;
+            continue;
+        }
+        let base = derive(&base_path, &read_metrics(&base_path)?)?;
+        let current = derive(&cur_path, &read_metrics(&cur_path)?)?;
+        for spec in &METRICS {
+            let (delta, verdict) = judge(spec, (spec.read)(&base), (spec.read)(&current));
+            if verdict == Verdict::Regressed {
+                regressions += 1;
+            }
+            if verdict != Verdict::Ok || delta != 0.0 {
+                println!(
+                    "{:<24} {:<10} {:>12.4} {:>12.4} {:>+8.2}%  {}",
+                    cell,
+                    spec.name,
+                    (spec.read)(&base),
+                    (spec.read)(&current),
+                    delta * 100.0,
+                    verdict.as_str(),
+                );
+            }
+        }
+        cells.push(TrajectoryCell {
+            id: cell.clone(),
+            ipc: current.ipc,
+            btb_mpki: current.btb_mpki,
+            coverage: current.coverage,
+            cycles: current.cycles,
+        });
+    }
+    let verdict_line = if regressions > 0 {
+        format!("{regressions} regressed metric(s) across {} baseline cell(s)", stems.len())
+    } else {
+        format!("all {} baseline cell(s) within thresholds", stems.len())
+    };
+    println!("{verdict_line}");
+    if let Some(path) = trajectory_path {
+        append_trajectory(path, cells, regressions > 0)?;
+    }
+    if regressions > 0 {
+        Err(CliError::Differs(verdict_line))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stems_strip_export_suffixes() {
+        assert_eq!(stem("m/kafka_twig.json"), "kafka_twig");
+        assert_eq!(stem("m/kafka_twig.attr.json"), "kafka_twig");
+        assert_eq!(stem("kafka_twig"), "kafka_twig");
+    }
+
+    #[test]
+    fn verdicts_respect_direction_and_threshold() {
+        let ipc = &METRICS[0]; // higher is better, 0.5%
+        assert_eq!(judge(ipc, 1.0, 1.0).1, Verdict::Ok);
+        assert_eq!(judge(ipc, 1.0, 1.004).1, Verdict::Ok);
+        assert_eq!(judge(ipc, 1.0, 1.02).1, Verdict::Improved);
+        assert_eq!(judge(ipc, 1.0, 0.98).1, Verdict::Regressed);
+        let mpki = &METRICS[2]; // lower is better, 2%
+        assert_eq!(judge(mpki, 10.0, 10.1).1, Verdict::Ok);
+        assert_eq!(judge(mpki, 10.0, 10.5).1, Verdict::Regressed);
+        assert_eq!(judge(mpki, 10.0, 9.0).1, Verdict::Improved);
+        // Zero baselines never divide.
+        assert_eq!(judge(mpki, 0.0, 0.0).1, Verdict::Ok);
+        assert_eq!(judge(mpki, 0.0, 1.0).1, Verdict::Regressed);
+        assert_eq!(judge(ipc, 0.0, 1.0).1, Verdict::Improved);
+    }
+
+    #[test]
+    fn trajectory_round_trips_and_appends() {
+        let dir = std::env::temp_dir().join(format!("twig-cli-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_trajectory.json").to_string_lossy().into_owned();
+        let cell = TrajectoryCell {
+            id: "kafka_twig".into(),
+            ipc: 0.75,
+            btb_mpki: 12.5,
+            coverage: 0.6,
+            cycles: 1000,
+        };
+        append_trajectory(&path, vec![cell.clone()], false).unwrap();
+        append_trajectory(&path, vec![cell], true).unwrap();
+        let parsed: Trajectory =
+            twig_serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.version, TRAJECTORY_VERSION);
+        assert_eq!(parsed.runs.len(), 2);
+        assert_eq!(parsed.runs[0].run, 1);
+        assert!(!parsed.runs[0].regressed);
+        assert_eq!(parsed.runs[1].run, 2);
+        assert!(parsed.runs[1].regressed);
+        assert_eq!(parsed.runs[1].cells[0].id, "kafka_twig");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

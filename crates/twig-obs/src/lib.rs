@@ -49,11 +49,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod diff;
 pub mod metrics;
 pub mod schema;
 pub mod trace;
 
+pub use attr::{
+    folded_stacks, AttrConfig, AttrEntry, AttrKey, AttrTable, AttributionSnapshot, MissKind,
+    ATTRIBUTION_VERSION, DEFAULT_ATTR_K,
+};
 pub use diff::{diff_snapshots, MetricsDiff};
 pub use metrics::{
     CounterId, Hist64, HistId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
@@ -63,6 +68,36 @@ pub use schema::{validate, SchemaError};
 pub use trace::{chrome_trace_json, Stage, TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
 
 use twig_serde::{Deserialize, Serialize};
+
+/// A failed metrics/trace/attribution export or import: the document
+/// could not be serialized or parsed.
+///
+/// Carries *what* was being exported and the serializer's reason, so
+/// callers (the CLI, the harness telemetry writer) can surface it as a
+/// typed error instead of panicking mid-run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExportError {
+    what: &'static str,
+    detail: String,
+}
+
+impl ExportError {
+    /// An export error for document kind `what`.
+    pub fn new(what: &'static str, detail: impl Into<String>) -> Self {
+        ExportError {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.what, self.detail)
+    }
+}
+
+impl std::error::Error for ExportError {}
 
 /// How much the observability layer records.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -140,6 +175,10 @@ pub struct ObsConfig {
     pub level: ObsLevel,
     /// Trace ring capacity in events (oldest events are overwritten).
     pub trace_capacity: u32,
+    /// Per-branch cycle attribution knobs (`TWIG_OBS_ATTR`), orthogonal
+    /// to the tier: enabling attribution alone still creates recording
+    /// state (and thus a metrics snapshot).
+    pub attr: AttrConfig,
 }
 
 impl ObsConfig {
@@ -148,6 +187,7 @@ impl ObsConfig {
         ObsConfig {
             level: ObsLevel::Off,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            attr: AttrConfig::off(),
         }
     }
 
@@ -176,14 +216,28 @@ impl ObsConfig {
     }
 
     /// Builds from an already-parsed harness configuration (the tier
-    /// grammar is owned here, not in `twig-types`).
+    /// and attribution grammars are owned here, not in `twig-types`).
     pub fn from_harness(harness: &twig_types::HarnessConfig) -> Result<Self, String> {
         let level =
             ObsLevel::parse(&harness.obs.value).map_err(|e| format!("TWIG_OBS: {e}"))?;
+        let attr = AttrConfig::parse(&harness.obs_attr.value)
+            .map_err(|e| format!("TWIG_OBS_ATTR: {e}"))?;
         Ok(ObsConfig {
             level,
+            attr,
             ..ObsConfig::off()
         })
+    }
+
+    /// This configuration with attribution enabled per `attr`.
+    pub fn with_attr(self, attr: AttrConfig) -> Self {
+        ObsConfig { attr, ..self }
+    }
+
+    /// Whether any recording state exists at all (counters tier or
+    /// attribution enabled) — the gate for `Option<Box<ObsState>>`.
+    pub fn recording(&self) -> bool {
+        self.level.counters() || self.attr.enabled
     }
 
     /// Validates the knobs (called from the simulator's config validation).
@@ -196,7 +250,7 @@ impl ObsConfig {
         if self.trace_capacity == 0 {
             return Err("obs trace_capacity must be >= 1".into());
         }
-        Ok(())
+        self.attr.validate()
     }
 }
 
@@ -268,14 +322,37 @@ mod tests {
     }
 
     #[test]
+    fn recording_gate_covers_attr_only_runs() {
+        assert!(!ObsConfig::off().recording());
+        assert!(ObsConfig::counters().recording());
+        assert!(ObsConfig::off().with_attr(AttrConfig::on()).recording());
+        let bad = ObsConfig::counters().with_attr(AttrConfig {
+            sample: 0,
+            ..AttrConfig::on()
+        });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
     fn from_harness_parses_the_tier() {
         let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
             "TWIG_OBS" => Some("trace=4".to_string()),
+            "TWIG_OBS_ATTR" => Some("k=32,sample=2".to_string()),
             _ => None,
         })
         .unwrap();
         let obs = ObsConfig::from_harness(&harness).unwrap();
         assert_eq!(obs.level, ObsLevel::Trace { sample: 4 });
+        assert!(obs.attr.enabled);
+        assert_eq!((obs.attr.k, obs.attr.sample), (32, 2));
+
+        let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
+            "TWIG_OBS_ATTR" => Some("k=zero".to_string()),
+            _ => None,
+        })
+        .unwrap();
+        let err = ObsConfig::from_harness(&harness).unwrap_err();
+        assert!(err.contains("TWIG_OBS_ATTR"), "{err}");
 
         let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
             "TWIG_OBS" => Some("loud".to_string()),

@@ -14,7 +14,13 @@
 
 use twig_serde::{Deserialize, Serialize};
 
+use crate::ExportError;
+
 /// Metrics snapshot format version; bump when the schema changes.
+///
+/// Still 1: the v1.1 percentile summaries (`p50`/`p90`/`p99` per
+/// histogram) are strictly additive — v1.0 snapshots parse and validate
+/// unchanged, with absent percentiles reading as 0.
 pub const METRICS_VERSION: u32 = 1;
 
 /// Handle to a registered counter (index into the registry; `Copy` so
@@ -84,6 +90,32 @@ impl Hist64 {
         self.sum
     }
 
+    /// The approximate `num/den`-quantile: the upper bound of the log2
+    /// bucket the quantile's rank lands in, clamped to the observed
+    /// `[min, max]` range (0 when empty). Deterministic integer math —
+    /// the error is at most one bucket width (a factor of 2).
+    pub fn percentile(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * num).div_ceil(den).max(1);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                let hi = if i == 0 {
+                    0
+                } else if i == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Freezes into the serializable form (non-empty buckets only).
     pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
         let buckets = self
@@ -109,6 +141,9 @@ impl Hist64 {
             sum: self.sum,
             min: if self.count == 0 { 0 } else { self.min },
             max: self.max,
+            p50: self.percentile(50, 100),
+            p90: self.percentile(90, 100),
+            p99: self.percentile(99, 100),
             buckets,
         }
     }
@@ -135,7 +170,7 @@ pub struct BucketCount {
 }
 
 /// A frozen histogram: summary statistics plus non-empty log2 buckets.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
 pub struct HistogramSnapshot {
     /// Dotted metric name.
     pub name: String,
@@ -147,8 +182,44 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample (0 when empty).
     pub max: u64,
+    /// Approximate median ([`Hist64::percentile`]; 0 when empty).
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
     /// Non-empty buckets, ascending.
     pub buckets: Vec<BucketCount>,
+}
+
+// Hand-written (instead of derived) so v1.0 snapshots — written before
+// the additive v1.1 percentile fields existed — still parse: absent
+// `p50`/`p90`/`p99` read as 0 rather than erroring.
+impl Deserialize for HistogramSnapshot {
+    fn from_value(value: &twig_serde::Value) -> Result<Self, String> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("expected object for HistogramSnapshot, got {value:?}"))?;
+        let optional_u64 = |key: &str| -> Result<u64, String> {
+            match obj.iter().find(|(k, _)| k == key) {
+                Some((_, v)) => {
+                    u64::from_value(v).map_err(|e| format!("HistogramSnapshot.{key}: {e}"))
+                }
+                None => Ok(0),
+            }
+        };
+        Ok(HistogramSnapshot {
+            name: twig_serde::__field(obj, "name", "HistogramSnapshot")?,
+            count: twig_serde::__field(obj, "count", "HistogramSnapshot")?,
+            sum: twig_serde::__field(obj, "sum", "HistogramSnapshot")?,
+            min: twig_serde::__field(obj, "min", "HistogramSnapshot")?,
+            max: twig_serde::__field(obj, "max", "HistogramSnapshot")?,
+            p50: optional_u64("p50")?,
+            p90: optional_u64("p90")?,
+            p99: optional_u64("p99")?,
+            buckets: twig_serde::__field(obj, "buckets", "HistogramSnapshot")?,
+        })
+    }
 }
 
 impl HistogramSnapshot {
@@ -294,13 +365,23 @@ impl MetricsSnapshot {
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> String {
-        twig_serde_json::to_string_pretty(self).expect("metrics snapshot serializes")
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExportError`] if the document cannot be serialized.
+    pub fn to_json(&self) -> Result<String, ExportError> {
+        twig_serde_json::to_string_pretty(self)
+            .map_err(|e| ExportError::new("metrics snapshot", e.to_string()))
     }
 
     /// Parses a snapshot back from JSON.
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        twig_serde_json::from_str(text).map_err(|e| e.to_string())
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExportError`] describing the malformed document.
+    pub fn from_json(text: &str) -> Result<Self, ExportError> {
+        twig_serde_json::from_str(text)
+            .map_err(|e| ExportError::new("metrics snapshot", e.to_string()))
     }
 }
 
@@ -374,10 +455,59 @@ mod tests {
         assert_eq!(snap.counter("missing"), None);
         assert_eq!(snap.histogram("mid").unwrap().count, 1);
 
-        let json = snap.to_json();
+        let json = snap.to_json().unwrap();
         let back = MetricsSnapshot::from_json(&json).unwrap();
         assert_eq!(back, snap);
         // Determinism: serialization is a pure function of the content.
-        assert_eq!(json, back.to_json());
+        assert_eq!(json, back.to_json().unwrap());
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let mut h = Hist64::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let snap = h.snapshot("lat");
+        // p50/p90 land in the [8,15] bucket of the 10s; p99 in the
+        // 1000s' bucket, clamped to the observed max.
+        assert_eq!(snap.p50, 15);
+        assert_eq!(snap.p90, 15);
+        assert_eq!(snap.p99, 1000);
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.max, 1000);
+        // A constant distribution reports the constant everywhere.
+        let mut c = Hist64::new();
+        c.record(7);
+        let snap = c.snapshot("const");
+        assert_eq!((snap.p50, snap.p90, snap.p99), (7, 7, 7));
+        // Empty histogram: all zero.
+        let snap = Hist64::new().snapshot("empty");
+        assert_eq!((snap.p50, snap.p90, snap.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn v1_0_snapshots_without_percentiles_still_parse() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        reg.record(h, 42);
+        let json = reg.snapshot().to_json().unwrap();
+        // Strip the v1.1 percentile fields to reconstruct a v1.0 document.
+        let stripped: String = json
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                !(t.starts_with("\"p50\"") || t.starts_with("\"p90\"") || t.starts_with("\"p99\""))
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(stripped, json);
+        let back = MetricsSnapshot::from_json(&stripped).unwrap();
+        assert_eq!(back.histogram("lat").unwrap().count, 1);
+        // Absent percentiles read as 0.
+        assert_eq!(back.histogram("lat").unwrap().p50, 0);
     }
 }

@@ -15,6 +15,8 @@
 
 use twig_serde::Value;
 
+use crate::ExportError;
+
 /// Default ring capacity, in events.
 pub const DEFAULT_TRACE_CAPACITY: u32 = 65_536;
 
@@ -126,6 +128,15 @@ impl TraceRing {
         self.seen
     }
 
+    /// Spans offered but *not* in the ring — sampled out or overwritten
+    /// after the ring filled. A truncated trace is no longer silent:
+    /// this surfaces as the `obs.trace.dropped_spans` counter in the
+    /// metrics snapshot and as `droppedSpans` in the chrome-trace
+    /// export's `otherData`.
+    pub fn dropped_spans(&self) -> u64 {
+        self.seen - self.events.len() as u64
+    }
+
     /// Sampled events currently held.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -147,7 +158,17 @@ impl TraceRing {
 
 /// Renders events as chrome://tracing JSON (Trace Event Format,
 /// complete-event flavor; `ts`/`dur` carry simulated cycles).
-pub fn chrome_trace_json(label: &str, events: &[TraceEvent]) -> String {
+/// `dropped_spans` ([`TraceRing::dropped_spans`]) is recorded in the
+/// export's `otherData` so truncated traces announce themselves.
+///
+/// # Errors
+///
+/// Returns an [`ExportError`] if the document cannot be serialized.
+pub fn chrome_trace_json(
+    label: &str,
+    events: &[TraceEvent],
+    dropped_spans: u64,
+) -> Result<String, ExportError> {
     let trace_events: Vec<Value> = events
         .iter()
         .map(|e| {
@@ -165,14 +186,15 @@ pub fn chrome_trace_json(label: &str, events: &[TraceEvent]) -> String {
     let doc = Value::Object(vec![
         (
             "otherData".to_string(),
-            Value::Object(vec![(
-                "label".to_string(),
-                Value::Str(label.to_string()),
-            )]),
+            Value::Object(vec![
+                ("label".to_string(), Value::Str(label.to_string())),
+                ("droppedSpans".to_string(), Value::UInt(dropped_spans)),
+            ]),
         ),
         ("traceEvents".to_string(), Value::Array(trace_events)),
     ]);
-    twig_serde_json::to_string_pretty(&doc).expect("trace document serializes")
+    twig_serde_json::to_string_pretty(&doc)
+        .map_err(|e| ExportError::new("chrome trace", e.to_string()))
 }
 
 #[cfg(test)]
@@ -206,7 +228,7 @@ mod tests {
         let mut ring = TraceRing::new(8, 1);
         ring.record(Stage::Fetch, "blk", 5, 3);
         ring.record(Stage::Prefetch, "burst", 6, 1);
-        let json = chrome_trace_json("kafka/twig", &ring.events());
+        let json = chrome_trace_json("kafka/twig", &ring.events(), ring.dropped_spans()).unwrap();
         let doc: Value = twig_serde_json::from_str(&json).unwrap();
         let events = doc
             .as_object()
@@ -228,6 +250,33 @@ mod tests {
         assert_eq!(field("ts").as_u64(), Some(5));
         assert_eq!(field("dur").as_u64(), Some(3));
         assert_eq!(field("cat").as_str(), Some("fetch"));
+    }
+
+    #[test]
+    fn dropped_spans_count_sampled_out_and_overwritten() {
+        // Capacity 2, sample 2: of 10 offers, 5 are sampled in, 3 of
+        // those are overwritten, so 8 spans total are dropped.
+        let mut ring = TraceRing::new(2, 2);
+        for i in 0..10u64 {
+            ring.record(Stage::Fetch, "blk", i, 1);
+        }
+        assert_eq!(ring.total_seen(), 10);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped_spans(), 8);
+        let json = chrome_trace_json("x", &ring.events(), ring.dropped_spans()).unwrap();
+        let doc: Value = twig_serde_json::from_str(&json).unwrap();
+        let other = doc
+            .as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == "otherData")
+            .and_then(|(_, v)| v.as_object().map(|o| o.to_vec()))
+            .unwrap();
+        let dropped = other
+            .iter()
+            .find(|(k, _)| k == "droppedSpans")
+            .and_then(|(_, v)| v.as_u64());
+        assert_eq!(dropped, Some(8));
     }
 
     #[test]

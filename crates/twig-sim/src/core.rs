@@ -16,7 +16,7 @@
 
 use std::collections::VecDeque;
 
-use twig_obs::Stage;
+use twig_obs::{MissKind, Stage};
 use twig_types::{Addr, BlockId, BranchKind, BranchOutcome, CacheLineAddr};
 use twig_workload::{BlockEvent, Program};
 
@@ -42,6 +42,21 @@ enum ResteerKind {
     Execute,
 }
 
+/// A pending resteer plus the static branch that caused it — the
+/// attribution profiler charges the stall cycles to `(pc, branch, miss)`
+/// when the region issues.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ResteerCause {
+    /// Where the redirect is detected (decode vs execute).
+    kind: ResteerKind,
+    /// Static PC of the causing branch.
+    pc: u64,
+    /// Branch kind at that PC.
+    branch: BranchKind,
+    /// Attribution taxonomy label.
+    miss: MissKind,
+}
+
 /// One FTQ entry: a contiguous fetch region spanning one or more basic
 /// blocks, ending at a predicted-taken branch, a pending resteer, or the
 /// region instruction cap.
@@ -53,7 +68,7 @@ struct FtqEntry {
     ops: u32,
     first_line: u64,
     last_line: u64,
-    resteer: Option<ResteerKind>,
+    resteer: Option<ResteerCause>,
     /// Blocks in the region that carry software prefetch ops.
     ops_blocks: Vec<BlockId>,
 }
@@ -340,23 +355,26 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                     for &block in &entry.ops_blocks {
                         self.execute_prefetch_ops(block, decode_done, cycle);
                     }
-                    if let Some(kind) = entry.resteer {
-                        let resolved_at = match kind {
+                    if let Some(cause) = entry.resteer {
+                        let resolved_at = match cause.kind {
                             ResteerKind::Decode => decode_done,
                             ResteerKind::Execute => decode_done + self.config.exec_pipe,
                         };
                         let resume = resolved_at + self.config.redirect_penalty;
                         bpu_stalled_until = resume;
                         resteer_until = resume;
-                        resteer_is_exec = kind == ResteerKind::Execute;
-                        match kind {
+                        resteer_is_exec = cause.kind == ResteerKind::Execute;
+                        match cause.kind {
                             ResteerKind::Decode => self.stats.decode_resteers += 1,
                             ResteerKind::Execute => self.stats.exec_resteers += 1,
                         }
                         if let Some(obs) = self.obs.as_deref_mut() {
                             obs.registry.record(obs.resteer_penalty, resume - cycle);
+                            if let Some(attr) = obs.attr.as_mut() {
+                                attr.record(cause.pc, cause.branch, cause.miss, resume - cycle);
+                            }
                             if let Some(ring) = obs.ring.as_mut() {
-                                let name = match kind {
+                                let name = match cause.kind {
                                     ResteerKind::Decode => "resteer-decode",
                                     ResteerKind::Execute => "resteer-execute",
                                 };
@@ -528,6 +546,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         self.stats.icache_prefetches = mem.prefetches;
         if let Some(obs) = self.obs.as_deref_mut() {
             obs.mirror_stats(&self.stats, &mem);
+            obs.mirror_internal();
             self.system.register_metrics(&mut obs.registry);
         }
         Ok(self.stats.clone())
@@ -551,13 +570,34 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
     }
 
     /// chrome://tracing JSON of the sampled spans, labelled with this
-    /// run's integrity label. `None` unless the `trace` tier is on.
-    pub fn chrome_trace(&self) -> Option<String> {
-        let ring = self.obs.as_deref()?.ring.as_ref()?;
-        Some(twig_obs::chrome_trace_json(
-            &self.integrity_label,
-            &ring.events(),
-        ))
+    /// run's integrity label. `Ok(None)` unless the `trace` tier is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`twig_obs::ExportError`] if serialization fails.
+    pub fn chrome_trace(&self) -> Result<Option<String>, twig_obs::ExportError> {
+        let Some(ring) = self.obs.as_deref().and_then(|obs| obs.ring.as_ref()) else {
+            return Ok(None);
+        };
+        twig_obs::chrome_trace_json(&self.integrity_label, &ring.events(), ring.dropped_spans())
+            .map(Some)
+    }
+
+    /// The end-of-run per-branch attribution profile ([`twig_obs::attr`]);
+    /// `None` unless attribution (`TWIG_OBS_ATTR`) is enabled.
+    pub fn attribution_snapshot(&self) -> Option<twig_obs::AttributionSnapshot> {
+        self.obs
+            .as_deref()
+            .and_then(|obs| obs.attr.as_ref())
+            .map(|table| table.snapshot())
+    }
+
+    /// Folded-stack (flamegraph-compatible) rendering of the attribution
+    /// profile, one stack per tracked branch site. `None` unless
+    /// attribution is enabled.
+    pub fn attribution_folded(&self, label: &str) -> Option<String> {
+        self.attribution_snapshot()
+            .map(|snap| twig_obs::folded_stacks(label, &snap))
     }
 
     /// Whether the `TWIG_INTEGRITY_MUTATE_LABEL` selector (a substring of
@@ -867,7 +907,9 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         // A decode resteer means the BPU believed the fall-through path:
         // optionally model the wrong-path sequential prefetching FDIP
         // would issue while stalled.
-        if self.config.wrong_path_prefetch && entry.resteer == Some(ResteerKind::Decode) {
+        if self.config.wrong_path_prefetch
+            && entry.resteer.is_some_and(|c| c.kind == ResteerKind::Decode)
+        {
             for i in 1..=u64::from(self.config.wrong_path_lines) {
                 self.mem.prefetch(
                     CacheLineAddr::from_line_number(entry.last_line + i),
@@ -885,7 +927,13 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         &mut self,
         rec: &twig_types::BranchRecord,
         taken: bool,
-    ) -> Option<ResteerKind> {
+    ) -> Option<ResteerCause> {
+        let cause = |miss: MissKind| ResteerCause {
+            kind: ResteerKind::Execute,
+            pc: rec.pc.raw(),
+            branch: rec.kind,
+            miss,
+        };
         match rec.kind {
             BranchKind::Conditional => {
                 self.stats.conditional_executed += 1;
@@ -898,7 +946,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 self.direction.update(rec.pc, taken);
                 if predicted != taken {
                     self.stats.direction_mispredicts += 1;
-                    return Some(ResteerKind::Execute);
+                    return Some(cause(MissKind::Direction));
                 }
                 None
             }
@@ -913,7 +961,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 self.ibtb.insert(rec.pc, actual, rec.kind);
                 if predicted != Some(actual) {
                     self.stats.indirect_mispredicts += 1;
-                    return Some(ResteerKind::Execute);
+                    return Some(cause(MissKind::IndirectTarget));
                 }
                 None
             }
@@ -927,7 +975,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 };
                 if predicted != Some(actual) {
                     self.stats.return_mispredicts += 1;
-                    return Some(ResteerKind::Execute);
+                    return Some(cause(MissKind::ReturnTarget));
                 }
                 None
             }
@@ -941,7 +989,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         ev: BlockEvent,
         cycle: u64,
         observer: &mut dyn MissObserver,
-    ) -> Option<ResteerKind> {
+    ) -> Option<ResteerCause> {
         let kind = rec.kind;
         if kind == BranchKind::Conditional {
             self.stats.conditional_executed += 1;
@@ -969,11 +1017,17 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             // Direct branches and returns are redirected at decode (the
             // decoder computes/pops the target); indirect targets are only
             // known at execute.
-            if kind.is_indirect() && !kind.is_return() {
-                Some(ResteerKind::Execute)
+            let (resteer, miss) = if kind.is_indirect() && !kind.is_return() {
+                (ResteerKind::Execute, MissKind::BtbMissExecute)
             } else {
-                Some(ResteerKind::Decode)
-            }
+                (ResteerKind::Decode, MissKind::BtbMissDecode)
+            };
+            Some(ResteerCause {
+                kind: resteer,
+                pc: rec.pc.raw(),
+                branch: kind,
+                miss,
+            })
         } else {
             // Not-taken conditional without a BTB entry: sequential fetch
             // was correct by construction; no penalty, no allocation.

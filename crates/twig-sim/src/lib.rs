@@ -48,7 +48,10 @@ pub use config::{
     SimConfigError,
 };
 pub use obs::ObsState;
-pub use twig_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig, ObsLevel};
+pub use twig_obs::{
+    AttrConfig, AttributionSnapshot, ExportError, MetricsRegistry, MetricsSnapshot, MissKind,
+    ObsConfig, ObsLevel,
+};
 pub use core::{HistoryEntry, MissObserver, Simulator, LBR_DEPTH};
 pub use integrity::{
     Fault, IntegrityConfig, IntegrityLevel, IntegrityViolation, MutationKind, MutationSpec,

@@ -15,7 +15,7 @@
 //! strict superset of the legacy stats. A unit test in the integration
 //! suite pins that equivalence.
 
-use twig_obs::{HistId, MetricsRegistry, MetricsSnapshot, ObsConfig, TraceRing};
+use twig_obs::{AttrTable, HistId, MetricsRegistry, MetricsSnapshot, ObsConfig, TraceRing};
 use twig_types::BranchKind;
 
 use crate::icache::MemoryStats;
@@ -28,6 +28,8 @@ pub struct ObsState {
     pub registry: MetricsRegistry,
     /// The sampled span ring (`trace` tier only).
     pub ring: Option<TraceRing>,
+    /// The per-branch cycle attribution table (`TWIG_OBS_ATTR` only).
+    pub attr: Option<AttrTable>,
     /// Per-cycle FTQ occupancy histogram.
     pub ftq_occupancy: HistId,
     /// Per-cycle ROB occupancy histogram.
@@ -39,9 +41,10 @@ pub struct ObsState {
 }
 
 impl ObsState {
-    /// Builds the recording state for `config`, or `None` at `off`.
+    /// Builds the recording state for `config`, or `None` when nothing
+    /// records (neither the counters tier nor attribution is enabled).
     pub fn from_config(config: &ObsConfig) -> Option<Box<ObsState>> {
-        if !config.level.counters() {
+        if !config.recording() {
             return None;
         }
         let mut registry = MetricsRegistry::new();
@@ -53,14 +56,36 @@ impl ObsState {
             .level
             .trace_sample()
             .map(|sample| TraceRing::new(config.trace_capacity, sample));
+        let attr = config.attr.enabled.then(|| AttrTable::new(&config.attr));
         Some(Box::new(ObsState {
             registry,
             ring,
+            attr,
             ftq_occupancy,
             rob_occupancy,
             fetch_region_instrs,
             resteer_penalty,
         }))
+    }
+
+    /// Mirrors the observability layer's own bookkeeping into the
+    /// registry at end of run: trace-ring truncation
+    /// (`obs.trace.dropped_spans`) and attribution totals
+    /// (`obs.attr.*`), so the snapshot reports them alongside the
+    /// simulation counters.
+    pub fn mirror_internal(&mut self) {
+        if let Some(dropped) = self.ring.as_ref().map(TraceRing::dropped_spans) {
+            self.registry.set_by_name("obs.trace.dropped_spans", dropped);
+        }
+        if let Some((events, cycles, keys)) = self
+            .attr
+            .as_ref()
+            .map(|t| (t.total_events(), t.total_cycles(), t.len() as u64))
+        {
+            self.registry.set_by_name("obs.attr.total_events", events);
+            self.registry.set_by_name("obs.attr.total_cycles", cycles);
+            self.registry.set_by_name("obs.attr.tracked_keys", keys);
+        }
     }
 
     /// Projects the canonical run statistics into the registry (the
@@ -132,6 +157,33 @@ mod tests {
     fn trace_tier_has_a_ring() {
         let state = ObsState::from_config(&ObsConfig::trace(8)).unwrap();
         assert!(state.ring.is_some());
+        assert!(state.attr.is_none());
+    }
+
+    #[test]
+    fn attr_alone_creates_recording_state() {
+        let config = ObsConfig::off().with_attr(twig_obs::AttrConfig::on());
+        let state = ObsState::from_config(&config).unwrap();
+        assert!(state.ring.is_none());
+        assert!(state.attr.is_some());
+    }
+
+    #[test]
+    fn internal_mirror_reports_attr_totals_and_dropped_spans() {
+        let config = ObsConfig::trace(1).with_attr(twig_obs::AttrConfig::on());
+        let mut state = ObsState::from_config(&config).unwrap();
+        state.attr.as_mut().unwrap().record(
+            0x40,
+            BranchKind::Conditional,
+            twig_obs::MissKind::Direction,
+            12,
+        );
+        state.mirror_internal();
+        let snap = state.snapshot();
+        assert_eq!(snap.counter("obs.attr.total_events"), Some(1));
+        assert_eq!(snap.counter("obs.attr.total_cycles"), Some(12));
+        assert_eq!(snap.counter("obs.attr.tracked_keys"), Some(1));
+        assert_eq!(snap.counter("obs.trace.dropped_spans"), Some(0));
     }
 
     #[test]

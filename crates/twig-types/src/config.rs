@@ -72,6 +72,9 @@ pub const VAR_INTEGRITY_DUMP_DIR: &str = "TWIG_INTEGRITY_DUMP_DIR";
 /// `TWIG_OBS` — observability tier (`off | counters | trace[=N]`; parsed
 /// by `twig-obs`).
 pub const VAR_OBS: &str = "TWIG_OBS";
+/// `TWIG_OBS_ATTR` — per-branch cycle attribution
+/// (`off | on | k=N[,sample=M]`; parsed by `twig-obs`).
+pub const VAR_OBS_ATTR: &str = "TWIG_OBS_ATTR";
 
 /// Every `TWIG_*` variable the harness understands, in documentation
 /// order. The README's reference table and the manifest dump iterate this.
@@ -86,6 +89,7 @@ pub const ALL_VARS: &[&str] = &[
     VAR_INTEGRITY_MUTATE_LABEL,
     VAR_INTEGRITY_DUMP_DIR,
     VAR_OBS,
+    VAR_OBS_ATTR,
 ];
 
 /// Where a setting's effective value came from.
@@ -219,6 +223,8 @@ pub struct HarnessConfig {
     pub integrity_dump_dir: Setting<Option<String>>,
     /// Raw observability tier (`off` when unset).
     pub obs: Setting<String>,
+    /// Raw attribution spec (`off` when unset).
+    pub obs_attr: Setting<String>,
 }
 
 impl HarnessConfig {
@@ -235,6 +241,7 @@ impl HarnessConfig {
             integrity_mutate_label: Setting::default_value(None),
             integrity_dump_dir: Setting::default_value(None),
             obs: Setting::default_value("off".to_string()),
+            obs_attr: Setting::default_value("off".to_string()),
         }
     }
 
@@ -294,6 +301,9 @@ impl HarnessConfig {
         }
         if let Some(raw) = lookup(VAR_OBS) {
             config.obs = Setting::env_value(raw.trim().to_string());
+        }
+        if let Some(raw) = lookup(VAR_OBS_ATTR) {
+            config.obs_attr = Setting::env_value(raw.trim().to_string());
         }
         Ok(config)
     }
@@ -381,6 +391,11 @@ impl HarnessConfig {
                 name: VAR_OBS,
                 value: self.obs.value.clone(),
                 source: self.obs.source.as_str(),
+            },
+            ConfigEntry {
+                name: VAR_OBS_ATTR,
+                value: self.obs_attr.value.clone(),
+                source: self.obs_attr.source.as_str(),
             },
         ]
     }
