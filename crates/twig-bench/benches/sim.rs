@@ -1,8 +1,8 @@
 //! Microbenchmarks proving the hot-loop optimizations: monomorphized vs
 //! `Box<dyn>`-erased `Simulator::run`, flat-storage BTB lookup/insert
-//! under realistic miss traffic, and the cost of the simulation
-//! integrity and observability tiers (`off` must be free; the richer
-//! tiers priced).
+//! under realistic miss traffic, batched (idle-skipping) vs per-cycle
+//! stepping, and the cost of the simulation integrity and observability
+//! tiers (`off` must be free; the richer tiers priced).
 
 use twig_criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use twig_rand::rngs::StdRng;
@@ -157,6 +157,54 @@ fn bench_btb_flat_storage(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after for the idle-cycle skipping rewrite: `per_cycle` steps
+/// every simulated cycle (the seed's loop, `batch_stepping: false`);
+/// `batched` consults the activity mask and leaps over quiescent spans
+/// in closed form. The win scales with how backend-bound the workload
+/// is — retire-limited stretches are exactly the cycles the mask proves
+/// skippable — so both a frontend-bound app (Kafka) and a more
+/// backend-bound one (Verilator) are priced.
+///
+/// Before timing anything, this bench asserts the soundness contract:
+/// batching must produce bit-identical statistics to per-cycle stepping.
+fn bench_idle_skipping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idle_skipping");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTRS));
+
+    for app in [twig_workload::AppId::Kafka, twig_workload::AppId::Verilator] {
+        let program = ProgramGenerator::new(WorkloadSpec::preset(app)).generate();
+        let events: Vec<_> =
+            Walker::new(&program, InputConfig::numbered(0)).run_instructions(INSTRS);
+        let run = |batch: bool| {
+            let config = SimConfig {
+                batch_stepping: batch,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
+            sim.run(events.iter().copied(), INSTRS)
+        };
+
+        assert_eq!(
+            run(true),
+            run(false),
+            "batched stepping perturbed the simulation on {}",
+            app.name(),
+        );
+
+        for (name, batch) in [("per_cycle", false), ("batched", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, app.name()),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| run(batch).cycles);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Prices the integrity tiers against each other on the same event
 /// stream. The `off` tier leaves the hot loop paying one never-taken
 /// branch per cycle, so its row should be indistinguishable from the
@@ -268,6 +316,7 @@ criterion_group!(
     benches,
     bench_dispatch,
     bench_btb_flat_storage,
+    bench_idle_skipping,
     bench_integrity_overhead,
     bench_obs_overhead
 );

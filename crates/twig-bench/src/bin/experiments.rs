@@ -35,14 +35,27 @@ struct FigureTiming {
 }
 
 /// The timing/caching report written to `results/bench_results.json`.
+///
+/// `schema_version` history:
+/// * 1 (implicit; field absent): total/threads/figures/cache.
+/// * 2: added `schema_version` itself, plus the parallelism breakdown
+///   (`threads` = in-process scheduler cap, `procs` = `TWIG_NUM_PROCS`
+///   matrix worker processes).
 #[derive(Serialize)]
 struct BenchReport {
+    schema_version: u32,
     total_seconds: f64,
+    /// In-process worker threads (the scheduler cap).
     threads: usize,
+    /// Matrix worker processes (`TWIG_NUM_PROCS`; 1 = no sharding).
+    procs: usize,
     figures: Vec<FigureTiming>,
     cache: CacheStats,
     cache_exactly_once: bool,
 }
+
+/// `bench_results.json` schema version written by this binary.
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 fn main() {
     let mut ctx = ExpContext {
@@ -72,6 +85,15 @@ fn main() {
                 ctx.results_dir = args.next().expect("--results-dir needs a path").into();
             }
             "--resume" => ctx.resume = true,
+            "--shard" => {
+                // Hidden: multi-process matrix workers are spawned with
+                // `--shard i/N` by the parent run (TWIG_NUM_PROCS > 1).
+                let text = args.next().expect("--shard needs i/N");
+                ctx.shard = Some(
+                    twig_sched::ShardSpec::parse(&text)
+                        .unwrap_or_else(|e| panic!("--shard: {e}")),
+                );
+            }
             "--strict" => strict = true,
             "--obs" => {
                 let text = args.next().expect("--obs needs off | counters | trace[=N]");
@@ -102,7 +124,7 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
+    if ids.is_empty() && ctx.shard.is_none() {
         eprintln!("no experiment ids given; try `experiments all` or --help");
         std::process::exit(2);
     }
@@ -134,6 +156,18 @@ fn main() {
     // <results-dir>/metrics/.
     if twig_obs::ObsConfig::default().recording() {
         twig_bench::telemetry::set_metrics_dir(ctx.results_dir.join("metrics"));
+    }
+
+    // Worker mode: compute this shard's headline cells (checkpointing
+    // each) and exit. Reports, manifests, and bench_results.json belong
+    // to the parent; a worker writing them would clobber the real run's.
+    if ctx.shard.is_some() {
+        let ran = twig_bench::runner::shard_worker(&ctx);
+        eprintln!(
+            "matrix worker shard {}: {ran} task(s) done",
+            ctx.shard.expect("worker").to_arg()
+        );
+        return;
     }
 
     let run_started = std::time::Instant::now();
@@ -205,8 +239,10 @@ fn main() {
         "artifact regenerated more than once per process: {cache:?}"
     );
     let report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
         total_seconds: run_started.elapsed().as_secs_f64(),
         threads: twig_sched::num_threads(),
+        procs: twig_sched::num_procs(),
         figures,
         cache_exactly_once: cache.exactly_once(),
         cache,

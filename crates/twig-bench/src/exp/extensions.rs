@@ -51,8 +51,11 @@ pub fn ext01(ctx: &ExpContext) -> String {
         let config = setup.sim_config;
         let optimizer = TwigOptimizer::new(TwigConfig::default());
         let profile = crate::cache::global().profile(app, 0, budget, &config);
-        let optimized =
-            optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile, &setup.program));
+        let optimized = optimizer.rewrite_of(
+            &setup.program,
+            &setup.generator.layout_options(),
+            &optimizer.analyze_for(&profile, &setup.program),
+        );
         let events = setup.events(1, budget);
 
         let base = run_on(

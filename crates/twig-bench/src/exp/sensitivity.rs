@@ -6,12 +6,13 @@
 //! same configuration, averaged across applications — the paper's y-axis.
 
 use twig::{TwigConfig, TwigOptimizer};
-use twig_sim::{speedup_percent, BtbSystem, PlainBtb, SimConfig, Simulator};
+use twig_sim::{speedup_percent, PlainBtb, SimConfig, Simulator};
 use twig_workload::AppId;
 
 use crate::runner::{AppSetup, ExpContext};
 
 /// Per-configuration result of one sweep point, averaged over apps.
+#[derive(Clone, Copy)]
 struct SweepPoint {
     twig_pct_of_ideal: f64,
     shotgun_pct_of_ideal: f64,
@@ -25,33 +26,62 @@ const SWEEP_APPS: [AppId; 3] = [AppId::Kafka, AppId::Cassandra, AppId::Verilator
 
 /// Runs one sweep point: Twig/Shotgun/Confluence as % of the ideal-BTB
 /// speedup under `config` (with `twig_config` driving the optimization).
+///
+/// A point is a pure function of the per-app simulator configurations,
+/// the optimizer configuration, and the budget — and every sweep includes
+/// the paper's default configuration as one of its points, so the default
+/// point recurs across Figs. 23–28. Whole points are memoized on that key.
 fn sweep_point(
     config_of: impl Fn(&AppSetup) -> SimConfig + Sync,
     twig_config: TwigConfig,
     budget: u64,
 ) -> SweepPoint {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static MEMO: OnceLock<Mutex<HashMap<String, SweepPoint>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = {
+        let mut k = format!("{twig_config:?}|{budget}");
+        for app in SWEEP_APPS {
+            k.push_str(&format!("|{:?}", config_of(&AppSetup::shared(app))));
+        }
+        k
+    };
+    if let Some(point) = memo.lock().unwrap().get(&key).copied() {
+        return point;
+    }
     let results: Vec<(f64, f64, f64)> =
         twig_sched::parallel_map(SWEEP_APPS.to_vec(), |app| {
             let setup = AppSetup::shared(app);
             let config = config_of(&setup);
             let optimizer = TwigOptimizer::new(twig_config);
             let profile = crate::cache::global().profile(app, 0, budget, &config);
-            let optimized = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile, &setup.program));
+            let optimized = optimizer.rewrite_of(
+                &setup.program,
+                &setup.generator.layout_options(),
+                &optimizer.analyze_for(&profile, &setup.program),
+            );
             let events = setup.events(1, budget);
-            let run = |sys: Box<dyn BtbSystem>, cfg: SimConfig| {
-                setup.run_system(sys, cfg, &events, budget)
-            };
             let system = |name: &str, cfg: &SimConfig| {
                 twig_prefetchers::by_name(name, cfg).expect("registered prefetcher")
             };
-            let baseline = run(system("twig", &config), config);
+            // The reference/competitor runs depend only on (app, config,
+            // budget) — identical across every sweep point that varies
+            // only the Twig optimizer's knobs (all of Figs. 26/27) — so
+            // they go through the artifact cache's sim-result shard.
+            let run = |name: &str, cfg: SimConfig| {
+                crate::cache::global().sim_stats(app, 1, budget, name, &cfg, || {
+                    setup.run_system(system(name, &cfg), cfg, &events, budget)
+                })
+            };
+            let baseline = run("baseline", config);
             let ideal_cfg = SimConfig {
                 ideal_btb: true,
                 ..config
             };
-            let ideal = run(system("ideal", &ideal_cfg), ideal_cfg);
-            let shotgun = run(system("shotgun", &config), config);
-            let confluence = run(system("confluence", &config), config);
+            let ideal = run("ideal", ideal_cfg);
+            let shotgun = run("shotgun", config);
+            let confluence = run("confluence", config);
             let twig = {
                 let mut sim = Simulator::new(&optimized.program, config, PlainBtb::new(&config));
                 sim.run(events.iter().copied(), budget)
@@ -67,11 +97,13 @@ fn sweep_point(
             )
         });
     let n = results.len() as f64;
-    SweepPoint {
+    let point = SweepPoint {
         twig_pct_of_ideal: results.iter().map(|r| r.0).sum::<f64>() / n,
         shotgun_pct_of_ideal: results.iter().map(|r| r.1).sum::<f64>() / n,
         confluence_pct_of_ideal: results.iter().map(|r| r.2).sum::<f64>() / n,
-    }
+    };
+    memo.lock().unwrap().insert(key, point);
+    point
 }
 
 fn sweep_table(

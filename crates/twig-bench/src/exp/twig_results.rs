@@ -1,6 +1,9 @@
 //! §4.2 main results: Figs. 13–22 and Tables 2–3.
 
+use std::sync::OnceLock;
+
 use twig::{MeanStd, OffsetCdf, TwigConfig, TwigOptimizer};
+use twig_sim::{PlainBtb, SimConfig};
 use twig_workload::AppId;
 
 use crate::runner::{for_all_apps, headline, table, AppSetup, ExpContext};
@@ -199,44 +202,76 @@ pub fn fig19(ctx: &ExpContext) -> String {
 
 /// Shared machinery for Fig. 20 / Table 2: per-input % of ideal-BTB
 /// speedup, for training-input profiles and same-input profiles.
-fn cross_input_matrix(ctx: &ExpContext) -> Vec<(AppId, Vec<f64>, Vec<f64>)> {
-    let budget = ctx.instructions;
-    for_all_apps(|app| {
-        let setup = AppSetup::shared(app);
-        let cache = crate::cache::global();
-        let optimizer = TwigOptimizer::new(TwigConfig::default());
-        // Trained once on input #0.
-        let profile0 = cache.profile(app, 0, budget, &setup.sim_config);
-        let trained = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile0, &setup.program));
-        let mut training_pct = Vec::new();
-        let mut same_pct = Vec::new();
-        for input in 1..=3u32 {
-            let events = setup.events(input, budget);
-            let report = optimizer.evaluate_with_events(
-                &setup.program,
-                &trained,
-                setup.sim_config,
-                &events,
-                budget,
-            );
-            training_pct.push(report.pct_of_ideal * 100.0);
-            // Same-input profile for comparison.
-            let profile_i = cache.profile(app, input, budget, &setup.sim_config);
-            let own = optimizer.rewrite(&setup.generator, &optimizer.analyze_for(&profile_i, &setup.program));
-            let own_report = optimizer.evaluate_with_events(
-                &setup.program,
-                &own,
-                setup.sim_config,
-                &events,
-                budget,
-            );
-            same_pct.push(own_report.pct_of_ideal * 100.0);
-        }
-        (same_pct, training_pct)
+///
+/// Both consumers need the full matrix, so it is computed once per
+/// process. Within one `(app, input)` the trained and same-input
+/// evaluations share identical baseline/ideal reference runs — those go
+/// through [`TwigOptimizer::reference_stats`] once (memoized in the
+/// artifact cache, where input #1 additionally dedups against the
+/// headline matrix) instead of twice through `evaluate_with_events`.
+fn cross_input_matrix(ctx: &ExpContext) -> &'static [(AppId, Vec<f64>, Vec<f64>)] {
+    static MATRIX: OnceLock<Vec<(AppId, Vec<f64>, Vec<f64>)>> = OnceLock::new();
+    MATRIX.get_or_init(|| {
+        let budget = ctx.instructions;
+        for_all_apps(|app| {
+            let setup = AppSetup::shared(app);
+            let cache = crate::cache::global();
+            let optimizer = TwigOptimizer::new(TwigConfig::default());
+            // Trained once on input #0 — which is precisely the prepared
+            // app's default-config rewrite (profile input #0, same
+            // budget), already materialized for the headline matrix.
+            let prepared = cache.prepared(app, budget);
+            let trained = &prepared.optimized;
+            let mut training_pct = Vec::new();
+            let mut same_pct = Vec::new();
+            for input in 1..=3u32 {
+                let events = setup.events(input, budget);
+                let config = setup.sim_config;
+                // The same-input profile (needed for the "own" rewrite
+                // below) doubles as the baseline run on this input — fetch
+                // it first so the baseline request is a cache hit.
+                let profile_i = cache.profile(app, input, budget, &config);
+                let baseline = cache.sim_stats(app, input, budget, "baseline", &config, || {
+                    setup.run_system(Box::new(PlainBtb::new(&config)), config, &events, budget)
+                });
+                let ideal_cfg = SimConfig {
+                    ideal_btb: true,
+                    ..config
+                };
+                let ideal = cache.sim_stats(app, input, budget, "ideal", &ideal_cfg, || {
+                    setup.run_system(Box::new(PlainBtb::new(&ideal_cfg)), ideal_cfg, &events, budget)
+                });
+                let report = optimizer.evaluate_optimized(
+                    &trained,
+                    config,
+                    &events,
+                    budget,
+                    (*baseline).clone(),
+                    (*ideal).clone(),
+                );
+                training_pct.push(report.pct_of_ideal * 100.0);
+                // Same-input rewrite for comparison.
+                let own = optimizer.rewrite_of(
+                    &setup.program,
+                    &setup.generator.layout_options(),
+                    &optimizer.analyze_for(&profile_i, &setup.program),
+                );
+                let own_report = optimizer.evaluate_optimized(
+                    &own,
+                    config,
+                    &events,
+                    budget,
+                    (*baseline).clone(),
+                    (*ideal).clone(),
+                );
+                same_pct.push(own_report.pct_of_ideal * 100.0);
+            }
+            (same_pct, training_pct)
+        })
+        .into_iter()
+        .map(|(app, (same, training))| (app, same, training))
+        .collect()
     })
-    .into_iter()
-    .map(|(app, (same, training))| (app, same, training))
-    .collect()
 }
 
 /// Fig. 20: Twig's speedup across inputs as % of ideal-BTB performance.
@@ -271,8 +306,8 @@ pub fn tab02(ctx: &ExpContext) -> String {
         out.push_str(&format!(
             "{:<16} {:>22} {:>22}\n",
             app.name(),
-            MeanStd::of(&same).to_string(),
-            MeanStd::of(&training).to_string(),
+            MeanStd::of(same).to_string(),
+            MeanStd::of(training).to_string(),
         ));
     }
     out

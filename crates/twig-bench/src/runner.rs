@@ -50,6 +50,10 @@ pub struct ExpContext {
     /// Load cells persisted by a previous run instead of recomputing
     /// them (`experiments --resume`).
     pub resume: bool,
+    /// Set in worker processes spawned by multi-process sharding
+    /// (`experiments --shard i/N`): this process computes only the
+    /// headline tasks its shard owns, then exits. `None` everywhere else.
+    pub shard: Option<twig_sched::ShardSpec>,
 }
 
 impl Default for ExpContext {
@@ -60,6 +64,7 @@ impl Default for ExpContext {
             results_dir: "results".into(),
             checkpoints: false,
             resume: false,
+            shard: None,
         }
     }
 }
@@ -338,8 +343,9 @@ pub(crate) fn prepare_app(app: AppId, budget: u64) -> PreparedApp {
     // Profile on input #0, evaluate everything on input #1.
     let profile = cache::global().profile(app, 0, budget, &config);
     let plans = optimizer.analyze_for(&profile, &setup.program);
-    let optimized = optimizer.rewrite(&setup.generator, &plans);
-    let optimized_sw = sw_only.rewrite(&setup.generator, &plans);
+    let layout = setup.generator.layout_options();
+    let optimized = optimizer.rewrite_of(&setup.program, &layout, &plans);
+    let optimized_sw = sw_only.rewrite_of(&setup.program, &layout, &plans);
     let events = setup.events(1, budget);
 
     // Working sets on the test input (Table 3).
@@ -440,27 +446,50 @@ fn run_slot(
     let config = p.setup.sim_config;
     let program = &p.setup.program;
     let events = &p.events;
-    match slot {
-        SimSlot::Baseline => {
-            run_mono(program, config, PlainBtb::new(&config), events, budget, label)
+    // Slots simulating the canonical (unrewritten) binary share results
+    // with other figures through the sim-result shard — keyed by the slot
+    // name and the exact config, on the headline's test input (#1). The
+    // Twig slots run rewritten binaries and are never cached. With
+    // integrity or observability tiers enabled the cache steps aside
+    // (`sim_cacheable`), so `run_mono`'s violation and telemetry paths
+    // stay intact; under a cacheable config `run_mono` cannot fail.
+    let cached = |slot_cfg: SimConfig,
+                  run: &dyn Fn() -> Result<SimStats, Box<IntegrityViolation>>|
+     -> Result<SimStats, Box<IntegrityViolation>> {
+        if !crate::cache::ArtifactCache::sim_cacheable(&slot_cfg) {
+            return run();
         }
+        let app = p.setup.app;
+        let stats = cache::global().sim_stats(app, 1, budget, slot.name(), &slot_cfg, || {
+            run().expect("integrity violations impossible with checking off")
+        });
+        Ok((*stats).clone())
+    };
+    match slot {
+        SimSlot::Baseline => cached(config, &|| {
+            run_mono(program, config, PlainBtb::new(&config), events, budget, label)
+        }),
         SimSlot::Ideal => {
             let cfg = SimConfig {
                 ideal_btb: true,
                 ..config
             };
-            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget, label)
+            cached(cfg, &|| {
+                run_mono(program, cfg, PlainBtb::new(&cfg), events, budget, label)
+            })
         }
         SimSlot::Btb32k => {
             let cfg = config.with_btb_entries(32 * 1024);
-            run_mono(program, cfg, PlainBtb::new(&cfg), events, budget, label)
+            cached(cfg, &|| {
+                run_mono(program, cfg, PlainBtb::new(&cfg), events, budget, label)
+            })
         }
-        SimSlot::Shotgun => {
+        SimSlot::Shotgun => cached(config, &|| {
             run_mono(program, config, Shotgun::new(&config), events, budget, label)
-        }
-        SimSlot::Confluence => {
+        }),
+        SimSlot::Confluence => cached(config, &|| {
             run_mono(program, config, Confluence::new(&config), events, budget, label)
-        }
+        }),
         SimSlot::Twig => run_mono(
             &p.optimized.program,
             config,
@@ -552,6 +581,173 @@ where
 
 static HEADLINE: OnceLock<Vec<HeadlineRow>> = OnceLock::new();
 
+/// The fixed headline task list: apps × slots, then one metadata task
+/// per app. The order never changes, so `task=N` fault selectors hit the
+/// same cell on every run and multi-process shards partition identically
+/// in every worker.
+fn matrix_tasks() -> Vec<MatrixTask> {
+    let mut tasks: Vec<MatrixTask> = Vec::with_capacity(AppId::ALL.len() * (SLOTS.len() + 1));
+    for i in 0..AppId::ALL.len() {
+        for slot in SLOTS {
+            tasks.push(MatrixTask::Sim(i, slot));
+        }
+    }
+    for i in 0..AppId::ALL.len() {
+        tasks.push(MatrixTask::Meta(i));
+    }
+    tasks
+}
+
+/// The supervision id of one headline task (also the label fault
+/// selectors match against).
+fn matrix_task_id(task: MatrixTask) -> String {
+    match task {
+        MatrixTask::Sim(i, slot) => {
+            format!("sim:{}/{}", AppId::ALL[i].name(), slot.name())
+        }
+        MatrixTask::Meta(i) => format!("meta:{}", AppId::ALL[i].name()),
+    }
+}
+
+/// The checkpoint key of one headline task at `budget`.
+fn matrix_task_key(task: MatrixTask, budget: u64) -> String {
+    match task {
+        MatrixTask::Sim(i, slot) => {
+            format!("sim-{}-{}-i{}", AppId::ALL[i].name(), slot.name(), budget)
+        }
+        MatrixTask::Meta(i) => format!("meta-{}-i{}", AppId::ALL[i].name(), budget),
+    }
+}
+
+/// Runs (or loads from checkpoint) one headline task, supervised.
+fn run_matrix_task(
+    store: &CheckpointStore,
+    policy: &TaskPolicy,
+    budget: u64,
+    index: usize,
+    task: MatrixTask,
+) -> MatrixOutcome {
+    let id = matrix_task_id(task);
+    let key = matrix_task_key(task, budget);
+    match task {
+        MatrixTask::Sim(i, slot) => {
+            let app = AppId::ALL[i];
+            let cell = match run_cell::<SimStats, _>(store, policy, &key, &id, index, |_| {
+                let prepared = cache::global().prepared(app, budget);
+                run_slot(&prepared, slot, budget, &id).map_err(|violation| {
+                    twig_sched::TaskError::Domain {
+                        kind: format!("integrity: {}", violation.kind.as_str()),
+                        detail: violation.to_string(),
+                    }
+                })
+            }) {
+                Ok(stats) => Cell::Ok(stats),
+                Err(reason) => Cell::Failed(reason),
+            };
+            MatrixOutcome::Sim(cell)
+        }
+        MatrixTask::Meta(i) => {
+            let app = AppId::ALL[i];
+            let meta = run_cell::<RowMeta, _>(store, policy, &key, &id, index, |_| {
+                Ok(cache::global().prepared(app, budget).meta())
+            });
+            MatrixOutcome::Meta(meta)
+        }
+    }
+}
+
+/// Worker-mode entry point (`experiments --shard i/N`): computes the
+/// headline tasks this shard owns, persisting each completed cell to the
+/// shared checkpoint store, and returns how many tasks it ran. The
+/// worker never assembles rows or writes reports — its only output is
+/// checkpoint records for the parent to merge.
+///
+/// The store is always opened in resume mode: the parent owns the
+/// directory's lifecycle (it wiped it on a cold run before spawning),
+/// and on `--resume` the worker must skip already-completed cells rather
+/// than redo them.
+pub fn shard_worker(ctx: &ExpContext) -> usize {
+    let shard = ctx.shard.expect("shard_worker requires ctx.shard");
+    let budget = ctx.instructions;
+    let store = CheckpointStore::open(&ctx.results_dir.join(".checkpoints"), true);
+    let policy = TaskPolicy::from_env();
+    let owned: Vec<(usize, MatrixTask)> = matrix_tasks()
+        .into_iter()
+        .enumerate()
+        .filter(|(index, _)| shard.owns(*index))
+        .collect();
+    let count = owned.len();
+    twig_sched::parallel_map(owned, |(index, task)| {
+        run_matrix_task(&store, &policy, budget, index, task)
+    });
+    count
+}
+
+/// Parent-mode sharded execution: spawn one worker process per shard,
+/// wait for all of them, then assemble the matrix purely from the
+/// checkpoints they wrote. Cells a dead worker never persisted degrade
+/// to [`Cell::Failed`] (naming the worker and its exit status) — the
+/// figures render `FAILED(...)` markers and a later `--resume` run
+/// completes exactly the missing cells.
+fn headline_sharded(
+    ctx: &ExpContext,
+    store: &CheckpointStore,
+    budget: u64,
+    procs: usize,
+) -> Vec<MatrixOutcome> {
+    let results_dir = ctx.results_dir.display().to_string();
+    let outcomes = twig_sched::procs::run_sharded(procs, |shard| {
+        let mut args = vec![
+            "--shard".to_string(),
+            shard.to_arg(),
+            "--instructions".to_string(),
+            budget.to_string(),
+            "--results-dir".to_string(),
+            results_dir.clone(),
+        ];
+        if ctx.resume {
+            args.push("--resume".to_string());
+        }
+        args
+    });
+    for outcome in &outcomes {
+        if !outcome.success() {
+            eprintln!(
+                "warning: matrix worker shard {} failed ({}); its cells degrade to FAILED",
+                outcome.shard.to_arg(),
+                outcome.describe(),
+            );
+        }
+    }
+    matrix_tasks()
+        .into_iter()
+        .enumerate()
+        .map(|(index, task)| {
+            let id = matrix_task_id(task);
+            let key = matrix_task_key(task, budget);
+            let loaded = match task {
+                MatrixTask::Sim(..) => load_checkpointed::<SimStats>(store, &key, &id)
+                    .map(|stats| MatrixOutcome::Sim(Cell::Ok(stats))),
+                MatrixTask::Meta(..) => load_checkpointed::<RowMeta>(store, &key, &id)
+                    .map(|meta| MatrixOutcome::Meta(Ok(meta))),
+            };
+            loaded.unwrap_or_else(|| {
+                let owner = &outcomes[index % procs];
+                let reason = format!(
+                    "worker shard {}: {}",
+                    owner.shard.to_arg(),
+                    owner.describe()
+                );
+                manifest::record_cell(&id, CellStatus::Failed, 0, 0, Some(reason.clone()));
+                match task {
+                    MatrixTask::Sim(..) => MatrixOutcome::Sim(Cell::Failed(reason)),
+                    MatrixTask::Meta(..) => MatrixOutcome::Meta(Err(reason)),
+                }
+            })
+        })
+        .collect()
+}
+
 /// Computes (once per process) the headline matrix at the context's budget.
 ///
 /// The work is one flat task list over the scheduler: the full
@@ -561,6 +757,11 @@ static HEADLINE: OnceLock<Vec<HeadlineRow>> = OnceLock::new();
 /// rewrite ×2 → trace → working sets) happens lazily through the artifact
 /// cache, exactly once per app, and only when some cell actually needs it
 /// — an app whose every cell was checkpointed is never re-prepared.
+///
+/// With `TWIG_NUM_PROCS=N` (N > 1) and checkpoints enabled, the matrix
+/// is instead sharded over N worker *processes* (see [`shard_worker`]
+/// and [`headline_sharded`]); the in-process scheduler still parallelizes
+/// within each worker.
 pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
     HEADLINE.get_or_init(|| {
         let budget = ctx.instructions;
@@ -571,48 +772,16 @@ pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
         };
         let policy = TaskPolicy::from_env();
 
-        // Task order is fixed (apps × slots, then metas), so `task=N`
-        // fault selectors hit the same cell on every run.
-        let mut tasks: Vec<MatrixTask> = Vec::with_capacity(AppId::ALL.len() * (SLOTS.len() + 1));
-        for i in 0..AppId::ALL.len() {
-            for slot in SLOTS {
-                tasks.push(MatrixTask::Sim(i, slot));
-            }
-        }
-        for i in 0..AppId::ALL.len() {
-            tasks.push(MatrixTask::Meta(i));
-        }
-
-        let tagged: Vec<(usize, MatrixTask)> = tasks.into_iter().enumerate().collect();
-        let outcomes = twig_sched::parallel_map(tagged, |(index, task)| match task {
-            MatrixTask::Sim(i, slot) => {
-                let app = AppId::ALL[i];
-                let id = format!("sim:{}/{}", app.name(), slot.name());
-                let key = format!("sim-{}-{}-i{}", app.name(), slot.name(), budget);
-                let cell = match run_cell::<SimStats, _>(&store, &policy, &key, &id, index, |_| {
-                    let prepared = cache::global().prepared(app, budget);
-                    run_slot(&prepared, slot, budget, &id).map_err(|violation| {
-                        twig_sched::TaskError::Domain {
-                            kind: format!("integrity: {}", violation.kind.as_str()),
-                            detail: violation.to_string(),
-                        }
-                    })
-                }) {
-                    Ok(stats) => Cell::Ok(stats),
-                    Err(reason) => Cell::Failed(reason),
-                };
-                MatrixOutcome::Sim(cell)
-            }
-            MatrixTask::Meta(i) => {
-                let app = AppId::ALL[i];
-                let id = format!("meta:{}", app.name());
-                let key = format!("meta-{}-i{}", app.name(), budget);
-                let meta = run_cell::<RowMeta, _>(&store, &policy, &key, &id, index, |_| {
-                    Ok(cache::global().prepared(app, budget).meta())
-                });
-                MatrixOutcome::Meta(meta)
-            }
-        });
+        let procs = twig_sched::num_procs();
+        let outcomes = if procs > 1 && ctx.shard.is_none() && store.is_enabled() {
+            headline_sharded(ctx, &store, budget, procs)
+        } else {
+            let tagged: Vec<(usize, MatrixTask)> =
+                matrix_tasks().into_iter().enumerate().collect();
+            twig_sched::parallel_map(tagged, |(index, task)| {
+                run_matrix_task(&store, &policy, budget, index, task)
+            })
+        };
 
         let mut outcomes = outcomes.into_iter();
         let mut sim_cells: Vec<Vec<Cell>> = Vec::with_capacity(AppId::ALL.len());
@@ -637,14 +806,10 @@ pub fn headline(ctx: &ExpContext) -> &'static [HeadlineRow] {
             .into_iter()
             .zip(metas)
             .enumerate()
-            .map(|(i, (mut cells, meta))| {
-                let mut take = |_slot: usize| {
-                    if cells.is_empty() {
-                        Cell::Failed("lost".to_string())
-                    } else {
-                        cells.remove(0)
-                    }
-                };
+            .map(|(i, (cells, meta))| {
+                let mut cells = cells.into_iter();
+                let mut take =
+                    |_slot: usize| cells.next().unwrap_or_else(|| Cell::Failed("lost".to_string()));
                 HeadlineRow {
                     app: AppId::ALL[i],
                     baseline: take(0),

@@ -46,6 +46,11 @@ commands:
                                          judge fresh snapshots against
                                          checked-in baselines (exit 1 on any
                                          regression)
+  bench     budget BENCH_RESULTS.json --budget BUDGET.json [--slack X]
+                                         check per-figure wall-clock against
+                                         a checked-in timing budget (exit 1
+                                         when any figure overshoots
+                                         budget x slack)
 
 systems: twig (default; aliases plain/baseline, or ideal for a perfect
          BTB), shotgun, confluence, phantom, btbx, bulk, stream
@@ -76,6 +81,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "optimize" => cmd_optimize(&rest),
         "report" => crate::report::cmd_report(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             Ok(())
@@ -361,6 +367,85 @@ fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// One object field by key.
+fn field<'v>(value: &'v twig_serde::Value, key: &str) -> Option<&'v twig_serde::Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    let usage = || {
+        CliError::Usage(
+            "usage: twig bench budget BENCH_RESULTS.json --budget BUDGET.json [--slack X]".into(),
+        )
+    };
+    match args.first().map(String::as_str) {
+        Some("budget") => {}
+        _ => return Err(usage()),
+    }
+    let results_path = args.get(1).filter(|a| !a.starts_with("--")).ok_or_else(usage)?;
+    let flags = Args::new(&args[2..]);
+    let budget_path = flags.require("budget")?;
+
+    let results: twig_serde::Value = read_json(results_path)?;
+    let budget: twig_serde::Value = read_json(budget_path)?;
+    let slack: f64 = match flags.flag("slack") {
+        Some(text) => text
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--slack {text:?} is not a number")))?,
+        None => field(&budget, "slack").and_then(|v| v.as_f64()).unwrap_or(2.0),
+    };
+    if !(slack >= 1.0) {
+        return Err(CliError::Invalid(format!("slack {slack} must be >= 1")));
+    }
+
+    // Measured seconds per figure, from the run under judgement.
+    let mut measured: Vec<(&str, f64)> = Vec::new();
+    for entry in field(&results, "figures")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| CliError::Invalid(format!("{results_path}: no figures[] array")))?
+    {
+        let id = field(entry, "id").and_then(|v| v.as_str());
+        let seconds = field(entry, "seconds").and_then(|v| v.as_f64());
+        if let (Some(id), Some(seconds)) = (id, seconds) {
+            measured.push((id, seconds));
+        }
+    }
+
+    let budgets = field(&budget, "figures")
+        .and_then(|v| v.as_object())
+        .ok_or_else(|| CliError::Invalid(format!("{budget_path}: no figures object")))?;
+    let mut over = Vec::new();
+    for (id, allowed) in budgets {
+        let allowed = allowed.as_f64().ok_or_else(|| {
+            CliError::Invalid(format!("{budget_path}: budget for {id} is not a number"))
+        })?;
+        let Some(&(_, seconds)) = measured.iter().find(|(m, _)| m == id) else {
+            return Err(CliError::Invalid(format!(
+                "{results_path} has no timing for budgeted figure {id}"
+            )));
+        };
+        let limit = allowed * slack;
+        let verdict = if seconds > limit { "OVER" } else { "ok" };
+        println!("{id:<8} {seconds:>7.2}s  budget {allowed:>6.2}s x{slack} = {limit:>6.2}s  {verdict}");
+        if seconds > limit {
+            over.push(id.clone());
+        }
+    }
+    if over.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Differs(format!(
+            "{} figure(s) overshot the timing budget: {}",
+            over.len(),
+            over.join(", ")
+        )))
+    }
+}
+
 fn cmd_optimize(args: &Args<'_>) -> Result<(), CliError> {
     let spec = load_spec(args)?;
     let train: u32 = args.parse_or("train", 0)?;
@@ -508,6 +593,54 @@ mod tests {
         // Bad sub-usage is a usage error.
         let e = dispatch(&strs(&["metrics", "frobnicate"])).unwrap_err();
         assert_eq!(e.exit_code(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_budget_judges_figures_against_slacked_limits() {
+        let dir = std::env::temp_dir().join(format!("twig-cli-budget-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        std::fs::write(
+            p("bench.json"),
+            r#"{"schema_version": 2, "total_seconds": 9.0,
+                "figures": [{"id": "fig16", "seconds": 3.0},
+                            {"id": "tab03", "seconds": 6.0}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            p("budget.json"),
+            r#"{"slack": 2.0, "figures": {"fig16": 2.0, "tab03": 4.0}}"#,
+        )
+        .unwrap();
+
+        // Within budget x slack on both figures: clean exit.
+        dispatch(&strs(&["bench", "budget", &p("bench.json"), "--budget", &p("budget.json")]))
+            .unwrap();
+        // Tightening the slack trips fig16 (3.0 > 2.0 x 1.25) with the
+        // diff-style exit code.
+        let e = dispatch(&strs(&[
+            "bench", "budget", &p("bench.json"),
+            "--budget", &p("budget.json"),
+            "--slack", "1.25",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.to_string().contains("fig16"), "{e}");
+        // A budgeted figure missing from the run is an error, not a pass.
+        std::fs::write(
+            p("sparse.json"),
+            r#"{"figures": [{"id": "fig16", "seconds": 3.0}]}"#,
+        )
+        .unwrap();
+        let e = dispatch(&strs(&[
+            "bench", "budget", &p("sparse.json"),
+            "--budget", &p("budget.json"),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 5);
+        assert!(e.to_string().contains("tab03"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,13 +8,14 @@
 //! branch, so scattered miss patterns gain little — "similar to the
 //! next-line prefetchers".
 
-use std::collections::HashMap;
+
+use std::collections::VecDeque;
 
 use twig_sim::{
     Btb, BtbGeometry, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBuffer,
     PrefetchBufferStats, SimConfig, Validator,
 };
-use twig_types::{Addr, BlockId, BranchKind, BranchRecord};
+use twig_types::{Addr, BlockId, BranchKind, BranchRecord, FxHashMap};
 
 /// Region granularity of the bulk transfer, in bytes (2^shift).
 pub const REGION_SHIFT: u32 = 9; // 512-byte regions
@@ -37,8 +38,9 @@ pub const BULK_LATENCY: u64 = 6;
 pub struct TwoLevelBtb {
     /// Fast first level (a quarter of the baseline's entries).
     l1: Btb,
-    /// Large second level: region id -> entries.
-    l2: HashMap<u64, Vec<(Addr, Addr, BranchKind)>>,
+    /// Large second level: region id -> entries, oldest first (a deque
+    /// so the FIFO cap evicts in O(1)).
+    l2: FxHashMap<u64, VecDeque<(Addr, Addr, BranchKind)>>,
     buffer: PrefetchBuffer,
     max_l2_regions: usize,
 }
@@ -53,7 +55,7 @@ impl TwoLevelBtb {
                 (1usize << (l1_entries / config.btb.ways).max(1).ilog2()) * config.btb.ways,
                 config.btb.ways,
             )),
-            l2: HashMap::new(),
+            l2: FxHashMap::default(),
             buffer: PrefetchBuffer::new(config.prefetch_buffer_entries),
             max_l2_regions: config.btb.entries * 8 / 4,
         }
@@ -119,10 +121,10 @@ impl BtbSystem for TwoLevelBtb {
         }
         let region = self.l2.entry(Self::region_of(rec.pc)).or_default();
         region.retain(|&(pc, _, _)| pc != rec.pc);
-        region.push((rec.pc, target, rec.kind));
+        region.push_back((rec.pc, target, rec.kind));
         // One region holds at most a line's worth of entries.
         if region.len() > 16 {
-            region.remove(0);
+            region.pop_front();
         }
     }
 

@@ -14,13 +14,12 @@
 //! predecoding from the program image (the hardware analogue carries
 //! boundary metadata with each line).
 
-use std::collections::HashMap;
 
 use twig_sim::{
     BtbSystem, Fault, FrontendCtx, LookupOutcome, PrefetchBufferStats, SimConfig, Validator,
     ViolationKind,
 };
-use twig_types::{Addr, BlockId, BranchKind, BranchRecord, CacheLineAddr};
+use twig_types::{Addr, BlockId, BranchKind, BranchRecord, CacheLineAddr, FxHashMap};
 
 use crate::stream::StreamTable;
 
@@ -51,22 +50,22 @@ struct AirEntry {
 pub struct Confluence {
     /// Branch entries, grouped by the line their branch PC lives in —
     /// exactly the lines currently resident in L1i.
-    lines: HashMap<CacheLineAddr, Vec<(Addr, AirEntry)>>,
+    lines: FxHashMap<CacheLineAddr, Vec<(Addr, AirEntry)>>,
     streams: StreamTable,
     stats: PrefetchBufferStats,
     /// Lines currently being filled by a stream prefetch (so their
     /// predecoded entries count as prefetched).
-    inflight_prefetches: HashMap<CacheLineAddr, u64>,
+    inflight_prefetches: FxHashMap<CacheLineAddr, u64>,
 }
 
 impl Confluence {
     /// Builds Confluence with SHIFT-default stream-table sizing.
     pub fn new(_config: &SimConfig) -> Self {
         Confluence {
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             streams: StreamTable::with_defaults(),
             stats: PrefetchBufferStats::default(),
-            inflight_prefetches: HashMap::new(),
+            inflight_prefetches: FxHashMap::default(),
         }
     }
 
@@ -114,6 +113,12 @@ impl Confluence {
 impl BtbSystem for Confluence {
     fn name(&self) -> &str {
         "confluence"
+    }
+
+    // Predecode keeps the line-synced BTB coherent with L1i contents, so
+    // fill/eviction events must be recorded for this system.
+    fn observes_line_events(&self) -> bool {
+        true
     }
 
     fn lookup(&mut self, pc: Addr, ctx: &mut FrontendCtx<'_>) -> LookupOutcome {

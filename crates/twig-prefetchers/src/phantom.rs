@@ -9,13 +9,12 @@
 //! metadata traffic and the long latency of prediction-critical metadata —
 //! both of which this model reproduces.
 
-use std::collections::HashMap;
 
 use twig_sim::{
     Btb, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBuffer,
     PrefetchBufferStats, SimConfig, Validator,
 };
-use twig_types::{Addr, BlockId, BranchKind, BranchRecord};
+use twig_types::{Addr, BlockId, BranchKind, BranchRecord, FxHashMap};
 
 /// Entries per virtual-table group (one L2 line's worth).
 pub const GROUP_ENTRIES: usize = 4;
@@ -48,7 +47,7 @@ struct VirtualEntry {
 pub struct PhantomBtb {
     btb: Btb,
     /// Virtual tables: region id -> stored group (newest first).
-    virtual_tables: HashMap<u64, Vec<VirtualEntry>>,
+    virtual_tables: FxHashMap<u64, Vec<VirtualEntry>>,
     buffer: PrefetchBuffer,
     l2_latency: u64,
     /// Bound on virtualized metadata (a fraction of a real L2).
@@ -61,7 +60,7 @@ impl PhantomBtb {
     pub fn new(config: &SimConfig) -> Self {
         PhantomBtb {
             btb: Btb::new(config.btb),
-            virtual_tables: HashMap::new(),
+            virtual_tables: FxHashMap::default(),
             buffer: PrefetchBuffer::new(config.prefetch_buffer_entries),
             l2_latency: config.l2_latency,
             // Dedicate ~1/8 of the L2 to virtualized BTB metadata.

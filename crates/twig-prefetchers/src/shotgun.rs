@@ -56,7 +56,7 @@ pub struct Shotgun {
     /// Footprints, parallel-keyed by unconditional branch PC. Kept in a
     /// side table the same size as the U-BTB (a real implementation stores
     /// the bits in the entry).
-    footprints: std::collections::HashMap<Addr, Footprint>,
+    footprints: twig_types::FxHashMap<Addr, Footprint>,
     /// Prefetched conditional entries await their first use here.
     buffer: PrefetchBuffer,
     /// Footprint currently being recorded: the last executed unconditional
@@ -72,7 +72,7 @@ impl Shotgun {
         Shotgun {
             ubtb: Btb::named(BtbGeometry::new(UBTB_ENTRIES, UBTB_WAYS), "ubtb"),
             cbtb: Btb::named(BtbGeometry::new(CBTB_ENTRIES, CBTB_WAYS), "cbtb"),
-            footprints: std::collections::HashMap::new(),
+            footprints: twig_types::FxHashMap::default(),
             buffer: PrefetchBuffer::new(config.prefetch_buffer_entries),
             recording: None,
             accumulated: 0,

@@ -11,13 +11,12 @@
 //! covered, and replaying the most recent occurrence trades accuracy for
 //! metadata cost (§4.2's prefetch-accuracy discussion).
 
-use std::collections::HashMap;
 
 use twig_sim::{
     Btb, BtbSystem, FrontendCtx, LookupOutcome, MutationKind, PrefetchBufferStats, SimConfig,
     Validator,
 };
-use twig_types::{Addr, BlockId, BranchRecord, CacheLineAddr};
+use twig_types::{Addr, BlockId, BranchRecord, CacheLineAddr, FxHashMap};
 
 /// Default history capacity (entries). SHIFT virtualizes ~32K history
 /// entries into the LLC; we keep them in a plain circular buffer.
@@ -48,7 +47,7 @@ pub struct StreamTable {
     history: Vec<CacheLineAddr>,
     head: usize,
     filled: bool,
-    index: HashMap<CacheLineAddr, usize>,
+    index: FxHashMap<CacheLineAddr, usize>,
     replay_depth: usize,
 }
 
@@ -65,7 +64,7 @@ impl StreamTable {
             history: Vec::with_capacity(history_entries),
             head: 0,
             filled: false,
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             replay_depth,
         }
     }

@@ -10,11 +10,11 @@
 //! *conflict* miss; a miss in both is *compulsory* on first reference and
 //! *capacity* otherwise.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use twig_serde::{Deserialize, Serialize};
 use twig_sim::{Btb, BtbGeometry};
-use twig_types::{Addr, BranchKind};
+use twig_types::{Addr, BranchKind, FxHashMap};
 
 /// Counts of BTB misses by 3C class.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -51,7 +51,7 @@ impl ThreeCBreakdown {
 /// Fully-associative LRU model with O(log n) stack maintenance.
 #[derive(Debug, Default)]
 struct FullyAssociativeLru {
-    last_use: HashMap<Addr, u64>,
+    last_use: FxHashMap<Addr, u64>,
     stack: BTreeMap<u64, Addr>,
     time: u64,
     capacity: usize,
@@ -93,7 +93,7 @@ impl FullyAssociativeLru {
 /// ```
 /// use twig_profile::ThreeCClassifier;
 /// use twig_sim::BtbGeometry;
-/// use twig_types::{Addr, BranchKind};
+/// use twig_types::{Addr, BranchKind, FxHashMap};
 ///
 /// let mut c = ThreeCClassifier::new(BtbGeometry::new(8, 2));
 /// c.access(Addr::new(0x10), Addr::new(0x99), BranchKind::DirectJump);
@@ -104,7 +104,7 @@ impl FullyAssociativeLru {
 pub struct ThreeCClassifier {
     real: Btb,
     fully_assoc: FullyAssociativeLru,
-    seen: std::collections::HashSet<Addr>,
+    seen: twig_types::FxHashSet<Addr>,
     breakdown: ThreeCBreakdown,
     /// Classify only direct branches, like the paper's MPKI definition.
     direct_only: bool,
@@ -117,7 +117,7 @@ impl ThreeCClassifier {
         ThreeCClassifier {
             real: Btb::new(geometry),
             fully_assoc: FullyAssociativeLru::new(geometry.entries),
-            seen: std::collections::HashSet::new(),
+            seen: twig_types::FxHashSet::default(),
             breakdown: ThreeCBreakdown::default(),
             direct_only: true,
         }

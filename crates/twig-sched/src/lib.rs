@@ -29,9 +29,11 @@ use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 pub mod fault;
+pub mod procs;
 pub mod supervise;
 
 pub use fault::{FaultKind, FaultSpec};
+pub use procs::{num_procs, ShardSpec};
 pub use supervise::{
     run_supervised, supervised_map, CancelToken, TaskError, TaskPolicy, TaskReport,
 };

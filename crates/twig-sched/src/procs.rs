@@ -1,0 +1,195 @@
+//! Multi-process sharding helpers (`TWIG_NUM_PROCS`).
+//!
+//! [`parallel_map`](crate::parallel_map) parallelizes within one address
+//! space; this module shards a *fixed, deterministically ordered* task
+//! list across worker **processes**. The parent re-executes its own
+//! binary once per shard with a `--shard i/N` argument; each worker
+//! claims the task indices `i, i+N, i+2N, …` ([`ShardSpec::owns`]),
+//! persists every completed cell to the shared checkpoint store, and
+//! exits. The parent then assembles the matrix purely from checkpoints —
+//! a worker that died (crash, OOM-kill, injected `abort` fault) simply
+//! leaves its cells missing, which the caller degrades to failed cells;
+//! a later `--resume` run completes them.
+//!
+//! The protocol deliberately has no IPC beyond the checkpoint files:
+//! records are atomic (temp file + rename) and CRC-checked, so a torn
+//! write from a dying worker is indistinguishable from a missing cell.
+//!
+//! # Examples
+//!
+//! ```
+//! use twig_sched::procs::ShardSpec;
+//!
+//! let shard = ShardSpec::parse("1/4").unwrap();
+//! assert!(shard.owns(5));
+//! assert!(!shard.owns(6));
+//! assert_eq!(shard.to_arg(), "1/4");
+//! ```
+
+use std::process::{Command, ExitStatus};
+
+/// This process's slice of the task list: shard `index` of `total`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< total`.
+    pub index: usize,
+    /// Total number of shards, at least 1.
+    pub total: usize,
+}
+
+impl ShardSpec {
+    /// Parses the `i/N` form used by the hidden `--shard` CLI argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the text is not `i/N` with `i < N`,
+    /// `N >= 1`.
+    pub fn parse(text: &str) -> Result<ShardSpec, String> {
+        let (index, total) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {text:?} is not i/N"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index {index:?} is not a number"))?;
+        let total: usize = total
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard total {total:?} is not a number"))?;
+        if total == 0 {
+            return Err("shard total must be >= 1".to_string());
+        }
+        if index >= total {
+            return Err(format!("shard index {index} out of range for /{total}"));
+        }
+        Ok(ShardSpec { index, total })
+    }
+
+    /// Renders the spec back into its `i/N` CLI form.
+    pub fn to_arg(&self) -> String {
+        format!("{}/{}", self.index, self.total)
+    }
+
+    /// Whether this shard owns task `index` (round-robin by index, so a
+    /// fixed task order gives every run the same assignment).
+    pub fn owns(&self, task_index: usize) -> bool {
+        task_index % self.total == self.index
+    }
+}
+
+/// Outcome of one worker process.
+#[derive(Debug)]
+pub struct WorkerOutcome {
+    /// The shard the worker was responsible for.
+    pub shard: ShardSpec,
+    /// Its exit status, or the spawn error rendered as text.
+    pub status: Result<ExitStatus, String>,
+}
+
+impl WorkerOutcome {
+    /// True when the worker ran and exited 0.
+    pub fn success(&self) -> bool {
+        matches!(&self.status, Ok(s) if s.success())
+    }
+
+    /// A short human-readable description of a failed outcome
+    /// (`exit code 101`, `signal`, `spawn failed: …`).
+    pub fn describe(&self) -> String {
+        match &self.status {
+            Ok(status) if status.success() => "ok".to_string(),
+            Ok(status) => match status.code() {
+                Some(code) => format!("exit code {code}"),
+                None => "killed by signal".to_string(),
+            },
+            Err(e) => format!("spawn failed: {e}"),
+        }
+    }
+}
+
+/// The number of worker processes requested via `TWIG_NUM_PROCS`
+/// (default 1 = no subprocess sharding).
+pub fn num_procs() -> usize {
+    twig_types::HarnessConfig::global().num_procs.value
+}
+
+/// Spawns `total` copies of the current executable, one per shard, each
+/// with `args(shard)` as its full argument list, and waits for all of
+/// them. Workers inherit the parent's environment (so `TWIG_*` knobs,
+/// including fault specs, apply inside them) — except `TWIG_NUM_PROCS`,
+/// which is reset to 1 as a belt-and-braces guard against recursive
+/// spawning should a worker ever miss its `--shard` argument.
+///
+/// Spawn failures and non-zero exits are *reported*, not propagated as
+/// panics: a dead worker must degrade its cells, not the whole run.
+pub fn run_sharded(total: usize, args: impl Fn(ShardSpec) -> Vec<String>) -> Vec<WorkerOutcome> {
+    let exe = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            // Without our own path there is nothing to spawn; report
+            // every shard as failed so the caller degrades uniformly.
+            return (0..total)
+                .map(|index| WorkerOutcome {
+                    shard: ShardSpec { index, total },
+                    status: Err(format!("current_exe: {e}")),
+                })
+                .collect();
+        }
+    };
+    let children: Vec<(ShardSpec, std::io::Result<std::process::Child>)> = (0..total)
+        .map(|index| {
+            let shard = ShardSpec { index, total };
+            let child = Command::new(&exe)
+                .args(args(shard))
+                .env("TWIG_NUM_PROCS", "1")
+                .spawn();
+            (shard, child)
+        })
+        .collect();
+    children
+        .into_iter()
+        .map(|(shard, child)| {
+            let status = match child {
+                Ok(mut child) => child.wait().map_err(|e| format!("wait: {e}")),
+                Err(e) => Err(format!("{e}")),
+            };
+            WorkerOutcome {
+                shard,
+                status: status.map_err(|e| e.to_string()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_shard_specs() {
+        let shard = ShardSpec::parse("2/3").unwrap();
+        assert_eq!(shard, ShardSpec { index: 2, total: 3 });
+        assert_eq!(shard.to_arg(), "2/3");
+        assert!(ShardSpec::parse("3/3").is_err(), "index out of range");
+        assert!(ShardSpec::parse("0/0").is_err(), "zero shards");
+        assert!(ShardSpec::parse("1").is_err(), "missing slash");
+        assert!(ShardSpec::parse("a/b").is_err(), "not numbers");
+    }
+
+    #[test]
+    fn ownership_partitions_every_index_exactly_once() {
+        let total = 3;
+        for task in 0..100 {
+            let owners: Vec<usize> = (0..total)
+                .filter(|&i| ShardSpec { index: i, total }.owns(task))
+                .collect();
+            assert_eq!(owners.len(), 1, "task {task} must have one owner");
+            assert_eq!(owners[0], task % total);
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let shard = ShardSpec { index: 0, total: 1 };
+        assert!((0..50).all(|t| shard.owns(t)));
+    }
+}

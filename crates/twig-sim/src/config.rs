@@ -220,6 +220,14 @@ pub struct SimConfig {
     pub ideal_btb: bool,
     /// Limit study: every I-cache access hits (Fig. 2).
     pub ideal_icache: bool,
+    /// Batch the per-cycle stepping: when every structure the cycle could
+    /// touch is quiescent (per the hot loop's activity mask) and no
+    /// per-cycle instrumentation tier is active, jump straight to the next
+    /// cycle at which any stage can act, bulk-applying the skipped cycles'
+    /// retire-slot accounting. Produces bit-identical statistics to
+    /// cycle-by-cycle stepping (asserted by `tests/sim_behavior.rs`); off
+    /// only for the before/after benchmark groups in `benches/sim.rs`.
+    pub batch_stepping: bool,
     /// Simulation integrity layer: checking tier, watchdog budgets, and
     /// the optional seeded mutation. Defaults from the `TWIG_INTEGRITY`
     /// environment (off unless set).
@@ -260,6 +268,7 @@ impl Default for SimConfig {
             wrong_path_lines: 8,
             ideal_btb: false,
             ideal_icache: false,
+            batch_stepping: true,
             integrity: IntegrityConfig::default(),
             obs: ObsConfig::default(),
         }
@@ -467,6 +476,13 @@ impl SimConfigBuilder {
     /// Limit study: every I-cache access hits.
     pub fn ideal_icache(mut self, ideal: bool) -> Self {
         self.config.ideal_icache = ideal;
+        self
+    }
+
+    /// Batched (idle-skipping) cycle stepping; on by default, off only for
+    /// the before/after performance benchmarks.
+    pub fn batch_stepping(mut self, batch: bool) -> Self {
+        self.config.batch_stepping = batch;
         self
     }
 

@@ -23,6 +23,9 @@ use twig_workload::{BlockEvent, Program};
 use crate::btb::Btb;
 use crate::config::{DirectionPredictorKind, SimConfig};
 use crate::direction::{build_predictor, DirectionPredictor};
+use crate::frontend_state::{
+    activity, ActivityMask, DeliveryRing, FtqRing, Region, ResteerCause, ResteerKind, RetireRing,
+};
 use crate::icache::MemoryHierarchy;
 use crate::integrity::dump::{DumpBranch, StateDump, DUMP_VERSION};
 use crate::integrity::watchdog::Watchdogs;
@@ -31,55 +34,6 @@ use crate::obs::ObsState;
 use crate::ras::Ras;
 use crate::stats::SimStats;
 use crate::system::{BtbSystem, FrontendCtx, LookupOutcome};
-
-/// Where a pending resteer will be detected.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ResteerKind {
-    /// BTB miss on a taken direct branch or return: decode finds the branch
-    /// and redirects.
-    Decode,
-    /// Direction or indirect-target mispredict: execution redirects.
-    Execute,
-}
-
-/// A pending resteer plus the static branch that caused it — the
-/// attribution profiler charges the stall cycles to `(pc, branch, miss)`
-/// when the region issues.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct ResteerCause {
-    /// Where the redirect is detected (decode vs execute).
-    kind: ResteerKind,
-    /// Static PC of the causing branch.
-    pc: u64,
-    /// Branch kind at that PC.
-    branch: BranchKind,
-    /// Attribution taxonomy label.
-    miss: MissKind,
-}
-
-/// One FTQ entry: a contiguous fetch region spanning one or more basic
-/// blocks, ending at a predicted-taken branch, a pending resteer, or the
-/// region instruction cap.
-#[derive(Clone, Debug)]
-struct FtqEntry {
-    /// Original program instructions across the region's blocks.
-    instrs: u32,
-    /// Injected prefetch ops across the region's blocks.
-    ops: u32,
-    first_line: u64,
-    last_line: u64,
-    resteer: Option<ResteerCause>,
-    /// Blocks in the region that carry software prefetch ops.
-    ops_blocks: Vec<BlockId>,
-}
-
-/// Instructions whose decode completed at `ready_at`.
-#[derive(Clone, Copy, Debug)]
-struct Delivery {
-    ready_at: u64,
-    instrs: u32,
-    ops: u32,
-}
 
 /// One entry of the BPU's basic-block history (LBR model).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -147,6 +101,11 @@ pub struct Simulator<'p, B> {
     /// hot loop pays one never-taken branch per cycle (same discipline
     /// as the integrity layer).
     obs: Option<Box<ObsState>>,
+    /// Reused staging buffer for a region's software-prefetch blocks
+    /// (copied into the FTQ ring's shared pool on push).
+    ops_scratch: Vec<BlockId>,
+    /// Reused buffer for the head probe's missed lines.
+    line_scratch: Vec<CacheLineAddr>,
 }
 
 impl<'p, B: BtbSystem> Simulator<'p, B> {
@@ -173,12 +132,16 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             events_consumed: 0,
             integrity_label: String::from("sim"),
             obs: ObsState::from_config(&config.obs),
+            ops_scratch: Vec::new(),
+            line_scratch: Vec::new(),
         };
         if config.integrity.level.differential() {
             sim.ibtb.enable_shadow();
             sim.ras.enable_shadow();
             sim.system.enable_differential();
         }
+        sim.mem
+            .set_line_event_tracking(sim.system.observes_line_events());
         sim
     }
 
@@ -253,12 +216,12 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
 
         let mut cycle: u64 = 0;
         let mut bpu_stalled_until: u64 = 0;
-        let mut ftq: VecDeque<FtqEntry> = VecDeque::with_capacity(self.config.ftq_entries);
+        let mut ftq = FtqRing::new(self.config.ftq_entries);
         let mut fetch_free_at: u64 = 0;
         let mut head_ready_at: Option<u64> = None;
-        let mut deliveries: VecDeque<Delivery> = VecDeque::new();
+        let mut deliveries = DeliveryRing::new();
         // Instructions decoded and waiting to retire: (original, ops) FIFO.
-        let mut avail: VecDeque<(u32, u32)> = VecDeque::new();
+        let mut avail = RetireRing::new();
         // ROB occupancy: decoded-but-unretired instructions (deliveries in
         // flight plus the avail queue). Fetch stalls when the ROB is full.
         let mut rob_occupancy: usize = 0;
@@ -266,6 +229,22 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         // Active resteer (for Top-Down attribution of empty-frontend slots).
         let mut resteer_until: u64 = 0;
         let mut resteer_is_exec = false;
+        // Which structures hold work; every transition below happens at
+        // the statement that changes the summarized structure (the deep
+        // integrity sweep cross-checks each bit).
+        let mut mask = ActivityMask::new();
+
+        // Hoisted configuration scalars: the borrow checker cannot prove
+        // `self.config` unchanged across the `&mut self` stage calls, so
+        // reading them through `self` would reload every iteration.
+        let regions_per_cycle = self.config.bpu_regions_per_cycle;
+        let fetch_width = self.config.fetch_width;
+        let retire_width = self.config.retire_width;
+        let rob_entries = self.config.rob_entries;
+        let decode_pipe = self.config.decode_pipe;
+        let exec_pipe = self.config.exec_pipe;
+        let redirect_penalty = self.config.redirect_penalty;
+        let backend_extra_cpki = self.config.backend_extra_cpki;
 
         // Integrity instrumentation. `period` is `None` for the `off`
         // tier, reducing the per-cycle cost to one predictable branch.
@@ -291,11 +270,18 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         // sample period) even when the sample period does not divide it.
         let mut next_deep: u64 = 0;
 
+        // Batched stepping is sound only when nothing records per-cycle
+        // state: integrity sampling and the observability histograms both
+        // observe every cycle, so either tier forces cycle-by-cycle
+        // stepping (their identity-vs-off tests double as the oracle that
+        // batching never changes statistics).
+        let batch = self.config.batch_stepping && period.is_none() && self.obs.is_none();
+
         loop {
             // ---- BPU: advance prediction, fill the FTQ. -----------------
             if cycle >= bpu_stalled_until && !events_done {
-                for _ in 0..self.config.bpu_regions_per_cycle {
-                    if ftq.len() >= self.config.ftq_entries {
+                for _ in 0..regions_per_cycle {
+                    if ftq.is_full() {
                         break;
                     }
                     let Some(region) =
@@ -304,7 +290,8 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                         break;
                     };
                     let stall = region.resteer.is_some();
-                    ftq.push_back(region);
+                    ftq.push(region, &self.ops_scratch);
+                    mask.set(activity::FTQ);
                     if let Some(obs) = self.obs.as_deref_mut() {
                         if let Some(ring) = obs.ring.as_mut() {
                             ring.record(Stage::Predict, "bpu-region", cycle, 0);
@@ -315,6 +302,9 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                         break;
                     }
                 }
+                if events_done {
+                    mask.clear(activity::STREAM);
+                }
             }
 
             // ---- Fetch/decode: issue the FTQ head when its lines arrive. --
@@ -322,45 +312,45 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             // the region reaches the head of the queue (even while fetch is
             // busy with the previous region), so an L1i hit adds no bubble
             // between back-to-back regions.
-            if head_ready_at.is_none() {
-                if let Some(head) = ftq.front() {
-                    head_ready_at = Some(self.probe_head_lines(head, cycle));
-                }
+            if head_ready_at.is_none() && !ftq.is_empty() {
+                let (first_line, last_line) = ftq.head_lines();
+                head_ready_at = Some(self.probe_head_lines(first_line, last_line, cycle));
             }
-            if fetch_free_at <= cycle && rob_occupancy < self.config.rob_entries
+            if fetch_free_at <= cycle && rob_occupancy < rob_entries
                 && head_ready_at.is_some_and(|ready| ready <= cycle) {
-                    let entry = ftq.pop_front().expect("ready head exists");
+                    let entry = ftq.pop_front();
+                    if ftq.is_empty() {
+                        mask.clear(activity::FTQ);
+                    }
                     head_ready_at = None;
                     let total = entry.instrs + entry.ops;
                     let fetch_cycles =
-                        u64::from(total.div_ceil(self.config.fetch_width)).max(1);
+                        u64::from(total.div_ceil(fetch_width)).max(1);
                     fetch_free_at = cycle + fetch_cycles;
-                    let decode_done = fetch_free_at + self.config.decode_pipe;
-                    deliveries.push_back(Delivery {
-                        ready_at: decode_done,
-                        instrs: entry.instrs,
-                        ops: entry.ops,
-                    });
+                    let decode_done = fetch_free_at + decode_pipe;
+                    deliveries.push_back(decode_done, entry.instrs, entry.ops);
+                    mask.set(activity::DELIVERIES);
                     rob_occupancy += (entry.instrs + entry.ops) as usize;
                     if let Some(obs) = self.obs.as_deref_mut() {
                         obs.registry
                             .record(obs.fetch_region_instrs, u64::from(total));
                         if let Some(ring) = obs.ring.as_mut() {
                             ring.record(Stage::Fetch, "fetch-region", cycle, fetch_cycles);
-                            if !entry.ops_blocks.is_empty() {
+                            if entry.ops_len > 0 {
                                 ring.record(Stage::Prefetch, "sw-prefetch", cycle, 0);
                             }
                         }
                     }
-                    for &block in &entry.ops_blocks {
+                    for i in 0..entry.ops_len {
+                        let block = ftq.pool_block(entry.ops_start, i);
                         self.execute_prefetch_ops(block, decode_done, cycle);
                     }
                     if let Some(cause) = entry.resteer {
                         let resolved_at = match cause.kind {
                             ResteerKind::Decode => decode_done,
-                            ResteerKind::Execute => decode_done + self.config.exec_pipe,
+                            ResteerKind::Execute => decode_done + exec_pipe,
                         };
-                        let resume = resolved_at + self.config.redirect_penalty;
+                        let resume = resolved_at + redirect_penalty;
                         bpu_stalled_until = resume;
                         resteer_until = resume;
                         resteer_is_exec = cause.kind == ResteerKind::Execute;
@@ -384,21 +374,24 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                     }
                     // Start the next head's I-cache access in the same
                     // cycle (pipelined tag check).
-                    if let Some(next_head) = ftq.front() {
-                        head_ready_at = Some(self.probe_head_lines(next_head, cycle));
+                    if !ftq.is_empty() {
+                        let (first_line, last_line) = ftq.head_lines();
+                        head_ready_at =
+                            Some(self.probe_head_lines(first_line, last_line, cycle));
                     }
                 }
 
             // ---- Retire: drain decoded instructions, attribute slots. ----
-            while deliveries
-                .front()
-                .is_some_and(|d| d.ready_at <= cycle)
-            {
-                let d = deliveries.pop_front().expect("checked");
-                avail.push_back((d.instrs, d.ops));
+            while deliveries.front_ready().is_some_and(|ready| ready <= cycle) {
+                let (instrs, ops) = deliveries.pop_front();
+                if deliveries.is_empty() {
+                    mask.clear(activity::DELIVERIES);
+                }
+                avail.push_back(instrs, ops);
+                mask.set(activity::RETIRE);
             }
 
-            let width = self.config.retire_width;
+            let width = retire_width;
             if backend_deficit >= 1.0 {
                 backend_deficit -= 1.0;
                 self.stats.topdown.backend_bound += u64::from(width);
@@ -406,25 +399,28 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 let mut slots = width;
                 let mut retired_orig: u32 = 0;
                 while slots > 0 {
-                    let Some(front) = avail.front_mut() else { break };
+                    let Some((orig, ops)) = avail.front_mut() else { break };
                     // Prefetch ops sit at block start: retire them first.
-                    if front.1 > 0 {
-                        let take = front.1.min(slots);
-                        front.1 -= take;
+                    if *ops > 0 {
+                        let take = (*ops).min(slots);
+                        *ops -= take;
                         slots -= take;
                         rob_occupancy -= take as usize;
                         self.stats.retired_prefetch_ops += u64::from(take);
                         self.stats.topdown.retiring += u64::from(take);
-                    } else if front.0 > 0 {
-                        let take = front.0.min(slots);
-                        front.0 -= take;
+                    } else if *orig > 0 {
+                        let take = (*orig).min(slots);
+                        *orig -= take;
                         slots -= take;
                         rob_occupancy -= take as usize;
                         retired_orig += take;
                         self.stats.topdown.retiring += u64::from(take);
                     }
-                    if front.0 == 0 && front.1 == 0 {
+                    if *orig == 0 && *ops == 0 {
                         avail.pop_front();
+                        if avail.is_empty() {
+                            mask.clear(activity::RETIRE);
+                        }
                     }
                 }
                 self.stats.retired_instructions += u64::from(retired_orig);
@@ -436,7 +432,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                     }
                 }
                 backend_deficit +=
-                    f64::from(retired_orig) * self.config.backend_extra_cpki / 1000.0;
+                    f64::from(retired_orig) * backend_extra_cpki / 1000.0;
                 if slots > 0 {
                     // Starved: frontend latency, or wrong-path recovery.
                     if cycle < resteer_until && resteer_is_exec {
@@ -468,7 +464,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                         next_deep = cycle + integrity.deep_period;
                     }
                     if let Err((fault, component, structure)) =
-                        self.sweep(deep, &ftq, &deliveries, &avail, rob_occupancy)
+                        self.sweep(deep, &ftq, &deliveries, &avail, rob_occupancy, mask)
                     {
                         return Err(self.raise(
                             fault,
@@ -498,12 +494,71 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 }
             }
 
+            // ---- Batched stepping: skip runs of quiescent cycles. --------
+            // With the retire queue drained, every remaining stage's next
+            // action is a pure function of already-scheduled times: the
+            // BPU resumes at `bpu_stalled_until`, fetch at
+            // `max(head_ready_at, fetch_free_at)`, and the decode pipe
+            // drains at its head's `ready_at`. Jump to the earliest of
+            // those and bulk-apply the skipped cycles' only state changes
+            // — the backend-deficit drain and the integer Top-Down slot
+            // tallies — in the same order the stepped loop would, so the
+            // statistics stay bit-identical. (`backend_deficit` would also
+            // accumulate `0.0 * cpki / 1000.0` per skipped cycle, which is
+            // exact identity for the non-negative deficit.)
+            // Skipping must also stop at the instruction budget: once the
+            // retire stage crosses it, the loop breaks right after the
+            // cycle increment, so there are no further cycles to attribute.
+            if batch
+                && !mask.contains(activity::RETIRE)
+                && self.stats.retired_instructions < instruction_budget
+            {
+                let e_bpu = if !events_done && !ftq.is_full() {
+                    bpu_stalled_until
+                } else {
+                    u64::MAX
+                };
+                // `head_ready_at` is `Some` iff the FTQ is non-empty here;
+                // a full ROB keeps fetch blocked until the decode pipe
+                // drains, which `e_decode` already bounds.
+                let e_fetch = match head_ready_at {
+                    Some(ready) if rob_occupancy < rob_entries => ready.max(fetch_free_at),
+                    _ => u64::MAX,
+                };
+                let e_decode = deliveries.front_ready().unwrap_or(u64::MAX);
+                let next = e_bpu.min(e_fetch).min(e_decode);
+                if next != u64::MAX && next > cycle + 1 {
+                    let target = next.min(max_cycles).max(cycle + 1);
+                    let mut skipped = cycle + 1;
+                    while skipped < target && backend_deficit >= 1.0 {
+                        backend_deficit -= 1.0;
+                        self.stats.topdown.backend_bound += u64::from(retire_width);
+                        skipped += 1;
+                    }
+                    if skipped < target {
+                        let idle = target - skipped;
+                        let bad = if resteer_is_exec {
+                            resteer_until.saturating_sub(skipped).min(idle)
+                        } else {
+                            0
+                        };
+                        self.stats.topdown.bad_speculation += u64::from(retire_width) * bad;
+                        self.stats.topdown.frontend_bound +=
+                            u64::from(retire_width) * (idle - bad);
+                    }
+                    cycle = target - 1;
+                }
+            }
+
             cycle += 1;
 
             if self.stats.retired_instructions >= instruction_budget {
                 break;
             }
-            if events_done && ftq.is_empty() && deliveries.is_empty() && avail.is_empty() {
+            // Stream exhausted and every queue drained (the mask bits
+            // mirror `events_done`, the FTQ, the decode pipe, and the
+            // retire queue exactly).
+            if mask.all_idle() {
                 break;
             }
             if cycle >= max_cycles {
@@ -532,7 +587,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         // even if the sampling cadence never lined up mid-run.
         if period.is_some() {
             if let Err((fault, component, structure)) =
-                self.sweep(true, &ftq, &deliveries, &avail, rob_occupancy)
+                self.sweep(true, &ftq, &deliveries, &avail, rob_occupancy, mask)
             {
                 return Err(self.raise(fault, component, structure, cycle, instruction_budget));
             }
@@ -639,10 +694,11 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
     fn sweep(
         &self,
         deep: bool,
-        ftq: &VecDeque<FtqEntry>,
-        deliveries: &VecDeque<Delivery>,
-        avail: &VecDeque<(u32, u32)>,
+        ftq: &FtqRing,
+        deliveries: &DeliveryRing,
+        avail: &RetireRing,
         rob_occupancy: usize,
+        mask: ActivityMask,
     ) -> Result<(), (Fault, &'static str, String)> {
         if ftq.len() > self.config.ftq_entries {
             return Err((
@@ -660,6 +716,34 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
         }
         if !deep {
             return self.check_validators(false);
+        }
+        // The activity mask is a pure summary of the queues: a stale bit
+        // means a push/pop site forgot its transition, which would let the
+        // batched stepping skip live work (or spin on drained queues).
+        for (bit, occupied, name) in [
+            (activity::FTQ, !ftq.is_empty(), "ftq"),
+            (activity::DELIVERIES, !deliveries.is_empty(), "deliveries"),
+            (activity::RETIRE, !avail.is_empty(), "retire-queue"),
+        ] {
+            if mask.contains(bit) != occupied {
+                return Err((
+                    Fault::new(
+                        ViolationKind::ActivityMask,
+                        format!(
+                            "{name} activity bit is {} but the structure {}",
+                            mask.contains(bit),
+                            if occupied { "holds work" } else { "is empty" }
+                        ),
+                    ),
+                    "activity-mask",
+                    format!(
+                        "{mask:?} ftq={} deliveries={} retire-queue={}",
+                        ftq.len(),
+                        deliveries.len(),
+                        avail.len()
+                    ),
+                ));
+            }
         }
         for (i, entry) in ftq.iter().enumerate() {
             // `first_line == u64::MAX` marks a region that consumed no
@@ -679,29 +763,29 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             }
         }
         let mut prev_ready = 0u64;
-        for (i, d) in deliveries.iter().enumerate() {
-            if d.ready_at < prev_ready {
+        for (i, (ready_at, _, _)) in deliveries.iter().enumerate() {
+            if ready_at < prev_ready {
                 return Err((
                     Fault::new(
                         ViolationKind::FtqOrder,
                         format!(
-                            "delivery[{i}] ready_at {} precedes predecessor at {}",
-                            d.ready_at, prev_ready
+                            "delivery[{i}] ready_at {ready_at} precedes predecessor at \
+                             {prev_ready}"
                         ),
                     ),
                     "deliveries",
                     format!("{deliveries:?}"),
                 ));
             }
-            prev_ready = d.ready_at;
+            prev_ready = ready_at;
         }
         let in_flight: u64 = deliveries
             .iter()
-            .map(|d| u64::from(d.instrs) + u64::from(d.ops))
+            .map(|(_, instrs, ops)| u64::from(instrs) + u64::from(ops))
             .sum();
         let waiting: u64 = avail
             .iter()
-            .map(|&(orig, ops)| u64::from(orig) + u64::from(ops))
+            .map(|(orig, ops)| u64::from(orig) + u64::from(ops))
             .sum();
         if rob_occupancy as u64 != in_flight + waiting {
             return Err((
@@ -794,20 +878,24 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
     /// Builds one fetch region at the BPU, consuming block events until a
     /// taken branch, a pending resteer, or the region cap. Returns `None`
     /// when the event stream is exhausted before any block is consumed.
+    ///
+    /// Blocks carrying software prefetch ops are staged in
+    /// `self.ops_scratch` (cleared on entry); the caller copies them into
+    /// the FTQ ring's shared pool alongside the region.
     fn build_region(
         &mut self,
         events: &mut impl Iterator<Item = BlockEvent>,
         cycle: u64,
         observer: &mut dyn MissObserver,
         events_done: &mut bool,
-    ) -> Option<FtqEntry> {
-        let mut entry = FtqEntry {
+    ) -> Option<Region> {
+        self.ops_scratch.clear();
+        let mut entry = Region {
             instrs: 0,
             ops: 0,
             first_line: u64::MAX,
             last_line: 0,
             resteer: None,
-            ops_blocks: Vec::new(),
         };
         let mut consumed = false;
         loop {
@@ -853,7 +941,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             entry.instrs += block.num_instrs;
             entry.ops += block.prefetch_ops.len() as u32;
             if !block.prefetch_ops.is_empty() {
-                entry.ops_blocks.push(ev.block);
+                self.ops_scratch.push(ev.block);
             }
 
             let mut region_ends = ev.taken;
@@ -1051,10 +1139,11 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
 
     /// Issues the demand accesses for a fetch region's lines and returns
     /// the cycle its bytes are ready (max over lines).
-    fn probe_head_lines(&mut self, head: &FtqEntry, cycle: u64) -> u64 {
+    fn probe_head_lines(&mut self, first_line: u64, last_line: u64, cycle: u64) -> u64 {
         let mut ready = cycle;
-        let mut missed = Vec::new();
-        for line in head.first_line..=head.last_line {
+        let mut missed = std::mem::take(&mut self.line_scratch);
+        missed.clear();
+        for line in first_line..=last_line {
             let r = self
                 .mem
                 .demand(CacheLineAddr::from_line_number(line), cycle);
@@ -1063,9 +1152,10 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                 missed.push(CacheLineAddr::from_line_number(line));
             }
         }
-        for line in missed {
+        for &line in &missed {
             self.line_demand_missed(line, cycle);
         }
+        self.line_scratch = missed;
         self.drain_line_events(cycle);
         ready
     }

@@ -116,6 +116,13 @@ pub struct TageLite {
     base: Vec<u8>,
     tables: Vec<TageTable>,
     history: u128,
+    /// Memo of the last provider search: `(pc, history generation,
+    /// result)`. The frontend resolves a conditional by calling `predict`
+    /// and then `update` with the same PC and unchanged history, so the
+    /// second (identical) search is served from here.
+    provider_memo: Option<(u64, u64, Option<(usize, usize)>)>,
+    /// Bumped whenever `history` changes, invalidating the memo.
+    history_gen: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -154,15 +161,22 @@ impl TageLite {
                 })
                 .collect(),
             history: 0,
+            provider_memo: None,
+            history_gen: 0,
         }
     }
 
     #[inline]
     fn folded_history(&self, bits: u32, out_bits: u32) -> u64 {
-        let mut h = self.history & ((1u128 << bits) - 1);
+        // Every history window fits in 64 bits (`TAGE_HISTORIES` tops out
+        // at 64), so the fold runs in native words rather than u128.
+        debug_assert!(bits <= 64);
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut h = (self.history as u64) & mask;
+        let out_mask = (1u64 << out_bits) - 1;
         let mut folded = 0u64;
         while h != 0 {
-            folded ^= (h & ((1u128 << out_bits) - 1)) as u64;
+            folded ^= h & out_mask;
             h >>= out_bits;
         }
         folded
@@ -182,17 +196,26 @@ impl TageLite {
         ((((pc.raw() >> 1) ^ (fh << 1) ^ (pc.raw() >> 11)) & 0x3ff) as u16) | 0x400
     }
 
-    /// Longest-matching tagged component, if any.
-    fn provider(&self, pc: Addr) -> Option<(usize, usize)> {
+    /// Longest-matching tagged component, if any (memoized per
+    /// `(pc, history)` so the predict → update pair searches once).
+    fn provider(&mut self, pc: Addr) -> Option<(usize, usize)> {
+        if let Some((memo_pc, gen, result)) = self.provider_memo {
+            if memo_pc == pc.raw() && gen == self.history_gen {
+                return result;
+            }
+        }
+        let mut result = None;
         for t in (0..self.tables.len()).rev() {
             let idx = self.table_index(t, pc);
             let tag = self.table_tag(t, pc);
             let e = &self.tables[t].entries[idx];
             if e.valid && e.tag == tag {
-                return Some((t, idx));
+                result = Some((t, idx));
+                break;
             }
         }
-        None
+        self.provider_memo = Some((pc.raw(), self.history_gen, result));
+        result
     }
 
     #[inline]
@@ -262,6 +285,7 @@ impl DirectionPredictor for TageLite {
         }
 
         self.history = (self.history << 1) | u128::from(taken);
+        self.history_gen += 1;
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,673 @@
+//! Struct-of-arrays storage for the hot-loop frontend queues.
+//!
+//! The per-cycle loop in [`crate::core`] used to carry its queues as
+//! `VecDeque`s of per-entry structs; profiling the harness on itself
+//! (`twig report` over an attribution run) showed the loop spending a
+//! noticeable share of its time shuffling those entries and polling
+//! structures that were empty for hundreds of consecutive cycles. This
+//! module provides the replacement layout:
+//!
+//! * [`FtqRing`], [`DeliveryRing`], and [`RetireRing`] keep each field of
+//!   their entries in its own array, addressed by ring indices — pushing
+//!   or popping moves indices, never entry payloads, and the
+//!   variable-length list of software-prefetch blocks per FTQ region lives
+//!   in one shared pool instead of a heap `Vec` per entry.
+//! * [`ActivityMask`] is a bitset summarizing which structures hold work.
+//!   The run loop consults it (one AND) instead of polling every queue,
+//!   and the integrity layer's deep sweep cross-checks every bit against
+//!   the structure it summarizes.
+//!
+//! # Activity-mask invariants
+//!
+//! | bit | set when | cleared when |
+//! |-----|----------|--------------|
+//! | `STREAM` | construction (events may remain) | the block-event stream returns `None` |
+//! | `FTQ` | a region is pushed into the FTQ | the last region is popped by fetch |
+//! | `DELIVERIES` | fetch issues a region into the decode pipe | the last delivery drains to the retire queue |
+//! | `RETIRE` | a delivery lands in the retire queue | the last queued instruction retires |
+//!
+//! The mask is a pure summary: every transition happens at the same
+//! statement that changes the underlying structure, so
+//! `mask.contains(bit) == !structure.is_empty()` holds at every cycle
+//! boundary (checked by [`FtqRing`]'s users via the deep integrity sweep).
+
+use twig_obs::MissKind;
+use twig_types::{BlockId, BranchKind};
+
+/// Where a pending resteer will be detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ResteerKind {
+    /// BTB miss on a taken direct branch or return: decode finds the branch
+    /// and redirects.
+    Decode,
+    /// Direction or indirect-target mispredict: execution redirects.
+    Execute,
+}
+
+/// A pending resteer plus the static branch that caused it — the
+/// attribution profiler charges the stall cycles to `(pc, branch, miss)`
+/// when the region issues.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ResteerCause {
+    /// Where the redirect is detected (decode vs execute).
+    pub kind: ResteerKind,
+    /// Static PC of the causing branch.
+    pub pc: u64,
+    /// Branch kind at that PC.
+    pub branch: BranchKind,
+    /// Attribution taxonomy label.
+    pub miss: MissKind,
+}
+
+/// One fetch region as built by the BPU, minus its software-prefetch
+/// blocks (those are staged separately and copied into the FTQ pool).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Region {
+    /// Original program instructions across the region's blocks.
+    pub instrs: u32,
+    /// Injected prefetch ops across the region's blocks.
+    pub ops: u32,
+    /// First I-cache line of the region (`u64::MAX` = consumed no block).
+    pub first_line: u64,
+    /// Last I-cache line of the region.
+    pub last_line: u64,
+    /// Pending resteer carried by the region's terminating branch.
+    pub resteer: Option<ResteerCause>,
+}
+
+/// A region handed to fetch: the scalar fields plus the span of its
+/// software-prefetch blocks in the FTQ's shared pool. The span stays
+/// readable (via [`FtqRing::pool_block`]) until the next push.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct IssuedRegion {
+    /// Original program instructions.
+    pub instrs: u32,
+    /// Injected prefetch ops.
+    pub ops: u32,
+    /// Pending resteer, if any.
+    pub resteer: Option<ResteerCause>,
+    /// Start of the ops-block span in the shared pool.
+    pub ops_start: u32,
+    /// Number of ops blocks in the span.
+    pub ops_len: u32,
+}
+
+/// Activity bits for [`ActivityMask`].
+pub(crate) mod activity {
+    /// Block events may remain in the trace.
+    pub const STREAM: u8 = 1 << 0;
+    /// The FTQ holds at least one region.
+    pub const FTQ: u8 = 1 << 1;
+    /// The decode pipe holds at least one delivery.
+    pub const DELIVERIES: u8 = 1 << 2;
+    /// The retire queue holds at least one instruction group.
+    pub const RETIRE: u8 = 1 << 3;
+}
+
+/// Which hot-loop structures currently hold work (see the module docs for
+/// the set/clear discipline of each bit).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ActivityMask(u8);
+
+impl ActivityMask {
+    /// A fresh mask: the stream is live, every queue is empty.
+    pub fn new() -> Self {
+        ActivityMask(activity::STREAM)
+    }
+
+    /// Sets `bit`.
+    #[inline]
+    pub fn set(&mut self, bit: u8) {
+        self.0 |= bit;
+    }
+
+    /// Clears `bit`.
+    #[inline]
+    pub fn clear(&mut self, bit: u8) {
+        self.0 &= !bit;
+    }
+
+    /// Whether `bit` is set.
+    #[inline]
+    pub fn contains(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Whether every structure is drained and the stream is exhausted —
+    /// the run-loop termination condition.
+    #[inline]
+    pub fn all_idle(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The FTQ as a fixed-capacity SoA ring. Each region's scalar fields live
+/// in per-field arrays; the variable-length ops-block lists live in one
+/// shared pool addressed by `(start, len)` spans.
+pub(crate) struct FtqRing {
+    cap: usize,
+    head: usize,
+    len: usize,
+    instrs: Box<[u32]>,
+    ops: Box<[u32]>,
+    first_line: Box<[u64]>,
+    last_line: Box<[u64]>,
+    resteer: Box<[Option<ResteerCause>]>,
+    ops_span: Box<[(u32, u32)]>,
+    ops_pool: Vec<BlockId>,
+    /// Pool prefix already released by pops (reclaimed lazily).
+    pool_head: usize,
+}
+
+/// Reclaim the released pool prefix once it exceeds this many entries even
+/// if the FTQ never fully drains (long low-MPKI stretches).
+const POOL_COMPACT_THRESHOLD: usize = 1024;
+
+impl FtqRing {
+    /// An empty FTQ holding up to `cap` regions.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "FTQ capacity must be positive");
+        FtqRing {
+            cap,
+            head: 0,
+            len: 0,
+            instrs: vec![0; cap].into_boxed_slice(),
+            ops: vec![0; cap].into_boxed_slice(),
+            first_line: vec![0; cap].into_boxed_slice(),
+            last_line: vec![0; cap].into_boxed_slice(),
+            resteer: vec![None; cap].into_boxed_slice(),
+            ops_span: vec![(0, 0); cap].into_boxed_slice(),
+            ops_pool: Vec::new(),
+            pool_head: 0,
+        }
+    }
+
+    /// Occupied regions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no region.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the ring is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len >= self.cap
+    }
+
+    #[inline]
+    fn slot(&self, index: usize) -> usize {
+        let i = self.head + index;
+        if i >= self.cap {
+            i - self.cap
+        } else {
+            i
+        }
+    }
+
+    /// Pushes a region, copying its ops blocks into the shared pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full.
+    pub fn push(&mut self, region: Region, ops_blocks: &[BlockId]) {
+        assert!(!self.is_full(), "FTQ push beyond capacity");
+        if self.len == 0 {
+            // No live span can reference the pool: reclaim it wholesale.
+            self.ops_pool.clear();
+            self.pool_head = 0;
+        } else if self.pool_head >= POOL_COMPACT_THRESHOLD {
+            self.compact_pool();
+        }
+        let start = self.ops_pool.len() as u32;
+        self.ops_pool.extend_from_slice(ops_blocks);
+        let slot = self.slot(self.len);
+        self.instrs[slot] = region.instrs;
+        self.ops[slot] = region.ops;
+        self.first_line[slot] = region.first_line;
+        self.last_line[slot] = region.last_line;
+        self.resteer[slot] = region.resteer;
+        self.ops_span[slot] = (start, ops_blocks.len() as u32);
+        self.len += 1;
+    }
+
+    /// Drops the consumed pool prefix and rebases the live spans.
+    fn compact_pool(&mut self) {
+        let shift = self.pool_head as u32;
+        self.ops_pool.drain(..self.pool_head);
+        self.pool_head = 0;
+        for i in 0..self.len {
+            let slot = self.slot(i);
+            self.ops_span[slot].0 -= shift;
+        }
+    }
+
+    /// The head region's `(first_line, last_line)` for the I-cache probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn head_lines(&self) -> (u64, u64) {
+        assert!(self.len > 0, "head_lines on empty FTQ");
+        (self.first_line[self.head], self.last_line[self.head])
+    }
+
+    /// Pops the head region. Its ops-block span remains readable through
+    /// [`Self::pool_block`] until the next push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn pop_front(&mut self) -> IssuedRegion {
+        assert!(self.len > 0, "pop_front on empty FTQ");
+        let slot = self.head;
+        let (start, count) = self.ops_span[slot];
+        let issued = IssuedRegion {
+            instrs: self.instrs[slot],
+            ops: self.ops[slot],
+            resteer: self.resteer[slot],
+            ops_start: start,
+            ops_len: count,
+        };
+        self.head = self.slot(1);
+        self.len -= 1;
+        self.pool_head = (start + count) as usize;
+        issued
+    }
+
+    /// Reads one block of a popped region's ops span.
+    #[inline]
+    pub fn pool_block(&self, start: u32, index: u32) -> BlockId {
+        self.ops_pool[(start + index) as usize]
+    }
+
+    /// Iterates the live regions oldest-first (integrity sweeps, dumps).
+    pub fn iter(&self) -> impl Iterator<Item = FtqView<'_>> + '_ {
+        (0..self.len).map(move |i| {
+            let slot = self.slot(i);
+            let (start, count) = self.ops_span[slot];
+            FtqView {
+                instrs: self.instrs[slot],
+                ops: self.ops[slot],
+                first_line: self.first_line[slot],
+                last_line: self.last_line[slot],
+                resteer: self.resteer[slot],
+                ops_blocks: &self.ops_pool[start as usize..(start + count) as usize],
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for FtqRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// A borrowed view of one FTQ region (integrity sweeps and forensic dumps).
+// Some fields are only ever read through the derived `Debug` impl (the
+// forensic dump formatter), which dead-code analysis ignores.
+#[allow(dead_code)]
+#[derive(Debug)]
+pub(crate) struct FtqView<'a> {
+    /// Original program instructions.
+    pub instrs: u32,
+    /// Injected prefetch ops.
+    pub ops: u32,
+    /// First I-cache line (`u64::MAX` = consumed no block).
+    pub first_line: u64,
+    /// Last I-cache line.
+    pub last_line: u64,
+    /// Pending resteer.
+    pub resteer: Option<ResteerCause>,
+    /// Blocks carrying software prefetch ops.
+    pub ops_blocks: &'a [BlockId],
+}
+
+/// Grows a power-of-two ring capacity.
+fn grown(cap: usize) -> usize {
+    (cap * 2).max(64)
+}
+
+/// The decode pipe as a growable SoA ring: regions fetched but not yet
+/// decoded, ordered by (monotone) decode-completion cycle.
+pub(crate) struct DeliveryRing {
+    ready_at: Vec<u64>,
+    instrs: Vec<u32>,
+    ops: Vec<u32>,
+    head: usize,
+    len: usize,
+}
+
+impl DeliveryRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        DeliveryRing {
+            ready_at: Vec::new(),
+            instrs: Vec::new(),
+            ops: Vec::new(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// In-flight deliveries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the decode pipe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn grow(&mut self) {
+        let new_cap = grown(self.ready_at.len());
+        let mut ready_at = Vec::with_capacity(new_cap);
+        let mut instrs = Vec::with_capacity(new_cap);
+        let mut ops = Vec::with_capacity(new_cap);
+        for i in 0..self.len {
+            let slot = (self.head + i) & (self.ready_at.len() - 1);
+            ready_at.push(self.ready_at[slot]);
+            instrs.push(self.instrs[slot]);
+            ops.push(self.ops[slot]);
+        }
+        ready_at.resize(new_cap, 0);
+        instrs.resize(new_cap, 0);
+        ops.resize(new_cap, 0);
+        self.ready_at = ready_at;
+        self.instrs = instrs;
+        self.ops = ops;
+        self.head = 0;
+    }
+
+    /// Appends a delivery completing at `ready_at`.
+    pub fn push_back(&mut self, ready_at: u64, instrs: u32, ops: u32) {
+        if self.len == self.ready_at.len() {
+            self.grow();
+        }
+        let slot = (self.head + self.len) & (self.ready_at.len() - 1);
+        self.ready_at[slot] = ready_at;
+        self.instrs[slot] = instrs;
+        self.ops[slot] = ops;
+        self.len += 1;
+    }
+
+    /// The head delivery's completion cycle, if any.
+    #[inline]
+    pub fn front_ready(&self) -> Option<u64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.ready_at[self.head])
+        }
+    }
+
+    /// Pops the head delivery as `(instrs, ops)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn pop_front(&mut self) -> (u32, u32) {
+        assert!(self.len > 0, "pop_front on empty delivery ring");
+        let slot = self.head;
+        self.head = (self.head + 1) & (self.ready_at.len() - 1);
+        self.len -= 1;
+        (self.instrs[slot], self.ops[slot])
+    }
+
+    /// Iterates `(ready_at, instrs, ops)` oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32, u32)> + '_ {
+        (0..self.len).map(move |i| {
+            let slot = (self.head + i) & (self.ready_at.len() - 1);
+            (self.ready_at[slot], self.instrs[slot], self.ops[slot])
+        })
+    }
+}
+
+impl std::fmt::Debug for DeliveryRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.iter().map(|(ready_at, instrs, ops)| {
+                format!("Delivery {{ ready_at: {ready_at}, instrs: {instrs}, ops: {ops} }}")
+            }))
+            .finish()
+    }
+}
+
+/// The retire queue as a growable SoA ring: decoded `(original, ops)`
+/// instruction groups waiting to drain at the retire width.
+pub(crate) struct RetireRing {
+    orig: Vec<u32>,
+    ops: Vec<u32>,
+    head: usize,
+    len: usize,
+}
+
+impl RetireRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        RetireRing {
+            orig: Vec::new(),
+            ops: Vec::new(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Queued groups.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn grow(&mut self) {
+        let new_cap = grown(self.orig.len());
+        let mut orig = Vec::with_capacity(new_cap);
+        let mut ops = Vec::with_capacity(new_cap);
+        for i in 0..self.len {
+            let slot = (self.head + i) & (self.orig.len() - 1);
+            orig.push(self.orig[slot]);
+            ops.push(self.ops[slot]);
+        }
+        orig.resize(new_cap, 0);
+        ops.resize(new_cap, 0);
+        self.orig = orig;
+        self.ops = ops;
+        self.head = 0;
+    }
+
+    /// Appends a decoded group.
+    pub fn push_back(&mut self, orig: u32, ops: u32) {
+        if self.len == self.orig.len() {
+            self.grow();
+        }
+        let slot = (self.head + self.len) & (self.orig.len() - 1);
+        self.orig[slot] = orig;
+        self.ops[slot] = ops;
+        self.len += 1;
+    }
+
+    /// Mutable access to the head group as `(&mut orig, &mut ops)`.
+    #[inline]
+    pub fn front_mut(&mut self) -> Option<(&mut u32, &mut u32)> {
+        if self.len == 0 {
+            None
+        } else {
+            let slot = self.head;
+            Some((&mut self.orig[slot], &mut self.ops[slot]))
+        }
+    }
+
+    /// Drops the (exhausted) head group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn pop_front(&mut self) {
+        assert!(self.len > 0, "pop_front on empty retire ring");
+        self.head = (self.head + 1) & (self.orig.len() - 1);
+        self.len -= 1;
+    }
+
+    /// Iterates `(orig, ops)` oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.len).map(move |i| {
+            let slot = (self.head + i) & (self.orig.len() - 1);
+            (self.orig[slot], self.ops[slot])
+        })
+    }
+}
+
+impl std::fmt::Debug for RetireRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(instrs: u32) -> Region {
+        Region {
+            instrs,
+            ops: 0,
+            first_line: 1,
+            last_line: 2,
+            resteer: None,
+        }
+    }
+
+    #[test]
+    fn ftq_ring_wraps_and_tracks_spans() {
+        let mut ftq = FtqRing::new(3);
+        for round in 0..10u32 {
+            let blocks = [BlockId::new(round), BlockId::new(round + 100)];
+            ftq.push(region(round), &blocks);
+            assert_eq!(ftq.len(), 1);
+            let popped = ftq.pop_front();
+            assert_eq!(popped.instrs, round);
+            assert_eq!(popped.ops_len, 2);
+            assert_eq!(ftq.pool_block(popped.ops_start, 0), BlockId::new(round));
+            assert_eq!(
+                ftq.pool_block(popped.ops_start, 1),
+                BlockId::new(round + 100)
+            );
+        }
+        assert!(ftq.is_empty());
+    }
+
+    #[test]
+    fn ftq_pool_reclaims_when_drained() {
+        let mut ftq = FtqRing::new(2);
+        ftq.push(region(1), &[BlockId::new(7)]);
+        let _ = ftq.pop_front();
+        // Next push after a full drain resets the pool.
+        ftq.push(region(2), &[BlockId::new(8)]);
+        let popped = ftq.pop_front();
+        assert_eq!(popped.ops_start, 0);
+        assert_eq!(ftq.pool_block(popped.ops_start, 0), BlockId::new(8));
+    }
+
+    #[test]
+    fn ftq_pool_compacts_without_draining() {
+        let mut ftq = FtqRing::new(2);
+        let blocks: Vec<BlockId> = (0..64).map(BlockId::new).collect();
+        // Keep one region live at all times so the full-drain reset never
+        // fires; the threshold compaction must kick in instead.
+        ftq.push(region(0), &blocks);
+        for i in 1..100u32 {
+            ftq.push(region(i), &blocks);
+            let popped = ftq.pop_front();
+            assert_eq!(popped.instrs, i - 1);
+            assert_eq!(popped.ops_len, 64);
+            assert_eq!(ftq.pool_block(popped.ops_start, 63), BlockId::new(63));
+        }
+        assert!(
+            ftq.ops_pool.len() < 4 * POOL_COMPACT_THRESHOLD,
+            "pool failed to compact: {} entries",
+            ftq.ops_pool.len()
+        );
+    }
+
+    #[test]
+    fn ftq_iter_reports_live_entries_in_order() {
+        let mut ftq = FtqRing::new(4);
+        ftq.push(region(1), &[]);
+        ftq.push(region(2), &[BlockId::new(9)]);
+        let views: Vec<u32> = ftq.iter().map(|v| v.instrs).collect();
+        assert_eq!(views, vec![1, 2]);
+        assert_eq!(ftq.iter().nth(1).unwrap().ops_blocks, &[BlockId::new(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn ftq_push_beyond_capacity_panics() {
+        let mut ftq = FtqRing::new(1);
+        ftq.push(region(1), &[]);
+        ftq.push(region(2), &[]);
+    }
+
+    #[test]
+    fn delivery_ring_grows_preserving_order() {
+        let mut ring = DeliveryRing::new();
+        for i in 0..200u64 {
+            ring.push_back(i, i as u32, 0);
+        }
+        // Interleave pops to force a wrapped grow.
+        for i in 0..100u64 {
+            assert_eq!(ring.front_ready(), Some(i));
+            assert_eq!(ring.pop_front(), (i as u32, 0));
+        }
+        for i in 200..400u64 {
+            ring.push_back(i, i as u32, 0);
+        }
+        for i in 100..400u64 {
+            assert_eq!(ring.pop_front(), (i as u32, 0));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn retire_ring_front_mut_and_pop() {
+        let mut ring = RetireRing::new();
+        ring.push_back(5, 2);
+        ring.push_back(7, 0);
+        {
+            let (orig, ops) = ring.front_mut().unwrap();
+            *ops = 0;
+            *orig = 0;
+        }
+        ring.pop_front();
+        assert_eq!(ring.iter().collect::<Vec<_>>(), vec![(7, 0)]);
+    }
+
+    #[test]
+    fn activity_mask_set_clear() {
+        let mut mask = ActivityMask::new();
+        assert!(mask.contains(activity::STREAM));
+        assert!(!mask.all_idle());
+        mask.set(activity::FTQ);
+        mask.set(activity::RETIRE);
+        mask.clear(activity::STREAM);
+        assert!(mask.contains(activity::FTQ));
+        assert!(!mask.all_idle());
+        mask.clear(activity::FTQ);
+        mask.clear(activity::RETIRE);
+        assert!(mask.all_idle());
+    }
+}

@@ -5,9 +5,8 @@
 //! hit an outstanding prefetch wait only for the remaining latency — the
 //! mechanism by which FDIP hides I-cache misses.
 
-use std::collections::HashMap;
 
-use twig_types::CacheLineAddr;
+use twig_types::{CacheLineAddr, FxHashMap};
 
 use crate::config::{CacheGeometry, SimConfig};
 use crate::integrity::{Fault, Validator, ViolationKind};
@@ -40,9 +39,19 @@ pub struct AccessResult {
 }
 
 /// One set-associative tag array (MRU-first true LRU).
+///
+/// Tags live in a single flat `sets × ways` slab rather than one `Vec` per
+/// set: a lookup touches exactly one contiguous stripe (one or two cache
+/// lines of host memory) instead of chasing a per-set heap pointer, and LRU
+/// promotion is an in-place prefix rotation instead of a `remove` +
+/// `insert(0)` pair shifting through a separate allocation. Only the first
+/// `lens[set]` slots of each stripe are meaningful.
 #[derive(Clone, Debug)]
 struct TagArray {
-    sets: Vec<Vec<u64>>,
+    /// `sets × ways` tag slots; each set's occupied prefix is MRU-first.
+    tags: Box<[u64]>,
+    /// Occupied slot count per set.
+    lens: Box<[u32]>,
     ways: usize,
     mask: u64,
 }
@@ -51,7 +60,8 @@ impl TagArray {
     fn new(geometry: CacheGeometry) -> Self {
         let sets = geometry.sets();
         TagArray {
-            sets: vec![Vec::with_capacity(geometry.ways); sets],
+            tags: vec![0; sets * geometry.ways].into_boxed_slice(),
+            lens: vec![0; sets].into_boxed_slice(),
             ways: geometry.ways,
             mask: sets as u64 - 1,
         }
@@ -66,11 +76,11 @@ impl TagArray {
     /// Hit check with LRU promotion.
     fn access(&mut self, line: CacheLineAddr) -> bool {
         let (set, tag) = self.set_and_tag(line);
-        let ways = &mut self.sets[set];
+        let len = self.lens[set] as usize;
+        let ways = &mut self.tags[set * self.ways..][..len];
         match ways.iter().position(|&t| t == tag) {
             Some(pos) => {
-                let t = ways.remove(pos);
-                ways.insert(0, t);
+                ways[..=pos].rotate_right(1);
                 true
             }
             None => false,
@@ -81,30 +91,36 @@ impl TagArray {
     fn fill(&mut self, line: CacheLineAddr) -> Option<CacheLineAddr> {
         let (set, tag) = self.set_and_tag(line);
         let set_bits = self.mask.count_ones();
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == tag) {
-            let t = ways.remove(pos);
-            ways.insert(0, t);
+        let len = self.lens[set] as usize;
+        let ways = &mut self.tags[set * self.ways..][..self.ways];
+        if let Some(pos) = ways[..len].iter().position(|&t| t == tag) {
+            ways[..=pos].rotate_right(1);
             return None;
         }
-        ways.insert(0, tag);
-        if ways.len() > self.ways {
-            let victim = ways.pop().expect("overflow");
+        if len < self.ways {
+            ways[..=len].rotate_right(1);
+            ways[0] = tag;
+            self.lens[set] = (len + 1) as u32;
+            None
+        } else {
+            let victim = ways[len - 1];
+            ways[..len].rotate_right(1);
+            ways[0] = tag;
             let n = (victim << set_bits) | set as u64;
-            return Some(CacheLineAddr::from_line_number(n));
+            Some(CacheLineAddr::from_line_number(n))
         }
-        None
     }
 
     fn contains(&self, line: CacheLineAddr) -> bool {
         let (set, tag) = self.set_and_tag(line);
-        self.sets[set].contains(&tag)
+        let len = self.lens[set] as usize;
+        self.tags[set * self.ways..][..len].contains(&tag)
     }
 
     /// Structural scan: per-set occupancy within associativity and no
     /// duplicate tags.
     fn check(&self, name: &str) -> Result<(), Fault> {
-        self.check_window(name, 0, self.sets.len())
+        self.check_window(name, 0, self.lens.len())
     }
 
     /// Structural scan of `count` sets starting at `start` (wrapping).
@@ -113,16 +129,17 @@ impl TagArray {
     /// deep scan's cost is bounded regardless of cache size; the caller
     /// advances its cursor between scans for full coverage.
     fn check_window(&self, name: &str, start: usize, count: usize) -> Result<(), Fault> {
-        let n = self.sets.len();
+        let n = self.lens.len();
         for off in 0..count.min(n) {
             let set = (start + off) % n;
-            let ways = &self.sets[set];
-            if ways.len() > self.ways {
+            let len = self.lens[set] as usize;
+            if len > self.ways {
                 return Err(Fault::new(
                     ViolationKind::IcacheAccounting,
-                    format!("{name} set {set}: {} tags exceed {} ways", ways.len(), self.ways),
+                    format!("{name} set {set}: {len} tags exceed {} ways", self.ways),
                 ));
             }
+            let ways = &self.tags[set * self.ways..][..len.min(self.ways)];
             for (i, tag) in ways.iter().enumerate() {
                 if ways[..i].contains(tag) {
                     return Err(Fault::new(
@@ -177,13 +194,20 @@ pub struct MemoryHierarchy {
     l1i: TagArray,
     l2: TagArray,
     l3: TagArray,
-    inflight: HashMap<CacheLineAddr, u64>,
+    inflight: FxHashMap<CacheLineAddr, u64>,
     stats: MemoryStats,
     l1i_latency: u64,
     l2_latency: u64,
     l3_latency: u64,
     mem_latency: u64,
     ideal: bool,
+    /// Whether fill/eviction events are recorded at all. Only systems
+    /// that consume [`BtbSystem::observes_line_events`] callbacks need
+    /// them; for everything else the queues would be drained unread, so
+    /// the simulator turns recording off.
+    ///
+    /// [`BtbSystem::observes_line_events`]: crate::BtbSystem::observes_line_events
+    track_line_events: bool,
     /// Lines evicted from L1i since the last drain (Confluence invalidates
     /// its line-synced BTB entries from these).
     evicted_l1i: Vec<CacheLineAddr>,
@@ -204,13 +228,14 @@ impl MemoryHierarchy {
             l1i: TagArray::new(config.l1i),
             l2: TagArray::new(config.l2),
             l3: TagArray::new(config.l3),
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             stats: MemoryStats::default(),
             l1i_latency: config.l1i_latency,
             l2_latency: config.l2_latency,
             l3_latency: config.l3_latency,
             mem_latency: config.mem_latency,
             ideal: config.ideal_icache,
+            track_line_events: true,
             evicted_l1i: Vec::new(),
             filled_l1i: Vec::new(),
             scan_cursor: std::cell::Cell::new(0),
@@ -247,32 +272,51 @@ impl MemoryHierarchy {
                 filled_l1i: false,
             };
         }
-        let before_resident =
-            self.l1i.contains(line) || self.inflight.contains_key(&line);
+        // Residency (for the redundant-prefetch counter) falls out of the
+        // lookups the access performs anyway; a separate contains() pass
+        // would double the tag/MSHR probes on the hottest path in the
+        // simulator (FDIP probes every line of every enqueued block).
+        let (result, before_resident) = self.access_counted(line, cycle);
         if before_resident {
             self.stats.redundant_prefetches += 1;
         }
-        self.access_inner(line, cycle)
+        result
     }
 
     fn access_inner(&mut self, line: CacheLineAddr, cycle: u64) -> AccessResult {
-        // Outstanding fill?
+        self.access_counted(line, cycle).0
+    }
+
+    /// The shared demand/prefetch access path. The second return is
+    /// whether the line was resident (L1i or in flight) before the access.
+    fn access_counted(&mut self, line: CacheLineAddr, cycle: u64) -> (AccessResult, bool) {
+        // Outstanding fill? A line can be in flight yet already evicted
+        // from the L1i tags, so in-flight state alone establishes
+        // residency for the caller's accounting.
+        let mut resident = false;
         if let Some(&ready) = self.inflight.get(&line) {
+            resident = true;
             if ready > cycle {
-                return AccessResult {
-                    ready_at: ready,
-                    source: FillSource::InFlight,
-                    filled_l1i: false,
-                };
+                return (
+                    AccessResult {
+                        ready_at: ready,
+                        source: FillSource::InFlight,
+                        filled_l1i: false,
+                    },
+                    resident,
+                );
             }
             self.inflight.remove(&line);
         }
         if self.l1i.access(line) {
-            return AccessResult {
-                ready_at: cycle + self.l1i_latency,
-                source: FillSource::L1i,
-                filled_l1i: false,
-            };
+            return (
+                AccessResult {
+                    ready_at: cycle + self.l1i_latency,
+                    source: FillSource::L1i,
+                    filled_l1i: false,
+                },
+                true,
+            );
         }
         // Miss: find the line downstream, fill upward.
         let (latency, source) = if self.l2.access(line) {
@@ -290,22 +334,35 @@ impl MemoryHierarchy {
             self.l2.fill(line);
             (self.mem_latency, FillSource::Memory)
         };
-        if let Some(victim) = self.l1i.fill(line) {
-            self.evicted_l1i.push(victim);
-        }
+        let victim = self.l1i.fill(line);
         let ready = cycle + latency;
-        self.filled_l1i.push((line, ready));
-        self.inflight.insert(line, ready);
-        AccessResult {
-            ready_at: ready,
-            source,
-            filled_l1i: true,
+        if self.track_line_events {
+            if let Some(victim) = victim {
+                self.evicted_l1i.push(victim);
+            }
+            self.filled_l1i.push((line, ready));
         }
+        self.inflight.insert(line, ready);
+        (
+            AccessResult {
+                ready_at: ready,
+                source,
+                filled_l1i: true,
+            },
+            resident,
+        )
     }
 
     /// Whether `line` is resident in L1i (possibly still in flight).
     pub fn l1i_contains(&self, line: CacheLineAddr) -> bool {
         self.ideal || self.l1i.contains(line)
+    }
+
+    /// Enables or disables fill/eviction event recording (on by default).
+    /// The simulator disables it when the attached system does not
+    /// consume the callbacks.
+    pub fn set_line_event_tracking(&mut self, on: bool) {
+        self.track_line_events = on;
     }
 
     /// Drains the list of lines evicted from L1i since the last call.

@@ -287,6 +287,9 @@ pub enum ViolationKind {
     CycleBudget,
     /// Queued simulation state exceeded the heap budget.
     HeapBudget,
+    /// The hot-loop activity mask disagrees with the structure it
+    /// summarizes (a bit set for an empty queue or vice versa).
+    ActivityMask,
 }
 
 impl ViolationKind {
@@ -306,6 +309,7 @@ impl ViolationKind {
             ViolationKind::Livelock => "livelock",
             ViolationKind::CycleBudget => "cycle-budget",
             ViolationKind::HeapBudget => "heap-budget",
+            ViolationKind::ActivityMask => "activity-mask",
         }
     }
 }

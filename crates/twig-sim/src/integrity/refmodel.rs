@@ -6,8 +6,10 @@
 //! slow and simple on purpose — the optimized flat
 //! [`Btb`](crate::Btb) is cross-checked against it lockstep under
 //! `paranoid`, so hot-loop rewrites can never silently diverge again.
-//! [`RefRas`] is likewise a plain bounded `Vec` stack shadowing the
+//! [`RefRas`] is likewise a plain bounded deque stack shadowing the
 //! circular [`Ras`](crate::Ras).
+
+use std::collections::VecDeque;
 
 use twig_types::{Addr, BranchKind};
 
@@ -122,14 +124,16 @@ impl RefBtb {
     }
 }
 
-/// The naive bounded-`Vec` return address stack shadowing [`Ras`](crate::Ras).
+/// The naive bounded-deque return address stack shadowing
+/// [`Ras`](crate::Ras).
 ///
-/// Oldest entry at index 0; a push past capacity drops the oldest (the
-/// circular RAS's overwrite-oldest overflow), a pop from empty returns
-/// `None` (the underflow semantics pinned in `ras.rs`).
+/// Oldest entry at the front; a push past capacity drops the oldest (the
+/// circular RAS's overwrite-oldest overflow, an O(1) `pop_front` here), a
+/// pop from empty returns `None` (the underflow semantics pinned in
+/// `ras.rs`).
 #[derive(Clone, Debug)]
 pub struct RefRas {
-    stack: Vec<Addr>,
+    stack: VecDeque<Addr>,
     capacity: usize,
 }
 
@@ -138,7 +142,7 @@ impl RefRas {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RAS capacity must be positive");
         RefRas {
-            stack: Vec::with_capacity(capacity),
+            stack: VecDeque::with_capacity(capacity),
             capacity,
         }
     }
@@ -146,19 +150,19 @@ impl RefRas {
     /// Pushes, dropping the oldest entry on overflow.
     pub fn push(&mut self, addr: Addr) {
         if self.stack.len() == self.capacity {
-            self.stack.remove(0);
+            self.stack.pop_front();
         }
-        self.stack.push(addr);
+        self.stack.push_back(addr);
     }
 
     /// Pops the youngest entry, or `None` if empty.
     pub fn pop(&mut self) -> Option<Addr> {
-        self.stack.pop()
+        self.stack.pop_back()
     }
 
     /// The youngest entry without popping.
     pub fn peek(&self) -> Option<Addr> {
-        self.stack.last().copied()
+        self.stack.back().copied()
     }
 
     /// Live entries.
@@ -167,8 +171,8 @@ impl RefRas {
     }
 
     /// Live entries, oldest first.
-    pub fn entries(&self) -> &[Addr] {
-        &self.stack
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = Addr> + '_ {
+        self.stack.iter().copied()
     }
 }
 

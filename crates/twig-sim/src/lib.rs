@@ -33,6 +33,7 @@ pub mod btb;
 pub mod config;
 pub mod core;
 pub mod direction;
+mod frontend_state;
 pub mod icache;
 pub mod integrity;
 pub mod obs;

@@ -7,9 +7,7 @@
 //! counts as a *covered* miss, promotes the entry into the BTB, and avoids
 //! the resteer. Fig. 25 sweeps the buffer size from 8 to 256 entries.
 
-use std::collections::HashMap;
-
-use twig_types::{Addr, BranchKind};
+use twig_types::{Addr, BranchKind, FxHashMap};
 
 use crate::integrity::{Fault, Validator, ViolationKind};
 
@@ -44,7 +42,7 @@ pub struct PrefetchBufferStats {
 ///
 /// ```
 /// use twig_sim::PrefetchBuffer;
-/// use twig_types::{Addr, BranchKind};
+/// use twig_types::{Addr, BranchKind, FxHashMap};
 ///
 /// let mut buf = PrefetchBuffer::new(8);
 /// buf.insert(Addr::new(0x100), Addr::new(0x900), BranchKind::DirectCall, 10);
@@ -54,7 +52,7 @@ pub struct PrefetchBufferStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PrefetchBuffer {
-    entries: HashMap<Addr, BufferedEntry>,
+    entries: FxHashMap<Addr, BufferedEntry>,
     order: std::collections::VecDeque<Addr>,
     capacity: usize,
     stats: PrefetchBufferStats,
@@ -69,7 +67,7 @@ impl PrefetchBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "prefetch buffer capacity must be positive");
         PrefetchBuffer {
-            entries: HashMap::with_capacity(capacity),
+            entries: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             order: std::collections::VecDeque::with_capacity(capacity),
             capacity,
             stats: PrefetchBufferStats::default(),

@@ -180,7 +180,7 @@ impl Validator for Ras {
                         ),
                     ));
                 }
-                if self.live_entries() != shadow.reference.entries() {
+                if !self.live_entries().into_iter().eq(shadow.reference.entries()) {
                     return Err(Fault::new(
                         ViolationKind::RasDivergence,
                         "live entries do not match the reference stack".to_string(),

@@ -80,6 +80,18 @@ pub trait BtbSystem {
         let _ = (line, ctx);
     }
 
+    /// Whether this system consumes [`line_filled`]/[`line_evicted`]
+    /// callbacks. Systems that leave both as the default no-ops return
+    /// `false` (the default) and the memory hierarchy skips recording
+    /// line events entirely — the queues would only ever be drained into
+    /// the void. Predecode-based prefetchers (Confluence) return `true`.
+    ///
+    /// [`line_filled`]: BtbSystem::line_filled
+    /// [`line_evicted`]: BtbSystem::line_evicted
+    fn observes_line_events(&self) -> bool {
+        false
+    }
+
     /// A demand fetch missed L1i (temporal-stream trigger).
     fn line_demand_miss(&mut self, line: CacheLineAddr, ctx: &mut FrontendCtx<'_>) {
         let _ = (line, ctx);
@@ -153,6 +165,9 @@ impl<T: BtbSystem + ?Sized> BtbSystem for Box<T> {
     }
     fn line_evicted(&mut self, line: CacheLineAddr, ctx: &mut FrontendCtx<'_>) {
         (**self).line_evicted(line, ctx)
+    }
+    fn observes_line_events(&self) -> bool {
+        (**self).observes_line_events()
     }
     fn line_demand_miss(&mut self, line: CacheLineAddr, ctx: &mut FrontendCtx<'_>) {
         (**self).line_demand_miss(line, ctx)

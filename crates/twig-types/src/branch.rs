@@ -189,8 +189,7 @@ mod tests {
         for k in BranchKind::ALL {
             assert_ne!(k.is_direct(), k.is_indirect(), "{k}");
         }
-        let direct: Vec<_> = BranchKind::ALL.iter().filter(|k| k.is_direct()).collect();
-        assert_eq!(direct.len(), 3);
+        assert_eq!(BranchKind::ALL.iter().filter(|k| k.is_direct()).count(), 3);
         assert!(BranchKind::Return.is_indirect());
         assert!(BranchKind::Return.is_return());
         assert!(BranchKind::IndirectCall.is_call());

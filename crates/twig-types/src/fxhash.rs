@@ -1,0 +1,157 @@
+//! A fast, deterministic hasher for the simulator's hot-path maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 with per-process
+//! random keys — HashDoS resistance the simulator does not need: every key
+//! it hashes (cache-line numbers, branch PCs, block ids) is synthesized by
+//! the workload generator, not attacker-controlled. The per-line maps in
+//! the memory hierarchy and the prefetchers hash millions of keys per
+//! simulated second, where SipHash's keyed rounds are pure overhead.
+//!
+//! [`FxHasher`] is the classic Firefox/rustc multiply-xor hash: fold each
+//! 8-byte word into the state with a rotate, xor, and multiply by a
+//! Fibonacci-golden-ratio constant. It is not collision-resistant against
+//! adversaries, which is exactly the trade the simulator wants.
+//!
+//! Swapping hashers cannot change simulation results: map *iteration
+//! order* was already unobservable (the std default randomizes it per
+//! process, and every output is proven run-to-run deterministic by the
+//! determinism suites), and lookups are order-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use twig_types::fxhash::FxHashMap;
+//!
+//! let mut inflight: FxHashMap<u64, u64> = FxHashMap::default();
+//! inflight.insert(0x40_1000, 207);
+//! assert_eq!(inflight.get(&0x40_1000), Some(&207));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// The zero-state `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 2^64 / φ, the classic Fibonacci-hashing multiplier (odd, high entropy
+/// in the top bits after multiplication).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The multiply-xor hasher. One rotate + xor + multiply per 8-byte word.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            // Fold the tail length in too so "ab" | "" and "a" | "b"-style
+            // splits of adjacent writes cannot collide trivially.
+            word[7] = tail.len() as u8;
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(0x1234_5678_u64), hash_of(0x1234_5678_u64));
+        assert_eq!(hash_of("kafka"), hash_of("kafka"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Cache-line numbers are dense sequential integers: the hash must
+        // spread them across the table, not collide or cluster in one
+        // bucket's low bits.
+        let hashes: std::collections::HashSet<u64> =
+            (0..10_000u64).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+        let low_bits: std::collections::HashSet<u64> =
+            (0..64u64).map(|k| hash_of(k) & 0x3f).collect();
+        assert!(low_bits.len() > 32, "low bits collapse: {}", low_bits.len());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_salted() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        set.insert(42);
+        assert!(set.contains(&42));
+    }
+}

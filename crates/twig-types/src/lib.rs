@@ -26,10 +26,12 @@
 mod addr;
 mod branch;
 pub mod config;
+pub mod fxhash;
 mod ids;
 mod prefetch;
 
 pub use addr::{Addr, CacheLineAddr, CACHE_LINE_BYTES};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use config::{ConfigEntry, ConfigError, HarnessConfig, Setting, Source};
 pub use branch::{BranchKind, BranchOutcome, BranchRecord};
 pub use ids::{BlockId, FuncId};

@@ -88,17 +88,70 @@ pub fn analyze_profile_with_layout(
 
     let mut plans = Vec::new();
     let mut covered_mass = 0u64;
+    let mut scratch = Scratch::new(profile.block_executions.len());
     for (branch, mass) in histogram {
         if covered_mass >= goal {
             break;
         }
         covered_mass += mass;
         let sample_idxs = &by_branch[&branch];
-        if let Some(plan) = plan_for_branch(branch, sample_idxs, profile, config, program) {
+        if let Some(plan) =
+            plan_for_branch(branch, sample_idxs, profile, config, program, &mut scratch)
+        {
             plans.push(plan);
         }
     }
     plans
+}
+
+/// Dense per-block working state reused across branches: candidate sets
+/// are small relative to the program, so every pass walks a `touched`
+/// list and resets only what it dirtied, keeping the per-branch cost
+/// proportional to the candidate count rather than the program size.
+struct Scratch {
+    /// Samples in which the block appears timely (for the current branch).
+    appears: Vec<u64>,
+    /// `P(miss | exec block)` — valid only while `accurate` is set.
+    prob: Vec<f64>,
+    /// Passed the accuracy filter.
+    accurate: Vec<bool>,
+    /// Offset-encodable from this site (valid only while `accurate`).
+    encodable: Vec<bool>,
+    /// Samples voting for this block as their best site.
+    votes: Vec<u64>,
+    /// Blocks with nonzero `appears` — everything to reset afterwards.
+    touched: Vec<BlockId>,
+    /// Flat storage for the per-sample candidate lists.
+    arena: Vec<BlockId>,
+    /// `arena` range of each sample's candidates.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl Scratch {
+    fn new(num_blocks: usize) -> Self {
+        Scratch {
+            appears: vec![0; num_blocks],
+            prob: vec![0.0; num_blocks],
+            accurate: vec![false; num_blocks],
+            encodable: vec![false; num_blocks],
+            votes: vec![0; num_blocks],
+            touched: Vec::new(),
+            arena: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for b in self.touched.drain(..) {
+            let i = b.index();
+            self.appears[i] = 0;
+            self.accurate[i] = false;
+            self.encodable[i] = false;
+            self.votes[i] = 0;
+        }
+        self.arena.clear();
+        self.ranges.clear();
+    }
 }
 
 /// [`analyze_profile_with_layout`] without encodability awareness.
@@ -108,80 +161,118 @@ pub fn analyze_profile(profile: &Profile, config: &TwigConfig) -> Vec<MissPlan> 
 
 /// Builds the plan for one miss branch, or `None` if no candidate satisfies
 /// both constraints.
+///
+/// All per-candidate state lives in `scratch`'s dense arrays (indexed by
+/// block), and per-sample candidate lists in its flat arena — the inner
+/// loops over thousands of samples touch no hash maps and make no
+/// per-sample allocations. The selection semantics are unchanged.
 fn plan_for_branch(
     branch: BlockId,
     sample_idxs: &[usize],
     profile: &Profile,
     config: &TwigConfig,
     program: Option<&Program>,
+    scratch: &mut Scratch,
 ) -> Option<MissPlan> {
     // Count, per candidate, in how many samples it appears timely
     // (at most once per sample).
-    let mut appears: HashMap<BlockId, u64> = HashMap::new();
-    let mut per_sample_cands: Vec<Vec<BlockId>> = Vec::with_capacity(sample_idxs.len());
     for &i in sample_idxs {
         let sample = &profile.samples[i];
-        let mut cands: Vec<BlockId> = sample
-            .timely_predecessors(config.prefetch_distance)
-            .collect();
+        let start = scratch.arena.len();
+        scratch
+            .arena
+            .extend(sample.timely_predecessors(config.prefetch_distance));
+        let cands = &mut scratch.arena[start..];
         cands.sort_unstable();
-        cands.dedup();
-        for &c in &cands {
-            *appears.entry(c).or_insert(0) += 1;
+        let mut len = start;
+        for k in start..scratch.arena.len() {
+            let c = scratch.arena[k];
+            if len > start && scratch.arena[len - 1] == c {
+                continue; // dedup within the sorted run
+            }
+            // Blocks outside the profile's execution table have zero
+            // executions and could never pass the accuracy filter; drop
+            // them here instead of indexing past the dense arrays.
+            if c.index() >= scratch.appears.len() {
+                continue;
+            }
+            scratch.arena[len] = c;
+            len += 1;
+            if scratch.appears[c.index()] == 0 {
+                scratch.touched.push(c);
+            }
+            scratch.appears[c.index()] += 1;
         }
-        per_sample_cands.push(cands);
+        scratch.arena.truncate(len);
+        scratch.ranges.push((start as u32, len as u32));
     }
 
     // Conditional probability per candidate; apply the accuracy filter.
-    let probs: HashMap<BlockId, f64> = appears
-        .iter()
-        .filter_map(|(&c, &n)| {
-            let execs = profile.executions(c);
-            if execs == 0 {
-                return None;
-            }
-            let p = (n as f64 / execs as f64).min(1.0);
-            (p >= config.min_conditional_prob).then_some((c, p))
-        })
-        .collect();
-    if probs.is_empty() {
+    let mut any_accurate = false;
+    for t in 0..scratch.touched.len() {
+        let c = scratch.touched[t];
+        let execs = profile.executions(c);
+        if execs == 0 {
+            continue;
+        }
+        let p = (scratch.appears[c.index()] as f64 / execs as f64).min(1.0);
+        if p >= config.min_conditional_prob {
+            scratch.prob[c.index()] = p;
+            scratch.accurate[c.index()] = true;
+            // Prefer sites a plain `brprefetch` can encode when a layout
+            // is available (same accuracy tier, cheaper instruction).
+            scratch.encodable[c.index()] = match program {
+                Some(prog) => is_encodable(prog, c, branch, config.offset_bits),
+                None => true,
+            };
+            any_accurate = true;
+        }
+    }
+    if !any_accurate {
+        scratch.reset();
         return None;
     }
 
-    // Each sample votes for its highest-probability accurate candidate,
-    // preferring sites a plain `brprefetch` can encode when a layout is
-    // available (same accuracy tier, cheaper instruction).
-    let encodable: HashMap<BlockId, bool> = match program {
-        Some(p) => probs
-            .keys()
-            .map(|&c| (c, is_encodable(p, c, branch, config.offset_bits)))
-            .collect(),
-        None => probs.keys().map(|&c| (c, true)).collect(),
-    };
-    let mut votes: HashMap<BlockId, u64> = HashMap::new();
-    for cands in &per_sample_cands {
-        let best = cands
-            .iter()
-            .filter_map(|c| probs.get(c).map(|&p| (*c, p)))
-            .max_by(|a, b| {
-                encodable[&a.0]
-                    .cmp(&encodable[&b.0])
-                    .then(a.1.total_cmp(&b.1))
-                    .then(b.0.cmp(&a.0))
-            });
-        if let Some((site, _)) = best {
-            *votes.entry(site).or_insert(0) += 1;
+    // Each sample votes for its highest-probability accurate candidate
+    // (ties broken toward encodable sites, then the lower block id).
+    for r in 0..scratch.ranges.len() {
+        let (start, end) = scratch.ranges[r];
+        let mut best: Option<BlockId> = None;
+        for k in start as usize..end as usize {
+            let c = scratch.arena[k];
+            if !scratch.accurate[c.index()] {
+                continue;
+            }
+            let wins = match best {
+                None => true,
+                Some(b) => {
+                    scratch.encodable[c.index()]
+                        .cmp(&scratch.encodable[b.index()])
+                        .then(scratch.prob[c.index()].total_cmp(&scratch.prob[b.index()]))
+                        .then(b.cmp(&c))
+                        .is_gt()
+                }
+            };
+            if wins {
+                best = Some(c);
+            }
+        }
+        if let Some(site) = best {
+            scratch.votes[site.index()] += 1;
         }
     }
 
     // Keep the strongest sites.
-    let mut sites: Vec<SelectedSite> = votes
-        .into_iter()
-        .filter(|&(_, covered)| covered >= config.min_covered_samples)
-        .map(|(site, covered)| SelectedSite {
-            site,
-            covered_samples: covered,
-            conditional_prob: probs[&site],
+    let mut sites: Vec<SelectedSite> = scratch
+        .touched
+        .iter()
+        .filter_map(|&site| {
+            let covered = scratch.votes[site.index()];
+            (covered > 0 && covered >= config.min_covered_samples).then(|| SelectedSite {
+                site,
+                covered_samples: covered,
+                conditional_prob: scratch.prob[site.index()],
+            })
         })
         .collect();
     sites.sort_unstable_by(|a, b| {
@@ -190,6 +281,7 @@ fn plan_for_branch(
             .then(a.site.cmp(&b.site))
     });
     sites.truncate(config.max_sites_per_miss);
+    scratch.reset();
     if sites.is_empty() {
         return None;
     }

@@ -8,7 +8,9 @@
 use twig_serde::{Deserialize, Serialize};
 use twig_profile::{LbrRecorder, Profile};
 use twig_sim::{speedup_percent, PlainBtb, SimConfig, SimStats, Simulator};
-use twig_workload::{BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkloadSpec};
+use twig_workload::{
+    BlockEvent, InputConfig, LayoutOptions, Program, ProgramGenerator, Walker, WorkloadSpec,
+};
 
 use crate::analysis::{analyze_profile_with_layout, MissPlan};
 use crate::config::TwigConfig;
@@ -108,11 +110,27 @@ impl TwigOptimizer {
         events: &[BlockEvent],
         instructions: u64,
     ) -> Profile {
+        self.collect_profile_and_stats_from_events(program, sim_config, events, instructions)
+            .0
+    }
+
+    /// [`Self::collect_profile_from_events`], also returning the
+    /// statistics of the underlying simulation. The observer is passive,
+    /// so these are exactly the stats of a plain FDIP baseline run over
+    /// the same events — callers that need both get the baseline run for
+    /// free with the profile.
+    pub fn collect_profile_and_stats_from_events(
+        &self,
+        program: &Program,
+        sim_config: SimConfig,
+        events: &[BlockEvent],
+        instructions: u64,
+    ) -> (Profile, SimStats) {
         let mut recorder = LbrRecorder::new(program, 1);
         recorder.observe_events(program, events);
         let mut sim = Simulator::new(program, sim_config, PlainBtb::new(&sim_config));
-        sim.run_observed(events.iter().copied(), instructions, &mut recorder);
-        recorder.into_profile()
+        let stats = sim.run_observed(events.iter().copied(), instructions, &mut recorder);
+        (recorder.into_profile(), stats)
     }
 
     /// Analyzes a profile into miss plans (no layout awareness; prefer
@@ -133,13 +151,31 @@ impl TwigOptimizer {
         generator: &ProgramGenerator,
         plans: &[MissPlan],
     ) -> OptimizedBinary {
-        let mut program = generator.generate();
-        let rewrite = apply_rewrite(
-            &mut program,
-            plans,
-            &self.config,
-            &generator.layout_options(),
-        );
+        self.rewrite_program(generator.generate(), &generator.layout_options(), plans)
+    }
+
+    /// Rewrites a clone of an already-generated pristine (op-free) program.
+    ///
+    /// Generation is deterministic, so this produces the same binary as
+    /// [`Self::rewrite`] with that program's generator — without re-running
+    /// generation. Sweeps that rewrite the same application once per
+    /// configuration point use this with their shared pristine copy.
+    pub fn rewrite_of(
+        &self,
+        pristine: &Program,
+        layout: &LayoutOptions,
+        plans: &[MissPlan],
+    ) -> OptimizedBinary {
+        self.rewrite_program(pristine.clone(), layout, plans)
+    }
+
+    fn rewrite_program(
+        &self,
+        mut program: Program,
+        layout: &LayoutOptions,
+        plans: &[MissPlan],
+    ) -> OptimizedBinary {
+        let rewrite = apply_rewrite(&mut program, plans, &self.config, layout);
         OptimizedBinary {
             program,
             rewrite,
@@ -171,6 +207,23 @@ impl TwigOptimizer {
         events: &[BlockEvent],
         instructions: u64,
     ) -> EvalReport {
+        let (baseline, ideal) =
+            Self::reference_stats(original, sim_config, events, instructions);
+        self.evaluate_optimized(optimized, sim_config, events, instructions, baseline, ideal)
+    }
+
+    /// Simulates the FDIP baseline and the ideal BTB for `original` over
+    /// `events` — the two reference runs every evaluation is scored
+    /// against. They depend only on the original binary and the input,
+    /// not on the optimized variant, so callers evaluating several
+    /// rewrites of the same program under the same input compute them
+    /// once and feed them to [`Self::evaluate_optimized`] repeatedly.
+    pub fn reference_stats(
+        original: &Program,
+        sim_config: SimConfig,
+        events: &[BlockEvent],
+        instructions: u64,
+    ) -> (SimStats, SimStats) {
         let mut base_sim = Simulator::new(original, sim_config, PlainBtb::new(&sim_config));
         let baseline = base_sim.run(events.iter().copied(), instructions);
 
@@ -180,7 +233,20 @@ impl TwigOptimizer {
         };
         let mut ideal_sim = Simulator::new(original, ideal_cfg, PlainBtb::new(&ideal_cfg));
         let ideal = ideal_sim.run(events.iter().copied(), instructions);
+        (baseline, ideal)
+    }
 
+    /// Scores one optimized binary against precomputed reference runs
+    /// (see [`Self::reference_stats`]); runs only the Twig simulation.
+    pub fn evaluate_optimized(
+        &self,
+        optimized: &OptimizedBinary,
+        sim_config: SimConfig,
+        events: &[BlockEvent],
+        instructions: u64,
+        baseline: SimStats,
+        ideal: SimStats,
+    ) -> EvalReport {
         // The optimized binary replays the same control flow (block ids are
         // stable across the rewrite).
         let mut twig_sim = Simulator::new(

@@ -94,6 +94,10 @@ pub fn apply_rewrite(
 
     // Iterate classification until stable (demotion is monotone).
     let mut demoted: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    // Blocks given ops in the previous pass — the only ones that need
+    // clearing before a rebuild (the input program is asserted op-free,
+    // so walking every block of a large binary per pass is pure waste).
+    let mut op_sites: Vec<BlockId> = Vec::new();
     for _pass in 0..3 {
         // Classify against the current layout.
         let mut direct: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
@@ -119,8 +123,7 @@ pub fn apply_rewrite(
         } else {
             crate::coalesce::CoalescePlan::default()
         };
-        let site_ids: Vec<BlockId> = program.blocks().map(|(id, _)| id).collect();
-        for id in site_ids {
+        for id in op_sites.drain(..) {
             program.block_mut(id).prefetch_ops.clear();
         }
         for (&site, branches) in &direct {
@@ -130,12 +133,14 @@ pub fn apply_rewrite(
                     branch_block: branch,
                 });
             }
+            op_sites.push(site);
         }
         for (site, ops) in &coalesce.ops_per_site {
             program
                 .block_mut(*site)
                 .prefetch_ops
                 .extend(ops.iter().copied());
+            op_sites.push(*site);
         }
         program.set_coalesce_table(coalesce.table.clone());
         assign_layout(program, layout);
