@@ -176,10 +176,32 @@ impl CheckpointStore {
     /// failure to persist is a warning, not an error: the run's results
     /// are unaffected, only a future resume loses this cell.
     pub fn store(&self, key: &str, payload: &[u8]) {
+        self.store_with_faults(key, payload, twig_sched::fault::global());
+    }
+
+    /// [`Self::store`] with an explicit fault spec — the injection seam
+    /// the crash-consistency tests drive directly. A matching `disk-full`
+    /// clause (label `ckpt:<key>`) tears the record mid-payload before it
+    /// reaches disk: the deterministic stand-in for `ENOSPC` or a crash
+    /// between `write` and `fsync`. The CRC layer guarantees such a
+    /// record is evicted on load, never parsed as truth.
+    pub fn store_with_faults(&self, key: &str, payload: &[u8], faults: &twig_sched::FaultSpec) {
         let Some(path) = self.path_for(key) else {
             return;
         };
         let record = encode_record(key, payload);
+        let record = match faults.apply_write_fault(&format!("ckpt:{key}"), &record) {
+            Some(torn) => {
+                eprintln!(
+                    "warning: injected disk-full tore checkpoint {key} \
+                     ({} of {} bytes written)",
+                    torn.len(),
+                    record.len()
+                );
+                torn
+            }
+            None => record,
+        };
         let tmp = path.with_extension("ckpt.tmp");
         let write = std::fs::write(&tmp, &record)
             .and_then(|()| std::fs::rename(&tmp, &path));
@@ -245,6 +267,34 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert_eq!(store.load("cell"), None, "truncated record rejected");
         assert!(!path.exists(), "corrupt record evicted from disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_is_evicted_on_load_never_parsed() {
+        let dir = temp_dir("torn");
+        let store = CheckpointStore::open(&dir, false);
+        let spec =
+            twig_sched::FaultSpec::parse("disk-full:label=ckpt:victim,times=1").unwrap();
+        // The injected tear truncates the record mid-payload; the write
+        // itself "succeeds" (rename lands), exactly like ENOSPC after a
+        // partial write or a crash before fsync.
+        store.store_with_faults("victim", br#"{"cycles":42,"ipc":9000}"#, &spec);
+        let path = dir.join("victim.ckpt");
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(on_disk.len() < encode_record("victim", br#"{"cycles":42,"ipc":9000}"#).len());
+        // Load must reject and evict — a torn record is never truth.
+        assert_eq!(store.load("victim"), None);
+        assert!(!path.exists(), "torn record must be evicted from disk");
+        // The budget-exhausted retry persists cleanly and round-trips.
+        store.store_with_faults("victim", br#"{"cycles":42,"ipc":9000}"#, &spec);
+        assert_eq!(
+            store.load("victim").expect("clean retry persists"),
+            br#"{"cycles":42,"ipc":9000}"#
+        );
+        // Unmatched keys are never torn.
+        store.store_with_faults("bystander", b"ok", &spec);
+        assert_eq!(store.load("bystander").unwrap(), b"ok");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -46,6 +46,12 @@ commands:
                                          judge fresh snapshots against
                                          checked-in baselines (exit 1 on any
                                          regression)
+  fleet     run [--out DIR] [--tenants N] [--faults SPEC] [--state-dir DIR]
+                                         run the continuous-PGO fleet service
+                                         (TWIG_FLEET_*, TWIG_FAULT_SPEC) and
+                                         write DIR/fleet_manifest.json
+  fleet     report MANIFEST.json         per-tenant health/deploy/latency
+                                         table from a fleet manifest
   bench     budget BENCH_RESULTS.json --budget BUDGET.json [--slack X]
                                          check per-figure wall-clock against
                                          a checked-in timing budget (exit 1
@@ -82,6 +88,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "report" => crate::report::cmd_report(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "fleet" => crate::fleet::cmd_fleet(&args[1..]),
         "help" | "--help" | "-h" => {
             eprint!("{USAGE}");
             Ok(())

@@ -9,6 +9,7 @@
 
 mod commands;
 mod error;
+mod fleet;
 mod io;
 mod report;
 

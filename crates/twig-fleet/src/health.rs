@@ -1,0 +1,222 @@
+//! Per-tenant health state machine with typed transition reasons.
+//!
+//! A fleet tenant is `healthy` until something goes wrong with its
+//! continuous-PGO loop. One faulted generation degrades it; a *second
+//! consecutive* faulted generation quarantines it (terminal — the tenant
+//! keeps serving its last-good layout and leaves the optimization loop);
+//! two consecutive clean generations heal a degraded tenant back to
+//! healthy. Every transition is recorded with the generation it happened
+//! at and a typed reason, and the full history lands in the fleet
+//! manifest, so a chaos drill can assert not just *that* a tenant was
+//! quarantined but *why* and *how fast*.
+
+/// A tenant's operational state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Health {
+    /// Participating normally in the profile → deploy loop.
+    Healthy,
+    /// Recently faulted; still participating, one more consecutive
+    /// faulted generation away from quarantine.
+    Degraded,
+    /// Removed from the loop (terminal). Serves its last-good layout.
+    Quarantined,
+}
+
+impl Health {
+    /// Stable lower-case name used in manifests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Why a generation was counted as faulted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultReason {
+    /// The tenant's profile stream produced no samples this generation.
+    StallStream,
+    /// The profile arrived with a fingerprint mismatch and was discarded.
+    CorruptProfile,
+    /// The tenant binary restarted mid-generation and re-onboarded from
+    /// its last-good record.
+    TenantChurn,
+    /// The tenant's last-good record could not be persisted (torn write
+    /// detected by the post-store scrub).
+    DiskFull,
+}
+
+impl FaultReason {
+    /// Stable kebab-case name, matching the fault-spec grammar where the
+    /// reason corresponds to an injectable kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultReason::StallStream => "stall-stream",
+            FaultReason::CorruptProfile => "corrupt-profile",
+            FaultReason::TenantChurn => "tenant-churn",
+            FaultReason::DiskFull => "disk-full",
+        }
+    }
+}
+
+/// One recorded state change.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// Generation the transition happened at.
+    pub generation: u64,
+    /// State before.
+    pub from: Health,
+    /// State after.
+    pub to: Health,
+    /// Typed reason (a [`FaultReason`] name, or `recovered`).
+    pub reason: String,
+}
+
+/// Tracks one tenant's health across generations.
+#[derive(Debug)]
+pub struct HealthTracker {
+    state: Health,
+    last_reason: Option<FaultReason>,
+    consecutive_faulted: u32,
+    consecutive_clean: u32,
+    faults_seen: u64,
+    transitions: Vec<Transition>,
+}
+
+impl HealthTracker {
+    /// A fresh, healthy tenant.
+    pub fn new() -> Self {
+        HealthTracker {
+            state: Health::Healthy,
+            last_reason: None,
+            consecutive_faulted: 0,
+            consecutive_clean: 0,
+            faults_seen: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> Health {
+        self.state
+    }
+
+    /// True once quarantined (terminal).
+    pub fn is_quarantined(&self) -> bool {
+        self.state == Health::Quarantined
+    }
+
+    /// The most recent fault reason, as its stable name (`none` before
+    /// the first fault).
+    pub fn last_reason(&self) -> &'static str {
+        self.last_reason.map_or("none", FaultReason::as_str)
+    }
+
+    /// Total faulted generations observed.
+    pub fn faults_seen(&self) -> u64 {
+        self.faults_seen
+    }
+
+    /// The recorded transition history.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    fn transition(&mut self, generation: u64, to: Health, reason: &str) {
+        self.transitions.push(Transition {
+            generation,
+            from: self.state,
+            to,
+            reason: reason.to_string(),
+        });
+        self.state = to;
+    }
+
+    /// Records a faulted generation. Healthy tenants degrade; degraded
+    /// tenants quarantine on the second *consecutive* faulted generation.
+    pub fn on_fault(&mut self, generation: u64, reason: FaultReason) {
+        if self.state == Health::Quarantined {
+            return;
+        }
+        self.faults_seen += 1;
+        self.consecutive_clean = 0;
+        self.consecutive_faulted += 1;
+        self.last_reason = Some(reason);
+        match self.state {
+            Health::Healthy => self.transition(generation, Health::Degraded, reason.as_str()),
+            Health::Degraded if self.consecutive_faulted >= 2 => {
+                self.transition(generation, Health::Quarantined, reason.as_str());
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a clean generation. Two consecutive clean generations heal
+    /// a degraded tenant.
+    pub fn on_clean(&mut self, generation: u64) {
+        if self.state == Health::Quarantined {
+            return;
+        }
+        self.consecutive_faulted = 0;
+        self.consecutive_clean += 1;
+        if self.state == Health::Degraded && self.consecutive_clean >= 2 {
+            self.transition(generation, Health::Healthy, "recovered");
+        }
+    }
+}
+
+impl Default for HealthTracker {
+    fn default() -> Self {
+        HealthTracker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistent_fault_quarantines_in_two_generations() {
+        let mut h = HealthTracker::new();
+        h.on_fault(3, FaultReason::StallStream);
+        assert_eq!(h.state(), Health::Degraded);
+        h.on_fault(4, FaultReason::StallStream);
+        assert_eq!(h.state(), Health::Quarantined);
+        assert_eq!(h.last_reason(), "stall-stream");
+        // Terminal: later events change nothing.
+        h.on_clean(5);
+        h.on_fault(6, FaultReason::DiskFull);
+        assert_eq!(h.state(), Health::Quarantined);
+        assert_eq!(h.faults_seen(), 2);
+        let kinds: Vec<&str> = h.transitions().iter().map(|t| t.reason.as_str()).collect();
+        assert_eq!(kinds, ["stall-stream", "stall-stream"]);
+    }
+
+    #[test]
+    fn interleaved_faults_do_not_quarantine() {
+        let mut h = HealthTracker::new();
+        h.on_fault(0, FaultReason::CorruptProfile);
+        h.on_clean(1);
+        h.on_fault(2, FaultReason::CorruptProfile);
+        assert_eq!(
+            h.state(),
+            Health::Degraded,
+            "non-consecutive faults must not quarantine"
+        );
+    }
+
+    #[test]
+    fn two_clean_generations_heal() {
+        let mut h = HealthTracker::new();
+        h.on_fault(1, FaultReason::TenantChurn);
+        h.on_clean(2);
+        assert_eq!(h.state(), Health::Degraded, "one clean generation is not enough");
+        h.on_clean(3);
+        assert_eq!(h.state(), Health::Healthy);
+        let last = h.transitions().last().unwrap();
+        assert_eq!((last.generation, last.reason.as_str()), (3, "recovered"));
+        assert_eq!(h.last_reason(), "tenant-churn", "history keeps the typed cause");
+    }
+}

@@ -19,8 +19,9 @@ use crate::ExportError;
 /// Metrics snapshot format version; bump when the schema changes.
 ///
 /// Still 1: the v1.1 percentile summaries (`p50`/`p90`/`p99` per
-/// histogram) are strictly additive — v1.0 snapshots parse and validate
-/// unchanged, with absent percentiles reading as 0.
+/// histogram) and the v1.2 tail percentile (`p999`) are strictly
+/// additive — v1.0/v1.1 snapshots parse and validate unchanged, with
+/// absent percentiles reading as 0.
 pub const METRICS_VERSION: u32 = 1;
 
 /// Handle to a registered counter (index into the registry; `Copy` so
@@ -144,6 +145,7 @@ impl Hist64 {
             p50: self.percentile(50, 100),
             p90: self.percentile(90, 100),
             p99: self.percentile(99, 100),
+            p999: self.percentile(999, 1000),
             buckets,
         }
     }
@@ -188,13 +190,16 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// Approximate 99th percentile.
     pub p99: u64,
+    /// Approximate 99.9th percentile (v1.2; the request-latency tail the
+    /// fleet report tracks).
+    pub p999: u64,
     /// Non-empty buckets, ascending.
     pub buckets: Vec<BucketCount>,
 }
 
-// Hand-written (instead of derived) so v1.0 snapshots — written before
-// the additive v1.1 percentile fields existed — still parse: absent
-// `p50`/`p90`/`p99` read as 0 rather than erroring.
+// Hand-written (instead of derived) so v1.0/v1.1 snapshots — written
+// before the additive v1.1 percentile fields and the v1.2 `p999` existed
+// — still parse: absent percentiles read as 0 rather than erroring.
 impl Deserialize for HistogramSnapshot {
     fn from_value(value: &twig_serde::Value) -> Result<Self, String> {
         let obj = value
@@ -217,6 +222,7 @@ impl Deserialize for HistogramSnapshot {
             p50: optional_u64("p50")?,
             p90: optional_u64("p90")?,
             p99: optional_u64("p99")?,
+            p999: optional_u64("p999")?,
             buckets: twig_serde::__field(obj, "buckets", "HistogramSnapshot")?,
         })
     }
@@ -472,21 +478,36 @@ mod tests {
             h.record(1000);
         }
         let snap = h.snapshot("lat");
-        // p50/p90 land in the [8,15] bucket of the 10s; p99 in the
+        // p50/p90 land in the [8,15] bucket of the 10s; p99/p99.9 in the
         // 1000s' bucket, clamped to the observed max.
         assert_eq!(snap.p50, 15);
         assert_eq!(snap.p90, 15);
         assert_eq!(snap.p99, 1000);
+        assert_eq!(snap.p999, 1000);
         assert_eq!(snap.count, 100);
         assert_eq!(snap.max, 1000);
         // A constant distribution reports the constant everywhere.
         let mut c = Hist64::new();
         c.record(7);
         let snap = c.snapshot("const");
-        assert_eq!((snap.p50, snap.p90, snap.p99), (7, 7, 7));
+        assert_eq!((snap.p50, snap.p90, snap.p99, snap.p999), (7, 7, 7, 7));
         // Empty histogram: all zero.
         let snap = Hist64::new().snapshot("empty");
-        assert_eq!((snap.p50, snap.p90, snap.p99), (0, 0, 0));
+        assert_eq!((snap.p50, snap.p90, snap.p99, snap.p999), (0, 0, 0, 0));
+        // p99.9 separates a 1-in-1000 tail that p99 smears over: 999
+        // fast samples (7 = its bucket's upper bound, so the report is
+        // exact) and huge outliers.
+        let mut t = Hist64::new();
+        for _ in 0..999 {
+            t.record(7);
+        }
+        t.record(1 << 40);
+        let snap = t.snapshot("tail");
+        assert_eq!(snap.p99, 7);
+        assert_eq!(snap.p999, 7, "one outlier in 1000 sits above the 99.9th rank");
+        t.record(1 << 40);
+        let snap = t.snapshot("tail2");
+        assert_eq!(snap.p999, 1 << 40, "two outliers in 1001 cross the 99.9th rank");
     }
 
     #[test]
@@ -495,12 +516,16 @@ mod tests {
         let h = reg.histogram("lat");
         reg.record(h, 42);
         let json = reg.snapshot().to_json().unwrap();
-        // Strip the v1.1 percentile fields to reconstruct a v1.0 document.
+        // Strip the v1.1/v1.2 percentile fields to reconstruct a v1.0
+        // document.
         let stripped: String = json
             .lines()
             .filter(|l| {
                 let t = l.trim_start();
-                !(t.starts_with("\"p50\"") || t.starts_with("\"p90\"") || t.starts_with("\"p99\""))
+                !(t.starts_with("\"p50\"")
+                    || t.starts_with("\"p90\"")
+                    || t.starts_with("\"p99\"")
+                    || t.starts_with("\"p999\""))
             })
             .collect::<Vec<_>>()
             .join("\n");
@@ -509,5 +534,16 @@ mod tests {
         assert_eq!(back.histogram("lat").unwrap().count, 1);
         // Absent percentiles read as 0.
         assert_eq!(back.histogram("lat").unwrap().p50, 0);
+        assert_eq!(back.histogram("lat").unwrap().p999, 0);
+        // A v1.1 document (has p50/p90/p99, lacks only p999) also parses.
+        let v1_1: String = json
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"p999\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(v1_1, json);
+        let back = MetricsSnapshot::from_json(&v1_1).unwrap();
+        assert_ne!(back.histogram("lat").unwrap().p50, 0);
+        assert_eq!(back.histogram("lat").unwrap().p999, 0);
     }
 }

@@ -1,0 +1,128 @@
+//! Property tests for `Hist64` quantiles against an exact reference.
+//!
+//! The histogram's documented contract: `percentile(num, den)` returns
+//! the upper bound of the log2 bucket the quantile's rank lands in,
+//! clamped to the observed `[min, max]` — so it never under-reports the
+//! exact quantile and over-reports by at most one bucket width (a factor
+//! of 2). The reference below computes the exact rank statistic from the
+//! sorted sample list; the properties pin the bracket on adversarial
+//! distributions (bimodal tails, constants, powers of two straddling
+//! bucket boundaries), with the fleet's tail percentile (p99.9) held to
+//! the same contract as the older p50/p90/p99.
+
+use twig_obs::Hist64;
+use twig_proptest::prelude::*;
+
+/// The exact `num/den` quantile under the histogram's rank convention:
+/// the `ceil(count * num / den)`-th smallest sample (rank floored at 1).
+fn exact_quantile(sorted: &[u64], num: u64, den: u64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as u64 * num).div_ceil(den)).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// Asserts the bracket `exact <= approx <= 2 * exact` (with equality at
+/// zero) for one quantile of one sample set.
+fn assert_brackets(sorted: &[u64], hist: &Hist64, num: u64, den: u64) -> Result<(), TestCaseError> {
+    let exact = exact_quantile(sorted, num, den);
+    let approx = hist.percentile(num, den);
+    prop_assert!(
+        approx >= exact,
+        "p{num}/{den} under-reports: approx {approx} < exact {exact}"
+    );
+    let ceiling = if exact == 0 {
+        0
+    } else {
+        exact.saturating_mul(2).saturating_sub(1)
+    };
+    prop_assert!(
+        approx <= ceiling.max(exact),
+        "p{num}/{den} over-reports beyond one bucket: approx {approx}, exact {exact}"
+    );
+    Ok(())
+}
+
+const QUANTILES: [(u64, u64); 4] = [(50, 100), (90, 100), (99, 100), (999, 1000)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary samples: every reported quantile brackets the exact one
+    /// from above, within a factor of two.
+    #[test]
+    fn quantiles_bracket_the_exact_rank_statistic(
+        samples in prop::collection::vec(0u64..u64::MAX, 1..300),
+    ) {
+        let mut hist = Hist64::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (num, den) in QUANTILES {
+            assert_brackets(&sorted, &hist, num, den)?;
+        }
+    }
+
+    /// Adversarial bimodal tail: a large body of small latencies plus a
+    /// sliver of huge outliers — the shape that motivates p99.9. The
+    /// bracket must hold, and p99.9 must flip to the outlier mode exactly
+    /// when the outliers cross the 1-in-1000 rank.
+    #[test]
+    fn bimodal_tails_bracket_and_order(
+        body in prop::collection::vec(1u64..64, 100..1200),
+        outliers in prop::collection::vec((1u64 << 32)..(1u64 << 48), 0..8),
+    ) {
+        let mut hist = Hist64::new();
+        let mut samples: Vec<u64> = body.clone();
+        samples.extend(outliers.iter().copied());
+        for &v in &samples {
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        for (num, den) in QUANTILES {
+            assert_brackets(&samples, &hist, num, den)?;
+        }
+        // Quantiles are monotone in the rank and confined to [min, max].
+        let (p50, p90) = (hist.percentile(50, 100), hist.percentile(90, 100));
+        let (p99, p999) = (hist.percentile(99, 100), hist.percentile(999, 1000));
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        prop_assert!(p999 <= *samples.last().unwrap());
+        prop_assert!(p50 >= samples[0]);
+    }
+
+    /// Powers of two sit exactly on bucket boundaries — the worst case
+    /// for an off-by-one in bucket indexing. A constant stream of any
+    /// such value must report itself at every quantile.
+    #[test]
+    fn constant_streams_report_the_constant(
+        shift in 0u32..63,
+        count in 1usize..2000,
+    ) {
+        let value = 1u64 << shift;
+        let mut hist = Hist64::new();
+        for _ in 0..count {
+            hist.record(value);
+        }
+        for (num, den) in QUANTILES {
+            prop_assert_eq!(hist.percentile(num, den), value, "2^{} x{}", shift, count);
+        }
+    }
+
+    /// The serialized snapshot carries the same quantiles the live
+    /// histogram reports (p999 included — the additive v1.2 field).
+    #[test]
+    fn snapshot_quantiles_match_live_histogram(
+        samples in prop::collection::vec(0u64..(1u64 << 52), 1..200),
+    ) {
+        let mut hist = Hist64::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot("lat");
+        prop_assert_eq!(snap.p50, hist.percentile(50, 100));
+        prop_assert_eq!(snap.p90, hist.percentile(90, 100));
+        prop_assert_eq!(snap.p99, hist.percentile(99, 100));
+        prop_assert_eq!(snap.p999, hist.percentile(999, 1000));
+    }
+}

@@ -12,20 +12,31 @@
 //! panic:cell=sim:kafka/twig        panic in tasks whose label contains the text
 //! delay:app=tomcat,ms=60000        sleep 60s (cooperatively) in matching tasks
 //! corrupt-cache:app=kafka,times=1  poison the first matching cache populate
+//! stall-stream:tenant=t1           tenant t1's profile stream never arrives
+//! corrupt-profile:tenant=t2,gen=1  flip t2's profile fingerprint at generation 1
+//! tenant-churn:tenant=t0,gen=2     t0 churns (resets) at generation 2
+//! disk-full:label=ckpt             tear matching harness writes mid-record
 //! ```
 //!
 //! Selectors (all present selectors must match):
 //!
 //! * `task=N`  — the task's index within its batch equals `N`;
-//! * `cell=S` / `app=S` / `label=S` — the task label contains `S`;
+//! * `cell=S` / `app=S` / `label=S` / `tenant=S` — the task label (or
+//!   tenant name, for service faults) contains `S`;
+//! * `gen=N`   — the fleet layout generation equals `N` (service faults
+//!   and torn writes only; batch-task matching ignores it);
 //! * `ms=N`    — delay duration (only meaningful for `delay`);
 //! * `times=N` — fire at most `N` times (default: unlimited for
 //!   `panic`/`delay`, once for `corrupt-cache` so the evicted entry can
-//!   repopulate cleanly).
+//!   repopulate cleanly). Service-level kinds ignore `times`: their
+//!   firing is a pure predicate of `(tenant, generation)`, which keeps
+//!   fleet runs byte-identical across worker counts.
 //!
 //! Matching is purely a function of the spec and the task's
-//! `(label, index)`, so injected failures land on the same cells on every
-//! run — the property the resume tests rely on.
+//! `(label, index)` — or, for the service-level kinds, the tenant's
+//! `(name, generation)` — so injected failures land on the same cells on
+//! every run; the property the resume tests and fleet chaos drills rely
+//! on.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
@@ -47,6 +58,22 @@ pub enum FaultKind {
     Delay,
     /// Corrupt the integrity fingerprint of a matching cache populate.
     CorruptCache,
+    /// Service: a tenant's profile stream stalls — no samples arrive for
+    /// the matching generation, so the fleet loop must degrade instead
+    /// of wedging.
+    StallStream,
+    /// Service: a tenant's profile arrives bit-rotted — its fingerprint
+    /// is flipped before verification, so the loop must detect and
+    /// discard it.
+    CorruptProfile,
+    /// Service: the tenant binary churns (redeploy/restart) — its
+    /// in-flight generation is lost and it must re-onboard from its
+    /// last-good record.
+    TenantChurn,
+    /// Tear a matching harness write mid-record (checkpoint, manifest,
+    /// metrics export) — the deterministic stand-in for `ENOSPC` or a
+    /// crash between `write` and `fsync`.
+    DiskFull,
 }
 
 impl FaultKind {
@@ -56,6 +83,10 @@ impl FaultKind {
             "abort" => Some(FaultKind::Abort),
             "delay" => Some(FaultKind::Delay),
             "corrupt-cache" => Some(FaultKind::CorruptCache),
+            "stall-stream" => Some(FaultKind::StallStream),
+            "corrupt-profile" => Some(FaultKind::CorruptProfile),
+            "tenant-churn" => Some(FaultKind::TenantChurn),
+            "disk-full" => Some(FaultKind::DiskFull),
             _ => None,
         }
     }
@@ -68,7 +99,9 @@ pub struct FaultClause {
     pub kind: FaultKind,
     /// Required task index (`task=N`), if any.
     pub task: Option<usize>,
-    /// Required label substrings (`cell=`/`app=`/`label=`).
+    /// Required fleet generation (`gen=N`), if any.
+    pub gen: Option<u64>,
+    /// Required label substrings (`cell=`/`app=`/`label=`/`tenant=`).
     pub label_contains: Vec<String>,
     /// Delay duration in milliseconds (`ms=N`).
     pub ms: u64,
@@ -86,6 +119,20 @@ impl FaultClause {
             }
         }
         self.label_contains.iter().all(|s| label.contains(s))
+    }
+
+    /// True when the clause's selectors match a fleet tenant at a
+    /// generation. A **pure predicate** — no firing budget is consumed —
+    /// so the outcome is independent of the order worker threads reach
+    /// matching tenants, which keeps fleet manifests byte-identical
+    /// across `TWIG_FLEET_WORKERS` settings.
+    fn matches_service(&self, tenant: &str, generation: u64) -> bool {
+        if let Some(gen) = self.gen {
+            if gen != generation {
+                return false;
+            }
+        }
+        self.label_contains.iter().all(|s| tenant.contains(s))
     }
 
     /// Consumes one firing if the selectors match and the budget allows.
@@ -133,6 +180,7 @@ impl FaultSpec {
             let mut clause = FaultClause {
                 kind,
                 task: None,
+                gen: None,
                 label_contains: Vec::new(),
                 ms: 0,
                 times: if kind == FaultKind::CorruptCache {
@@ -159,8 +207,16 @@ impl FaultSpec {
                                 .map_err(|_| format!("task index {value:?} is not a number"))?,
                         );
                     }
-                    "cell" | "app" | "label" => {
+                    "cell" | "app" | "label" | "tenant" => {
                         clause.label_contains.push(value.trim().to_string());
+                    }
+                    "gen" => {
+                        clause.gen = Some(
+                            value
+                                .trim()
+                                .parse()
+                                .map_err(|_| format!("generation {value:?} is not a number"))?,
+                        );
                     }
                     "ms" => {
                         clause.ms = value
@@ -231,10 +287,44 @@ impl FaultSpec {
                         }
                     }
                 }
-                FaultKind::CorruptCache => {}
+                // Cache poisoning and the service-level kinds have their
+                // own injection points (`corrupt_fingerprint`,
+                // `fires_service`, `apply_write_fault`).
+                FaultKind::CorruptCache
+                | FaultKind::StallStream
+                | FaultKind::CorruptProfile
+                | FaultKind::TenantChurn
+                | FaultKind::DiskFull => {}
             }
         }
         !token.is_cancelled()
+    }
+
+    /// True when a service-level clause of `kind` matches `tenant` at
+    /// `generation`. Purely functional (no firing budget — see
+    /// [`FaultClause::matches_service`]), so fleet chaos drills are
+    /// deterministic at any worker count.
+    pub fn fires_service(&self, kind: FaultKind, tenant: &str, generation: u64) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| c.kind == kind && c.matches_service(tenant, generation))
+    }
+
+    /// Applies a matching `disk-full` clause to a serialized record about
+    /// to be written under `label`: returns `Some(torn_prefix)` — the
+    /// record truncated mid-payload, what a crash between `write` and
+    /// `fsync` (or `ENOSPC`) leaves behind — when a clause fires, `None`
+    /// otherwise. Unlike the service predicates this *does* consume the
+    /// clause's `times` budget, so a single-shot torn write can be
+    /// followed by clean retries.
+    pub fn apply_write_fault(&self, label: &str, record: &[u8]) -> Option<Vec<u8>> {
+        for clause in &self.clauses {
+            if clause.kind == FaultKind::DiskFull && clause.try_fire(label, 0) {
+                let keep = record.len() / 2;
+                return Some(record[..keep].to_vec());
+            }
+        }
+        None
     }
 
     /// Corrupts `fingerprint` when a `corrupt-cache` clause matches
@@ -341,6 +431,48 @@ mod tests {
             started.elapsed() < std::time::Duration::from_secs(10),
             "delay must not run to its full 60s"
         );
+    }
+
+    #[test]
+    fn service_kinds_parse_and_match_purely() {
+        let spec = FaultSpec::parse(
+            "stall-stream:tenant=t1;corrupt-profile:tenant=t2,gen=1;tenant-churn:tenant=t0,gen=2",
+        )
+        .unwrap();
+        // stall-stream: every generation of t1, nobody else.
+        assert!(spec.fires_service(FaultKind::StallStream, "t1", 0));
+        assert!(spec.fires_service(FaultKind::StallStream, "t1", 7));
+        assert!(!spec.fires_service(FaultKind::StallStream, "t2", 0));
+        // corrupt-profile: only t2 at gen 1.
+        assert!(spec.fires_service(FaultKind::CorruptProfile, "t2", 1));
+        assert!(!spec.fires_service(FaultKind::CorruptProfile, "t2", 2));
+        assert!(!spec.fires_service(FaultKind::CorruptProfile, "t1", 1));
+        // Pure predicate: repeated queries never exhaust a budget.
+        for _ in 0..10 {
+            assert!(spec.fires_service(FaultKind::TenantChurn, "t0", 2));
+        }
+        // Wrong kind never matches.
+        assert!(!spec.fires_service(FaultKind::DiskFull, "t1", 0));
+    }
+
+    #[test]
+    fn disk_full_tears_the_record_once_per_budget() {
+        let spec = FaultSpec::parse("disk-full:label=ckpt:victim,times=1").unwrap();
+        let record = vec![0xABu8; 64];
+        let torn = spec.apply_write_fault("ckpt:victim-cell", &record).unwrap();
+        assert_eq!(torn.len(), 32, "record truncated mid-payload");
+        assert_eq!(&torn[..], &record[..32]);
+        // Budget spent: the retry goes through clean.
+        assert_eq!(spec.apply_write_fault("ckpt:victim-cell", &record), None);
+        // Non-matching labels are never torn.
+        let spec = FaultSpec::parse("disk-full:label=ckpt:victim").unwrap();
+        assert_eq!(spec.apply_write_fault("ckpt:other", &record), None);
+    }
+
+    #[test]
+    fn gen_selector_rejects_garbage() {
+        assert!(FaultSpec::parse("stall-stream:gen=abc").is_err());
+        assert!(FaultSpec::parse("disk-full:tenant=t1,gen=3").is_ok());
     }
 
     #[test]

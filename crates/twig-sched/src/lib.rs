@@ -30,12 +30,15 @@ use std::sync::{Mutex, OnceLock};
 
 pub mod fault;
 pub mod procs;
+pub mod service;
 pub mod supervise;
 
 pub use fault::{FaultKind, FaultSpec};
 pub use procs::{num_procs, ShardSpec};
+pub use service::{BoundedQueue, ServicePool, ServiceStats};
 pub use supervise::{
-    run_supervised, supervised_map, CancelToken, TaskError, TaskPolicy, TaskReport,
+    jittered_backoff_ms, run_supervised, supervised_map, CancelToken, TaskError, TaskPolicy,
+    TaskReport,
 };
 
 /// Maximum number of concurrently working threads (including callers),

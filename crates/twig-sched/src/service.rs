@@ -1,0 +1,454 @@
+//! Long-running supervised service workers over a bounded queue.
+//!
+//! [`crate::parallel_map`] and [`crate::supervised_map`] are batch-shaped:
+//! they spawn for one matrix, join, and return. A continuous-PGO service
+//! is not a batch — profile chunks stream in for as long as the tenants
+//! run, and the loop must apply *backpressure* when aggregation falls
+//! behind instead of buffering unboundedly. This module generalizes the
+//! scheduler to that shape:
+//!
+//! * [`BoundedQueue`] — a blocking MPMC queue with a hard capacity.
+//!   `push` on a full queue blocks (and counts the wait), which is the
+//!   backpressure signal: a producer that outruns the workers slows to
+//!   their pace rather than growing the heap.
+//! * [`ServicePool`] — `N` long-running OS worker threads draining the
+//!   queue for the lifetime of the pool. Workers sit *outside* the
+//!   process-wide `parallel_map` spawn budget on purpose: they are the
+//!   service, not a transient batch, and must not starve (or be starved
+//!   by) batch work sharing the process. Every job body runs under
+//!   [`run_supervised`] — panic isolation, watchdog, retry with jittered
+//!   backoff — so one poisoned profile chunk cannot take a worker down.
+//!
+//! Determinism: results are returned in submission order by
+//! [`ServicePool::drain`], and job bodies receive nothing except their
+//! payload, so a pool with 1 worker and a pool with 8 produce identical
+//! results. (The fleet manifest tests pin exactly this property.)
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::supervise::{run_supervised, CancelToken, TaskError, TaskPolicy, TaskReport};
+
+/// A blocking MPMC queue with a hard capacity bound.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    backpressure_waits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            backpressure_waits: AtomicU64::new(0),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the queue is full (each blocked
+    /// push counts one backpressure wait).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if state.items.len() >= self.capacity && !state.closed {
+            self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+            while state.items.len() >= self.capacity && !state.closed {
+                state = self
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked poppers wake up.
+    pub fn close(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// How many pushes found the queue full and had to wait — the
+    /// backpressure signal. Timing-dependent by nature, so it is reported
+    /// to operators (stderr, `ServiceStats`) but never serialized into
+    /// deterministic artifacts.
+    pub fn backpressure_waits(&self) -> u64 {
+        self.backpressure_waits.load(Ordering::Relaxed)
+    }
+}
+
+/// Cumulative counters for one [`ServicePool`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ServiceStats {
+    /// Jobs submitted over the pool's lifetime.
+    pub submitted: u64,
+    /// Jobs completed (successfully or not).
+    pub completed: u64,
+    /// Completed jobs whose final result was an error.
+    pub failed: u64,
+    /// Pushes that blocked on a full queue (see
+    /// [`BoundedQueue::backpressure_waits`]).
+    pub backpressure_waits: u64,
+}
+
+struct Shared<T, R> {
+    queue: BoundedQueue<(u64, String, T)>,
+    results: Mutex<Vec<(u64, TaskReport<R>)>>,
+    inflight: Mutex<u64>,
+    idle: Condvar,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    policy: TaskPolicy,
+    #[allow(clippy::type_complexity)]
+    handler: Box<dyn Fn(&T, &CancelToken) -> Result<R, TaskError> + Send + Sync>,
+}
+
+/// A pool of long-running supervised workers consuming a bounded queue.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sched::service::ServicePool;
+/// use twig_sched::TaskPolicy;
+///
+/// let policy = TaskPolicy { attempts: 1, backoff_ms: 0, timeout_ms: None };
+/// let mut pool = ServicePool::new(2, 4, policy, |job: &u64, _token| Ok(job * job));
+/// for v in 0..8u64 {
+///     pool.submit(format!("square-{v}"), v);
+/// }
+/// let results: Vec<u64> = pool
+///     .drain()
+///     .into_iter()
+///     .map(|report| report.result.unwrap())
+///     .collect();
+/// assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// pool.shutdown();
+/// ```
+pub struct ServicePool<T, R> {
+    shared: Arc<Shared<T, R>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    submitted: u64,
+}
+
+impl<T: Send + 'static, R: Send + 'static> ServicePool<T, R> {
+    /// Starts `workers` threads (floored at 1) over a queue of
+    /// `queue_depth` slots. Every job runs under [`run_supervised`] with
+    /// `policy`.
+    pub fn new<F>(workers: usize, queue_depth: usize, policy: TaskPolicy, handler: F) -> Self
+    where
+        F: Fn(&T, &CancelToken) -> Result<R, TaskError> + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(queue_depth),
+            results: Mutex::new(Vec::new()),
+            inflight: Mutex::new(0),
+            idle: Condvar::new(),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            policy,
+            handler: Box::new(handler),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("twig-service-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        ServicePool {
+            shared,
+            workers,
+            submitted: 0,
+        }
+    }
+
+    /// Submits one job, blocking when the queue is full (backpressure).
+    /// `label` names the job for fault matching and reports.
+    pub fn submit(&mut self, label: String, job: T) {
+        {
+            let mut inflight = self
+                .shared
+                .inflight
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *inflight += 1;
+        }
+        self.submitted += 1;
+        let index = self.submitted - 1;
+        if self.shared.queue.push((index, label, job)).is_err() {
+            // Closed pool: roll the accounting back so drain() still
+            // terminates (shutdown() is the only closer, so this is a
+            // use-after-shutdown programming error surfaced loudly).
+            let mut inflight = self
+                .shared
+                .inflight
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *inflight -= 1;
+            panic!("submit on a shut-down ServicePool");
+        }
+    }
+
+    /// Generation barrier: blocks until every submitted job has completed,
+    /// then returns their reports **in submission order** and resets the
+    /// result buffer for the next round.
+    pub fn drain(&mut self) -> Vec<TaskReport<R>> {
+        let mut inflight = self
+            .shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *inflight > 0 {
+            inflight = self
+                .shared
+                .idle
+                .wait(inflight)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        drop(inflight);
+        let mut results = self
+            .shared
+            .results
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut batch: Vec<(u64, TaskReport<R>)> = results.drain(..).collect();
+        drop(results);
+        batch.sort_by_key(|(index, _)| *index);
+        batch.into_iter().map(|(_, report)| report).collect()
+    }
+
+    /// Lifetime counters (backpressure waits are timing-dependent; see
+    /// [`BoundedQueue::backpressure_waits`]).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted,
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            backpressure_waits: self.shared.queue.backpressure_waits(),
+        }
+    }
+
+    /// Stops the workers: the queue closes, pending jobs finish, threads
+    /// join.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T, R> Drop for ServicePool<T, R> {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<T, R>(shared: &Shared<T, R>) {
+    while let Some((index, label, job)) = shared.queue.pop() {
+        let report = run_supervised(&label, index as usize, &shared.policy, |token| {
+            (shared.handler)(&job, token)
+        });
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        if report.result.is_err() {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut results = shared
+                .results
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            results.push((index, report));
+        }
+        let mut inflight = shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *inflight -= 1;
+        if *inflight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::{Duration, Instant};
+
+    fn policy() -> TaskPolicy {
+        TaskPolicy {
+            attempts: 1,
+            backoff_ms: 0,
+            timeout_ms: None,
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order_across_rounds() {
+        let mut pool = ServicePool::new(4, 2, policy(), |job: &u64, _| Ok(*job * 10));
+        for round in 0..3u64 {
+            for v in 0..16u64 {
+                pool.submit(format!("r{round}-j{v}"), round * 100 + v);
+            }
+            let out: Vec<u64> = pool
+                .drain()
+                .into_iter()
+                .map(|r| r.result.unwrap())
+                .collect();
+            let expected: Vec<u64> = (0..16).map(|v| (round * 100 + v) * 10).collect();
+            assert_eq!(out, expected);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 48);
+        assert_eq!(stats.completed, 48);
+        assert_eq!(stats.failed, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn one_worker_and_many_workers_agree() {
+        let run = |workers: usize| -> Vec<u64> {
+            let mut pool = ServicePool::new(workers, 2, policy(), |job: &u64, _| Ok(job ^ 0xF0));
+            for v in 0..32u64 {
+                pool.submit(format!("j{v}"), v);
+            }
+            pool.drain().into_iter().map(|r| r.result.unwrap()).collect()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn a_panicking_job_is_quarantined_not_fatal() {
+        let mut pool = ServicePool::new(2, 2, policy(), |job: &u32, _| {
+            if *job == 3 {
+                panic!("poisoned chunk");
+            }
+            Ok(*job)
+        });
+        for v in 0..6u32 {
+            pool.submit(format!("chunk-{v}"), v);
+        }
+        let reports = pool.drain();
+        for (i, report) in reports.iter().enumerate() {
+            if i == 3 {
+                assert!(matches!(report.result, Err(TaskError::Panicked(_))));
+            } else {
+                assert_eq!(*report.result.as_ref().unwrap(), i as u32);
+            }
+        }
+        assert_eq!(pool.stats().failed, 1);
+        // The pool keeps serving after the failure.
+        pool.submit("after".to_string(), 7);
+        assert_eq!(pool.drain()[0].result.as_ref().unwrap(), &7);
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let handler_gate = Arc::clone(&gate);
+        // One worker that holds its first job until released: queue depth
+        // 1 means the third submit must block (1 in flight + 1 queued).
+        let mut pool = ServicePool::new(1, 1, policy(), move |_: &u64, _| {
+            while !handler_gate.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(())
+        });
+        pool.submit("a".into(), 0);
+        pool.submit("b".into(), 1);
+        let waits_before = pool.stats().backpressure_waits;
+        // Submit "c" from this thread after arming an unblocker: the
+        // push blocks until the gate opens and the worker drains a slot.
+        let unblock_gate = Arc::clone(&gate);
+        let unblocker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            unblock_gate.store(true, Ordering::Release);
+        });
+        let blocked_at = Instant::now();
+        pool.submit("c".into(), 2);
+        assert!(
+            blocked_at.elapsed() >= Duration::from_millis(20),
+            "third submit should have blocked on the full queue"
+        );
+        assert_eq!(pool.stats().backpressure_waits, waits_before + 1);
+        unblocker.join().unwrap();
+        assert_eq!(pool.drain().len(), 3);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool: ServicePool<u64, u64> = ServicePool::new(3, 2, policy(), |job, _| Ok(*job));
+        drop(pool); // must not hang or leak threads
+    }
+}

@@ -292,6 +292,28 @@ fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The delay before retry number `attempt + 1`: exponential backoff from
+/// `base_ms` plus a deterministic, label-seeded jitter in
+/// `[0, base_ms / 2]`.
+///
+/// A fleet of workers that all fail together (say, a shared dependency
+/// hiccup) and retry on a fixed schedule re-collides on every retry;
+/// jitter spreads them out. Randomized jitter would break the harness's
+/// run-to-run determinism, so the offset is a pure function of the task
+/// label and attempt number (FxHash): the same task retries on the same
+/// schedule every run, but no two labels share one.
+pub fn jittered_backoff_ms(base_ms: u64, label: &str, attempt: u32) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let exponential = base_ms.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+    let mut hasher = twig_types::fxhash::FxHasher::default();
+    std::hash::Hasher::write(&mut hasher, label.as_bytes());
+    std::hash::Hasher::write_u32(&mut hasher, attempt);
+    let jitter = std::hash::Hasher::finish(&hasher) % (base_ms / 2 + 1);
+    exponential.saturating_add(jitter)
+}
+
 /// Runs `f` under full supervision: injected faults applied first, panics
 /// caught, the deadline watchdog armed, and retryable failures retried
 /// per `policy`. `index` is the task's position within its batch (what
@@ -350,7 +372,7 @@ where
         if !retry {
             break;
         }
-        let backoff = policy.backoff_ms.saturating_mul(1u64 << (attempts - 1).min(16));
+        let backoff = jittered_backoff_ms(policy.backoff_ms, label, attempts);
         if backoff > 0 {
             std::thread::sleep(Duration::from_millis(backoff));
         }
@@ -522,6 +544,40 @@ mod tests {
         });
         assert_eq!(runs.load(Ordering::Relaxed), 1);
         assert!(matches!(report.result, Err(TaskError::Cancelled)));
+    }
+
+    #[test]
+    fn backoff_jitter_schedule_is_pinned() {
+        // The seeded schedule is part of the determinism contract: any
+        // change to the hash, the fold order, or the jitter span shows up
+        // here as a literal mismatch.
+        assert_eq!(jittered_backoff_ms(100, "fleet:worker-0", 1), 125);
+        assert_eq!(jittered_backoff_ms(100, "fleet:worker-0", 2), 215);
+        assert_eq!(jittered_backoff_ms(100, "fleet:worker-0", 3), 419);
+        assert_eq!(jittered_backoff_ms(100, "fleet:worker-1", 1), 148);
+        assert_eq!(jittered_backoff_ms(100, "fleet:worker-1", 2), 238);
+        assert_eq!(jittered_backoff_ms(100, "fleet:worker-1", 3), 442);
+        // Zero base disables backoff entirely (tests rely on this).
+        assert_eq!(jittered_backoff_ms(0, "fleet:worker-0", 1), 0);
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band_and_desynchronizes_labels() {
+        for attempt in 1..=6u32 {
+            let exp = 100u64 * (1 << (attempt - 1));
+            for label in ["a", "b", "c", "fleet:tenant-3/gen4"] {
+                let v = jittered_backoff_ms(100, label, attempt);
+                assert!(v >= exp && v <= exp + 50, "{label}@{attempt}: {v}");
+                // Deterministic: the schedule is a pure function.
+                assert_eq!(v, jittered_backoff_ms(100, label, attempt));
+            }
+        }
+        // Lockstep retries are the failure mode this prevents: distinct
+        // labels must not all share one offset.
+        let offsets: std::collections::HashSet<u64> = (0..16)
+            .map(|i| jittered_backoff_ms(1000, &format!("w{i}"), 1))
+            .collect();
+        assert!(offsets.len() > 8, "jitter collapsed: {offsets:?}");
     }
 
     #[test]

@@ -80,6 +80,17 @@ pub const VAR_OBS: &str = "TWIG_OBS";
 /// `TWIG_OBS_ATTR` — per-branch cycle attribution
 /// (`off | on | k=N[,sample=M]`; parsed by `twig-obs`).
 pub const VAR_OBS_ATTR: &str = "TWIG_OBS_ATTR";
+/// `TWIG_FLEET_WORKERS` — long-running fleet-service worker threads,
+/// at least 1. Results are worker-count invariant (the fleet manifest is
+/// proven byte-identical across settings), so this is purely a throughput
+/// knob.
+pub const VAR_FLEET_WORKERS: &str = "TWIG_FLEET_WORKERS";
+/// `TWIG_FLEET_MAX_GENERATIONS` — layout-generation cap for the fleet
+/// convergence watchdog, at least 1.
+pub const VAR_FLEET_MAX_GENERATIONS: &str = "TWIG_FLEET_MAX_GENERATIONS";
+/// `TWIG_FLEET_QUEUE_DEPTH` — bounded profile-queue capacity per fleet
+/// service, at least 1; submissions beyond it block (backpressure).
+pub const VAR_FLEET_QUEUE_DEPTH: &str = "TWIG_FLEET_QUEUE_DEPTH";
 
 /// Every `TWIG_*` variable the harness understands, in documentation
 /// order. The README's reference table and the manifest dump iterate this.
@@ -96,6 +107,9 @@ pub const ALL_VARS: &[&str] = &[
     VAR_INTEGRITY_DUMP_DIR,
     VAR_OBS,
     VAR_OBS_ATTR,
+    VAR_FLEET_WORKERS,
+    VAR_FLEET_MAX_GENERATIONS,
+    VAR_FLEET_QUEUE_DEPTH,
 ];
 
 /// Where a setting's effective value came from.
@@ -233,6 +247,12 @@ pub struct HarnessConfig {
     pub obs: Setting<String>,
     /// Raw attribution spec (`off` when unset).
     pub obs_attr: Setting<String>,
+    /// Fleet-service worker threads, at least 1.
+    pub fleet_workers: Setting<usize>,
+    /// Fleet convergence-watchdog generation cap, at least 1.
+    pub fleet_max_generations: Setting<u64>,
+    /// Fleet bounded-queue capacity, at least 1.
+    pub fleet_queue_depth: Setting<usize>,
 }
 
 impl HarnessConfig {
@@ -251,6 +271,9 @@ impl HarnessConfig {
             integrity_dump_dir: Setting::default_value(None),
             obs: Setting::default_value("off".to_string()),
             obs_attr: Setting::default_value("off".to_string()),
+            fleet_workers: Setting::default_value(1),
+            fleet_max_generations: Setting::default_value(8),
+            fleet_queue_depth: Setting::default_value(2),
         }
     }
 
@@ -324,6 +347,39 @@ impl HarnessConfig {
         }
         if let Some(raw) = lookup(VAR_OBS_ATTR) {
             config.obs_attr = Setting::env_value(raw.trim().to_string());
+        }
+        if let Some(raw) = lookup(VAR_FLEET_WORKERS) {
+            let n = parse_u64(VAR_FLEET_WORKERS, &raw)?;
+            if n == 0 {
+                return Err(ConfigError {
+                    var: VAR_FLEET_WORKERS,
+                    value: raw,
+                    reason: "worker count must be >= 1".to_string(),
+                });
+            }
+            config.fleet_workers = Setting::env_value(n as usize);
+        }
+        if let Some(raw) = lookup(VAR_FLEET_MAX_GENERATIONS) {
+            let n = parse_u64(VAR_FLEET_MAX_GENERATIONS, &raw)?;
+            if n == 0 {
+                return Err(ConfigError {
+                    var: VAR_FLEET_MAX_GENERATIONS,
+                    value: raw,
+                    reason: "generation cap must be >= 1".to_string(),
+                });
+            }
+            config.fleet_max_generations = Setting::env_value(n);
+        }
+        if let Some(raw) = lookup(VAR_FLEET_QUEUE_DEPTH) {
+            let n = parse_u64(VAR_FLEET_QUEUE_DEPTH, &raw)?;
+            if n == 0 {
+                return Err(ConfigError {
+                    var: VAR_FLEET_QUEUE_DEPTH,
+                    value: raw,
+                    reason: "queue depth must be >= 1".to_string(),
+                });
+            }
+            config.fleet_queue_depth = Setting::env_value(n as usize);
         }
         Ok(config)
     }
@@ -421,6 +477,21 @@ impl HarnessConfig {
                 name: VAR_OBS_ATTR,
                 value: self.obs_attr.value.clone(),
                 source: self.obs_attr.source.as_str(),
+            },
+            ConfigEntry {
+                name: VAR_FLEET_WORKERS,
+                value: self.fleet_workers.value.to_string(),
+                source: self.fleet_workers.source.as_str(),
+            },
+            ConfigEntry {
+                name: VAR_FLEET_MAX_GENERATIONS,
+                value: self.fleet_max_generations.value.to_string(),
+                source: self.fleet_max_generations.source.as_str(),
+            },
+            ConfigEntry {
+                name: VAR_FLEET_QUEUE_DEPTH,
+                value: self.fleet_queue_depth.value.to_string(),
+                source: self.fleet_queue_depth.source.as_str(),
             },
         ]
     }
@@ -559,6 +630,31 @@ mod tests {
             assert!(dump.contains(var), "dump missing {var}");
         }
         assert!(dump.contains("TWIG_NUM_THREADS=auto (default)"), "{dump}");
+    }
+
+    #[test]
+    fn fleet_knobs_parse_and_reject_zero() {
+        let config = HarnessConfig::from_lookup(env_of(&[
+            ("TWIG_FLEET_WORKERS", "4"),
+            ("TWIG_FLEET_MAX_GENERATIONS", "12"),
+            ("TWIG_FLEET_QUEUE_DEPTH", "3"),
+        ]))
+        .unwrap();
+        assert_eq!(config.fleet_workers.value, 4);
+        assert_eq!(config.fleet_max_generations.value, 12);
+        assert_eq!(config.fleet_queue_depth.value, 3);
+        assert_eq!(config.fleet_workers.source, Source::Env);
+
+        let defaults = HarnessConfig::defaults();
+        assert_eq!(defaults.fleet_workers.value, 1);
+        assert_eq!(defaults.fleet_max_generations.value, 8);
+        assert_eq!(defaults.fleet_queue_depth.value, 2);
+
+        for var in ["TWIG_FLEET_WORKERS", "TWIG_FLEET_MAX_GENERATIONS", "TWIG_FLEET_QUEUE_DEPTH"] {
+            let err = HarnessConfig::from_lookup(env_of(&[(var, "0")])).unwrap_err();
+            assert_eq!(err.var, var);
+            assert!(err.to_string().contains(">= 1"), "{err}");
+        }
     }
 
     #[test]

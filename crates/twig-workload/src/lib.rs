@@ -27,6 +27,7 @@ pub mod builder;
 pub mod generator;
 pub mod inputs;
 pub mod layout;
+pub mod phases;
 pub mod program;
 pub mod spec;
 pub mod stats;
@@ -37,6 +38,7 @@ pub use builder::ProgramBuilder;
 pub use generator::ProgramGenerator;
 pub use inputs::InputConfig;
 pub use layout::{LayoutOptions, LibrarySplit};
+pub use phases::{LoadPhase, PhaseSchedule};
 pub use program::{BasicBlock, Function, Program, Terminator};
 pub use spec::{AppId, Span, Span1, SpecError, TerminatorMix, WorkloadSpec};
 pub use stats::{StaticStats, WorkingSet};

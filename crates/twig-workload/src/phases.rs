@@ -1,0 +1,153 @@
+//! Load phases: the diurnal request-mix drift a long-running service sees.
+//!
+//! A fleet tenant is not profiled against one frozen input. Over a day the
+//! request mix rotates (peak traffic, batch backfill, cache-cold restarts),
+//! which shifts hot-path frequencies the same way the paper's input drift
+//! study does (§4.2) — just continuously instead of once. A [`LoadPhase`]
+//! names one such operating point and maps it to an [`InputConfig`] plus an
+//! instruction-budget scale; a [`PhaseSchedule`] cycles phases across layout
+//! generations so the continuous-PGO loop re-profiles each tenant under the
+//! mix it is actually serving.
+//!
+//! Everything here is pure data: the schedule is a deterministic function of
+//! `(tenant seed, generation)`, so fleet runs replay identically regardless
+//! of worker count or wall-clock.
+
+use crate::inputs::{splitmix, InputConfig};
+use twig_serde::{Deserialize, Serialize};
+
+/// One operating point of a long-running service.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LoadPhase {
+    /// Peak request traffic: the profiled steady state, full instruction
+    /// budget, training-input behaviour.
+    Peak,
+    /// Off-peak trough: same code paths at lower volume — a shorter
+    /// profiling window with mild mix drift.
+    Trough,
+    /// Batch/backfill window: cold paths dominate; the strongest drift
+    /// from the training input.
+    Batch,
+}
+
+impl LoadPhase {
+    /// All phases, in schedule rotation order.
+    pub const ALL: [LoadPhase; 3] = [LoadPhase::Peak, LoadPhase::Trough, LoadPhase::Batch];
+
+    /// Stable lower-case name (used in manifests and fault labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadPhase::Peak => "peak",
+            LoadPhase::Trough => "trough",
+            LoadPhase::Batch => "batch",
+        }
+    }
+
+    /// The walker input this phase drives: phase-specific drift strength on
+    /// top of a per-phase numbered input, so `Peak` reproduces the training
+    /// mix and `Batch` drifts hardest.
+    pub fn input(self) -> InputConfig {
+        match self {
+            LoadPhase::Peak => InputConfig::numbered(0),
+            LoadPhase::Trough => InputConfig {
+                cond_skew: 0.10,
+                weight_skew: 0.20,
+                ..InputConfig::numbered(1)
+            },
+            LoadPhase::Batch => InputConfig {
+                cond_skew: 0.25,
+                weight_skew: 0.45,
+                ..InputConfig::numbered(2)
+            },
+        }
+    }
+
+    /// Scales a full-phase instruction budget: profiling windows shrink
+    /// off-peak (numerator over a fixed denominator of 8).
+    pub fn budget_scale_num(self) -> u64 {
+        match self {
+            LoadPhase::Peak => 8,
+            LoadPhase::Trough => 5,
+            LoadPhase::Batch => 6,
+        }
+    }
+
+    /// Applies this phase's scale to `instructions` (floored at 1).
+    pub fn scaled_budget(self, instructions: u64) -> u64 {
+        (instructions * self.budget_scale_num() / 8).max(1)
+    }
+}
+
+/// A deterministic rotation of load phases across layout generations.
+///
+/// # Examples
+///
+/// ```
+/// use twig_workload::{LoadPhase, PhaseSchedule};
+///
+/// let sched = PhaseSchedule::diurnal(0xF00D);
+/// assert_eq!(sched.phase_at(0), sched.phase_at(3)); // period 3
+/// let _ = sched.phase_at(1).input();
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    /// Per-tenant seed: rotates each tenant's starting phase so a fleet
+    /// does not profile every tenant under the same mix simultaneously.
+    pub seed: u64,
+}
+
+impl PhaseSchedule {
+    /// The standard three-phase diurnal rotation for tenant `seed`.
+    pub fn diurnal(seed: u64) -> Self {
+        PhaseSchedule { seed }
+    }
+
+    /// The phase active at layout `generation`.
+    pub fn phase_at(&self, generation: u64) -> LoadPhase {
+        let offset = splitmix(self.seed ^ 0x10AD_FA5E) % LoadPhase::ALL.len() as u64;
+        let idx = (generation + offset) % LoadPhase::ALL.len() as u64;
+        LoadPhase::ALL[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_map_to_distinct_inputs() {
+        let mut seeds: Vec<u64> = LoadPhase::ALL.iter().map(|p| p.input().rng_seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), LoadPhase::ALL.len());
+    }
+
+    #[test]
+    fn budgets_scale_and_never_hit_zero() {
+        assert_eq!(LoadPhase::Peak.scaled_budget(80_000), 80_000);
+        assert_eq!(LoadPhase::Trough.scaled_budget(80_000), 50_000);
+        assert_eq!(LoadPhase::Batch.scaled_budget(80_000), 60_000);
+        for phase in LoadPhase::ALL {
+            assert_eq!(phase.scaled_budget(0), 1);
+        }
+    }
+
+    #[test]
+    fn schedule_is_periodic_and_seed_rotated() {
+        let a = PhaseSchedule::diurnal(1);
+        for g in 0..12 {
+            assert_eq!(a.phase_at(g), a.phase_at(g + 3));
+        }
+        // Some pair of seeds starts in different phases.
+        let starts: Vec<LoadPhase> = (0..8).map(|s| PhaseSchedule::diurnal(s).phase_at(0)).collect();
+        assert!(starts.iter().any(|p| *p != starts[0]));
+    }
+
+    #[test]
+    fn schedule_covers_every_phase() {
+        let sched = PhaseSchedule::diurnal(7);
+        for phase in LoadPhase::ALL {
+            assert!((0..3).any(|g| sched.phase_at(g) == phase));
+        }
+    }
+}
