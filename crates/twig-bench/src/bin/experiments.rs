@@ -20,8 +20,12 @@
 //! anything failed. Completed cells are checkpointed under
 //! `<results-dir>/.checkpoints/`; `--resume` loads them so a crashed or
 //! faulted run re-executes only the missing cells.
+//!
+//! Crash-only: artifacts publish atomically, startup heals temp/journal
+//! residue (surfaced under `healed` in the manifest), and a `.lock` file
+//! serializes runs per results directory — a second concurrent run exits
+//! 6 naming the holding pid, while a dead holder's lock is stolen.
 
-use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use twig_bench::manifest::{self, ExperimentRecord};
@@ -143,6 +147,33 @@ fn main() {
         twig_obs::set_global_override(obs);
     }
     std::fs::create_dir_all(&ctx.results_dir).expect("create results dir");
+    // One run per results directory: the parent (never shard workers,
+    // which share the parent's directory by design) takes the `.lock`
+    // guard for the whole run. A dead holder's lock is stolen; a live one
+    // is a hard, typed refusal (exit 6).
+    let run_lock = if ctx.shard.is_none() {
+        let lock = match twig_sched::RunLock::acquire(&ctx.results_dir) {
+            Ok(lock) => lock,
+            Err(e @ twig_sched::LockError::Held { .. }) => {
+                eprintln!("experiments: {e}");
+                std::process::exit(6);
+            }
+            Err(twig_sched::LockError::Io(e)) => {
+                panic!("cannot acquire run lock in {}: {e}", ctx.results_dir.display())
+            }
+        };
+        // Heal whatever a killed predecessor left behind before anything
+        // parses the directory's contents; surface it in the manifest.
+        // Parent-only: a shard worker recovering mid-run would race the
+        // other workers' in-flight temp files.
+        for healed in twig_sched::recover_dir(&ctx.results_dir) {
+            eprintln!("recovered crash residue: {healed}");
+            manifest::record_healed(&healed.path, healed.action);
+        }
+        Some(lock)
+    } else {
+        None
+    };
     // Forensic integrity dumps land next to the run's other outputs
     // (unless the operator already pinned the directory via
     // TWIG_INTEGRITY_DUMP_DIR).
@@ -161,12 +192,9 @@ fn main() {
     // Worker mode: compute this shard's headline cells (checkpointing
     // each) and exit. Reports, manifests, and bench_results.json belong
     // to the parent; a worker writing them would clobber the real run's.
-    if ctx.shard.is_some() {
+    if let Some(shard) = ctx.shard {
         let ran = twig_bench::runner::shard_worker(&ctx);
-        eprintln!(
-            "matrix worker shard {}: {ran} task(s) done",
-            ctx.shard.expect("worker").to_arg()
-        );
+        eprintln!("matrix worker shard {}: {ran} task(s) done", shard.to_arg());
         return;
     }
 
@@ -186,8 +214,8 @@ fn main() {
                 println!("==== {id} ({seconds:.1}s) ====");
                 println!("{report}");
                 let path = ctx.results_dir.join(format!("{id}.txt"));
-                let mut f = std::fs::File::create(&path).expect("create report file");
-                f.write_all(report.as_bytes()).expect("write report");
+                twig_sched::publish_atomic(&path, report.as_bytes(), Some("figure-tmp"), None)
+                    .expect("publish report file");
                 figures.push(FigureTiming {
                     id: id.clone(),
                     seconds,
@@ -231,7 +259,13 @@ fn main() {
     let manifest_path = ctx.results_dir.join("run_manifest.json");
     let manifest_json =
         twig_serde_json::to_string_pretty(&run_manifest).expect("serialize run manifest");
-    std::fs::write(&manifest_path, manifest_json).expect("write run_manifest.json");
+    twig_sched::publish_atomic(
+        &manifest_path,
+        manifest_json.as_bytes(),
+        Some("manifest-tmp"),
+        Some("manifest-published"),
+    )
+    .expect("publish run_manifest.json");
 
     let cache = twig_bench::cache::global().stats();
     assert!(
@@ -249,7 +283,8 @@ fn main() {
     };
     let path = ctx.results_dir.join("bench_results.json");
     let json = twig_serde_json::to_string_pretty(&report).expect("serialize bench report");
-    std::fs::write(&path, json).expect("write bench_results.json");
+    twig_sched::publish_atomic(&path, json.as_bytes(), Some("bench-tmp"), None)
+        .expect("publish bench_results.json");
     println!(
         "wrote {} ({} threads, {:.1}s total, cache: {} hits / {} misses across artifacts)",
         path.display(),
@@ -268,6 +303,9 @@ fn main() {
             manifest_path.display(),
         );
     }
+    // `process::exit` skips Drop; release the lock explicitly so a
+    // degraded-but-completed run never leaves stale lock residue.
+    drop(run_lock);
     if unknown_id {
         std::process::exit(2);
     }

@@ -61,7 +61,8 @@ fn main() {
     }
 
     if let Some(path) = doc {
-        std::fs::write(&path, render_report(&comparisons)).expect("write comparison doc");
+        twig_sched::publish_atomic(&path, render_report(&comparisons).as_bytes(), None, None)
+            .expect("publish comparison doc");
         println!("wrote {}", path.display());
     }
     println!(

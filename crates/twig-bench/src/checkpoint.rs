@@ -32,18 +32,8 @@ pub const CHECKPOINT_VERSION: u8 = 1;
 
 const MAGIC: &[u8; 4] = b"TWCK";
 
-/// CRC-32 (ISO-HDLC, the zlib polynomial), bitwise — small inputs only.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = !0;
-    for &byte in bytes {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC-32 (ISO-HDLC), shared with the durability layer's journal frames.
+pub use twig_sched::durable::crc32;
 
 /// Serializes one record.
 fn encode_record(key: &str, payload: &[u8]) -> Vec<u8> {
@@ -117,7 +107,10 @@ impl CheckpointStore {
             if let Ok(entries) = std::fs::read_dir(dir) {
                 for entry in entries.flatten() {
                     let path = entry.path();
-                    if path.extension().is_some_and(|e| e == "ckpt") {
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    if path.extension().is_some_and(|e| e == "ckpt")
+                        || name.ends_with(twig_sched::durable::TMP_SUFFIX)
+                    {
                         let _ = std::fs::remove_file(&path);
                     }
                 }
@@ -202,12 +195,14 @@ impl CheckpointStore {
             }
             None => record,
         };
-        let tmp = path.with_extension("ckpt.tmp");
-        let write = std::fs::write(&tmp, &record)
-            .and_then(|()| std::fs::rename(&tmp, &path));
+        let write = twig_sched::durable::publish_atomic(
+            &path,
+            &record,
+            Some("ckpt-tmp"),
+            Some("ckpt-published"),
+        );
         if let Err(e) = write {
             eprintln!("warning: cannot persist checkpoint {}: {e}", path.display());
-            let _ = std::fs::remove_file(&tmp);
         }
     }
 }

@@ -209,8 +209,12 @@ pub fn fig19(ctx: &ExpContext) -> String {
 /// through [`TwigOptimizer::reference_stats`] once (memoized in the
 /// artifact cache, where input #1 additionally dedups against the
 /// headline matrix) instead of twice through `evaluate_with_events`.
-fn cross_input_matrix(ctx: &ExpContext) -> &'static [(AppId, Vec<f64>, Vec<f64>)] {
-    static MATRIX: OnceLock<Vec<(AppId, Vec<f64>, Vec<f64>)>> = OnceLock::new();
+/// One app's row: `(app, same-input accuracy %, training-input accuracy %)`
+/// across inputs 1..=3.
+type CrossInputRow = (AppId, Vec<f64>, Vec<f64>);
+
+fn cross_input_matrix(ctx: &ExpContext) -> &'static [CrossInputRow] {
+    static MATRIX: OnceLock<Vec<CrossInputRow>> = OnceLock::new();
     MATRIX.get_or_init(|| {
         let budget = ctx.instructions;
         for_all_apps(|app| {
@@ -242,7 +246,7 @@ fn cross_input_matrix(ctx: &ExpContext) -> &'static [(AppId, Vec<f64>, Vec<f64>)
                     setup.run_system(Box::new(PlainBtb::new(&ideal_cfg)), ideal_cfg, &events, budget)
                 });
                 let report = optimizer.evaluate_optimized(
-                    &trained,
+                    trained,
                     config,
                     &events,
                     budget,

@@ -17,7 +17,9 @@ use twig_serde::Serialize;
 /// where each came from) and `metrics` (per-cell observability exports).
 /// v3 added `obs_attr` (the attribution spec) and `attribution`
 /// (per-cell attribution-profile exports).
-pub const MANIFEST_VERSION: u32 = 3;
+/// v4 added `export_failures` (typed per-cell export degradations) and
+/// `healed` (crash residue rolled back/forward at startup).
+pub const MANIFEST_VERSION: u32 = 4;
 
 /// How a cell's value was obtained (or lost).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -109,6 +111,29 @@ pub struct AttributionRecord {
     pub total_cycles: u64,
 }
 
+/// One export that could not be published: the cell's data survives in
+/// memory (figures are unaffected) but its observability artifact is
+/// missing, with a typed reason instead of a silent drop.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExportFailureRecord {
+    /// Cell id, e.g. `sim:kafka/twig`.
+    pub id: String,
+    /// Which export degraded: `metrics` / `attribution` / `trace`.
+    pub artifact: String,
+    /// Why it failed (I/O error text, injected disk-full, serialize).
+    pub reason: String,
+}
+
+/// One piece of crash residue healed during startup recovery.
+#[derive(Clone, Debug, Serialize)]
+pub struct HealedRecord {
+    /// The residue file that was acted on.
+    pub path: String,
+    /// What recovery did: `rolled-back-temp`, `rolled-forward-journal`,
+    /// or `discarded-torn-journal`.
+    pub action: String,
+}
+
 /// The document written to `run_manifest.json`.
 #[derive(Debug, Serialize)]
 pub struct RunManifest {
@@ -137,6 +162,12 @@ pub struct RunManifest {
     /// Per-cell attribution exports, sorted by id (empty unless
     /// `TWIG_OBS_ATTR` enabled attribution).
     pub attribution: Vec<AttributionRecord>,
+    /// Exports that degraded with a typed reason, sorted by id then
+    /// artifact (empty on a healthy run).
+    pub export_failures: Vec<ExportFailureRecord>,
+    /// Crash residue healed by startup recovery, sorted by path (empty
+    /// when the previous run shut down cleanly).
+    pub healed: Vec<HealedRecord>,
 }
 
 static CELLS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
@@ -176,6 +207,8 @@ pub fn reset_cells() {
     cells().clear();
     metrics().clear();
     attribution().clear();
+    export_failures().clear();
+    healed().clear();
 }
 
 static METRICS: Mutex<Vec<MetricsRecord>> = Mutex::new(Vec::new());
@@ -233,6 +266,51 @@ pub fn snapshot_attribution() -> Vec<AttributionRecord> {
     out
 }
 
+static EXPORT_FAILURES: Mutex<Vec<ExportFailureRecord>> = Mutex::new(Vec::new());
+
+fn export_failures() -> std::sync::MutexGuard<'static, Vec<ExportFailureRecord>> {
+    EXPORT_FAILURES
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Records one degraded export into the process-wide collector.
+pub fn record_export_failure(id: &str, artifact: &str, reason: &str) {
+    export_failures().push(ExportFailureRecord {
+        id: id.to_string(),
+        artifact: artifact.to_string(),
+        reason: reason.to_string(),
+    });
+}
+
+/// Snapshot of all degraded exports, sorted by id then artifact.
+pub fn snapshot_export_failures() -> Vec<ExportFailureRecord> {
+    let mut out = export_failures().clone();
+    out.sort_by(|a, b| (&a.id, &a.artifact).cmp(&(&b.id, &b.artifact)));
+    out
+}
+
+static HEALED: Mutex<Vec<HealedRecord>> = Mutex::new(Vec::new());
+
+fn healed() -> std::sync::MutexGuard<'static, Vec<HealedRecord>> {
+    HEALED.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Records one healed crash residue into the process-wide collector.
+pub fn record_healed(path: &str, action: &str) {
+    healed().push(HealedRecord {
+        path: path.to_string(),
+        action: action.to_string(),
+    });
+}
+
+/// Snapshot of all healed residue, sorted by path.
+pub fn snapshot_healed() -> Vec<HealedRecord> {
+    let mut out = healed().clone();
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
 /// The effective harness configuration, structured for the manifest.
 pub fn effective_config() -> Vec<EffectiveSetting> {
     twig_types::HarnessConfig::global()
@@ -265,6 +343,8 @@ pub fn build(resume: bool, experiments: Vec<ExperimentRecord>) -> RunManifest {
         experiments,
         metrics: snapshot_metrics(),
         attribution: snapshot_attribution(),
+        export_failures: snapshot_export_failures(),
+        healed: snapshot_healed(),
     }
 }
 
@@ -272,8 +352,13 @@ pub fn build(resume: bool, experiments: Vec<ExperimentRecord>) -> RunManifest {
 mod tests {
     use super::*;
 
+    /// The collectors are process-wide; tests touching them must not
+    /// interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn cells_are_sorted_and_counted() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         reset_cells();
         record_cell("sim:z/late", CellStatus::Failed, 2, 10, Some("panicked: x".into()));
         record_cell("sim:a/early", CellStatus::Ok, 1, 5, None);
@@ -293,6 +378,43 @@ mod tests {
         let json = twig_serde_json::to_string_pretty(&manifest).unwrap();
         assert!(json.contains("\"status\": \"failed\""));
         assert!(json.contains("panicked: x"));
+        reset_cells();
+    }
+
+    #[test]
+    fn export_failures_and_healed_residue_are_surfaced_sorted() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset_cells();
+        record_export_failure("sim:z/twig", "trace", "disk full");
+        record_export_failure("sim:a/twig", "metrics", "injected disk-full");
+        record_export_failure("sim:a/twig", "attribution", "write failed: boom");
+        record_healed("results/run_manifest.json.twig-tmp", "rolled-back-temp");
+        record_healed("results/BENCH_trajectory.json.twig-journal", "rolled-forward-journal");
+        let manifest = build(false, Vec::new());
+        let keys: Vec<(&str, &str)> = manifest
+            .export_failures
+            .iter()
+            .map(|f| (f.id.as_str(), f.artifact.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("sim:a/twig", "attribution"),
+                ("sim:a/twig", "metrics"),
+                ("sim:z/twig", "trace"),
+            ]
+        );
+        let paths: Vec<&str> = manifest.healed.iter().map(|h| h.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "results/BENCH_trajectory.json.twig-journal",
+                "results/run_manifest.json.twig-tmp",
+            ]
+        );
+        let json = twig_serde_json::to_string_pretty(&manifest).unwrap();
+        assert!(json.contains("\"export_failures\""));
+        assert!(json.contains("\"healed\""));
         reset_cells();
     }
 }

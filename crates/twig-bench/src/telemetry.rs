@@ -41,6 +41,34 @@ pub fn cell_file_stem(label: &str) -> String {
         .collect()
 }
 
+/// Publishes one export atomically, degrading the cell's manifest entry
+/// with a typed reason on failure instead of dropping the export on the
+/// floor. A matching `disk-full` fault clause (label `export:<file>`)
+/// models `ENOSPC`: nothing is written — a torn export must never be
+/// published under an atomic rename. Returns whether the file landed.
+fn publish_export(label: &str, artifact: &str, dir: &Path, file: &str, bytes: &[u8]) -> bool {
+    let path = dir.join(file);
+    let fault_label = format!("export:{file}");
+    if twig_sched::fault::global()
+        .apply_write_fault(&fault_label, bytes)
+        .is_some()
+    {
+        let reason = "injected disk-full (export not written)".to_string();
+        eprintln!("[twig-bench] {artifact} export for {label} degraded: {reason}");
+        manifest::record_export_failure(label, artifact, &reason);
+        return false;
+    }
+    match twig_sched::durable::publish_atomic(&path, bytes, Some("metrics-tmp"), None) {
+        Ok(()) => true,
+        Err(e) => {
+            let reason = format!("write failed: {e}");
+            eprintln!("[twig-bench] {artifact} export for {label} degraded: {reason}");
+            manifest::record_export_failure(label, artifact, &reason);
+            false
+        }
+    }
+}
+
 /// Writes one cell's metrics snapshot as
 /// `<metrics-dir>/<app>_<config>.json` and folds the export into the run
 /// manifest. No-op when no export directory is pinned.
@@ -48,15 +76,13 @@ pub fn record_cell_metrics(label: &str, snapshot: &MetricsSnapshot) {
     let Some(dir) = metrics_dir() else { return };
     let stem = cell_file_stem(label);
     let file = format!("{stem}.json");
-    let path = dir.join(&file);
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
     let Ok(json) = snapshot.to_json() else {
-        eprintln!("[twig-bench] metrics export for {label} failed to serialize");
+        let reason = "failed to serialize".to_string();
+        eprintln!("[twig-bench] metrics export for {label} degraded: {reason}");
+        manifest::record_export_failure(label, "metrics", &reason);
         return;
     };
-    if std::fs::write(&path, json).is_ok() {
+    if publish_export(label, "metrics", dir, &file, json.as_bytes()) {
         manifest::record_metrics(
             label,
             &format!("metrics/{file}"),
@@ -72,18 +98,17 @@ pub fn record_cell_metrics(label: &str, snapshot: &MetricsSnapshot) {
 /// No-op when no export directory is pinned.
 pub fn record_cell_attribution(label: &str, snapshot: &AttributionSnapshot, folded: &str) {
     let Some(dir) = metrics_dir() else { return };
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
     let stem = cell_file_stem(label);
     let attr_file = format!("{stem}.attr.json");
     let folded_file = format!("{stem}.folded.txt");
     let Ok(json) = snapshot.to_json() else {
-        eprintln!("[twig-bench] attribution export for {label} failed to serialize");
+        let reason = "failed to serialize".to_string();
+        eprintln!("[twig-bench] attribution export for {label} degraded: {reason}");
+        manifest::record_export_failure(label, "attribution", &reason);
         return;
     };
-    if std::fs::write(dir.join(&attr_file), json).is_ok()
-        && std::fs::write(dir.join(&folded_file), folded).is_ok()
+    if publish_export(label, "attribution", dir, &attr_file, json.as_bytes())
+        && publish_export(label, "attribution", dir, &folded_file, folded.as_bytes())
     {
         manifest::record_attribution(
             label,
@@ -100,11 +125,8 @@ pub fn record_cell_attribution(label: &str, snapshot: &AttributionSnapshot, fold
 /// directory is pinned.
 pub fn record_cell_trace(label: &str, chrome_json: &str) {
     let Some(dir) = metrics_dir() else { return };
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{}.trace.json", cell_file_stem(label)));
-    let _ = std::fs::write(path, chrome_json);
+    let file = format!("{}.trace.json", cell_file_stem(label));
+    publish_export(label, "trace", dir, &file, chrome_json.as_bytes());
 }
 
 #[cfg(test)]

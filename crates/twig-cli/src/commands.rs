@@ -293,7 +293,7 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
             )
         })?;
         let json = snapshot.to_json().map_err(|e| CliError::decode(path, e))?;
-        std::fs::write(path, json).map_err(|e| CliError::io("write", path, e))?;
+        crate::io::write_text(path, &json)?;
         eprintln!("wrote {path}");
     }
     if let Some(path) = args.flag("trace-out") {
@@ -303,7 +303,7 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
             .ok_or_else(|| {
                 CliError::Invalid("--trace-out needs the trace tier; pass --obs trace[=N]".into())
             })?;
-        std::fs::write(path, chrome).map_err(|e| CliError::io("write", path, e))?;
+        crate::io::write_text(path, &chrome)?;
         eprintln!("wrote {path}");
     }
     let attr_label = format!("{}/{}", spec.name, system_name);
@@ -312,14 +312,14 @@ fn cmd_simulate(args: &Args<'_>) -> Result<(), CliError> {
             CliError::Invalid("--attr-out needs attribution; pass --obs-attr on".into())
         })?;
         let json = attr.to_json().map_err(|e| CliError::decode(path, e))?;
-        std::fs::write(path, json).map_err(|e| CliError::io("write", path, e))?;
+        crate::io::write_text(path, &json)?;
         eprintln!("wrote {path}");
     }
     if let Some(path) = args.flag("folded-out") {
         let folded = sim.attribution_folded(&attr_label).ok_or_else(|| {
             CliError::Invalid("--folded-out needs attribution; pass --obs-attr on".into())
         })?;
-        std::fs::write(path, folded).map_err(|e| CliError::io("write", path, e))?;
+        crate::io::write_text(path, &folded)?;
         eprintln!("wrote {path}");
     }
     print_stats(&stats, args.has("json"))
@@ -405,7 +405,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             .map_err(|_| CliError::Usage(format!("--slack {text:?} is not a number")))?,
         None => field(&budget, "slack").and_then(|v| v.as_f64()).unwrap_or(2.0),
     };
-    if !(slack >= 1.0) {
+    if slack < 1.0 || slack.is_nan() {
         return Err(CliError::Invalid(format!("slack {slack} must be >= 1")));
     }
 

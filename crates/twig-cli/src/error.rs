@@ -11,6 +11,7 @@
 //! | `Io`      | 3    | filesystem failure (missing file, permissions) |
 //! | `Decode`  | 4    | artifact exists but does not parse/verify      |
 //! | `Invalid` | 5    | well-formed input that fails semantic checks   |
+//! | `Locked`  | 6    | another live run holds the output directory    |
 //!
 //! `Io` and `Decode` keep their underlying error as a
 //! [`std::error::Error::source`] chain, printed by `main` one `caused
@@ -44,6 +45,14 @@ pub enum CliError {
     /// A comparison command found differences (`metrics diff`) — exit 1,
     /// like `diff(1)`, so scripts can branch on "same or not".
     Differs(String),
+    /// Another live process holds the output directory's `.lock` file
+    /// (a dead holder's lock is stolen automatically, never reported).
+    Locked {
+        /// The lock file path.
+        path: String,
+        /// The pid recorded in it.
+        pid: u32,
+    },
 }
 
 impl CliError {
@@ -55,6 +64,7 @@ impl CliError {
             CliError::Io { .. } => 3,
             CliError::Decode { .. } => 4,
             CliError::Invalid(_) => 5,
+            CliError::Locked { .. } => 6,
         }
     }
 
@@ -87,6 +97,11 @@ impl std::fmt::Display for CliError {
             CliError::Decode { path, .. } => write!(f, "cannot decode {path}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
             CliError::Differs(msg) => write!(f, "{msg}"),
+            CliError::Locked { path, pid } => write!(
+                f,
+                "another twig run holds {path} (pid {pid}); \
+                 wait for it or remove the lock file if that process is dead"
+            ),
         }
     }
 }
@@ -96,7 +111,10 @@ impl std::error::Error for CliError {
         match self {
             CliError::Io { source, .. } => Some(source),
             CliError::Decode { source, .. } => Some(source.as_ref()),
-            CliError::Usage(_) | CliError::Invalid(_) | CliError::Differs(_) => None,
+            CliError::Usage(_)
+            | CliError::Invalid(_)
+            | CliError::Differs(_)
+            | CliError::Locked { .. } => None,
         }
     }
 }
@@ -114,9 +132,13 @@ mod tests {
             CliError::io("read", "f", std::io::Error::other("x")),
             CliError::decode("f", std::io::Error::other("y")),
             CliError::Invalid("i".into()),
+            CliError::Locked {
+                path: "results/.lock".into(),
+                pid: 42,
+            },
         ];
         let codes: Vec<i32> = errors.iter().map(CliError::exit_code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
         for e in &errors {
             assert_ne!(e.exit_code(), 0);
         }
@@ -129,5 +151,17 @@ mod tests {
         let decode = CliError::decode("p.twpf", std::io::Error::other("bad bytes"));
         assert!(decode.source().unwrap().to_string().contains("bad bytes"));
         assert!(CliError::Usage("u".into()).source().is_none());
+    }
+
+    #[test]
+    fn locked_names_the_holding_process() {
+        let locked = CliError::Locked {
+            path: "results/.lock".into(),
+            pid: 4242,
+        };
+        let text = locked.to_string();
+        assert!(text.contains("results/.lock"), "{text}");
+        assert!(text.contains("4242"), "{text}");
+        assert!(locked.source().is_none());
     }
 }

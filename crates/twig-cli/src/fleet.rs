@@ -41,17 +41,39 @@ fn cmd_run(args: &Args<'_>) -> Result<(), CliError> {
         config.state_dir = Some(dir.into());
     }
 
+    // One fleet run per output directory; a killed run's lock is stolen,
+    // a live one is a typed refusal (exit 6).
+    let _run_lock = match twig_sched::RunLock::acquire(std::path::Path::new(out_dir)) {
+        Ok(lock) => lock,
+        Err(twig_sched::LockError::Held { path, pid }) => {
+            return Err(CliError::Locked {
+                path: path.display().to_string(),
+                pid,
+            });
+        }
+        Err(twig_sched::LockError::Io(e)) => return Err(CliError::io("lock", out_dir, e)),
+    };
+    // Heal crash residue a killed predecessor left in the output
+    // directory before this run publishes over it.
+    for healed in twig_sched::recover_dir(std::path::Path::new(out_dir)) {
+        eprintln!("recovered crash residue: {healed}");
+    }
+
     let outcome = run_fleet(&TenantSpec::demo_fleet(tenants), &config)
         .map_err(CliError::Invalid)?;
 
-    std::fs::create_dir_all(out_dir)
-        .map_err(|e| CliError::io("mkdir for", out_dir, e))?;
     let path = format!("{out_dir}/fleet_manifest.json");
     let json = outcome
         .manifest
         .to_json()
         .map_err(|e| CliError::Invalid(format!("serialize manifest: {e}")))?;
-    std::fs::write(&path, json).map_err(|e| CliError::io("write", &path, e))?;
+    twig_sched::publish_atomic(
+        std::path::Path::new(&path),
+        json.as_bytes(),
+        Some("fleet-manifest-tmp"),
+        Some("fleet-manifest-published"),
+    )
+    .map_err(|e| CliError::io("write", &path, e))?;
 
     let manifest = &outcome.manifest;
     println!(

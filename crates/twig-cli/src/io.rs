@@ -2,7 +2,9 @@
 //! plans, reports) and the binary `.twgt` format for traces. All
 //! failures are typed [`CliError`]s: filesystem problems map to
 //! [`CliError::Io`] (exit 3), undecodable artifacts to
-//! [`CliError::Decode`] (exit 4).
+//! [`CliError::Decode`] (exit 4). Every write publishes atomically
+//! (`twig_sched::durable`), so a kill mid-command never leaves a torn
+//! artifact — only ignorable `.twig-tmp` residue.
 
 use std::path::Path;
 
@@ -17,16 +19,21 @@ pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, CliError> {
     twig_serde_json::from_str(&text).map_err(|e| CliError::decode(path, e))
 }
 
-/// Writes a JSON artifact (pretty-printed).
+/// Writes a JSON artifact (pretty-printed), atomically.
 pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), CliError> {
     let text = twig_serde_json::to_string_pretty(value).map_err(|e| CliError::decode(path, e))?;
-    if let Some(parent) = Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| CliError::io("mkdir for", path, e))?;
-        }
-    }
-    std::fs::write(path, text).map_err(|e| CliError::io("write", path, e))
+    write_bytes(path, text.as_bytes())
+}
+
+/// Writes raw bytes atomically, mapping failures to [`CliError::Io`].
+pub fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    twig_sched::publish_atomic(Path::new(path), bytes, None, None)
+        .map_err(|e| CliError::io("write", path, e))
+}
+
+/// Writes a text artifact atomically.
+pub fn write_text(path: &str, text: &str) -> Result<(), CliError> {
+    write_bytes(path, text.as_bytes())
 }
 
 /// Reads a profile, selecting the format by extension: `.twpf` binary,
@@ -44,8 +51,7 @@ pub fn read_profile(path: &str) -> Result<twig_profile::Profile, CliError> {
 /// [`read_profile`]).
 pub fn write_profile(path: &str, profile: &twig_profile::Profile) -> Result<(), CliError> {
     if path.ends_with(".twpf") {
-        let bytes = twig_profile::encode_profile(profile);
-        std::fs::write(path, &bytes).map_err(|e| CliError::io("write", path, e))
+        write_bytes(path, &twig_profile::encode_profile(profile))
     } else {
         write_json(path, profile)
     }
@@ -62,8 +68,7 @@ pub fn write_trace_file(
     path: &str,
     events: &[twig_workload::BlockEvent],
 ) -> Result<(), CliError> {
-    let bytes = twig_workload::encode_trace(events);
-    std::fs::write(path, &bytes).map_err(|e| CliError::io("write", path, e))
+    write_bytes(path, &twig_workload::encode_trace(events))
 }
 
 /// Tiny argument cursor: `--key value` flags plus positionals.

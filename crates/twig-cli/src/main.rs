@@ -5,7 +5,8 @@
 //! a subcommand. Run `twig help` for usage.
 //!
 //! Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 undecodable
-//! artifact, 5 semantically invalid input (see [`error::CliError`]).
+//! artifact, 5 semantically invalid input, 6 output directory locked by
+//! another live run (see [`error::CliError`]).
 
 mod commands;
 mod error;

@@ -344,14 +344,26 @@ fn append_trajectory(
     cells: Vec<TrajectoryCell>,
     regressed: bool,
 ) -> Result<(), CliError> {
-    let mut trajectory = match std::fs::read_to_string(path) {
-        Ok(text) => twig_serde_json::from_str::<Trajectory>(&text)
-            .map_err(|e| CliError::decode(path, e))?,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Trajectory {
+    // Journaled read-modify-write: opening heals whatever a kill during a
+    // previous append left behind (rolls a complete journal forward,
+    // discards a torn one), so this read always sees exactly the pre- or
+    // post-append document of that run — never a mix.
+    let (file, healed) = twig_sched::Journaled::open(std::path::Path::new(path))
+        .map_err(|e| CliError::io("recover", path, e))?;
+    for h in &healed {
+        eprintln!("recovered crash residue: {h}");
+    }
+    let mut trajectory = match file.read().map_err(|e| CliError::io("read", path, e))? {
+        Some(bytes) => {
+            let text =
+                String::from_utf8(bytes).map_err(|e| CliError::decode(path, e))?;
+            twig_serde_json::from_str::<Trajectory>(&text)
+                .map_err(|e| CliError::decode(path, e))?
+        }
+        None => Trajectory {
             version: TRAJECTORY_VERSION,
             runs: Vec::new(),
         },
-        Err(e) => return Err(CliError::io("read", path, e)),
     };
     trajectory.runs.push(TrajectoryRun {
         run: trajectory.runs.len() as u64 + 1,
@@ -360,7 +372,8 @@ fn append_trajectory(
     });
     let json = twig_serde_json::to_string_pretty(&trajectory)
         .map_err(|e| CliError::decode(path, e))?;
-    std::fs::write(path, json).map_err(|e| CliError::io("write", path, e))?;
+    file.write(json.as_bytes(), Some("traj-journal"), Some("traj-published"))
+        .map_err(|e| CliError::io("write", path, e))?;
     eprintln!("appended run {} to {path}", trajectory.runs.len());
     Ok(())
 }
@@ -520,6 +533,79 @@ mod tests {
         assert_eq!(parsed.runs[1].run, 2);
         assert!(parsed.runs[1].regressed);
         assert_eq!(parsed.runs[1].cells[0].id, "kafka_twig");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn demo_cell() -> TrajectoryCell {
+        TrajectoryCell {
+            id: "kafka_twig".into(),
+            ipc: 0.75,
+            btb_mpki: 12.5,
+            coverage: 0.6,
+            cycles: 1000,
+        }
+    }
+
+    #[test]
+    fn torn_trajectory_journal_is_discarded_and_append_proceeds() {
+        let dir = std::env::temp_dir().join(format!("twig-cli-traj-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_buf = dir.join("BENCH_trajectory.json");
+        let path = path_buf.to_string_lossy().into_owned();
+        append_trajectory(&path, vec![demo_cell()], false).unwrap();
+        let committed = std::fs::read(&path_buf).unwrap();
+        // A kill mid-journal-write leaves a torn frame; the next append
+        // must discard it, keep the committed document, and append run 2.
+        let frame = twig_sched::durable::encode_journal_frame(b"{\"garbage\": true}");
+        std::fs::write(
+            twig_sched::durable::journal_path(&path_buf),
+            &frame[..frame.len() / 2],
+        )
+        .unwrap();
+        append_trajectory(&path, vec![demo_cell()], true).unwrap();
+        let parsed: Trajectory =
+            twig_serde_json::from_str(&std::fs::read_to_string(&path_buf).unwrap()).unwrap();
+        assert_eq!(parsed.runs.len(), 2);
+        assert_eq!(parsed.runs[0].run, 1);
+        assert!(!twig_sched::durable::journal_path(&path_buf).exists());
+        // The torn journal never contaminated run 1's committed bytes.
+        let reparsed: Trajectory =
+            twig_serde_json::from_str(std::str::from_utf8(&committed).unwrap()).unwrap();
+        assert_eq!(reparsed.runs.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn complete_trajectory_journal_rolls_forward_before_append() {
+        let dir = std::env::temp_dir().join(format!("twig-cli-traj-fwd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_buf = dir.join("BENCH_trajectory.json");
+        let path = path_buf.to_string_lossy().into_owned();
+        append_trajectory(&path, vec![demo_cell()], false).unwrap();
+        // Simulate a kill between journal sync and publish of run 2: the
+        // journal holds the full two-run document, the file only run 1.
+        let two_runs = {
+            let text = std::fs::read_to_string(&path_buf).unwrap();
+            let mut t: Trajectory = twig_serde_json::from_str(&text).unwrap();
+            t.runs.push(TrajectoryRun {
+                run: 2,
+                regressed: true,
+                cells: vec![demo_cell()],
+            });
+            twig_serde_json::to_string_pretty(&t).unwrap()
+        };
+        std::fs::write(
+            twig_sched::durable::journal_path(&path_buf),
+            twig_sched::durable::encode_journal_frame(two_runs.as_bytes()),
+        )
+        .unwrap();
+        // The next append heals forward to two runs, then appends run 3.
+        append_trajectory(&path, vec![demo_cell()], false).unwrap();
+        let parsed: Trajectory =
+            twig_serde_json::from_str(&std::fs::read_to_string(&path_buf).unwrap()).unwrap();
+        assert_eq!(parsed.runs.len(), 3);
+        assert!(parsed.runs[1].regressed, "rolled-forward run 2 kept");
+        assert_eq!(parsed.runs[2].run, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

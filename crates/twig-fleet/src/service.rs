@@ -317,7 +317,13 @@ fn persist_last_good(state: &TenantState, store: &CheckpointStore, faults: &Faul
         return false;
     };
     let key = last_good_key(&state.name);
+    // The LastGood commit is the fleet's durability boundary: a kill on
+    // either side must leave a record the next run re-derives (pre: the
+    // previous generation's record still stands; post: the store's
+    // atomic rename already landed this one).
+    twig_sched::durable::hit("fleet-lastgood-pre");
     store.store_with_faults(&key, payload.as_bytes(), faults);
+    twig_sched::durable::hit("fleet-lastgood-post");
     store.load(&key).is_some()
 }
 

@@ -28,11 +28,13 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+pub mod durable;
 pub mod fault;
 pub mod procs;
 pub mod service;
 pub mod supervise;
 
+pub use durable::{publish_atomic, recover_dir, CrashSpec, Healed, Journaled, LockError, RunLock};
 pub use fault::{FaultKind, FaultSpec};
 pub use procs::{num_procs, ShardSpec};
 pub use service::{BoundedQueue, ServicePool, ServiceStats};

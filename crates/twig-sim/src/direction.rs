@@ -120,10 +120,14 @@ pub struct TageLite {
     /// result)`. The frontend resolves a conditional by calling `predict`
     /// and then `update` with the same PC and unchanged history, so the
     /// second (identical) search is served from here.
-    provider_memo: Option<(u64, u64, Option<(usize, usize)>)>,
+    provider_memo: Option<ProviderMemo>,
     /// Bumped whenever `history` changes, invalidating the memo.
     history_gen: u64,
 }
+
+/// `(pc, history generation, provider table/index if any)` — the cached
+/// result of one provider search.
+type ProviderMemo = (u64, u64, Option<(usize, usize)>);
 
 #[derive(Clone, Debug)]
 struct TageTable {

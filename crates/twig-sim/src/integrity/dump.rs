@@ -111,7 +111,7 @@ impl StateDump {
         let path = dir.join(self.file_name());
         let json = twig_serde_json::to_string_pretty(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(&path, json)?;
+        twig_sched::publish_atomic(&path, json.as_bytes(), None, None)?;
         Ok(path)
     }
 

@@ -63,6 +63,10 @@ pub const VAR_TASK_TIMEOUT_MS: &str = "TWIG_TASK_TIMEOUT_MS";
 /// `TWIG_FAULT_SPEC` — deterministic fault-injection grammar
 /// (parsed by `twig-sched::fault`).
 pub const VAR_FAULT_SPEC: &str = "TWIG_FAULT_SPEC";
+/// `TWIG_CRASH_SPEC` — deterministic crashpoint injection
+/// `<point>[@<n>]` (parsed by `twig-sched::durable`): kill the process at
+/// the named durability boundary on its nth hit.
+pub const VAR_CRASH_SPEC: &str = "TWIG_CRASH_SPEC";
 /// `TWIG_INTEGRITY` — simulation integrity tier
 /// (`off | sampled[=N] | paranoid`; parsed by `twig-sim::integrity`).
 pub const VAR_INTEGRITY: &str = "TWIG_INTEGRITY";
@@ -101,6 +105,7 @@ pub const ALL_VARS: &[&str] = &[
     VAR_TASK_BACKOFF_MS,
     VAR_TASK_TIMEOUT_MS,
     VAR_FAULT_SPEC,
+    VAR_CRASH_SPEC,
     VAR_INTEGRITY,
     VAR_INTEGRITY_MUTATE,
     VAR_INTEGRITY_MUTATE_LABEL,
@@ -235,6 +240,8 @@ pub struct HarnessConfig {
     pub task_timeout_ms: Setting<Option<u64>>,
     /// Raw fault-injection spec, if any.
     pub fault_spec: Setting<Option<String>>,
+    /// Raw crashpoint-injection spec, if any.
+    pub crash_spec: Setting<Option<String>>,
     /// Raw integrity tier (`off` when unset).
     pub integrity: Setting<String>,
     /// Raw seeded-mutation spec, if any.
@@ -265,6 +272,7 @@ impl HarnessConfig {
             task_backoff_ms: Setting::default_value(100),
             task_timeout_ms: Setting::default_value(Some(600_000)),
             fault_spec: Setting::default_value(None),
+            crash_spec: Setting::default_value(None),
             integrity: Setting::default_value("off".to_string()),
             integrity_mutate: Setting::default_value(None),
             integrity_mutate_label: Setting::default_value(None),
@@ -329,6 +337,9 @@ impl HarnessConfig {
         }
         if let Some(raw) = lookup(VAR_FAULT_SPEC) {
             config.fault_spec = Setting::env_value(non_empty(raw));
+        }
+        if let Some(raw) = lookup(VAR_CRASH_SPEC) {
+            config.crash_spec = Setting::env_value(non_empty(raw));
         }
         if let Some(raw) = lookup(VAR_INTEGRITY) {
             config.integrity = Setting::env_value(raw.trim().to_string());
@@ -447,6 +458,11 @@ impl HarnessConfig {
                 name: VAR_FAULT_SPEC,
                 value: opt(&self.fault_spec.value, "none"),
                 source: self.fault_spec.source.as_str(),
+            },
+            ConfigEntry {
+                name: VAR_CRASH_SPEC,
+                value: opt(&self.crash_spec.value, "none"),
+                source: self.crash_spec.source.as_str(),
             },
             ConfigEntry {
                 name: VAR_INTEGRITY,
