@@ -24,7 +24,7 @@ fn main() {
             Walker::new(&program, InputConfig::numbered(0)).run_instructions(budget);
         let mut ws = WorkingSet::new();
         for ev in &events {
-            ws.observe(&program, ev);
+            ws.observe(&program, *ev);
         }
         let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
         let stats = sim.run(events.iter().copied(), budget);

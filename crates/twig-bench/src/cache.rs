@@ -31,17 +31,18 @@ use twig::TwigOptimizer;
 use twig_profile::Profile;
 use twig_serde::Serialize;
 use twig_sim::{IntegrityLevel, SimConfig, SimStats};
-use twig_workload::{AppId, BlockEvent};
+use twig_workload::{AppId, BlockEvent, InputConfig};
 
 use crate::runner::{AppSetup, PreparedApp};
+use crate::trace_handle::TraceHandle;
 
 /// Mixes one word into an FNV-1a style accumulator.
 #[inline]
-fn mix(state: u64, word: u64) -> u64 {
+pub(crate) fn mix(state: u64, word: u64) -> u64 {
     (state ^ word).wrapping_mul(0x0000_0100_0000_01B3)
 }
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 fn mix_str(state: u64, s: &str) -> u64 {
     s.bytes().fold(state, |acc, b| mix(acc, u64::from(b)))
@@ -114,7 +115,7 @@ impl Fingerprint for Arc<SimStats> {
 
 impl Fingerprint for Arc<PreparedApp> {
     fn fingerprint(&self) -> u64 {
-        let mut h = mix(FNV_OFFSET, self.events.len() as u64);
+        let mut h = mix(FNV_OFFSET, self.events.event_count());
         h = mix(h, self.working_set_bytes);
         h = mix(h, self.working_set_bytes_twig);
         h = mix(h, self.optimized.rewrite.brprefetch_ops);
@@ -331,7 +332,7 @@ impl CacheStats {
 /// The memoized store handing out shared artifacts.
 pub struct ArtifactCache {
     setups: Shard<AppId, Arc<AppSetup>>,
-    events: Shard<(AppId, u32, u64), Arc<[BlockEvent]>>,
+    events: Shard<(AppId, u32, u64), TraceHandle>,
     // `SimConfig` holds `f64` fields, so the profile key embeds its
     // `Debug` rendering as a config fingerprint instead of deriving Hash.
     profiles: Shard<(AppId, u32, u64, String), Arc<Profile>>,
@@ -339,12 +340,24 @@ pub struct ArtifactCache {
     // Simulations of the *canonical* (unrewritten) binary over canonical
     // traces; the system name + config Debug rendering pin the run down.
     sims: Shard<(AppId, u32, u64, String, String), Arc<SimStats>>,
+    /// Traces past this many events spill to `.twgc` files instead of
+    /// staying resident (`TWIG_TRACE_SPILL_EVENTS`; `None` = never spill).
+    spill_threshold: Option<u64>,
 }
 
 impl ArtifactCache {
-    /// Creates an empty cache (tests use private instances; production
-    /// code shares [`global`]).
+    /// Creates an empty cache with the harness-configured spill threshold
+    /// (tests use private instances; production code shares [`global`]).
     pub fn new() -> Self {
+        Self::with_spill_threshold(
+            twig_types::HarnessConfig::global().trace_spill_events.value,
+        )
+    }
+
+    /// Creates an empty cache spilling traces above `threshold` events
+    /// (`None` disables spilling). Tests use small thresholds to exercise
+    /// the out-of-core path on small traces.
+    pub fn with_spill_threshold(threshold: Option<u64>) -> Self {
         ArtifactCache {
             setups: Shard::new(),
             events: Shard::new(),
@@ -354,6 +367,7 @@ impl ArtifactCache {
             profiles: Shard::with_capacity(Some(12)),
             prepared: Shard::new(),
             sims: Shard::new(),
+            spill_threshold: threshold,
         }
     }
 
@@ -366,12 +380,23 @@ impl ArtifactCache {
     }
 
     /// The walker event trace for `(app, input)`, bounded by
-    /// `instructions`.
-    pub fn events(&self, app: AppId, input: u32, instructions: u64) -> Arc<[BlockEvent]> {
+    /// `instructions` — materialized in memory below the spill threshold,
+    /// streamed from an on-disk `.twgc` file above it. Either backing is
+    /// event-for-event identical to [`AppSetup::fresh_events`].
+    pub fn events(&self, app: AppId, input: u32, instructions: u64) -> TraceHandle {
         self.events.get_or_compute(
             (app, input, instructions),
             &format!("cache:events:{}/{input}", app.name()),
-            || self.setup(app).fresh_events(input, instructions).into(),
+            || {
+                let setup = self.setup(app);
+                crate::trace_handle::collect_trace(
+                    &setup.program,
+                    InputConfig::numbered(input),
+                    instructions,
+                    self.spill_threshold,
+                    || crate::trace_handle::spill_path(app, input, instructions),
+                )
+            },
         )
     }
 
@@ -398,10 +423,10 @@ impl ArtifactCache {
                 let setup = self.setup(app);
                 let events = self.events(app, input, instructions);
                 let (profile, stats) = TwigOptimizer::default()
-                    .collect_profile_and_stats_from_events(
+                    .collect_profile_and_stats_from_source(
                         &setup.program,
                         *sim_config,
-                        &events,
+                        &mut events.source(),
                         instructions,
                     );
                 // The profiling run is a plain FDIP baseline run with a
@@ -574,8 +599,28 @@ mod tests {
     fn cached_events_match_fresh_walk() {
         let cache = ArtifactCache::new();
         let cached = cache.events(AppId::Kafka, 2, 5_000);
+        assert!(!cached.is_spilled(), "tiny trace must stay in memory");
         let fresh = cache.setup(AppId::Kafka).fresh_events(2, 5_000);
-        assert_eq!(&cached[..], &fresh[..], "cache must be bit-identical");
+        assert_eq!(&cached.materialize()[..], &fresh[..], "cache must be bit-identical");
+    }
+
+    #[test]
+    fn big_traces_spill_and_stream_identically() {
+        let cache = ArtifactCache::with_spill_threshold(Some(500));
+        let spilled = cache.events(AppId::Kafka, 2, 30_000);
+        assert!(spilled.is_spilled(), "500-event threshold must force a spill");
+        let fresh = cache.setup(AppId::Kafka).fresh_events(2, 30_000);
+        assert_eq!(spilled.event_count(), fresh.len() as u64);
+        assert_eq!(&spilled.materialize()[..], &fresh[..], "spilled trace must be bit-identical");
+        // A hit re-verifies the directory-shape fingerprint and serves the
+        // same mmap-backed handle.
+        let again = cache.events(AppId::Kafka, 2, 30_000);
+        let stats = cache.stats();
+        assert_eq!(stats.events_misses, 1);
+        assert_eq!(stats.events_hits, 1);
+        assert_eq!(stats.events_evictions, 0);
+        let streamed: Vec<BlockEvent> = again.source().collect();
+        assert_eq!(streamed, &fresh[..]);
     }
 
     #[test]
@@ -624,7 +669,7 @@ mod tests {
             cache.events(AppId::Tomcat, 1, 4_000)
         });
         for e in &events {
-            assert!(Arc::ptr_eq(e, &events[0]));
+            assert!(Arc::ptr_eq(&e.materialize(), &events[0].materialize()));
         }
         let stats = cache.stats();
         assert_eq!(stats.events_misses, 1, "trace must be walked exactly once");
@@ -637,8 +682,8 @@ mod tests {
         // Corrupt the stored fingerprint by hand (the same effect the
         // `corrupt-cache` fault clause has) and verify the next hit heals
         // the shard while keeping the exactly-once accounting honest.
-        let shard: Shard<u32, Arc<[BlockEvent]>> = Shard::new();
-        let make = || -> Arc<[BlockEvent]> {
+        let shard: Shard<u32, TraceHandle> = Shard::new();
+        let make = || -> TraceHandle {
             ArtifactCache::new().events(AppId::Kafka, 0, 2_000)
         };
         let first = shard.get_or_compute(7, "cache:test", make);
@@ -649,17 +694,21 @@ mod tests {
             let poisoned = Arc::new(OnceLock::new());
             poisoned
                 .set(Entry {
-                    value: Arc::clone(slot.get().map(|e| &e.value).unwrap()),
+                    value: slot.get().map(|e| e.value.clone()).unwrap(),
                     fingerprint: 0xDEAD_BEEF,
                     last_used: AtomicU64::new(0),
                 })
                 .ok()
-                .unwrap();
+                .expect("fresh slot accepts the poisoned entry");
             drop(map);
             shard.lock_map().insert(7, poisoned);
         }
         let healed = shard.get_or_compute(7, "cache:test", make);
-        assert_eq!(&healed[..], &first[..], "healed value matches");
+        assert_eq!(
+            &healed.materialize()[..],
+            &first.materialize()[..],
+            "healed value matches"
+        );
         assert_eq!(shard.evictions.load(Ordering::Relaxed), 1);
         assert_eq!(shard.misses.load(Ordering::Relaxed), 2);
         assert_eq!(shard.entries(), 1);
@@ -670,13 +719,13 @@ mod tests {
         );
         // Subsequent hits verify cleanly.
         let again = shard.get_or_compute(7, "cache:test", make);
-        assert_eq!(&again[..], &first[..]);
+        assert_eq!(&again.materialize()[..], &first.materialize()[..]);
         assert_eq!(shard.hits.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn entries_counts_only_initialized_slots() {
-        let shard: Shard<u32, Arc<[BlockEvent]>> = Shard::new();
+        let shard: Shard<u32, TraceHandle> = Shard::new();
         // Simulate a slot abandoned by a panicking computation: present in
         // the map but never initialized.
         shard.lock_map().insert(1, Arc::new(OnceLock::new()));
@@ -695,7 +744,7 @@ mod tests {
         // covers the production budgets.)
         let budget = 20_000u64;
         let setup = AppSetup::new(AppId::Kafka);
-        let events = setup.fresh_events(1, budget);
+        let events: TraceHandle = setup.fresh_events(1, budget).into();
         let run = |system: &str, cfg: SimConfig| {
             let sys = twig_prefetchers::by_name(system, &cfg).expect("registered");
             setup.run_system(sys, cfg, &events, budget)

@@ -97,7 +97,7 @@ fn three_c_rows(
             let setup = AppSetup::shared(app);
             let events = setup.events(1, budget);
             let mut classifier = ThreeCClassifier::new(geometry);
-            for ev in events.iter() {
+            for ev in events.source() {
                 if !ev.taken {
                     continue;
                 }
@@ -285,7 +285,7 @@ pub fn fig10(ctx: &ExpContext) -> String {
             setup.sim_config,
             PlainBtb::new(&setup.sim_config),
         );
-        sim.run_observed(events.iter().copied(), budget, &mut seq);
+        sim.run_observed(events.source(), budget, &mut seq);
         // Window 12, matching the SHIFT replay depth the baselines use.
         let b = classify_streams_windowed(&seq.0, 12);
         let (r, n, x) = b.fractions();
@@ -304,7 +304,7 @@ pub fn fig11(ctx: &ExpContext) -> String {
     let rows = for_all_apps(|app| {
         let setup = AppSetup::shared(app);
         let mut ws = WorkingSet::new();
-        for ev in setup.events(1, budget).iter() {
+        for ev in setup.events(1, budget).source() {
             ws.observe(&setup.program, ev);
         }
         vec![
@@ -325,7 +325,7 @@ pub fn fig12(ctx: &ExpContext) -> String {
     let rows = for_all_apps(|app| {
         let setup = AppSetup::shared(app);
         let mut analyzer = SpatialRangeAnalyzer::new();
-        for ev in setup.events(1, budget).iter() {
+        for ev in setup.events(1, budget).source() {
             analyzer.observe(&setup.program, ev);
         }
         vec![analyzer.finish().out_of_range_fraction() * 100.0]

@@ -28,11 +28,11 @@ fn run_on(
     program: &twig_workload::Program,
     system: Box<dyn BtbSystem>,
     config: SimConfig,
-    events: &[twig_workload::BlockEvent],
+    events: &crate::trace_handle::TraceHandle,
     budget: u64,
 ) -> SimStats {
     let mut sim = Simulator::new(program, config, system);
-    sim.run(events.iter().copied(), budget)
+    sim.run(events.source(), budget)
 }
 
 /// ext01 — Twig on top of different BTB organizations.

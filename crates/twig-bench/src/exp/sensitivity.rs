@@ -84,7 +84,7 @@ fn sweep_point(
             let confluence = run("confluence", config);
             let twig = {
                 let mut sim = Simulator::new(&optimized.program, config, PlainBtb::new(&config));
-                sim.run(events.iter().copied(), budget)
+                sim.run(events.source(), budget)
             };
             // Degenerate configurations (e.g. a 1-entry FTQ) can leave the
             // ideal BTB with ~0% headroom; clamp the denominator so the

@@ -245,10 +245,10 @@ fn cross_input_matrix(ctx: &ExpContext) -> &'static [CrossInputRow] {
                 let ideal = cache.sim_stats(app, input, budget, "ideal", &ideal_cfg, || {
                     setup.run_system(Box::new(PlainBtb::new(&ideal_cfg)), ideal_cfg, &events, budget)
                 });
-                let report = optimizer.evaluate_optimized(
+                let report = optimizer.evaluate_optimized_from_source(
                     trained,
                     config,
-                    &events,
+                    &mut events.source(),
                     budget,
                     (*baseline).clone(),
                     (*ideal).clone(),
@@ -260,10 +260,10 @@ fn cross_input_matrix(ctx: &ExpContext) -> &'static [CrossInputRow] {
                     &setup.generator.layout_options(),
                     &optimizer.analyze_for(&profile_i, &setup.program),
                 );
-                let own_report = optimizer.evaluate_optimized(
+                let own_report = optimizer.evaluate_optimized_from_source(
                     &own,
                     config,
-                    &events,
+                    &mut events.source(),
                     budget,
                     (*baseline).clone(),
                     (*ideal).clone(),

@@ -27,10 +27,12 @@ use twig_sim::{
     speedup_percent, BtbSystem, IntegrityViolation, PlainBtb, SimConfig, SimStats, Simulator,
 };
 use twig_workload::{
-    AppId, BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkingSet, WorkloadSpec,
+    AnySource, AppId, BlockEvent, InputConfig, Program, ProgramGenerator, Walker, WorkingSet,
+    WorkloadSpec,
 };
 
 use crate::cache;
+use crate::trace_handle::TraceHandle;
 use crate::checkpoint::CheckpointStore;
 use crate::manifest::{self, CellStatus};
 
@@ -106,8 +108,10 @@ impl AppSetup {
     }
 
     /// The walker's event stream for `input`, bounded by `instructions`,
-    /// shared through the artifact cache.
-    pub fn events(&self, input: u32, instructions: u64) -> Arc<[BlockEvent]> {
+    /// shared through the artifact cache as a spillable [`TraceHandle`]
+    /// (in memory below `TWIG_TRACE_SPILL_EVENTS`, streamed from a
+    /// `.twgc` file above it).
+    pub fn events(&self, input: u32, instructions: u64) -> TraceHandle {
         cache::global().events(self.app, input, instructions)
     }
 
@@ -117,16 +121,17 @@ impl AppSetup {
         Walker::new(&self.program, InputConfig::numbered(input)).run_instructions(instructions)
     }
 
-    /// Runs one simulation with an arbitrary BTB system over given events.
+    /// Runs one simulation with an arbitrary BTB system over the given
+    /// trace, whichever backing it has.
     pub fn run_system(
         &self,
         system: Box<dyn BtbSystem>,
         config: SimConfig,
-        events: &[BlockEvent],
+        events: &TraceHandle,
         instructions: u64,
     ) -> SimStats {
         let mut sim = Simulator::new(&self.program, config, system);
-        sim.run(events.iter().copied(), instructions)
+        sim.run(events.source(), instructions)
     }
 }
 
@@ -317,7 +322,7 @@ pub(crate) struct PreparedApp {
     pub(crate) setup: Arc<AppSetup>,
     pub(crate) optimized: twig::OptimizedBinary,
     pub(crate) optimized_sw: twig::OptimizedBinary,
-    pub(crate) events: Arc<[BlockEvent]>,
+    pub(crate) events: TraceHandle,
     pub(crate) working_set_bytes: u64,
     pub(crate) working_set_bytes_twig: u64,
 }
@@ -348,10 +353,12 @@ pub(crate) fn prepare_app(app: AppId, budget: u64) -> PreparedApp {
     let optimized_sw = sw_only.rewrite_of(&setup.program, &layout, &plans);
     let events = setup.events(1, budget);
 
-    // Working sets on the test input (Table 3).
+    // Working sets on the test input (Table 3): one streaming pass over
+    // the trace feeds both measurements, never materializing a spilled
+    // trace.
     let mut ws = WorkingSet::new();
     let mut ws_twig = WorkingSet::new();
-    for ev in events.iter() {
+    for ev in events.source() {
         ws.observe(&setup.program, ev);
         ws_twig.observe(&optimized.program, ev);
     }
@@ -413,13 +420,19 @@ fn run_mono<B: BtbSystem>(
     program: &Program,
     config: SimConfig,
     system: B,
-    events: &[BlockEvent],
+    events: &TraceHandle,
     budget: u64,
     label: &str,
 ) -> Result<SimStats, Box<IntegrityViolation>> {
     let mut sim = Simulator::new(program, config, system);
     sim.set_integrity_label(label);
-    let stats = sim.try_run(events.iter().copied(), budget)?;
+    // Match the backing out so the event loop monomorphizes per source
+    // (no per-event enum dispatch in the headline hot path).
+    let stats = match events.source() {
+        AnySource::Mem(source) => sim.try_run(source, budget)?,
+        AnySource::Walker(source) => sim.try_run(source, budget)?,
+        AnySource::Columnar(source) => sim.try_run(source, budget)?,
+    };
     if let Some(snapshot) = sim.metrics_snapshot() {
         crate::telemetry::record_cell_metrics(label, &snapshot);
         if let Ok(Some(trace)) = sim.chrome_trace() {
@@ -999,7 +1012,7 @@ mod tests {
         let setup = AppSetup::shared(AppId::Kafka);
         let cached = setup.events(3, 4_000);
         let fresh = setup.fresh_events(3, 4_000);
-        assert_eq!(&cached[..], &fresh[..]);
+        assert_eq!(&cached.materialize()[..], &fresh[..]);
     }
 
     #[test]

@@ -57,18 +57,37 @@ pub fn write_profile(path: &str, profile: &twig_profile::Profile) -> Result<(), 
     }
 }
 
-/// Reads a binary trace file.
-pub fn read_trace_file(path: &str) -> Result<Vec<twig_workload::BlockEvent>, CliError> {
-    let bytes = std::fs::read(path).map_err(|e| CliError::io("read", path, e))?;
-    twig_workload::decode_trace(&bytes).map_err(|e| CliError::decode(path, e))
+/// Opens a binary trace as a resettable event source, selecting the
+/// format by extension: `.twgc` columnar traces stream through the
+/// mmap'd chunked reader (bounded resident memory, never materialized);
+/// everything else is decoded as a row-oriented `TWGT` trace into memory.
+pub fn open_trace_source(path: &str) -> Result<twig_workload::AnySource, CliError> {
+    if path.ends_with(".twgc") {
+        let source = twig_workload::ColumnarSource::open(Path::new(path))
+            .map_err(|e| CliError::decode(path, e))?;
+        Ok(source.into())
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| CliError::io("read", path, e))?;
+        let events =
+            twig_workload::decode_trace(&bytes).map_err(|e| CliError::decode(path, e))?;
+        Ok(events.into())
+    }
 }
 
-/// Writes a binary trace file.
+/// Writes a binary trace file, selecting the format by extension:
+/// `.twgc` columnar (chunked, CRC-framed), everything else `TWGT`. Both
+/// publish atomically.
 pub fn write_trace_file(
     path: &str,
     events: &[twig_workload::BlockEvent],
 ) -> Result<(), CliError> {
-    write_bytes(path, &twig_workload::encode_trace(events))
+    if path.ends_with(".twgc") {
+        twig_workload::write_columnar_file(Path::new(path), events.iter().copied())
+            .map(|_| ())
+            .map_err(|e| CliError::io("write", path, e))
+    } else {
+        write_bytes(path, &twig_workload::encode_trace(events))
+    }
 }
 
 /// Tiny argument cursor: `--key value` flags plus positionals.

@@ -36,7 +36,7 @@ use twig_sched::{FaultKind, ServicePool, ServiceStats, TaskError, TaskPolicy, Ta
 use twig_serde::{Deserialize, Serialize};
 use twig_sim::{PlainBtb, SimConfig, SimStats, Simulator};
 use twig_workload::{
-    BlockEvent, InputConfig, LayoutOptions, LoadPhase, PhaseSchedule, Program,
+    BlockEvent, InputConfig, LayoutOptions, LoadPhase, MemSource, PhaseSchedule, Program,
     ProgramGenerator, Walker, WorkloadSpec,
 };
 
@@ -152,7 +152,7 @@ struct ProfileJob {
     tenant: String,
     generation: u64,
     deployed: Arc<Program>,
-    events: Arc<Vec<BlockEvent>>,
+    events: Arc<[BlockEvent]>,
     instructions: u64,
     sim: SimConfig,
 }
@@ -162,7 +162,7 @@ struct ProfileChunk {
     profile: Profile,
     stats: SimStats,
     fingerprint: u64,
-    events: Arc<Vec<BlockEvent>>,
+    events: Arc<[BlockEvent]>,
     instructions: u64,
 }
 
@@ -186,7 +186,7 @@ struct TenantState {
     /// re-tried, which is what bounds the generation loop (every branch
     /// ends up deployed or rejected, then only holds remain).
     rejected: std::collections::HashSet<u32>,
-    events: Vec<(LoadPhase, Arc<Vec<BlockEvent>>)>,
+    events: Vec<(LoadPhase, Arc<[BlockEvent]>)>,
     health: HealthTracker,
     holds: u32,
     converged: bool,
@@ -262,7 +262,7 @@ fn events_for(
     state: &mut TenantState,
     phase: LoadPhase,
     full_budget: u64,
-) -> (Arc<Vec<BlockEvent>>, u64) {
+) -> (Arc<[BlockEvent]>, u64) {
     let instructions = phase.scaled_budget(full_budget);
     if let Some((_, events)) = state.events.iter().find(|(p, _)| *p == phase) {
         return (Arc::clone(events), instructions);
@@ -271,7 +271,8 @@ fn events_for(
     // still see different request mixes.
     let base = phase.input();
     let input = InputConfig { seed: base.seed ^ state.seed, ..base };
-    let events = Arc::new(Walker::new(&state.pristine, input).run_instructions(instructions));
+    let events: Arc<[BlockEvent]> =
+        Walker::new(state.pristine.as_ref(), input).run_instructions(instructions).into();
     state.events.push((phase, Arc::clone(&events)));
     (events, instructions)
 }
@@ -426,10 +427,13 @@ pub fn run_fleet(tenants: &[TenantSpec], config: &FleetConfig) -> Result<FleetOu
                     ),
                 });
             }
-            let (profile, stats) = worker_optimizer.collect_profile_and_stats_from_events(
+            // The sampled stream arrives as a shared slice; feeding it
+            // through a `MemSource` keeps the worker on the same
+            // source-based path the out-of-core readers use.
+            let (profile, stats) = worker_optimizer.collect_profile_and_stats_from_source(
                 &job.deployed,
                 job.sim,
-                &job.events,
+                &mut MemSource::new(Arc::clone(&job.events)),
                 job.instructions,
             );
             let mut fingerprint = profile_fingerprint(&profile);

@@ -259,7 +259,7 @@ mod tests {
         let events =
             Walker::new(&program, InputConfig::numbered(0)).run_instructions(80_000);
         let mut recorder = LbrRecorder::new(&program, 1);
-        recorder.observe_events(&program, &events);
+        recorder.observe_events(&program, events.iter().copied());
         let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
         sim.run_observed(events, 80_000, &mut recorder);
         recorder.into_profile()

@@ -53,17 +53,21 @@ impl LbrRecorder {
     }
 
     /// Accounts one executed block (exact execution counts; production
-    /// tooling estimates these from the same samples).
-    pub fn observe_event(&mut self, program: &Program, event: &BlockEvent) {
+    /// tooling estimates these from the same samples). Takes the event by
+    /// value — [`BlockEvent`] is `Copy`-sized — so one [`EventSource`]
+    /// drives the recorder and the simulator without a collect.
+    ///
+    /// [`EventSource`]: twig_workload::EventSource
+    pub fn observe_event(&mut self, program: &Program, event: BlockEvent) {
         self.profile.block_executions[event.block.index()] += 1;
         self.profile.instructions += u64::from(program.block(event.block).num_instrs);
     }
 
     /// Accounts a whole event stream at once.
-    pub fn observe_events<'a>(
+    pub fn observe_events(
         &mut self,
         program: &Program,
-        events: impl IntoIterator<Item = &'a BlockEvent>,
+        events: impl IntoIterator<Item = BlockEvent>,
     ) {
         for ev in events {
             self.observe_event(program, ev);
@@ -115,7 +119,7 @@ mod tests {
         let mut recorder = LbrRecorder::new(&program, period);
         let events: Vec<_> =
             Walker::new(&program, InputConfig::numbered(0)).run_instructions(budget);
-        recorder.observe_events(&program, &events);
+        recorder.observe_events(&program, events.iter().copied());
         let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
         let stats = sim.run_observed(events, budget, &mut recorder);
         (recorder.into_profile(), stats.total_btb_misses())

@@ -24,7 +24,7 @@
 //! let config = SimConfig::default();
 //! let events = Walker::new(&program, InputConfig::numbered(0)).run_instructions(20_000);
 //! let mut recorder = LbrRecorder::new(&program, 1);
-//! recorder.observe_events(&program, &events);
+//! recorder.observe_events(&program, events.iter().copied());
 //! let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
 //! sim.run_observed(events, 20_000, &mut recorder);
 //! let profile = recorder.into_profile();

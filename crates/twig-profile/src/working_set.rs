@@ -46,7 +46,7 @@ impl SpatialRangeStats {
 /// let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
 /// let mut analyzer = SpatialRangeAnalyzer::new();
 /// for ev in Walker::new(&program, InputConfig::numbered(0)).take(20_000) {
-///     analyzer.observe(&program, &ev);
+///     analyzer.observe(&program, ev);
 /// }
 /// let stats = analyzer.finish();
 /// assert!(stats.in_range + stats.out_of_range > 0);
@@ -64,7 +64,9 @@ impl SpatialRangeAnalyzer {
     }
 
     /// Feeds one executed block event.
-    pub fn observe(&mut self, program: &Program, event: &BlockEvent) {
+    /// Takes the event by value (`BlockEvent` is `Copy`-sized), so an
+    /// `EventSource` drives the analyzer directly.
+    pub fn observe(&mut self, program: &Program, event: BlockEvent) {
         let block = program.block(event.block);
         let Some(kind) = block.branch_kind() else {
             return;
@@ -108,7 +110,7 @@ mod tests {
         let program = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
         let mut analyzer = SpatialRangeAnalyzer::new();
         for ev in Walker::new(&program, InputConfig::numbered(0)).take(50_000) {
-            analyzer.observe(&program, &ev);
+            analyzer.observe(&program, ev);
         }
         let stats = analyzer.finish();
         let f = stats.out_of_range_fraction();
@@ -153,7 +155,7 @@ mod tests {
         let mut analyzer = SpatialRangeAnalyzer::new();
         analyzer.observe(
             &program,
-            &BlockEvent {
+            BlockEvent {
                 block: call,
                 taken: true,
                 target: Some(callee_entry),
@@ -161,7 +163,7 @@ mod tests {
         );
         analyzer.observe(
             &program,
-            &BlockEvent {
+            BlockEvent {
                 block: far_cond,
                 taken: false,
                 target: None,

@@ -269,6 +269,54 @@ pub fn publish_atomic(
     publish
 }
 
+/// Streaming variant of [`publish_atomic`]: instead of a complete
+/// in-memory byte buffer, the caller writes the document through a
+/// buffered handle to the staged temp file. The atomicity protocol is
+/// identical (temp write, `fsync`, rename, directory `fsync`), so large
+/// artifacts — columnar traces, spilled caches — publish without ever
+/// being resident in RAM. If `write` returns an error (or any I/O step
+/// fails) the temp file is removed and `path` is untouched.
+///
+/// # Errors
+///
+/// Any error from `write` itself, or any I/O failure creating, flushing,
+/// syncing, or renaming the temp file.
+pub fn publish_atomic_with<T>(
+    path: &Path,
+    pre_rename: Option<&str>,
+    post_rename: Option<&str>,
+    write: impl FnOnce(&mut io::BufWriter<std::fs::File>) -> io::Result<T>,
+) -> io::Result<T> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    let publish = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut out = io::BufWriter::new(file);
+        let value = write(&mut out)?;
+        out.flush()?;
+        let file = out.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+        drop(file);
+        if let Some(point) = pre_rename {
+            hit(point);
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(point) = post_rename {
+            hit(point);
+        }
+        sync_parent_dir(path);
+        Ok(value)
+    })();
+    if publish.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    publish
+}
+
 /// Journal frame magic; layout (little-endian):
 ///
 /// ```text

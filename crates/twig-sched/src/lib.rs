@@ -34,7 +34,10 @@ pub mod procs;
 pub mod service;
 pub mod supervise;
 
-pub use durable::{publish_atomic, recover_dir, CrashSpec, Healed, Journaled, LockError, RunLock};
+pub use durable::{
+    publish_atomic, publish_atomic_with, recover_dir, CrashSpec, Healed, Journaled, LockError,
+    RunLock,
+};
 pub use fault::{FaultKind, FaultSpec};
 pub use procs::{num_procs, ShardSpec};
 pub use service::{BoundedQueue, ServicePool, ServiceStats};

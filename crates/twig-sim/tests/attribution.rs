@@ -18,7 +18,7 @@ fn run_app(app: AppId, obs: ObsConfig) -> (SimStats, Option<Simulator<'static, P
         ..SimConfig::paper_baseline(spec.backend_extra_cpki)
     };
     let mut sim = Simulator::new(program, config, PlainBtb::new(&config));
-    let stats = sim.run(Walker::new(program, InputConfig::numbered(0)), BUDGET);
+    let stats = sim.run(Walker::new(&*program, InputConfig::numbered(0)), BUDGET);
     (stats, Some(sim))
 }
 

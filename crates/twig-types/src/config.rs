@@ -84,6 +84,14 @@ pub const VAR_OBS: &str = "TWIG_OBS";
 /// `TWIG_OBS_ATTR` — per-branch cycle attribution
 /// (`off | on | k=N[,sample=M]`; parsed by `twig-obs`).
 pub const VAR_OBS_ATTR: &str = "TWIG_OBS_ATTR";
+/// `TWIG_TRACE_SPILL_EVENTS` — event-count threshold above which the
+/// benchmark harness spills cached traces to columnar `.twgc` files and
+/// streams them back instead of holding a `Vec<BlockEvent>` resident
+/// (out-of-core trace engine). `0` disables spilling entirely. The
+/// default (8M events) is far above every standard cell, so ordinary
+/// runs never touch disk; big-trace cells cross it and stay in bounded
+/// RSS.
+pub const VAR_TRACE_SPILL_EVENTS: &str = "TWIG_TRACE_SPILL_EVENTS";
 /// `TWIG_FLEET_WORKERS` — long-running fleet-service worker threads,
 /// at least 1. Results are worker-count invariant (the fleet manifest is
 /// proven byte-identical across settings), so this is purely a throughput
@@ -112,6 +120,7 @@ pub const ALL_VARS: &[&str] = &[
     VAR_INTEGRITY_DUMP_DIR,
     VAR_OBS,
     VAR_OBS_ATTR,
+    VAR_TRACE_SPILL_EVENTS,
     VAR_FLEET_WORKERS,
     VAR_FLEET_MAX_GENERATIONS,
     VAR_FLEET_QUEUE_DEPTH,
@@ -254,6 +263,8 @@ pub struct HarnessConfig {
     pub obs: Setting<String>,
     /// Raw attribution spec (`off` when unset).
     pub obs_attr: Setting<String>,
+    /// Trace-spill threshold in events; `None` = spilling disabled.
+    pub trace_spill_events: Setting<Option<u64>>,
     /// Fleet-service worker threads, at least 1.
     pub fleet_workers: Setting<usize>,
     /// Fleet convergence-watchdog generation cap, at least 1.
@@ -279,6 +290,7 @@ impl HarnessConfig {
             integrity_dump_dir: Setting::default_value(None),
             obs: Setting::default_value("off".to_string()),
             obs_attr: Setting::default_value("off".to_string()),
+            trace_spill_events: Setting::default_value(Some(8_000_000)),
             fleet_workers: Setting::default_value(1),
             fleet_max_generations: Setting::default_value(8),
             fleet_queue_depth: Setting::default_value(2),
@@ -358,6 +370,10 @@ impl HarnessConfig {
         }
         if let Some(raw) = lookup(VAR_OBS_ATTR) {
             config.obs_attr = Setting::env_value(raw.trim().to_string());
+        }
+        if let Some(raw) = lookup(VAR_TRACE_SPILL_EVENTS) {
+            let n = parse_u64(VAR_TRACE_SPILL_EVENTS, &raw)?;
+            config.trace_spill_events = Setting::env_value(if n == 0 { None } else { Some(n) });
         }
         if let Some(raw) = lookup(VAR_FLEET_WORKERS) {
             let n = parse_u64(VAR_FLEET_WORKERS, &raw)?;
@@ -493,6 +509,11 @@ impl HarnessConfig {
                 name: VAR_OBS_ATTR,
                 value: self.obs_attr.value.clone(),
                 source: self.obs_attr.source.as_str(),
+            },
+            ConfigEntry {
+                name: VAR_TRACE_SPILL_EVENTS,
+                value: opt(&self.trace_spill_events.value, "off"),
+                source: self.trace_spill_events.source.as_str(),
             },
             ConfigEntry {
                 name: VAR_FLEET_WORKERS,

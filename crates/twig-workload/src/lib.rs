@@ -19,27 +19,56 @@
 //! assert!(!events.is_empty());
 //! let _ = AppId::ALL; // nine paper applications
 //! ```
+//!
+//! # Trace format family
+//!
+//! Two on-disk encodings share one event model and one decode layer:
+//!
+//! | | `TWGT` v1 ([`trace`]) | `.twgc` v1 ([`columnar`]) |
+//! |---|---|---|
+//! | layout | row-oriented, one varint record per event | columnar chunks: packed taken/target bits + LEB128 id columns |
+//! | integrity | whole-stream (decode front to back) | CRC per chunk + CRC'd directory/footer; torn tails rejected at open |
+//! | random access | none | chunk directory with branch-density summaries (macro-block fast-forward) |
+//! | reader | materializes a `Vec<BlockEvent>` | mmap'd, one chunk resident at a time |
+//! | choose when | small traces, interchange, tests | big traces, spilled caches, bounded-RSS streaming |
+//!
+//! Consumers are format-agnostic: anything that takes an [`EventSource`]
+//! accepts an in-memory slice ([`MemSource`]), a live generative walk
+//! ([`WalkerSource`]), or an out-of-core columnar stream
+//! ([`ColumnarSource`]) — see [`source`] for the contract.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one `#[allow(unsafe_code)]` island is
+// the hand-written mmap binding in `mapped::sys`, which the out-of-core
+// trace reader needs for zero-copy access with bounded residency.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod columnar;
 pub mod generator;
 pub mod inputs;
 pub mod layout;
+pub mod mapped;
 pub mod phases;
 pub mod program;
+pub mod source;
 pub mod spec;
 pub mod stats;
 pub mod trace;
 pub mod walker;
 
 pub use builder::ProgramBuilder;
+pub use columnar::{
+    decode_columnar, encode_columnar, encode_columnar_chunked, write_columnar_file, ChunkSummary,
+    ColumnarReader, ColumnarWriter, DEFAULT_CHUNK_EVENTS,
+};
 pub use generator::ProgramGenerator;
 pub use inputs::InputConfig;
 pub use layout::{LayoutOptions, LibrarySplit};
+pub use mapped::MappedBytes;
 pub use phases::{LoadPhase, PhaseSchedule};
 pub use program::{BasicBlock, Function, Program, Terminator};
+pub use source::{AnySource, ColumnarSource, EventSource, MemSource, WalkerSource};
 pub use spec::{AppId, Span, Span1, SpecError, TerminatorMix, WorkloadSpec};
 pub use stats::{StaticStats, WorkingSet};
 pub use trace::{decode_trace, encode_trace, read_trace, write_trace, TraceError};

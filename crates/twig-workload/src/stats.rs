@@ -90,7 +90,7 @@ impl StaticStats {
 /// let p = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
 /// let mut ws = WorkingSet::new();
 /// for ev in Walker::new(&p, InputConfig::numbered(0)).take(10_000) {
-///     ws.observe(&p, &ev);
+///     ws.observe(&p, ev);
 /// }
 /// assert!(ws.instruction_bytes(&p) > 0);
 /// assert!(ws.unconditional_branch_sites() > 0);
@@ -111,8 +111,9 @@ impl WorkingSet {
         WorkingSet::default()
     }
 
-    /// Records one executed block event.
-    pub fn observe(&mut self, program: &Program, event: &BlockEvent) {
+    /// Records one executed block event (by value; [`BlockEvent`] is
+    /// `Copy`-sized, so event sources feed it without borrowing).
+    pub fn observe(&mut self, program: &Program, event: BlockEvent) {
         let block = program.block(event.block);
         self.executed_blocks.insert(event.block);
         self.dynamic_instrs += u64::from(block.num_instrs);
@@ -206,12 +207,12 @@ mod tests {
         let mut walker = Walker::new(&p, InputConfig::numbered(0));
         for _ in 0..2_000 {
             let ev = walker.next().unwrap();
-            ws.observe(&p, &ev);
+            ws.observe(&p, ev);
         }
         let early = ws.executed_blocks();
         for _ in 0..60_000 {
             let ev = walker.next().unwrap();
-            ws.observe(&p, &ev);
+            ws.observe(&p, ev);
         }
         let late = ws.executed_blocks();
         assert!(late >= early);
@@ -225,7 +226,7 @@ mod tests {
         let p = tiny();
         let mut ws = WorkingSet::new();
         for ev in Walker::new(&p, InputConfig::numbered(0)).take(50_000) {
-            ws.observe(&p, &ev);
+            ws.observe(&p, ev);
         }
         assert!(ws.instruction_bytes(&p) <= p.text_bytes());
     }
@@ -235,7 +236,7 @@ mod tests {
         let p = tiny();
         let mut ws = WorkingSet::new();
         for ev in Walker::new(&p, InputConfig::numbered(0)).take(20_000) {
-            ws.observe(&p, &ev);
+            ws.observe(&p, ev);
         }
         assert!(ws.unconditional_branch_sites() + ws.conditional_branch_sites()
             <= ws.executed_blocks());
@@ -251,7 +252,7 @@ mod tests {
             .filter(|e| p.block(e.block).branch_kind().is_some())
             .count() as u64;
         for ev in &events {
-            ws.observe(&p, ev);
+            ws.observe(&p, *ev);
         }
         assert_eq!(ws.total_dynamic_branches(), expected);
     }

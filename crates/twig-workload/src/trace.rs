@@ -5,6 +5,11 @@
 //! packets, static information (block geometry, direct-branch targets) is
 //! reconstructed from the binary, so traces are small and layout-independent.
 //!
+//! This module holds the row-oriented `TWGT` v1 format (one varint record
+//! per event, decoded front to back) plus the decode machinery shared with
+//! the columnar `.twgc` format in [`crate::columnar`]. See the crate docs
+//! for when each format is chosen.
+//!
 //! Format (little-endian, varint = LEB128):
 //!
 //! ```text
@@ -18,10 +23,15 @@
 //!   block  varint          block id
 //!   target varint          (only if has_target) block id
 //! ```
+//!
+//! Both [`decode_trace`] (over a byte slice) and [`read_trace`] (over any
+//! [`Read`]) drive the same chunk-oriented [`EventDecoder`]: the streaming
+//! path refills a bounded window and retries the shared per-event decode at
+//! the window edge, so `read_trace` never buffers the whole file.
 
 use std::io::{self, Read, Write};
 
-use twig_bytes::{Buf, BufMut, Bytes, BytesMut};
+use twig_bytes::{BufMut, Bytes, BytesMut};
 use twig_types::BlockId;
 
 use crate::walker::BlockEvent;
@@ -29,15 +39,44 @@ use crate::walker::BlockEvent;
 const MAGIC: &[u8; 4] = b"TWGT";
 const VERSION: u8 = 1;
 
-/// Errors produced when decoding a trace.
+/// Streaming-read window size: large enough to amortize `Read` calls, small
+/// enough that [`read_trace`]'s transient buffer stays cache-resident.
+const READ_WINDOW: usize = 64 * 1024;
+
+/// Upper bound on one encoded event (header byte + two maximal varints);
+/// a decode that fails inside the last `MAX_EVENT_BYTES` of a non-final
+/// window is a window-edge artifact, not corruption.
+const MAX_EVENT_BYTES: usize = 1 + 10 + 10;
+
+/// Errors produced when decoding a trace (either format).
 #[derive(Debug)]
 pub enum TraceError {
-    /// The stream does not begin with the trace magic.
+    /// The stream does not begin with a known trace magic.
     BadMagic,
     /// Unsupported format version.
     BadVersion(u8),
     /// The stream ended mid-event or a varint overflowed.
-    Truncated,
+    Truncated {
+        /// Absolute byte offset where decoding failed.
+        offset: u64,
+        /// Index of the event being decoded when the stream ended.
+        event: u64,
+    },
+    /// A structural invariant of the container failed (bad directory,
+    /// impossible length, ...); `what` names the violated invariant.
+    Corrupt {
+        /// Absolute byte offset of the rejected structure.
+        offset: u64,
+        /// The violated invariant.
+        what: &'static str,
+    },
+    /// A CRC-framed chunk failed its checksum (bit flip or torn write).
+    ChecksumMismatch {
+        /// Index of the rejected chunk.
+        chunk: u32,
+        /// Absolute byte offset of the chunk.
+        offset: u64,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -47,7 +86,16 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::BadMagic => write!(f, "stream is not a twig trace (bad magic)"),
             TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
-            TraceError::Truncated => write!(f, "trace ended unexpectedly"),
+            TraceError::Truncated { offset, event } => write!(
+                f,
+                "trace ended unexpectedly at byte {offset} (event {event})"
+            ),
+            TraceError::Corrupt { offset, what } => {
+                write!(f, "corrupt trace at byte {offset}: {what}")
+            }
+            TraceError::ChecksumMismatch { chunk, offset } => {
+                write!(f, "trace chunk {chunk} at byte {offset} failed its checksum")
+            }
             TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
         }
     }
@@ -65,6 +113,111 @@ impl std::error::Error for TraceError {
 impl From<io::Error> for TraceError {
     fn from(e: io::Error) -> Self {
         TraceError::Io(e)
+    }
+}
+
+/// Appends a LEB128 varint. Shared with the columnar encoder.
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// The one event/varint decoder both trace formats drive: a cursor over a
+/// byte window that knows its absolute position in the containing stream
+/// (`base`) and the index of the event being decoded, so every failure is
+/// a precise [`TraceError::Truncated`].
+pub(crate) struct EventDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Absolute stream offset of `buf[0]`.
+    base: u64,
+    /// Index of the event currently being decoded.
+    event: u64,
+}
+
+impl<'a> EventDecoder<'a> {
+    pub(crate) fn new(buf: &'a [u8], base: u64, event: u64) -> Self {
+        EventDecoder {
+            buf,
+            pos: 0,
+            base,
+            event,
+        }
+    }
+
+    /// Bytes consumed from the window so far.
+    pub(crate) fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Absolute stream offset of the next unread byte.
+    pub(crate) fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    fn truncated(&self) -> TraceError {
+        TraceError::Truncated {
+            offset: self.offset(),
+            event: self.event,
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, TraceError> {
+        let byte = *self.buf.get(self.pos).ok_or_else(|| self.truncated())?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    pub(crate) fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.truncated())
+    }
+
+    /// Decodes one `TWGT` event record and advances the event index.
+    pub(crate) fn event(&mut self) -> Result<BlockEvent, TraceError> {
+        let header = self.u8()?;
+        let block = BlockId::new(self.varint()? as u32);
+        let target = if header & 2 != 0 {
+            Some(BlockId::new(self.varint()? as u32))
+        } else {
+            None
+        };
+        self.event += 1;
+        Ok(BlockEvent {
+            block,
+            taken: header & 1 != 0,
+            target,
+        })
+    }
+}
+
+/// Encodes one `TWGT` event record. The inverse of [`EventDecoder::event`].
+pub(crate) fn put_event(buf: &mut BytesMut, ev: &BlockEvent) {
+    let mut header = 0u8;
+    if ev.taken {
+        header |= 1;
+    }
+    if ev.target.is_some() {
+        header |= 2;
+    }
+    buf.put_u8(header);
+    put_varint(buf, u64::from(ev.block.raw()));
+    if let Some(t) = ev.target {
+        put_varint(buf, u64::from(t.raw()));
     }
 }
 
@@ -90,54 +243,37 @@ pub fn encode_trace(events: &[BlockEvent]) -> Bytes {
     buf.put_u8(VERSION);
     put_varint(&mut buf, events.len() as u64);
     for ev in events {
-        let mut header = 0u8;
-        if ev.taken {
-            header |= 1;
-        }
-        if ev.target.is_some() {
-            header |= 2;
-        }
-        buf.put_u8(header);
-        put_varint(&mut buf, u64::from(ev.block.raw()));
-        if let Some(t) = ev.target {
-            put_varint(&mut buf, u64::from(t.raw()));
-        }
+        put_event(&mut buf, ev);
     }
     buf.freeze()
+}
+
+/// Parses the `TWGT` header from a decoder positioned at byte 0; returns
+/// the event count.
+fn decode_header(dec: &mut EventDecoder<'_>) -> Result<u64, TraceError> {
+    if dec.buf.len() < 5 || &dec.buf[..4] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = dec.buf[4];
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    dec.pos = 5;
+    dec.varint()
 }
 
 /// Decodes a full trace buffer.
 ///
 /// # Errors
 ///
-/// Returns [`TraceError`] on malformed input.
-pub fn decode_trace(mut buf: &[u8]) -> Result<Vec<BlockEvent>, TraceError> {
-    if buf.len() < 5 || &buf[..4] != MAGIC {
-        return Err(TraceError::BadMagic);
-    }
-    let version = buf[4];
-    if version != VERSION {
-        return Err(TraceError::BadVersion(version));
-    }
-    buf.advance(5);
-    let count = get_varint(&mut buf)? as usize;
-    let mut events = Vec::with_capacity(count.min(1 << 24));
+/// Returns [`TraceError`] on malformed input; [`TraceError::Truncated`]
+/// carries the byte offset and event index where decoding stopped.
+pub fn decode_trace(buf: &[u8]) -> Result<Vec<BlockEvent>, TraceError> {
+    let mut dec = EventDecoder::new(buf, 0, 0);
+    let count = decode_header(&mut dec)?;
+    let mut events = Vec::with_capacity((count as usize).min(1 << 24));
     for _ in 0..count {
-        if buf.remaining() < 2 {
-            return Err(TraceError::Truncated);
-        }
-        let header = buf.get_u8();
-        let block = BlockId::new(get_varint(&mut buf)? as u32);
-        let target = if header & 2 != 0 {
-            Some(BlockId::new(get_varint(&mut buf)? as u32))
-        } else {
-            None
-        };
-        events.push(BlockEvent {
-            block,
-            taken: header & 1 != 0,
-            target,
-        });
+        events.push(dec.event()?);
     }
     Ok(events)
 }
@@ -153,44 +289,116 @@ pub fn write_trace<W: Write>(mut writer: W, events: &[BlockEvent]) -> io::Result
     writer.write_all(&encode_trace(events))
 }
 
-/// Reads an entire trace from `reader`.
+/// Reads an entire trace from `reader`, decoding through a bounded 64 KiB
+/// window rather than buffering the file — the same per-event decoder as
+/// [`decode_trace`], retried at the window edge after a refill.
 ///
 /// A `&mut R` also works wherever an `R: Read` is expected.
 ///
 /// # Errors
 ///
 /// Returns [`TraceError`] on I/O failure or malformed input.
-pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<BlockEvent>, TraceError> {
-    let mut bytes = Vec::new();
-    reader.read_to_end(&mut bytes)?;
-    decode_trace(&bytes)
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<BlockEvent>, TraceError> {
+    let mut window = StreamWindow::new(reader);
+    // Header: magic + version + count varint fit well inside one window.
+    window.fill()?;
+    let (count, header_len) = {
+        let mut dec = EventDecoder::new(window.bytes(), 0, 0);
+        let count = decode_header(&mut dec)?;
+        (count, dec.consumed())
+    };
+    window.consume(header_len);
+    let mut events = Vec::with_capacity((count as usize).min(1 << 24));
+    for index in 0..count {
+        loop {
+            let mut dec = EventDecoder::new(window.bytes(), window.base(), index);
+            match dec.event() {
+                Ok(ev) => {
+                    let used = dec.consumed();
+                    window.consume(used);
+                    events.push(ev);
+                    break;
+                }
+                // A failure near the window edge may just mean the record
+                // straddles it: refill and re-run the same decoder. Only
+                // when no more input exists is it a real truncation.
+                Err(TraceError::Truncated { .. }) if !window.at_eof() => {
+                    window.fill()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(events)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            return;
-        }
-        buf.put_u8(byte | 0x80);
-    }
+/// A bounded sliding window over a [`Read`] stream: holds at most one
+/// refill chunk plus a partial record, tracking the absolute offset of its
+/// first unconsumed byte.
+struct StreamWindow<R: Read> {
+    reader: R,
+    buf: Vec<u8>,
+    start: usize,
+    base: u64,
+    eof: bool,
 }
 
-fn get_varint(buf: &mut &[u8]) -> Result<u64, TraceError> {
-    let mut v = 0u64;
-    for shift in (0..64).step_by(7) {
-        if !buf.has_remaining() {
-            return Err(TraceError::Truncated);
-        }
-        let byte = buf.get_u8();
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(v);
+impl<R: Read> StreamWindow<R> {
+    fn new(reader: R) -> Self {
+        StreamWindow {
+            reader,
+            buf: Vec::with_capacity(READ_WINDOW + MAX_EVENT_BYTES),
+            start: 0,
+            base: 0,
+            eof: false,
         }
     }
-    Err(TraceError::Truncated)
+
+    /// The unconsumed window.
+    fn bytes(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Absolute stream offset of `bytes()[0]`.
+    fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Whether the underlying reader is exhausted (window may still hold a
+    /// tail).
+    fn at_eof(&self) -> bool {
+        self.eof
+    }
+
+    fn consume(&mut self, n: usize) {
+        debug_assert!(self.start + n <= self.buf.len());
+        self.start += n;
+        self.base += n as u64;
+    }
+
+    /// Compacts the consumed prefix away and reads one more chunk.
+    fn fill(&mut self) -> Result<(), TraceError> {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + READ_WINDOW, 0);
+        let mut filled = old_len;
+        while filled < self.buf.len() {
+            match self.reader.read(&mut self.buf[filled..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceError::Io(e)),
+            }
+        }
+        self.buf.truncate(filled);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -226,9 +434,26 @@ mod tests {
     }
 
     #[test]
+    fn streaming_read_crosses_window_edges() {
+        // Enough events that the encoded stream spans several 64 KiB
+        // windows, exercising the refill-and-retry path of `read_trace`.
+        let p = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let events: Vec<_> = Walker::new(&p, InputConfig::numbered(2))
+            .take(100_000)
+            .collect();
+        let bytes = encode_trace(&events);
+        assert!(bytes.len() > 2 * super::READ_WINDOW, "trace too small");
+        assert_eq!(read_trace(&bytes[..]).unwrap(), events);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         assert!(matches!(
             decode_trace(b"NOPE\x01\x00"),
+            Err(TraceError::BadMagic)
+        ));
+        assert!(matches!(
+            read_trace(&b"NOPE\x01\x00"[..]),
             Err(TraceError::BadMagic)
         ));
     }
@@ -251,6 +476,37 @@ mod tests {
                 decode_trace(&bytes[..cut]).is_err(),
                 "accepted truncation at {cut}"
             );
+            assert!(
+                read_trace(&bytes[..cut]).is_err(),
+                "streaming accepted truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_error_names_offset_and_event() {
+        let p = ProgramGenerator::new(WorkloadSpec::tiny_test()).generate();
+        let events: Vec<_> = Walker::new(&p, InputConfig::numbered(0)).take(100).collect();
+        let bytes = encode_trace(&events);
+        let cut = bytes.len() - 1;
+        match decode_trace(&bytes[..cut]) {
+            Err(TraceError::Truncated { offset, event }) => {
+                // The failure is inside the final event, at the cut point.
+                assert_eq!(event, events.len() as u64 - 1);
+                assert!(offset as usize <= cut);
+                assert!(offset as usize >= cut.saturating_sub(super::MAX_EVENT_BYTES));
+                // The streaming decoder reports the identical position.
+                match read_trace(&bytes[..cut]) {
+                    Err(TraceError::Truncated {
+                        offset: s_offset,
+                        event: s_event,
+                    }) => {
+                        assert_eq!((s_offset, s_event), (offset, event));
+                    }
+                    other => panic!("streaming path returned {other:?}"),
+                }
+            }
+            other => panic!("expected Truncated, got {other:?}"),
         }
     }
 
@@ -260,9 +516,9 @@ mod tests {
         for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64] {
             buf.clear();
             put_varint(&mut buf, v);
-            let mut slice: &[u8] = &buf;
-            assert_eq!(get_varint(&mut slice).unwrap(), v);
-            assert!(slice.is_empty());
+            let mut dec = EventDecoder::new(&buf, 0, 0);
+            assert_eq!(dec.varint().unwrap(), v);
+            assert_eq!(dec.consumed(), buf.len());
         }
     }
 }

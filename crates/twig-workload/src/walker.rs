@@ -16,6 +16,8 @@
 //!    isolating the effect of the injected prefetches (the injected ops do
 //!    not alter control flow, only block sizes and instruction counts).
 
+use std::borrow::Borrow;
+
 use twig_rand::rngs::SmallRng;
 use twig_rand::{RngExt, SeedableRng};
 use twig_serde::{Deserialize, Serialize};
@@ -62,6 +64,11 @@ const MAX_STACK_DEPTH: usize = 512;
 /// and never terminates (the dispatcher loops forever), so callers bound it
 /// with [`Iterator::take`] or an instruction budget.
 ///
+/// Generic over how the program is held: `Walker::new(&program, ..)` borrows
+/// (the common case), while an owning holder such as `Arc<Program>` yields a
+/// self-contained walker — what [`crate::WalkerSource`] uses to be an owned,
+/// resettable event source.
+///
 /// # Examples
 ///
 /// ```
@@ -74,18 +81,21 @@ const MAX_STACK_DEPTH: usize = 512;
 /// assert_eq!(events.len(), 100);
 /// ```
 #[derive(Debug)]
-pub struct Walker<'p> {
-    program: &'p Program,
+pub struct Walker<P: Borrow<Program>> {
+    program: P,
     input: InputConfig,
     rng: SmallRng,
     current: BlockId,
     stack: Vec<BlockId>,
 }
 
-impl<'p> Walker<'p> {
+impl<P: Borrow<Program>> Walker<P> {
     /// Starts a walk at the program's dispatcher under the given input.
-    pub fn new(program: &'p Program, input: InputConfig) -> Self {
-        let entry = program.function(program.entry_function()).entry;
+    pub fn new(program: P, input: InputConfig) -> Self {
+        let entry = {
+            let program = program.borrow();
+            program.function(program.entry_function()).entry
+        };
         Walker {
             program,
             input,
@@ -115,7 +125,7 @@ impl<'p> Walker<'p> {
         let mut executed = 0u64;
         while executed < instructions {
             let ev = self.next().expect("walker is infinite");
-            executed += u64::from(self.program.block(ev.block).num_instrs);
+            executed += u64::from(self.program.borrow().block(ev.block).num_instrs);
             events.push(ev);
         }
         events
@@ -124,7 +134,8 @@ impl<'p> Walker<'p> {
     /// Resolves the dynamic successor of `block` and returns the event.
     fn step(&mut self) -> BlockEvent {
         let id = self.current;
-        let block = self.program.block(id);
+        let program = self.program.borrow();
+        let block = program.block(id);
         let (event, next) = match &block.term {
             Terminator::FallThrough { next } => (
                 BlockEvent {
@@ -170,7 +181,7 @@ impl<'p> Walker<'p> {
                 *target,
             ),
             Terminator::Call { callee, return_to } => {
-                let entry = self.program.function(*callee).entry;
+                let entry = program.function(*callee).entry;
                 if self.stack.len() < MAX_STACK_DEPTH {
                     self.stack.push(*return_to);
                 }
@@ -184,7 +195,8 @@ impl<'p> Walker<'p> {
                 )
             }
             Terminator::IndirectJump { targets } => {
-                let choice = self.weighted_choice(id, targets.iter().map(|(_, w)| *w));
+                let choice =
+                    weighted_choice(&mut self.rng, &self.input, id, targets.iter().map(|(_, w)| *w));
                 let target = targets[choice].0;
                 (
                     BlockEvent {
@@ -196,8 +208,9 @@ impl<'p> Walker<'p> {
                 )
             }
             Terminator::IndirectCall { callees, return_to } => {
-                let choice = self.weighted_choice(id, callees.iter().map(|(_, w)| *w));
-                let entry = self.program.function(callees[choice].0).entry;
+                let choice =
+                    weighted_choice(&mut self.rng, &self.input, id, callees.iter().map(|(_, w)| *w));
+                let entry = program.function(callees[choice].0).entry;
                 if self.stack.len() < MAX_STACK_DEPTH {
                     self.stack.push(*return_to);
                 }
@@ -214,7 +227,7 @@ impl<'p> Walker<'p> {
                 let next = self.stack.pop().unwrap_or_else(|| {
                     // Stack exhausted (should only happen if a walk starts
                     // mid-program): restart the event loop.
-                    self.program.function(self.program.entry_function()).entry
+                    program.function(program.entry_function()).entry
                 });
                 (
                     BlockEvent {
@@ -229,27 +242,34 @@ impl<'p> Walker<'p> {
         self.current = next;
         event
     }
-
-    /// Samples an index from input-skewed weights.
-    fn weighted_choice(&mut self, block: BlockId, weights: impl Iterator<Item = f32>) -> usize {
-        let effective: Vec<f32> = weights
-            .enumerate()
-            .map(|(slot, w)| self.input.effective_weight(block, slot as u32, w))
-            .collect();
-        let total: f32 = effective.iter().sum();
-        debug_assert!(total > 0.0);
-        let mut x = self.rng.random::<f32>() * total;
-        for (i, w) in effective.iter().enumerate() {
-            if x < *w {
-                return i;
-            }
-            x -= *w;
-        }
-        effective.len() - 1
-    }
 }
 
-impl Iterator for Walker<'_> {
+/// Samples an index from input-skewed weights. A free function (rather than
+/// a method) so [`Walker::step`] can call it while the program holder is
+/// borrowed — it touches only the RNG and input fields.
+fn weighted_choice(
+    rng: &mut SmallRng,
+    input: &InputConfig,
+    block: BlockId,
+    weights: impl Iterator<Item = f32>,
+) -> usize {
+    let effective: Vec<f32> = weights
+        .enumerate()
+        .map(|(slot, w)| input.effective_weight(block, slot as u32, w))
+        .collect();
+    let total: f32 = effective.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut x = rng.random::<f32>() * total;
+    for (i, w) in effective.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= *w;
+    }
+    effective.len() - 1
+}
+
+impl<P: Borrow<Program>> Iterator for Walker<P> {
     type Item = BlockEvent;
 
     fn next(&mut self) -> Option<BlockEvent> {

@@ -9,7 +9,8 @@ use twig_serde::{Deserialize, Serialize};
 use twig_profile::{LbrRecorder, Profile};
 use twig_sim::{speedup_percent, PlainBtb, SimConfig, SimStats, Simulator};
 use twig_workload::{
-    BlockEvent, InputConfig, LayoutOptions, Program, ProgramGenerator, Walker, WorkloadSpec,
+    BlockEvent, EventSource, InputConfig, LayoutOptions, Program, ProgramGenerator, Walker,
+    WorkloadSpec,
 };
 
 use crate::analysis::{analyze_profile_with_layout, MissPlan};
@@ -127,9 +128,30 @@ impl TwigOptimizer {
         instructions: u64,
     ) -> (Profile, SimStats) {
         let mut recorder = LbrRecorder::new(program, 1);
-        recorder.observe_events(program, events);
+        recorder.observe_events(program, events.iter().copied());
         let mut sim = Simulator::new(program, sim_config, PlainBtb::new(&sim_config));
         let stats = sim.run_observed(events.iter().copied(), instructions, &mut recorder);
+        (recorder.into_profile(), stats)
+    }
+
+    /// [`Self::collect_profile_and_stats_from_events`] over a streaming
+    /// [`EventSource`] — the out-of-core path. The profile pass consumes
+    /// one full pass of the source, the source is reset, and the
+    /// simulation replays the identical stream (replay determinism is the
+    /// source contract), so profile and stats agree exactly with the
+    /// materialized variant on the same events.
+    pub fn collect_profile_and_stats_from_source<S: EventSource>(
+        &self,
+        program: &Program,
+        sim_config: SimConfig,
+        source: &mut S,
+        instructions: u64,
+    ) -> (Profile, SimStats) {
+        let mut recorder = LbrRecorder::new(program, 1);
+        recorder.observe_events(program, source.by_ref());
+        source.reset();
+        let mut sim = Simulator::new(program, sim_config, PlainBtb::new(&sim_config));
+        let stats = sim.run_observed(source.by_ref(), instructions, &mut recorder);
         (recorder.into_profile(), stats)
     }
 
@@ -236,6 +258,26 @@ impl TwigOptimizer {
         (baseline, ideal)
     }
 
+    /// [`Self::reference_stats`] over a streaming [`EventSource`]: the
+    /// baseline pass runs, the source resets, the ideal pass replays.
+    pub fn reference_stats_from_source<S: EventSource>(
+        original: &Program,
+        sim_config: SimConfig,
+        source: &mut S,
+        instructions: u64,
+    ) -> (SimStats, SimStats) {
+        let mut base_sim = Simulator::new(original, sim_config, PlainBtb::new(&sim_config));
+        let baseline = base_sim.run(source.by_ref(), instructions);
+        source.reset();
+        let ideal_cfg = SimConfig {
+            ideal_btb: true,
+            ..sim_config
+        };
+        let mut ideal_sim = Simulator::new(original, ideal_cfg, PlainBtb::new(&ideal_cfg));
+        let ideal = ideal_sim.run(source.by_ref(), instructions);
+        (baseline, ideal)
+    }
+
     /// Scores one optimized binary against precomputed reference runs
     /// (see [`Self::reference_stats`]); runs only the Twig simulation.
     pub fn evaluate_optimized(
@@ -255,7 +297,55 @@ impl TwigOptimizer {
             PlainBtb::new(&sim_config),
         );
         let twig = twig_sim.run(events.iter().copied(), instructions);
+        self.score(twig, baseline, ideal)
+    }
 
+    /// [`Self::evaluate_optimized`] over a streaming [`EventSource`]
+    /// (resets the source first, so it composes after a reference pass).
+    pub fn evaluate_optimized_from_source<S: EventSource>(
+        &self,
+        optimized: &OptimizedBinary,
+        sim_config: SimConfig,
+        source: &mut S,
+        instructions: u64,
+        baseline: SimStats,
+        ideal: SimStats,
+    ) -> EvalReport {
+        source.reset();
+        let mut twig_sim = Simulator::new(
+            &optimized.program,
+            sim_config,
+            PlainBtb::new(&sim_config),
+        );
+        let twig = twig_sim.run(source.by_ref(), instructions);
+        self.score(twig, baseline, ideal)
+    }
+
+    /// [`Self::evaluate_with_events`] over a streaming [`EventSource`]:
+    /// three bounded-memory passes (baseline, ideal, Twig) over one
+    /// resettable stream.
+    pub fn evaluate_with_source<S: EventSource>(
+        &self,
+        original: &Program,
+        optimized: &OptimizedBinary,
+        sim_config: SimConfig,
+        source: &mut S,
+        instructions: u64,
+    ) -> EvalReport {
+        let (baseline, ideal) =
+            Self::reference_stats_from_source(original, sim_config, source, instructions);
+        self.evaluate_optimized_from_source(
+            optimized,
+            sim_config,
+            source,
+            instructions,
+            baseline,
+            ideal,
+        )
+    }
+
+    /// Scores a Twig run against precomputed reference stats.
+    fn score(&self, twig: SimStats, baseline: SimStats, ideal: SimStats) -> EvalReport {
         let speedup = speedup_percent(&baseline, &twig);
         let ideal_speedup = speedup_percent(&baseline, &ideal);
         EvalReport {
@@ -360,6 +450,47 @@ mod tests {
                 "cross-input coverage collapsed: {:.3}",
                 r.coverage
             );
+        }
+    }
+
+    #[test]
+    fn source_paths_match_materialized_paths() {
+        use twig_workload::{ColumnarReader, ColumnarSource, MemSource};
+
+        let spec = WorkloadSpec::tiny_test();
+        let generator = ProgramGenerator::new(spec.clone());
+        let program = generator.generate();
+        let sim = pressured_config(&spec);
+        let optimizer = TwigOptimizer::default();
+        let budget = 60_000u64;
+        let events =
+            Walker::new(&program, InputConfig::numbered(0)).run_instructions(budget);
+
+        let (profile, stats) =
+            optimizer.collect_profile_and_stats_from_events(&program, sim, &events, budget);
+        let plans = optimizer.analyze_for(&profile, &program);
+        let optimized = optimizer.rewrite(&generator, &plans);
+        let report = optimizer.evaluate_with_events(&program, &optimized, sim, &events, budget);
+
+        // In-memory source and out-of-core columnar source must reproduce
+        // the materialized path exactly — profiles, stats, and reports.
+        let columnar = twig_workload::columnar::encode_columnar_chunked(&events, 4096);
+        let mut sources: Vec<twig_workload::AnySource> = vec![
+            MemSource::from(events.clone()).into(),
+            ColumnarSource::from_reader(std::sync::Arc::new(
+                ColumnarReader::from_bytes(columnar).unwrap(),
+            ))
+            .into(),
+        ];
+        for source in &mut sources {
+            let (p2, s2) = optimizer
+                .collect_profile_and_stats_from_source(&program, sim, source, budget);
+            assert_eq!(p2, profile);
+            assert_eq!(s2, stats);
+            source.reset();
+            let r2 =
+                optimizer.evaluate_with_source(&program, &optimized, sim, source, budget);
+            assert_eq!(r2, report);
         }
     }
 

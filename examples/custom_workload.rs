@@ -63,7 +63,7 @@ fn main() {
     let events = Walker::new(&program, InputConfig::numbered(0)).run_instructions(budget);
     let mut ws = WorkingSet::new();
     for ev in &events {
-        ws.observe(&program, ev);
+        ws.observe(&program, *ev);
     }
     println!(
         "\ndynamic: {} block events, {} distinct taken branch sites,",

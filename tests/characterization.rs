@@ -62,7 +62,7 @@ fn lbr_profile_agrees_with_sim_counters() {
     let config = SimConfig::default();
     let events = Walker::new(&program, InputConfig::numbered(0)).run_instructions(BUDGET);
     let mut recorder = LbrRecorder::new(&program, 1);
-    recorder.observe_events(&program, &events);
+    recorder.observe_events(&program, events.iter().copied());
     let mut sim = Simulator::new(&program, config, PlainBtb::new(&config));
     let stats = sim.run_observed(events, BUDGET, &mut recorder);
     let profile = recorder.into_profile();
@@ -104,8 +104,8 @@ fn spatial_range_and_working_set_are_consistent() {
     let mut analyzer = SpatialRangeAnalyzer::new();
     let mut ws = WorkingSet::new();
     for ev in &events {
-        analyzer.observe(&program, ev);
-        ws.observe(&program, ev);
+        analyzer.observe(&program, *ev);
+        ws.observe(&program, *ev);
     }
     let range = analyzer.finish();
     let frac = range.out_of_range_fraction();

@@ -1,0 +1,42 @@
+//! Streaming-trace equivalence: on every calibrated application preset,
+//! replaying a trace through the out-of-core columnar source must
+//! reproduce the in-memory `Vec` source bit for bit — same simulator
+//! statistics, same rendered bytes. This is the integration guarantee
+//! behind the CI big-trace lane: trace *backing* never changes results.
+
+use std::sync::Arc;
+
+use twig_sim::{PlainBtb, SimConfig, Simulator};
+use twig_workload::{
+    encode_columnar_chunked, AppId, BlockEvent, ColumnarReader, ColumnarSource, InputConfig,
+    MemSource, ProgramGenerator, Walker, WorkloadSpec,
+};
+
+const BUDGET: u64 = 60_000;
+
+#[test]
+fn columnar_source_matches_in_memory_on_every_app_spec() {
+    for app in AppId::ALL {
+        let spec = WorkloadSpec::preset(app);
+        let program = ProgramGenerator::new(spec.clone()).generate();
+        let config = SimConfig::paper_baseline(spec.backend_extra_cpki);
+        let events: Vec<BlockEvent> =
+            Walker::new(&program, InputConfig::numbered(0)).run_instructions(BUDGET);
+
+        let mut mem_sim = Simulator::new(&program, config, PlainBtb::new(&config));
+        let in_memory = mem_sim.run(MemSource::from(events.clone()), BUDGET);
+
+        // Small chunks force many chunk boundaries inside the trace.
+        let columnar = encode_columnar_chunked(&events, 512);
+        let reader = Arc::new(ColumnarReader::from_bytes(columnar).expect("open columnar"));
+        let mut col_sim = Simulator::new(&program, config, PlainBtb::new(&config));
+        let streamed = col_sim.run(ColumnarSource::from_reader(reader), BUDGET);
+
+        assert_eq!(streamed, in_memory, "stats diverge on {app:?}");
+        assert_eq!(
+            format!("{streamed:?}"),
+            format!("{in_memory:?}"),
+            "rendered stats must be byte-identical on {app:?}"
+        );
+    }
+}
