@@ -262,7 +262,9 @@ fn bench_integrity_overhead(c: &mut Criterion) {
 /// `monomorphized` dispatch row above; `counters` records through
 /// preallocated integer handles; `trace`/`trace=64` add the sampled span
 /// ring on top; `attr` adds the per-branch cycle attribution table
-/// (bounded top-K, charged once per resteer) to the counters tier.
+/// (bounded top-K, charged once per resteer) to the counters tier;
+/// `window4096`/`window65536` price the windowed timeline alone (one
+/// retired-instruction compare per retiring cycle, tier still `off`).
 ///
 /// Before timing anything, this bench asserts the zero-perturbation
 /// contract: every tier must produce bit-identical statistics —
@@ -276,7 +278,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
         Walker::new(&program, InputConfig::numbered(0)).run_instructions(INSTRS);
     group.throughput(Throughput::Elements(INSTRS));
 
-    let tiers: [(&str, ObsConfig); 5] = [
+    let tiers: [(&str, ObsConfig); 7] = [
         ("off", ObsConfig::off()),
         ("counters", ObsConfig::counters()),
         ("trace", ObsConfig::trace(1)),
@@ -285,6 +287,8 @@ fn bench_obs_overhead(c: &mut Criterion) {
             "attr",
             ObsConfig::counters().with_attr(twig_sim::AttrConfig::on()),
         ),
+        ("window4096", ObsConfig::windowed(4096)),
+        ("window65536", ObsConfig::windowed(65_536)),
     ];
     let run = |obs: ObsConfig| {
         let config = SimConfig {

@@ -69,6 +69,7 @@ fn main() {
     let mut strict = false;
     let mut obs_level: Option<twig_obs::ObsLevel> = None;
     let mut obs_attr: Option<twig_obs::AttrConfig> = None;
+    let mut obs_window: Option<Option<u64>> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -114,12 +115,20 @@ fn main() {
                         .unwrap_or_else(|e| panic!("--obs-attr: {e}")),
                 );
             }
+            "--obs-window" => {
+                let text = args.next().expect("--obs-window needs off | window=N");
+                obs_window = Some(
+                    twig_obs::parse_window_spec(&text)
+                        .unwrap_or_else(|e| panic!("--obs-window: {e}")),
+                );
+            }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments <id>...|all [--instructions N] \
                      [--sweep-instructions N] [--results-dir DIR] [--resume] [--strict] \
-                     [--obs off|counters|trace[=N]] [--obs-attr off|on|k=N,sample=N]\n\
+                     [--obs off|counters|trace[=N]] [--obs-attr off|on|k=N,sample=N] \
+                     [--obs-window off|window=N]\n\
                      ids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -135,7 +144,7 @@ fn main() {
     // Compose the observability override: start from the environment
     // (`TWIG_OBS`/`TWIG_OBS_ATTR`), let explicit flags win field-wise, and
     // pin the result once (explicit arg > env > default).
-    if obs_level.is_some() || obs_attr.is_some() {
+    if obs_level.is_some() || obs_attr.is_some() || obs_window.is_some() {
         let mut obs = twig_obs::ObsConfig::from_env()
             .unwrap_or_else(|e| panic!("observability environment: {e}"));
         if let Some(level) = obs_level {
@@ -143,6 +152,9 @@ fn main() {
         }
         if let Some(attr) = obs_attr {
             obs.attr = attr;
+        }
+        if let Some(window) = obs_window {
+            obs.window = window;
         }
         twig_obs::set_global_override(obs);
     }
@@ -181,11 +193,12 @@ fn main() {
     if harness.integrity_dump_dir.value.is_none() {
         twig_sim::integrity::dump::set_dump_dir(ctx.results_dir.join(".integrity"));
     }
-    // Whenever anything records — counters tier and up, or attribution
-    // alone — per-cell snapshots (plus traces at the trace tier and
-    // attribution profiles when enabled) land under
-    // <results-dir>/metrics/.
-    if twig_obs::ObsConfig::default().recording() {
+    // Whenever anything records — counters tier and up, attribution
+    // alone, or the windowed timeline — per-cell snapshots (plus traces
+    // at the trace tier, attribution profiles, and timeline series when
+    // enabled) land under <results-dir>/metrics/.
+    let obs_effective = twig_obs::ObsConfig::default();
+    if obs_effective.recording() || obs_effective.window.is_some() {
         twig_bench::telemetry::set_metrics_dir(ctx.results_dir.join("metrics"));
     }
 

@@ -487,14 +487,15 @@ impl ArtifactCache {
 
     /// Whether a simulation at `config` is a pure function of its inputs
     /// as far as the harness is concerned. Integrity sampling, seeded
-    /// mutations, and observability recording all have side effects
-    /// beyond the returned [`SimStats`] (violations, forensic dumps,
-    /// telemetry exports), so runs with any of them enabled must execute
-    /// every time.
+    /// mutations, observability recording, and windowed timelines all
+    /// have side effects beyond the returned [`SimStats`] (violations,
+    /// forensic dumps, telemetry exports), so runs with any of them
+    /// enabled must execute every time.
     pub fn sim_cacheable(config: &SimConfig) -> bool {
         config.integrity.level == IntegrityLevel::Off
             && config.integrity.mutate.is_none()
             && !config.obs.recording()
+            && config.obs.window.is_none()
     }
 
     /// The statistics of one simulation of the canonical program for

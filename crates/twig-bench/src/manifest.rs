@@ -19,7 +19,9 @@ use twig_serde::Serialize;
 /// (per-cell attribution-profile exports).
 /// v4 added `export_failures` (typed per-cell export degradations) and
 /// `healed` (crash residue rolled back/forward at startup).
-pub const MANIFEST_VERSION: u32 = 4;
+/// v5 added `obs_window` (the windowed-timeline knob) and `timelines`
+/// (per-cell windowed time-series exports).
+pub const MANIFEST_VERSION: u32 = 5;
 
 /// How a cell's value was obtained (or lost).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,6 +113,19 @@ pub struct AttributionRecord {
     pub total_cycles: u64,
 }
 
+/// One cell's exported windowed timeline (`TWIG_OBS_WINDOW` runs).
+#[derive(Clone, Debug, Serialize)]
+pub struct TimelineRecord {
+    /// Cell id, e.g. `sim:kafka/twig`.
+    pub id: String,
+    /// Path of the timeline JSON, relative to the results directory.
+    pub path: String,
+    /// Number of windows in the snapshot.
+    pub windows: usize,
+    /// Number of detected phase segments.
+    pub phases: usize,
+}
+
 /// One export that could not be published: the cell's data survives in
 /// memory (figures are unaffected) but its observability artifact is
 /// missing, with a typed reason instead of a silent drop.
@@ -118,7 +133,8 @@ pub struct AttributionRecord {
 pub struct ExportFailureRecord {
     /// Cell id, e.g. `sim:kafka/twig`.
     pub id: String,
-    /// Which export degraded: `metrics` / `attribution` / `trace`.
+    /// Which export degraded: `metrics` / `attribution` / `trace` /
+    /// `timeline`.
     pub artifact: String,
     /// Why it failed (I/O error text, injected disk-full, serialize).
     pub reason: String,
@@ -147,6 +163,9 @@ pub struct RunManifest {
     pub obs: String,
     /// The attribution spec the run executed with (`off` when disabled).
     pub obs_attr: String,
+    /// The windowed-timeline knob the run executed with (`off` when
+    /// disabled, `window=N` otherwise).
+    pub obs_window: String,
     /// Every `TWIG_*` knob as resolved by the typed harness config.
     pub effective_config: Vec<EffectiveSetting>,
     /// Number of cells with status `failed`.
@@ -162,6 +181,9 @@ pub struct RunManifest {
     /// Per-cell attribution exports, sorted by id (empty unless
     /// `TWIG_OBS_ATTR` enabled attribution).
     pub attribution: Vec<AttributionRecord>,
+    /// Per-cell windowed-timeline exports, sorted by id (empty unless
+    /// `TWIG_OBS_WINDOW` selected a window).
+    pub timelines: Vec<TimelineRecord>,
     /// Exports that degraded with a typed reason, sorted by id then
     /// artifact (empty on a healthy run).
     pub export_failures: Vec<ExportFailureRecord>,
@@ -207,6 +229,7 @@ pub fn reset_cells() {
     cells().clear();
     metrics().clear();
     attribution().clear();
+    timelines().clear();
     export_failures().clear();
     healed().clear();
 }
@@ -262,6 +285,31 @@ pub fn record_attribution(
 /// Snapshot of all recorded attribution exports, sorted by id.
 pub fn snapshot_attribution() -> Vec<AttributionRecord> {
     let mut out = attribution().clone();
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
+static TIMELINES: Mutex<Vec<TimelineRecord>> = Mutex::new(Vec::new());
+
+fn timelines() -> std::sync::MutexGuard<'static, Vec<TimelineRecord>> {
+    TIMELINES
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Records one cell's timeline export into the process-wide collector.
+pub fn record_timeline(id: &str, path: &str, windows: usize, phases: usize) {
+    timelines().push(TimelineRecord {
+        id: id.to_string(),
+        path: path.to_string(),
+        windows,
+        phases,
+    });
+}
+
+/// Snapshot of all recorded timeline exports, sorted by id.
+pub fn snapshot_timelines() -> Vec<TimelineRecord> {
+    let mut out = timelines().clone();
     out.sort_by(|a, b| a.id.cmp(&b.id));
     out
 }
@@ -336,6 +384,7 @@ pub fn build(resume: bool, experiments: Vec<ExperimentRecord>) -> RunManifest {
         fault_spec: twig_sched::fault::global().raw.clone(),
         obs: obs_config.level.as_text(),
         obs_attr: obs_config.attr.as_text(),
+        obs_window: obs_config.window_text(),
         effective_config: effective_config(),
         failed_cells,
         failed_experiments,
@@ -343,6 +392,7 @@ pub fn build(resume: bool, experiments: Vec<ExperimentRecord>) -> RunManifest {
         experiments,
         metrics: snapshot_metrics(),
         attribution: snapshot_attribution(),
+        timelines: snapshot_timelines(),
         export_failures: snapshot_export_failures(),
         healed: snapshot_healed(),
     }
@@ -378,6 +428,24 @@ mod tests {
         let json = twig_serde_json::to_string_pretty(&manifest).unwrap();
         assert!(json.contains("\"status\": \"failed\""));
         assert!(json.contains("panicked: x"));
+        reset_cells();
+    }
+
+    #[test]
+    fn timeline_exports_are_recorded_and_sorted() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset_cells();
+        record_timeline("sim:z/twig", "sim_z_twig.timeline.json", 12, 3);
+        record_timeline("sim:a/twig", "sim_a_twig.timeline.json", 4, 1);
+        let manifest = build(false, Vec::new());
+        assert_eq!(manifest.obs_window, "off");
+        let ids: Vec<&str> = manifest.timelines.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids, vec!["sim:a/twig", "sim:z/twig"]);
+        assert_eq!(manifest.timelines[0].windows, 4);
+        assert_eq!(manifest.timelines[1].phases, 3);
+        let json = twig_serde_json::to_string_pretty(&manifest).unwrap();
+        assert!(json.contains("\"timelines\""));
+        assert!(json.contains("\"obs_window\": \"off\""));
         reset_cells();
     }
 

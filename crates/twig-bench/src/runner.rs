@@ -439,6 +439,11 @@ fn run_mono<B: BtbSystem>(
             crate::telemetry::record_cell_trace(label, &trace);
         }
     }
+    // Windowing is orthogonal to the recording tiers: export whenever the
+    // window knob produced a timeline, even at the `off` tier.
+    if let Some(timeline) = sim.timeline_snapshot() {
+        crate::telemetry::record_cell_timeline(label, &timeline);
+    }
     // Folded stacks use the bare `<app>/<slot>` cell name as the root
     // frame (the `sim:` namespace prefix is a harness detail).
     let folded_label = label.split_once(':').map_or(label, |(_, tail)| tail);

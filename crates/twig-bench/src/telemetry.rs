@@ -120,6 +120,29 @@ pub fn record_cell_attribution(label: &str, snapshot: &AttributionSnapshot, fold
     }
 }
 
+/// Writes one cell's windowed timeline as
+/// `<metrics-dir>/<app>_<config>.timeline.json` and folds the export
+/// into the run manifest. No-op when no export directory is pinned.
+pub fn record_cell_timeline(label: &str, snapshot: &twig_sim::TimelineSnapshot) {
+    let Some(dir) = metrics_dir() else { return };
+    let stem = cell_file_stem(label);
+    let file = format!("{stem}.timeline.json");
+    let Ok(json) = snapshot.to_json() else {
+        let reason = "failed to serialize".to_string();
+        eprintln!("[twig-bench] timeline export for {label} degraded: {reason}");
+        manifest::record_export_failure(label, "timeline", &reason);
+        return;
+    };
+    if publish_export(label, "timeline", dir, &file, json.as_bytes()) {
+        manifest::record_timeline(
+            label,
+            &format!("metrics/{file}"),
+            snapshot.windows.len(),
+            snapshot.phases.len(),
+        );
+    }
+}
+
 /// Writes one cell's chrome://tracing export as
 /// `<metrics-dir>/<app>_<config>.trace.json`. No-op when no export
 /// directory is pinned.

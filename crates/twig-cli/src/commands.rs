@@ -36,11 +36,18 @@ commands:
                                          run the frontend simulator
   optimize  --spec SPEC.json [--train N] [--test N] [--instructions N] [--json]
                                          full profile->rewrite->evaluate flow
-  report    [--top N] SNAPSHOT.json|PROFILE.attr.json ...
+  report    [--top N] [--timeline] [--json]
+            SNAPSHOT.json|PROFILE.attr.json|CELL.timeline.json ...
                                          per-cell frontend-bottleneck report
-                                         (deterministic; sorted by cell)
+                                         (deterministic; sorted by cell);
+                                         --timeline renders windowed exports
+                                         as sparklines + phase tables and
+                                         --json emits the schema-validated
+                                         digest (docs/schema/report-v1.json)
   metrics   diff A.json B.json           semantic diff of two metrics exports
                                          (exit 1 when they differ)
+  metrics   timeline diff A.json B.json  per-window semantic diff of two
+                                         timeline exports (exit 1 on differ)
   metrics   validate DOC.json SCHEMA.json
                                          check an exported metrics/trace JSON
                                          against a schema
@@ -360,16 +367,42 @@ fn read_snapshot(path: &str) -> Result<twig_obs::MetricsSnapshot, CliError> {
     twig_obs::MetricsSnapshot::from_json(&text).map_err(|e| CliError::decode(path, e))
 }
 
+fn read_timeline_snapshot(path: &str) -> Result<twig_obs::TimelineSnapshot, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
+    twig_obs::TimelineSnapshot::from_json(&text).map_err(|e| CliError::decode(path, e))
+}
+
 fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
     let usage = || {
         CliError::Usage(
-            "usage: twig metrics diff A.json B.json | twig metrics validate DOC.json \
-             SCHEMA.json | twig metrics regress --baseline DIR CURRENT_DIR"
+            "usage: twig metrics diff A.json B.json | twig metrics timeline diff \
+             A.json B.json | twig metrics validate DOC.json SCHEMA.json | \
+             twig metrics regress --baseline DIR CURRENT_DIR"
                 .into(),
         )
     };
     let sub = args.first().ok_or_else(usage)?;
     match sub.as_str() {
+        "timeline" => {
+            // Same exit-1-on-differs contract as `metrics diff`, per
+            // window and per track instead of per counter.
+            if args.get(1).map(String::as_str) != Some("diff") {
+                return Err(usage());
+            }
+            let [a, b] = [args.get(2).ok_or_else(usage)?, args.get(3).ok_or_else(usage)?];
+            let before = read_timeline_snapshot(a)?;
+            let after = read_timeline_snapshot(b)?;
+            let diff = twig_obs::diff_timelines(&before, &after);
+            print!("{diff}");
+            if diff.is_empty() {
+                Ok(())
+            } else {
+                Err(CliError::Differs(format!(
+                    "{} window value(s) differ",
+                    diff.values.len()
+                )))
+            }
+        }
         "diff" => {
             let [a, b] = [args.get(1).ok_or_else(usage)?, args.get(2).ok_or_else(usage)?];
             let before = read_snapshot(a)?;
@@ -399,7 +432,8 @@ fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
         }
         "regress" => crate::report::cmd_regress(&args[1..]),
         other => Err(CliError::Usage(format!(
-            "unknown metrics subcommand {other:?}; expected diff | validate | regress"
+            "unknown metrics subcommand {other:?}; expected diff | timeline diff | \
+             validate | regress"
         ))),
     }
 }
@@ -630,6 +664,129 @@ mod tests {
         // Bad sub-usage is a usage error.
         let e = dispatch(&strs(&["metrics", "frobnicate"])).unwrap_err();
         assert_eq!(e.exit_code(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A small sim-track timeline with `n` windows, `step` instructions
+    /// and `cycles_per` cycles apiece.
+    fn demo_timeline(n: u64, step: u64, cycles_per: u64) -> twig_obs::TimelineSnapshot {
+        use twig_obs::timeseries::track_names;
+        let mut ring = twig_obs::timeseries::TimeSeriesRing::new(64);
+        ring.track(track_names::CYCLES, twig_obs::TrackKind::Counter);
+        ring.track(track_names::INSTRUCTIONS, twig_obs::TrackKind::Counter);
+        for w in 1..=n {
+            ring.push_window(w * step, w * cycles_per, &[w * cycles_per, w * step]);
+        }
+        ring.snapshot(step)
+    }
+
+    #[test]
+    fn timeline_report_and_diff_subcommands() {
+        let dir = std::env::temp_dir().join(format!("twig-cli-tl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let a = demo_timeline(6, 10_000, 20_000);
+        let mut b = demo_timeline(6, 10_000, 20_000);
+        b.windows[3].values[0] += 7; // one cycle-delta diverges
+        std::fs::write(p("a.timeline.json"), a.to_json().unwrap()).unwrap();
+        std::fs::write(p("same.timeline.json"), a.to_json().unwrap()).unwrap();
+        std::fs::write(p("b.timeline.json"), b.to_json().unwrap()).unwrap();
+
+        // Identical timelines: clean exit. Diverging ones: exit 1.
+        dispatch(&strs(&[
+            "metrics", "timeline", "diff",
+            &p("a.timeline.json"), &p("same.timeline.json"),
+        ]))
+        .unwrap();
+        let e = dispatch(&strs(&[
+            "metrics", "timeline", "diff",
+            &p("a.timeline.json"), &p("b.timeline.json"),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+
+        // Rendering a timeline needs the --timeline flag; with it (and
+        // with --json) the report succeeds.
+        let e = dispatch(&strs(&["report", &p("a.timeline.json")])).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        dispatch(&strs(&["report", "--timeline", &p("a.timeline.json")])).unwrap();
+        dispatch(&strs(&[
+            "report", "--timeline", "--json",
+            &p("a.timeline.json"), &p("b.timeline.json"),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: diff coverage for fleet manifests. The per-tenant
+    /// generation series embedded in `fleet_manifest.json` is a timeline
+    /// (window axis = generation), so `metrics timeline diff` is the
+    /// cross-generation diff: a clean seeded run against a latency-spiked
+    /// one must flag exactly the spiked generations' gauges, and two
+    /// clean runs must diff empty.
+    #[test]
+    fn fleet_manifest_series_diff_flags_spiked_generations() {
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("twig-cli-fleetdiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let tenants = twig_fleet::TenantSpec::demo_fleet(2);
+        let config = twig_fleet::FleetConfig {
+            instructions: 30_000,
+            requests_per_generation: 64,
+            ..twig_fleet::FleetConfig::demo()
+        };
+        let mut spiked_config = config.clone();
+        spiked_config.faults = Arc::new(
+            twig_sched::FaultSpec::parse("latency-spike:tenant=svc-bravo,gen=1").unwrap(),
+        );
+        let series_of = |manifest: &twig_fleet::FleetManifest, name: &str| {
+            manifest
+                .tenants
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap()
+                .series
+                .to_json()
+                .unwrap()
+        };
+        let clean = twig_fleet::run_fleet(&tenants, &config).unwrap().manifest;
+        let again = twig_fleet::run_fleet(&tenants, &config).unwrap().manifest;
+        let spiked = twig_fleet::run_fleet(&tenants, &spiked_config).unwrap().manifest;
+        std::fs::write(p("clean.json"), series_of(&clean, "svc-bravo")).unwrap();
+        std::fs::write(p("again.json"), series_of(&again, "svc-bravo")).unwrap();
+        std::fs::write(p("spiked.json"), series_of(&spiked, "svc-bravo")).unwrap();
+
+        // Seeded reruns carry identical series: clean diff exit.
+        dispatch(&strs(&["metrics", "timeline", "diff", &p("clean.json"), &p("again.json")]))
+            .unwrap();
+        // The spiked run differs, and only on the spiked generation's
+        // latency/burn gauges (the deploy counter and IPC are untouched
+        // by a latency spike).
+        let e = dispatch(&strs(&[
+            "metrics", "timeline", "diff", &p("clean.json"), &p("spiked.json"),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        let before = twig_obs::TimelineSnapshot::from_json(
+            &std::fs::read_to_string(p("clean.json")).unwrap(),
+        )
+        .unwrap();
+        let after = twig_obs::TimelineSnapshot::from_json(
+            &std::fs::read_to_string(p("spiked.json")).unwrap(),
+        )
+        .unwrap();
+        let diff = twig_obs::diff_timelines(&before, &after);
+        assert!(!diff.values.is_empty());
+        for v in &diff.values {
+            assert_eq!(v.window, 1, "only generation 1 was spiked: {v:?}");
+            assert!(
+                v.track == "fleet.latency_p99" || v.track == "fleet.slo_burn_permille",
+                "unexpected differing track: {v:?}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

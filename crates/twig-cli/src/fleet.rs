@@ -108,13 +108,13 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
         manifest.version, manifest.generations_run, manifest.converged
     );
     println!(
-        "{:<12} {:<12} {:<16} {:>4} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>8}",
+        "{:<12} {:<12} {:<16} {:>4} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
         "tenant", "health", "reason", "conv", "deploys", "rollbacks", "faults", "ipc",
-        "lat_p50", "lat_p99", "lat_p999"
+        "lat_p50", "lat_p99", "lat_p999", "burn", "breach"
     );
     for t in &manifest.tenants {
         println!(
-            "{:<12} {:<12} {:<16} {:>4} {:>8} {:>9} {:>7} {:>8.4} {:>8} {:>8} {:>8}",
+            "{:<12} {:<12} {:<16} {:>4} {:>8} {:>9} {:>7} {:>8.4} {:>8} {:>8} {:>8} {:>8} {:>6}",
             t.name,
             t.health,
             t.reason,
@@ -125,7 +125,10 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
             t.ipc_micros as f64 / 1e6,
             t.latency.p50,
             t.latency.p99,
-            t.latency.p999
+            t.latency.p999,
+            // Burn rate in permille of the SLO budget (>1000 = burning).
+            t.slo_burn_permille,
+            t.slo_breaches
         );
     }
     for t in &manifest.tenants {

@@ -1,21 +1,29 @@
 //! Frontend-bottleneck reports and the cross-run regression sentinel.
 //!
 //! `twig report` renders a deterministic per-cell digest of exported
-//! metrics snapshots (`<app>_<slot>.json`) and attribution profiles
-//! (`<app>_<slot>.attr.json`): headline rates, Top-Down split, resteer
-//! cost, and the top-N costliest static branches. `twig metrics regress`
+//! metrics snapshots (`<app>_<slot>.json`), attribution profiles
+//! (`<app>_<slot>.attr.json`), and — with `--timeline` — windowed
+//! timelines (`<app>_<slot>.timeline.json`, ASCII sparklines plus the
+//! detected phase table): headline rates, Top-Down split, resteer
+//! cost, and the top-N costliest static branches. `--json` swaps the
+//! human tables for a machine-readable digest
+//! (`docs/schema/report-v1.json`). `twig metrics regress`
 //! compares a directory of fresh snapshots against checked-in baselines
 //! with per-metric relative thresholds and exits 1 on any regression,
 //! optionally appending the run's derived series to a trajectory file
 //! (`BENCH_trajectory.json`).
 
-use twig_obs::{AttributionSnapshot, MetricsSnapshot, MissKind};
+use twig_obs::{AttributionSnapshot, MetricsSnapshot, MissKind, TimelineSnapshot};
 use twig_serde::{Deserialize, Serialize};
 
 use crate::error::CliError;
 
 /// Schema version of `BENCH_trajectory.json`.
 pub const TRAJECTORY_VERSION: u32 = 1;
+
+/// Schema version of the `report --json` digest
+/// (`docs/schema/report-v1.json`).
+pub const REPORT_DIGEST_VERSION: u32 = 1;
 
 fn read_metrics(path: &str) -> Result<MetricsSnapshot, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
@@ -27,11 +35,17 @@ fn read_attribution(path: &str) -> Result<AttributionSnapshot, CliError> {
     AttributionSnapshot::from_json(&text).map_err(|e| CliError::decode(path, e))
 }
 
+fn read_timeline(path: &str) -> Result<TimelineSnapshot, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io("read", path, e))?;
+    TimelineSnapshot::from_json(&text).map_err(|e| CliError::decode(path, e))
+}
+
 /// File stem without the export suffixes: `m/kafka_twig.attr.json` →
 /// `kafka_twig`.
 fn stem(path: &str) -> String {
     let name = path.rsplit(['/', '\\']).next().unwrap_or(path);
     let name = name.strip_suffix(".attr.json").unwrap_or(name);
+    let name = name.strip_suffix(".timeline.json").unwrap_or(name);
     let name = name.strip_suffix(".json").unwrap_or(name);
     name.to_string()
 }
@@ -160,14 +174,210 @@ fn print_attribution_section(path: &str, attr: &AttributionSnapshot, top: usize)
     }
 }
 
-/// `twig report [--top N] FILE...` — deterministic bottleneck digest.
+// ---------------------------------------------------------------------------
+// Timeline sections (sparklines + phases)
+// ---------------------------------------------------------------------------
+
+/// 9-level ASCII intensity ramp, lowest to highest.
+const SPARK_RAMP: &[u8] = b" .:-=+*#@";
+
+/// Widest sparkline before windows are bucket-averaged down.
+const SPARK_WIDTH: usize = 64;
+
+/// Renders a value series as a fixed-ramp ASCII sparkline. Pure integer
+/// arithmetic (min/max scaling, bucket means for long series), so the
+/// same timeline always renders the same bytes.
+fn sparkline(values: &[u64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let compact: Vec<u64> = if values.len() <= SPARK_WIDTH {
+        values.to_vec()
+    } else {
+        (0..SPARK_WIDTH)
+            .map(|b| {
+                let lo = b * values.len() / SPARK_WIDTH;
+                let hi = ((b + 1) * values.len() / SPARK_WIDTH).max(lo + 1);
+                values[lo..hi].iter().sum::<u64>() / (hi - lo) as u64
+            })
+            .collect()
+    };
+    let min = *compact.iter().min().unwrap();
+    let max = *compact.iter().max().unwrap();
+    let top = (SPARK_RAMP.len() - 1) as u64;
+    compact
+        .iter()
+        .map(|&v| {
+            let level = if max == min {
+                top / 2
+            } else {
+                (v - min).saturating_mul(top) / (max - min)
+            };
+            SPARK_RAMP[level as usize] as char
+        })
+        .collect()
+}
+
+/// `123_456` micro-units → `"0.123"` (three decimals, integer math).
+fn fmt_micros(v: u64) -> String {
+    format!("{}.{:03}", v / 1_000_000, (v % 1_000_000) / 1_000)
+}
+
+/// `12_345` milli-units → `"12.345"`.
+fn fmt_milli(v: u64) -> String {
+    format!("{}.{:03}", v / 1_000, v % 1_000)
+}
+
+/// `987` permille → `"98.7%"`.
+fn fmt_permille(v: u64) -> String {
+    format!("{}.{}%", v / 10, v % 10)
+}
+
+fn print_timeline_section(path: &str, tl: &TimelineSnapshot) {
+    println!("== {} (timeline) ==", stem(path));
+    println!(
+        "  window          {} instructions, {} window(s), {} dropped",
+        tl.window,
+        tl.windows.len(),
+        tl.dropped_windows
+    );
+    if tl.derived.is_empty() {
+        println!("  (no derived metrics: cycle/instruction tracks absent)");
+        return;
+    }
+    let series: [(&str, Vec<u64>, fn(u64) -> String); 4] = [
+        ("ipc", tl.derived.iter().map(|d| d.ipc_micros).collect(), fmt_micros),
+        ("btb mpki", tl.derived.iter().map(|d| d.btb_mpki_milli).collect(), fmt_milli),
+        ("coverage", tl.derived.iter().map(|d| d.coverage_permille).collect(), fmt_permille),
+        ("resteers/ki", tl.derived.iter().map(|d| d.resteer_pki_milli).collect(), fmt_milli),
+    ];
+    for (name, values, render) in &series {
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        println!(
+            "  {:<15} [{}] {}..{}",
+            name,
+            sparkline(values),
+            render(min),
+            render(max)
+        );
+    }
+    if !tl.phases.is_empty() {
+        println!("  phases:");
+        for p in &tl.phases {
+            println!(
+                "    {:<10} windows {:>4}..{:<4} mean IPC {}",
+                p.label,
+                p.start_window,
+                p.end_window,
+                fmt_micros(p.mean_ipc_micros)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// report --json digest
+// ---------------------------------------------------------------------------
+
+/// One metrics snapshot in the digest (integer fixed-point, derived
+/// straight from the counters so the document is byte-deterministic).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DigestMetricsCell {
+    /// Cell stem, e.g. `kafka_twig`.
+    pub id: String,
+    /// IPC × 1 000 000.
+    pub ipc_micros: u64,
+    /// BTB MPKI × 1 000.
+    pub btb_mpki_milli: u64,
+    /// Miss coverage in permille (1000 when there were no misses).
+    pub coverage_permille: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+}
+
+/// One attribution profile in the digest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DigestAttrCell {
+    /// Cell stem.
+    pub id: String,
+    /// Total observed events.
+    pub total_events: u64,
+    /// Events actually sampled.
+    pub sampled_events: u64,
+    /// Total attributed cycles.
+    pub total_cycles: u64,
+    /// Cycles in sampled events.
+    pub sampled_cycles: u64,
+    /// Distinct branch sites tracked.
+    pub tracked_sites: u64,
+}
+
+/// One windowed timeline in the digest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DigestTimelineCell {
+    /// Cell stem.
+    pub id: String,
+    /// Window period (retired instructions per window).
+    pub window: u64,
+    /// Windows held.
+    pub windows: u64,
+    /// Windows lost to ring overwrite.
+    pub dropped_windows: u64,
+    /// Detected phase segments.
+    pub phases: u64,
+}
+
+/// The `report --json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReportDigest {
+    /// Schema version ([`REPORT_DIGEST_VERSION`]).
+    pub version: u32,
+    /// Metrics cells, in rendered (sorted-stem) order.
+    pub metrics: Vec<DigestMetricsCell>,
+    /// Attribution cells.
+    pub attribution: Vec<DigestAttrCell>,
+    /// Timeline cells.
+    pub timelines: Vec<DigestTimelineCell>,
+}
+
+fn digest_metrics(path: &str, snap: &MetricsSnapshot) -> Result<DigestMetricsCell, CliError> {
+    let cycles = require_counter(snap, path, "sim.cycles")?;
+    let instructions = require_counter(snap, path, "sim.retired_instructions")?;
+    let misses = require_counter(snap, path, "btb.misses.total")?;
+    let covered = require_counter(snap, path, "btb.covered.total")?;
+    if cycles == 0 || instructions == 0 {
+        return Err(CliError::Invalid(format!("{path}: empty run (0 cycles or instructions)")));
+    }
+    Ok(DigestMetricsCell {
+        id: stem(path),
+        ipc_micros: instructions.saturating_mul(1_000_000) / cycles,
+        btb_mpki_milli: misses.saturating_mul(1_000_000) / instructions,
+        coverage_permille: if misses == 0 {
+            1000
+        } else {
+            covered.saturating_mul(1000) / misses
+        },
+        cycles,
+        instructions,
+    })
+}
+
+/// `twig report [--top N] [--timeline] [--json] FILE...` —
+/// deterministic bottleneck digest.
 ///
-/// Files ending in `.attr.json` are attribution profiles; everything
-/// else is read as a metrics snapshot. Sections print in sorted stem
-/// order regardless of argument order, so reruns and shell-glob order
-/// never change the output.
+/// Files ending in `.attr.json` are attribution profiles and files
+/// ending in `.timeline.json` are windowed timelines (accepted only
+/// under `--timeline`); everything else is read as a metrics snapshot.
+/// Sections print in sorted stem order regardless of argument order, so
+/// reruns and shell-glob order never change the output. `--json`
+/// replaces the human tables with the machine-readable digest.
 pub fn cmd_report(args: &[String]) -> Result<(), CliError> {
     let mut top: usize = 10;
+    let mut timeline = false;
+    let mut json = false;
     let mut files: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -180,6 +390,8 @@ pub fn cmd_report(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage(format!("--top: cannot parse {v:?}")))?;
             }
+            "--timeline" => timeline = true,
+            "--json" => json = true,
             other if other.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown report flag {other:?}")));
             }
@@ -188,26 +400,88 @@ pub fn cmd_report(args: &[String]) -> Result<(), CliError> {
     }
     if files.is_empty() {
         return Err(CliError::Usage(
-            "usage: twig report [--top N] SNAPSHOT.json|PROFILE.attr.json ...".into(),
+            "usage: twig report [--top N] [--timeline] [--json] \
+             SNAPSHOT.json|PROFILE.attr.json|CELL.timeline.json ..."
+                .into(),
         ));
     }
-    files.sort_by_key(|path| (stem(path), path.ends_with(".attr.json")));
+    if !timeline {
+        if let Some(path) = files.iter().find(|p| p.ends_with(".timeline.json")) {
+            return Err(CliError::Usage(format!(
+                "{path} is a timeline export; pass --timeline to render it"
+            )));
+        }
+    }
+    // Stem-sorted with a stable kind tiebreak: metrics, then
+    // attribution, then timeline for the same cell.
+    files.sort_by_key(|path| {
+        let kind = if path.ends_with(".attr.json") {
+            1
+        } else if path.ends_with(".timeline.json") {
+            2
+        } else {
+            0
+        };
+        (stem(path), kind)
+    });
 
+    let mut digest = ReportDigest {
+        version: REPORT_DIGEST_VERSION,
+        metrics: Vec::new(),
+        attribution: Vec::new(),
+        timelines: Vec::new(),
+    };
     let mut coverage_rows: Vec<(String, Derived)> = Vec::new();
     let mut first = true;
     for path in files {
-        if !first {
+        if !json && !first {
             println!();
         }
         first = false;
         if path.ends_with(".attr.json") {
             let attr = read_attribution(path)?;
-            print_attribution_section(path, &attr, top);
+            if json {
+                digest.attribution.push(DigestAttrCell {
+                    id: stem(path),
+                    total_events: attr.total_events,
+                    sampled_events: attr.sampled_events,
+                    total_cycles: attr.total_cycles,
+                    sampled_cycles: attr.sampled_cycles,
+                    tracked_sites: attr.entries.len() as u64,
+                });
+            } else {
+                print_attribution_section(path, &attr, top);
+            }
+        } else if path.ends_with(".timeline.json") {
+            let tl = read_timeline(path)?;
+            if json {
+                digest.timelines.push(DigestTimelineCell {
+                    id: stem(path),
+                    window: tl.window,
+                    windows: tl.windows.len() as u64,
+                    dropped_windows: tl.dropped_windows,
+                    phases: tl.phases.len() as u64,
+                });
+            } else {
+                print_timeline_section(path, &tl);
+            }
         } else {
             let snap = read_metrics(path)?;
-            print_metrics_section(path, &snap)?;
-            coverage_rows.push((stem(path), derive(path, &snap)?));
+            if json {
+                digest.metrics.push(digest_metrics(path, &snap)?);
+            } else {
+                print_metrics_section(path, &snap)?;
+                coverage_rows.push((stem(path), derive(path, &snap)?));
+            }
         }
+    }
+    if json {
+        println!(
+            "{}",
+            twig_serde_json::to_string_pretty(&digest)
+                .map_err(|e| CliError::decode("stdout", e))?
+        );
+        return Ok(());
     }
     if coverage_rows.len() > 1 {
         println!();
@@ -296,6 +570,7 @@ fn snapshot_stems(dir: &str) -> Result<Vec<String>, CliError> {
         if name.ends_with(".json")
             && !name.ends_with(".attr.json")
             && !name.ends_with(".trace.json")
+            && !name.ends_with(".timeline.json")
         {
             stems.push(name.trim_end_matches(".json").to_string());
         }
@@ -490,7 +765,82 @@ mod tests {
     fn stems_strip_export_suffixes() {
         assert_eq!(stem("m/kafka_twig.json"), "kafka_twig");
         assert_eq!(stem("m/kafka_twig.attr.json"), "kafka_twig");
+        assert_eq!(stem("m/kafka_twig.timeline.json"), "kafka_twig");
         assert_eq!(stem("kafka_twig"), "kafka_twig");
+    }
+
+    #[test]
+    fn sparklines_are_deterministic_and_scaled() {
+        assert_eq!(sparkline(&[]), "");
+        // min maps to the lowest ramp char, max to the highest.
+        let s = sparkline(&[0, 50, 100]);
+        assert_eq!(s.len(), 3);
+        assert!(s.starts_with(' ') && s.ends_with('@'), "{s:?}");
+        // A flat series renders mid-ramp, not a div-by-zero.
+        let flat = sparkline(&[7, 7, 7, 7]);
+        assert_eq!(flat.chars().collect::<std::collections::HashSet<_>>().len(), 1);
+        // Long series bucket-average down to the fixed width.
+        let long: Vec<u64> = (0..1000).collect();
+        let s = sparkline(&long);
+        assert_eq!(s.len(), SPARK_WIDTH);
+        assert_eq!(s, sparkline(&long), "same input, same bytes");
+        // Integer fixed-point renderers.
+        assert_eq!(fmt_micros(1_234_567), "1.234");
+        assert_eq!(fmt_milli(12_345), "12.345");
+        assert_eq!(fmt_permille(987), "98.7%");
+    }
+
+    #[test]
+    fn report_digest_validates_against_checked_in_schema() {
+        let digest = ReportDigest {
+            version: REPORT_DIGEST_VERSION,
+            metrics: vec![DigestMetricsCell {
+                id: "kafka_twig".into(),
+                ipc_micros: 512_345,
+                btb_mpki_milli: 12_500,
+                coverage_permille: 640,
+                cycles: 40_000,
+                instructions: 20_000,
+            }],
+            attribution: vec![DigestAttrCell {
+                id: "kafka_twig".into(),
+                total_events: 100,
+                sampled_events: 50,
+                total_cycles: 4_000,
+                sampled_cycles: 2_000,
+                tracked_sites: 8,
+            }],
+            timelines: vec![DigestTimelineCell {
+                id: "kafka_twig".into(),
+                window: 10_000,
+                windows: 6,
+                dropped_windows: 0,
+                phases: 2,
+            }],
+        };
+        let json = twig_serde_json::to_string_pretty(&digest).unwrap();
+        let doc: twig_serde::Value = twig_serde_json::from_str(&json).unwrap();
+        let schema_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap()
+            .join("docs/schema/report-v1.json");
+        let schema: twig_serde::Value = twig_serde_json::from_str(
+            &std::fs::read_to_string(schema_path).unwrap(),
+        )
+        .unwrap();
+        twig_obs::validate(&doc, &schema).unwrap();
+        // An empty digest (no inputs of a given kind) still validates.
+        let empty = ReportDigest {
+            version: REPORT_DIGEST_VERSION,
+            metrics: Vec::new(),
+            attribution: Vec::new(),
+            timelines: Vec::new(),
+        };
+        let doc: twig_serde::Value =
+            twig_serde_json::from_str(&twig_serde_json::to_string_pretty(&empty).unwrap())
+                .unwrap();
+        twig_obs::validate(&doc, &schema).unwrap();
     }
 
     #[test]

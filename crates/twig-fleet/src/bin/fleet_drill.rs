@@ -14,8 +14,11 @@
 //!    included).
 //!
 //! It also pins worker-count invariance (1 vs 4 workers produce the same
-//! bytes) and one-shot degrade-then-heal for a transient fault. Exits 0
-//! only when every check passes; any violation prints `FAIL:` and exits 1.
+//! bytes), one-shot degrade-then-heal for a transient fault, and the SLO
+//! burn path: two consecutive `latency-spike` generations must read as a
+//! sustained breach on the per-generation series, degrade the victim with
+//! reason `slo-burn`, and heal on clean generations. Exits 0 only when
+//! every check passes; any violation prints `FAIL:` and exits 1.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -163,6 +166,61 @@ fn main() -> ExitCode {
     drill.check(
         victim.transitions.iter().any(|t| t.reason == "recovered"),
         "heal transition recorded",
+    );
+
+    println!("== SLO burn: two spiked generations degrade, then heal ==");
+    let mut config = drill_config(&state_dir, 1);
+    config.faults = Arc::new(
+        FaultSpec::parse(&format!(
+            "latency-spike:tenant={VICTIM},gen=1;latency-spike:tenant={VICTIM},gen=2"
+        ))
+        .expect("parse"),
+    );
+    let manifest = run(&config);
+    let victim = tenant(&manifest, VICTIM);
+    drill.check(
+        victim.health == "healthy" && victim.converged,
+        "sustained burn degrades without quarantining, and heals",
+    );
+    drill.check(
+        victim
+            .transitions
+            .iter()
+            .any(|t| t.to == "degraded" && t.reason == "slo-burn" && t.generation == 2),
+        "degraded with reason slo-burn at the second spiked generation",
+    );
+    drill.check(
+        victim.transitions.iter().any(|t| t.reason == "recovered"),
+        "burn heal transition recorded",
+    );
+    drill.check(
+        victim.slo_breaches >= 2,
+        &format!("both spiked generations counted as breaches ({})", victim.slo_breaches),
+    );
+    let burn = victim
+        .series
+        .track_values("fleet.slo_burn_permille")
+        .expect("burn track present in series");
+    drill.check(
+        burn.iter().filter(|&&b| b > 1000).count() >= 2,
+        "series records over-budget burn for the spiked generations",
+    );
+    drill.check(
+        !victim.series.windows.is_empty()
+            && victim.series.windows.len() == victim.generations as usize,
+        "series has one window per profiled generation",
+    );
+    for name in BYSTANDERS {
+        let bystander = tenant(&manifest, name);
+        drill.check(
+            bystander.slo_breaches == 0 && bystander.health == "healthy",
+            &format!("slo-burn: bystander {name} never breached"),
+        );
+    }
+    let healed = run(&clean_config);
+    drill.check(
+        healed.to_json().expect("serialize") == reference_json,
+        "slo-burn: clean re-run heals to a byte-identical manifest",
     );
 
     let _ = std::fs::remove_dir_all(&state_dir);

@@ -46,6 +46,9 @@ pub enum FaultReason {
     /// The tenant's last-good record could not be persisted (torn write
     /// detected by the post-store scrub).
     DiskFull,
+    /// The tenant's p99 request latency burned through its SLO for
+    /// enough consecutive generations to count as a sustained breach.
+    SloBurn,
 }
 
 impl FaultReason {
@@ -57,6 +60,7 @@ impl FaultReason {
             FaultReason::CorruptProfile => "corrupt-profile",
             FaultReason::TenantChurn => "tenant-churn",
             FaultReason::DiskFull => "disk-full",
+            FaultReason::SloBurn => "slo-burn",
         }
     }
 }

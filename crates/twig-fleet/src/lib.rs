@@ -20,7 +20,7 @@
 //!   state machine with typed transition reasons.
 //! * [`manifest`] — the versioned, worker-count-invariant
 //!   `fleet_manifest.json` record (schema
-//!   `docs/schema/fleet-manifest-v1.json`).
+//!   `docs/schema/fleet-manifest-v2.json`).
 //!
 //! Chaos drills (`fleet_drill`, wired into CI) prove each injectable
 //! service fault — `stall-stream`, `corrupt-profile`, `tenant-churn`,

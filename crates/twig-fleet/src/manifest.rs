@@ -6,13 +6,18 @@
 //! no float formatting can differ across platforms), and **no
 //! wall-clock or worker-count anywhere** — a run with 1 worker and a
 //! run with 8 must produce byte-identical files (CI diffs them). Schema:
-//! `docs/schema/fleet-manifest-v1.json`, validated in the chaos lane
+//! `docs/schema/fleet-manifest-v2.json`, validated in the chaos lane
 //! via `twig metrics validate`.
 
+use twig_obs::TimelineSnapshot;
 use twig_serde::{Deserialize, Serialize};
 
 /// Schema version of `fleet_manifest.json`.
-pub const FLEET_MANIFEST_VERSION: u32 = 1;
+///
+/// v2 added the per-tenant generation `series` (a windowed
+/// [`TimelineSnapshot`], one window per profiled generation) and the SLO
+/// burn gauges (`slo_breaches`, `slo_burn_permille`).
+pub const FLEET_MANIFEST_VERSION: u32 = 2;
 
 /// Request-latency digest for one tenant (cycles, from the per-tenant
 /// `Hist64` — p99.9 is the tail the fleet service is judged on).
@@ -66,6 +71,14 @@ pub struct TenantRecord {
     pub layout_fingerprint: u64,
     /// Request-latency digest.
     pub latency: LatencySummary,
+    /// Generations whose own p99 exceeded the SLO target.
+    pub slo_breaches: u64,
+    /// Last profiled generation's burn rate: p99 × 1000 / SLO target
+    /// (values over 1000 mean the budget was burning).
+    pub slo_burn_permille: u64,
+    /// Per-generation series (window axis = generation, window period
+    /// 1): IPC, p99, burn-rate gauges plus the cumulative-deploy counter.
+    pub series: TimelineSnapshot,
     /// Full health history.
     pub transitions: Vec<TransitionRecord>,
 }
@@ -139,6 +152,9 @@ mod tests {
                 ipc_micros: 512_345,
                 layout_fingerprint: 0xDEAD_BEEF,
                 latency: LatencySummary { p50: 220, p99: 512, p999: 760 },
+                slo_breaches: 0,
+                slo_burn_permille: 128,
+                series: TimelineSnapshot::empty(1),
                 transitions: vec![TransitionRecord {
                     generation: 2,
                     from: "healthy".into(),

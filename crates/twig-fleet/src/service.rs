@@ -29,7 +29,8 @@ use std::sync::Arc;
 
 use twig::{MissPlan, TwigConfig, TwigOptimizer};
 use twig_bench::CheckpointStore;
-use twig_obs::Hist64;
+use twig_obs::timeseries::{TimeSeriesRing, DEFAULT_TIMELINE_CAPACITY};
+use twig_obs::{Hist64, TrackKind};
 use twig_profile::Profile;
 use twig_sched::fault::FaultSpec;
 use twig_sched::{FaultKind, ServicePool, ServiceStats, TaskError, TaskPolicy, TaskReport};
@@ -95,6 +96,12 @@ pub struct FleetConfig {
     pub requests_per_generation: u32,
     /// BTB capacity for the simulated frontends (small = pressured).
     pub btb_entries: usize,
+    /// p99 request-latency SLO, cycles: the burn-rate gauge divides each
+    /// generation's p99 by this target.
+    pub slo_p99_cycles: u64,
+    /// Consecutive over-SLO generations before the sustained burn counts
+    /// as a faulted generation (degrading the tenant).
+    pub slo_burn_generations: u32,
     /// Last-good record directory (`None` disables checkpointing; churn
     /// then re-onboards from scratch).
     pub state_dir: Option<PathBuf>,
@@ -114,6 +121,8 @@ impl FleetConfig {
             converge_after: 2,
             requests_per_generation: 256,
             btb_entries: 64,
+            slo_p99_cycles: 4_000,
+            slo_burn_generations: 2,
             state_dir: None,
             faults: Arc::new(FaultSpec::none()),
         }
@@ -173,6 +182,25 @@ struct LastGood {
     plans: Vec<MissPlan>,
 }
 
+/// Tracks of the per-tenant generation series (the window axis is the
+/// layout generation; window period 1). Gauges carry the generation's
+/// raw reading; `fleet.deploys` is cumulative, so its per-window deltas
+/// telescope to the tenant's total deploys.
+const SERIES_TRACKS: [(&str, TrackKind); 4] = [
+    ("fleet.ipc_micros", TrackKind::Gauge),
+    ("fleet.latency_p99", TrackKind::Gauge),
+    ("fleet.slo_burn_permille", TrackKind::Gauge),
+    ("fleet.deploys", TrackKind::Counter),
+];
+
+fn new_series() -> TimeSeriesRing {
+    let mut ring = TimeSeriesRing::new(DEFAULT_TIMELINE_CAPACITY);
+    for (name, kind) in SERIES_TRACKS {
+        ring.track(name, kind);
+    }
+    ring
+}
+
 struct TenantState {
     name: String,
     seed: u64,
@@ -196,6 +224,14 @@ struct TenantState {
     rollbacks: u64,
     ipc_micros: u64,
     latency: Hist64,
+    /// Per-generation series: one window per profiled generation.
+    series: TimeSeriesRing,
+    /// Consecutive generations whose p99 burned past the SLO.
+    slo_burn_streak: u32,
+    /// Total generations whose p99 exceeded the SLO.
+    slo_breaches: u64,
+    /// Most recent generation's burn rate (p99 × 1000 / SLO).
+    slo_burn_permille: u64,
 }
 
 impl TenantState {
@@ -277,24 +313,42 @@ fn events_for(
     (events, instructions)
 }
 
+/// A fired `latency-spike` clause multiplies every request latency of
+/// the matching generation by this factor — far enough past any demo
+/// SLO that the burn gauge must read the breach.
+const LATENCY_SPIKE_FACTOR: u64 = 64;
+
 /// Synthetic request latencies for one clean generation: path length is
 /// a pure hash of `(tenant, generation, request)`, scaled by the
 /// deployed binary's measured CPI, so the digest improves exactly when
-/// deploys improve IPC and never depends on wall-clock.
-fn record_latency(state: &mut TenantState, generation: u64, stats: &SimStats, requests: u32) {
+/// deploys improve IPC and never depends on wall-clock. Returns the
+/// generation's own p99 (the SLO burn gauge's input); an injected
+/// `latency-spike` inflates every request of the generation.
+fn record_latency(
+    state: &mut TenantState,
+    generation: u64,
+    stats: &SimStats,
+    requests: u32,
+    spike: bool,
+) -> u64 {
     use std::hash::Hasher;
     if stats.retired_instructions == 0 {
-        return;
+        return 0;
     }
     let cpi_milli = stats.cycles.saturating_mul(1000) / stats.retired_instructions;
+    let factor = if spike { LATENCY_SPIKE_FACTOR } else { 1 };
+    let mut window = Hist64::new();
     for request in 0..requests {
         let mut hasher = twig_types::fxhash::FxHasher::default();
         hasher.write(state.name.as_bytes());
         hasher.write_u64(generation);
         hasher.write_u32(request);
         let path_blocks = 64 + (hasher.finish() % 192);
-        state.latency.record((path_blocks * cpi_milli / 1000).max(1));
+        let latency = (path_blocks * cpi_milli / 1000).max(1).saturating_mul(factor);
+        state.latency.record(latency);
+        window.record(latency);
     }
+    window.percentile(99, 100)
 }
 
 fn last_good_key(name: &str) -> String {
@@ -406,6 +460,10 @@ pub fn run_fleet(tenants: &[TenantSpec], config: &FleetConfig) -> Result<FleetOu
                 rollbacks: 0,
                 ipc_micros: 0,
                 latency: Hist64::new(),
+                series: new_series(),
+                slo_burn_streak: 0,
+                slo_breaches: 0,
+                slo_burn_permille: 0,
             })
         })
         .collect::<Result<_, String>>()?;
@@ -517,6 +575,9 @@ pub fn run_fleet(tenants: &[TenantSpec], config: &FleetConfig) -> Result<FleetOu
                 p99: state.latency.percentile(99, 100),
                 p999: state.latency.percentile(999, 1000),
             },
+            slo_breaches: state.slo_breaches,
+            slo_burn_permille: state.slo_burn_permille,
+            series: state.series.snapshot(1),
             transitions: state
                 .health
                 .transitions()
@@ -561,8 +622,27 @@ fn process_report(
             if profile_fingerprint(&chunk.profile) != chunk.fingerprint {
                 fault = Some(FaultReason::CorruptProfile);
             } else {
-                record_latency(state, generation, &chunk.stats, config.requests_per_generation);
+                let spike = config.faults.fires_service(
+                    FaultKind::LatencySpike,
+                    &state.name,
+                    generation,
+                );
+                let gen_p99 = record_latency(
+                    state,
+                    generation,
+                    &chunk.stats,
+                    config.requests_per_generation,
+                    spike,
+                );
                 state.ipc_micros = (chunk.stats.ipc() * 1e6).round() as u64;
+                state.slo_burn_permille =
+                    gen_p99.saturating_mul(1000) / config.slo_p99_cycles.max(1);
+                if state.slo_burn_permille > 1000 {
+                    state.slo_breaches += 1;
+                    state.slo_burn_streak += 1;
+                } else {
+                    state.slo_burn_streak = 0;
+                }
                 let fresh = optimizer.analyze_for(&chunk.profile, &state.pristine);
                 let merged = merge_plans(&state.plans, &fresh, &state.rejected);
                 if merged.len() > state.plans.len() {
@@ -603,6 +683,24 @@ fn process_report(
                 }
                 if fault.is_none() && !persist_last_good(state, store, &config.faults) {
                     fault = Some(FaultReason::DiskFull);
+                }
+                // One window per profiled generation (the series' window
+                // axis is the generation number), pushed after the gate
+                // so `fleet.deploys` reflects this generation's outcome.
+                state.series.push_window(
+                    generation,
+                    generation,
+                    &[
+                        state.ipc_micros,
+                        gen_p99,
+                        state.slo_burn_permille,
+                        state.deploys,
+                    ],
+                );
+                // A sustained burn is an SLO fault for this generation
+                // (unless something harder already claimed it).
+                if fault.is_none() && state.slo_burn_streak >= config.slo_burn_generations {
+                    fault = Some(FaultReason::SloBurn);
                 }
             }
         }

@@ -133,6 +133,57 @@ fn one_shot_corrupt_profile_degrades_then_heals() {
 }
 
 #[test]
+fn sustained_slo_burn_degrades_and_series_records_it() {
+    let tenants = TenantSpec::demo_fleet(2);
+    let spec = "latency-spike:tenant=svc-bravo,gen=1;latency-spike:tenant=svc-bravo,gen=2";
+    let manifest = run_fleet(&tenants, &with_faults(test_config(), spec)).unwrap().manifest;
+
+    let victim = tenant(&manifest, "svc-bravo");
+    // One spiked generation burns budget but does not fault; the second
+    // consecutive one crosses `slo_burn_generations` and degrades.
+    assert_eq!(victim.health, "healthy", "burn degrades but heals: {victim:?}");
+    assert!(victim.converged);
+    assert_eq!(victim.slo_breaches, 2);
+    let degrade = victim
+        .transitions
+        .iter()
+        .find(|t| t.to == "degraded")
+        .expect("burn must degrade the victim");
+    assert_eq!((degrade.reason.as_str(), degrade.generation), ("slo-burn", 2));
+    assert!(victim.transitions.iter().any(|t| t.reason == "recovered"));
+
+    // The per-generation series carries the burn gauge: over budget
+    // (>1000 permille) exactly on the spiked generations.
+    let burn = victim.series.track_values("fleet.slo_burn_permille").unwrap();
+    let over: Vec<usize> =
+        (0..burn.len()).filter(|&i| burn[i] > 1000).collect();
+    assert_eq!(over, [1, 2], "burn gauge over budget exactly at gens 1-2: {burn:?}");
+    assert_eq!(victim.series.windows.len(), victim.generations as usize);
+
+    let bystander = tenant(&manifest, "svc-alpha");
+    assert_eq!(bystander.slo_breaches, 0);
+    assert_eq!(bystander.health, "healthy");
+    assert!(manifest.converged);
+}
+
+#[test]
+fn single_latency_spike_burns_budget_without_fault() {
+    let tenants = TenantSpec::demo_fleet(2);
+    let spec = "latency-spike:tenant=svc-bravo,gen=1";
+    let manifest = run_fleet(&tenants, &with_faults(test_config(), spec)).unwrap().manifest;
+
+    let victim = tenant(&manifest, "svc-bravo");
+    assert_eq!(victim.slo_breaches, 1);
+    assert!(
+        !victim.transitions.iter().any(|t| t.reason == "slo-burn"),
+        "one breached generation must not degrade: {:?}",
+        victim.transitions
+    );
+    assert_eq!(victim.health, "healthy");
+    assert!(victim.converged);
+}
+
+#[test]
 fn torn_last_good_write_is_detected_same_generation() {
     let dir = temp_dir("diskfull");
     let tenants = TenantSpec::demo_fleet(2);

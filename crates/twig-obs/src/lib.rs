@@ -53,6 +53,7 @@ pub mod attr;
 pub mod diff;
 pub mod metrics;
 pub mod schema;
+pub mod timeseries;
 pub mod trace;
 
 pub use attr::{
@@ -65,7 +66,14 @@ pub use metrics::{
     METRICS_VERSION,
 };
 pub use schema::{validate, SchemaError};
-pub use trace::{chrome_trace_json, Stage, TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
+pub use timeseries::{
+    detect_phases, diff_timelines, parse_window_spec, window_spec_text, DerivedWindow,
+    PhaseSegment, TimeSeriesRing, TimelineDiff, TimelineSnapshot, TrackId, TrackKind,
+    TrackSnapshot, WindowSnapshot, DEFAULT_TIMELINE_CAPACITY, TIMELINE_VERSION,
+};
+pub use trace::{
+    chrome_trace_json, trace_pid, Stage, TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY,
+};
 
 use twig_serde::{Deserialize, Serialize};
 
@@ -179,6 +187,12 @@ pub struct ObsConfig {
     /// to the tier: enabling attribution alone still creates recording
     /// state (and thus a metrics snapshot).
     pub attr: AttrConfig,
+    /// Windowed time-series sampling period (`TWIG_OBS_WINDOW`), in
+    /// retired instructions per window; `None` = off. Orthogonal to the
+    /// tier *and* to [`ObsConfig::recording`]: windowing samples the
+    /// live statistics read-only, so it composes with batched idle-cycle
+    /// stepping and preserves bit-identical simulation statistics.
+    pub window: Option<u64>,
 }
 
 impl ObsConfig {
@@ -188,6 +202,7 @@ impl ObsConfig {
             level: ObsLevel::Off,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             attr: AttrConfig::off(),
+            window: None,
         }
     }
 
@@ -209,6 +224,26 @@ impl ObsConfig {
         }
     }
 
+    /// Windowed time-series sampling every `window` retired instructions
+    /// (floored to 1), leaving the recording tier off.
+    pub fn windowed(window: u64) -> Self {
+        ObsConfig {
+            window: Some(window.max(1)),
+            ..ObsConfig::off()
+        }
+    }
+
+    /// This configuration with the timeline window set per `window`.
+    pub fn with_window(self, window: Option<u64>) -> Self {
+        ObsConfig { window, ..self }
+    }
+
+    /// Stable textual form of the window knob (`TWIG_OBS_WINDOW`
+    /// grammar), for the run manifest's effective-configuration dump.
+    pub fn window_text(&self) -> String {
+        timeseries::window_spec_text(self.window)
+    }
+
     /// Builds from the environment (`TWIG_OBS`) via the unified harness
     /// configuration.
     pub fn from_env() -> Result<Self, String> {
@@ -222,9 +257,12 @@ impl ObsConfig {
             ObsLevel::parse(&harness.obs.value).map_err(|e| format!("TWIG_OBS: {e}"))?;
         let attr = AttrConfig::parse(&harness.obs_attr.value)
             .map_err(|e| format!("TWIG_OBS_ATTR: {e}"))?;
+        let window = timeseries::parse_window_spec(&harness.obs_window.value)
+            .map_err(|e| format!("TWIG_OBS_WINDOW: {e}"))?;
         Ok(ObsConfig {
             level,
             attr,
+            window,
             ..ObsConfig::off()
         })
     }
@@ -249,6 +287,9 @@ impl ObsConfig {
         }
         if self.trace_capacity == 0 {
             return Err("obs trace_capacity must be >= 1".into());
+        }
+        if self.window == Some(0) {
+            return Err("obs window size must be >= 1".into());
         }
         self.attr.validate()
     }
@@ -319,6 +360,16 @@ mod tests {
             ..ObsConfig::counters()
         };
         assert!(bad.validate().is_err());
+        // Windowing is orthogonal: it neither creates recording state
+        // nor requires a tier.
+        let windowed = ObsConfig::windowed(4096);
+        assert_eq!(windowed.window, Some(4096));
+        assert!(!windowed.recording());
+        assert_eq!(windowed.window_text(), "window=4096");
+        assert_eq!(ObsConfig::off().window_text(), "off");
+        assert!(windowed.validate().is_ok());
+        let bad = ObsConfig::off().with_window(Some(0));
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -338,6 +389,7 @@ mod tests {
         let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
             "TWIG_OBS" => Some("trace=4".to_string()),
             "TWIG_OBS_ATTR" => Some("k=32,sample=2".to_string()),
+            "TWIG_OBS_WINDOW" => Some("window=8192".to_string()),
             _ => None,
         })
         .unwrap();
@@ -345,6 +397,15 @@ mod tests {
         assert_eq!(obs.level, ObsLevel::Trace { sample: 4 });
         assert!(obs.attr.enabled);
         assert_eq!((obs.attr.k, obs.attr.sample), (32, 2));
+        assert_eq!(obs.window, Some(8192));
+
+        let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
+            "TWIG_OBS_WINDOW" => Some("window=0".to_string()),
+            _ => None,
+        })
+        .unwrap();
+        let err = ObsConfig::from_harness(&harness).unwrap_err();
+        assert!(err.contains("TWIG_OBS_WINDOW"), "{err}");
 
         let harness = twig_types::HarnessConfig::from_lookup(|var| match var {
             "TWIG_OBS_ATTR" => Some("k=zero".to_string()),

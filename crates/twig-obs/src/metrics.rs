@@ -276,9 +276,14 @@ impl MetricsRegistry {
     }
 
     /// Adds `by` to a counter (hot-loop safe: one indexed add).
+    ///
+    /// Saturates at `u64::MAX` instead of wrapping: in pathological
+    /// billion-instruction runs a pinned counter is a visible ceiling,
+    /// while a silently wrapped one reads as a plausible small number.
     #[inline]
     pub fn inc(&mut self, id: CounterId, by: u64) {
-        self.counters[id.0 as usize].1 += by;
+        let slot = &mut self.counters[id.0 as usize].1;
+        *slot = slot.saturating_add(by);
     }
 
     /// Overwrites a counter (for end-of-run mirrors of externally
@@ -442,6 +447,17 @@ mod tests {
         reg.inc(b, 3);
         assert_eq!(reg.counter_value(a), 5);
         assert_eq!(reg.histogram("h"), reg.histogram("h"));
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("near-max");
+        reg.inc(c, u64::MAX - 1);
+        reg.inc(c, 5);
+        assert_eq!(reg.counter_value(c), u64::MAX, "overflow must pin, not wrap");
+        reg.inc(c, 1);
+        assert_eq!(reg.counter_value(c), u64::MAX, "saturated counters stay pinned");
     }
 
     #[test]

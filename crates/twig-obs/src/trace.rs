@@ -36,6 +36,15 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// Every stage, in pipeline (lane) order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Predict,
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::Prefetch,
+        Stage::Commit,
+    ];
+
     /// Stable lower-case name (the trace's `cat` field).
     pub fn name(&self) -> &'static str {
         match self {
@@ -156,10 +165,45 @@ impl TraceRing {
     }
 }
 
+/// Deterministic per-cell process id for chrome-trace exports: a pure
+/// FNV-1a fold of the cell label, so traces from different cells (or
+/// `TWIG_NUM_PROCS` shards) merge into distinct process rows in
+/// chrome://tracing while staying byte-identical run-to-run.
+pub fn trace_pid(label: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in label.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Folded into a readable range; chrome://tracing treats pid as an
+    // opaque row key, only collisions between cells would matter.
+    hash % 1_000_000
+}
+
+/// One `ph: "M"` metadata event (Trace Event Format §Metadata Events).
+fn metadata_event(kind: &str, pid: u64, tid: u64, name: &str) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::Str(kind.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::UInt(pid)),
+        ("tid".to_string(), Value::UInt(tid)),
+        (
+            "args".to_string(),
+            Value::Object(vec![("name".to_string(), Value::Str(name.to_string()))]),
+        ),
+    ])
+}
+
 /// Renders events as chrome://tracing JSON (Trace Event Format,
 /// complete-event flavor; `ts`/`dur` carry simulated cycles).
 /// `dropped_spans` ([`TraceRing::dropped_spans`]) is recorded in the
 /// export's `otherData` so truncated traces announce themselves.
+///
+/// The export opens with `ph: "M"` metadata events — one `process_name`
+/// carrying the cell label and one `thread_name` per stage lane — so
+/// merged multi-cell / multi-process traces stay legible: every row is
+/// named after its cell and pipeline stage instead of bare integers.
+/// All events share a deterministic [`trace_pid`] derived from the label.
 ///
 /// # Errors
 ///
@@ -169,20 +213,28 @@ pub fn chrome_trace_json(
     events: &[TraceEvent],
     dropped_spans: u64,
 ) -> Result<String, ExportError> {
-    let trace_events: Vec<Value> = events
-        .iter()
-        .map(|e| {
-            Value::Object(vec![
-                ("name".to_string(), Value::Str(e.name.to_string())),
-                ("cat".to_string(), Value::Str(e.stage.name().to_string())),
-                ("ph".to_string(), Value::Str("X".to_string())),
-                ("ts".to_string(), Value::UInt(e.start_cycle)),
-                ("dur".to_string(), Value::UInt(e.duration)),
-                ("pid".to_string(), Value::UInt(0)),
-                ("tid".to_string(), Value::UInt(e.stage.lane() as u64)),
-            ])
-        })
-        .collect();
+    let pid = trace_pid(label);
+    let mut trace_events: Vec<Value> = Vec::with_capacity(events.len() + 1 + Stage::ALL.len());
+    trace_events.push(metadata_event("process_name", pid, 0, label));
+    for stage in Stage::ALL {
+        trace_events.push(metadata_event(
+            "thread_name",
+            pid,
+            stage.lane() as u64,
+            stage.name(),
+        ));
+    }
+    trace_events.extend(events.iter().map(|e| {
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(e.name.to_string())),
+            ("cat".to_string(), Value::Str(e.stage.name().to_string())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::UInt(e.start_cycle)),
+            ("dur".to_string(), Value::UInt(e.duration)),
+            ("pid".to_string(), Value::UInt(pid)),
+            ("tid".to_string(), Value::UInt(e.stage.lane() as u64)),
+        ])
+    }));
     let doc = Value::Object(vec![
         (
             "otherData".to_string(),
@@ -223,6 +275,16 @@ mod tests {
         assert_eq!(starts, vec![0, 4, 8, 12, 16]);
     }
 
+    fn field_of(event: &Value, key: &str) -> Value {
+        event
+            .as_object()
+            .unwrap()
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    }
+
     #[test]
     fn chrome_export_is_valid_json_with_one_row_per_event() {
         let mut ring = TraceRing::new(8, 1);
@@ -237,19 +299,58 @@ mod tests {
             .find(|(k, _)| k == "traceEvents")
             .and_then(|(_, v)| v.as_array())
             .unwrap();
-        assert_eq!(events.len(), 2);
-        let first = events[0].as_object().unwrap();
-        let field = |k: &str| {
-            first
+        // 1 process_name + 5 thread_name metadata events, then the spans.
+        assert_eq!(events.len(), 1 + Stage::ALL.len() + 2);
+        let first_span = &events[1 + Stage::ALL.len()];
+        assert_eq!(field_of(first_span, "ph").as_str(), Some("X"));
+        assert_eq!(field_of(first_span, "ts").as_u64(), Some(5));
+        assert_eq!(field_of(first_span, "dur").as_u64(), Some(3));
+        assert_eq!(field_of(first_span, "cat").as_str(), Some("fetch"));
+        assert_eq!(
+            field_of(first_span, "pid").as_u64(),
+            Some(trace_pid("kafka/twig"))
+        );
+    }
+
+    #[test]
+    fn chrome_export_opens_with_naming_metadata() {
+        let mut ring = TraceRing::new(8, 1);
+        ring.record(Stage::Commit, "retire", 9, 0);
+        let json = chrome_trace_json("kafka/twig", &ring.events(), 0).unwrap();
+        let doc: Value = twig_serde_json::from_str(&json).unwrap();
+        let events = doc
+            .as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_array())
+            .unwrap();
+        let pid = trace_pid("kafka/twig");
+        let arg_name = |event: &Value| {
+            field_of(event, "args")
+                .as_object()
+                .unwrap()
                 .iter()
-                .find(|(name, _)| name == k)
-                .map(|(_, v)| v.clone())
+                .find(|(k, _)| k == "name")
+                .and_then(|(_, v)| v.as_str().map(str::to_string))
                 .unwrap()
         };
-        assert_eq!(field("ph").as_str(), Some("X"));
-        assert_eq!(field("ts").as_u64(), Some(5));
-        assert_eq!(field("dur").as_u64(), Some(3));
-        assert_eq!(field("cat").as_str(), Some("fetch"));
+        let process = &events[0];
+        assert_eq!(field_of(process, "ph").as_str(), Some("M"));
+        assert_eq!(field_of(process, "name").as_str(), Some("process_name"));
+        assert_eq!(field_of(process, "pid").as_u64(), Some(pid));
+        assert_eq!(arg_name(process), "kafka/twig");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            let thread = &events[1 + i];
+            assert_eq!(field_of(thread, "ph").as_str(), Some("M"));
+            assert_eq!(field_of(thread, "name").as_str(), Some("thread_name"));
+            assert_eq!(field_of(thread, "tid").as_u64(), Some(stage.lane() as u64));
+            assert_eq!(arg_name(thread), stage.name());
+        }
+        // Distinct labels get distinct process rows; the pid is a pure
+        // function of the label.
+        assert_ne!(trace_pid("kafka/twig"), trace_pid("tomcat/twig"));
+        assert_eq!(trace_pid("kafka/twig"), pid);
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub enum FaultKind {
     /// metrics export) — the deterministic stand-in for `ENOSPC` or a
     /// crash between `write` and `fsync`.
     DiskFull,
+    /// Service: a tenant's request latencies spike for the matching
+    /// generation (a noisy neighbor, a GC storm) — the fleet's SLO
+    /// burn-rate gauge must catch the sustained breach and degrade the
+    /// tenant instead of letting the regression ship silently.
+    LatencySpike,
 }
 
 impl FaultKind {
@@ -87,6 +92,7 @@ impl FaultKind {
             "corrupt-profile" => Some(FaultKind::CorruptProfile),
             "tenant-churn" => Some(FaultKind::TenantChurn),
             "disk-full" => Some(FaultKind::DiskFull),
+            "latency-spike" => Some(FaultKind::LatencySpike),
             _ => None,
         }
     }
@@ -294,7 +300,8 @@ impl FaultSpec {
                 | FaultKind::StallStream
                 | FaultKind::CorruptProfile
                 | FaultKind::TenantChurn
-                | FaultKind::DiskFull => {}
+                | FaultKind::DiskFull
+                | FaultKind::LatencySpike => {}
             }
         }
         !token.is_cancelled()

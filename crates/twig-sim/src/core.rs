@@ -30,7 +30,7 @@ use crate::icache::MemoryHierarchy;
 use crate::integrity::dump::{DumpBranch, StateDump, DUMP_VERSION};
 use crate::integrity::watchdog::Watchdogs;
 use crate::integrity::{Fault, IntegrityViolation, MutationKind, Validator, ViolationKind};
-use crate::obs::ObsState;
+use crate::obs::{ObsState, TimelineState};
 use crate::ras::Ras;
 use crate::stats::SimStats;
 use crate::system::{BtbSystem, FrontendCtx, LookupOutcome};
@@ -101,6 +101,10 @@ pub struct Simulator<'p, B> {
     /// hot loop pays one never-taken branch per cycle (same discipline
     /// as the integrity layer).
     obs: Option<Box<ObsState>>,
+    /// Windowed time-series state; `None` unless `TWIG_OBS_WINDOW` selects a
+    /// window. Kept separate from `obs` so windowing alone leaves idle-cycle
+    /// batching enabled (it only reads [`SimStats`] at retire boundaries).
+    timeline: Option<Box<TimelineState>>,
     /// Reused staging buffer for a region's software-prefetch blocks
     /// (copied into the FTQ ring's shared pool on push).
     ops_scratch: Vec<BlockId>,
@@ -132,6 +136,7 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             events_consumed: 0,
             integrity_label: String::from("sim"),
             obs: ObsState::from_config(&config.obs),
+            timeline: TimelineState::from_config(&config.obs),
             ops_scratch: Vec::new(),
             line_scratch: Vec::new(),
         };
@@ -430,6 +435,9 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
                             ring.record(Stage::Commit, "retire", cycle, 0);
                         }
                     }
+                    if let Some(timeline) = self.timeline.as_deref_mut() {
+                        timeline.on_retire(cycle, &self.stats);
+                    }
                 }
                 backend_deficit +=
                     f64::from(retired_orig) * backend_extra_cpki / 1000.0;
@@ -604,6 +612,9 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
             obs.mirror_internal();
             self.system.register_metrics(&mut obs.registry);
         }
+        if let Some(timeline) = self.timeline.as_deref_mut() {
+            timeline.flush(&self.stats);
+        }
         Ok(self.stats.clone())
     }
 
@@ -612,6 +623,13 @@ impl<'p, B: BtbSystem> Simulator<'p, B> {
     /// system-specific metrics. `None` at the `off` observability tier.
     pub fn metrics_snapshot(&self) -> Option<twig_obs::MetricsSnapshot> {
         self.obs.as_deref().map(|obs| obs.snapshot())
+    }
+
+    /// The end-of-run windowed timeline (per-window counter deltas plus
+    /// derived metrics and phase segments). `None` unless `TWIG_OBS_WINDOW`
+    /// selects a window.
+    pub fn timeline_snapshot(&self) -> Option<twig_obs::TimelineSnapshot> {
+        self.timeline.as_deref().map(|timeline| timeline.snapshot())
     }
 
     /// Sampled span events recorded so far, oldest first (empty unless

@@ -48,10 +48,10 @@ pub use config::{
     BtbGeometry, CacheGeometry, DirectionPredictorKind, SimConfig, SimConfigBuilder,
     SimConfigError,
 };
-pub use obs::ObsState;
+pub use obs::{ObsState, TimelineState};
 pub use twig_obs::{
     AttrConfig, AttributionSnapshot, ExportError, MetricsRegistry, MetricsSnapshot, MissKind,
-    ObsConfig, ObsLevel,
+    ObsConfig, ObsLevel, TimelineSnapshot,
 };
 pub use core::{HistoryEntry, MissObserver, Simulator, LBR_DEPTH};
 pub use integrity::{

@@ -15,7 +15,11 @@
 //! strict superset of the legacy stats. A unit test in the integration
 //! suite pins that equivalence.
 
-use twig_obs::{AttrTable, HistId, MetricsRegistry, MetricsSnapshot, ObsConfig, TraceRing};
+use twig_obs::timeseries::{track_names, TimeSeriesRing, TimelineSnapshot, TrackKind};
+use twig_obs::{
+    AttrTable, HistId, MetricsRegistry, MetricsSnapshot, ObsConfig, TraceRing,
+    DEFAULT_TIMELINE_CAPACITY,
+};
 use twig_types::BranchKind;
 
 use crate::icache::MemoryStats;
@@ -138,6 +142,143 @@ impl ObsState {
     }
 }
 
+/// The fixed track set the simulator's timeline samples, in
+/// registration order ([`TimelineState::sample`] must match). All
+/// monotone cumulative counters, so every window delta-encodes cleanly
+/// and the conservation check is exact.
+const TIMELINE_TRACKS: [(&str, TrackKind); 10] = [
+    (track_names::CYCLES, TrackKind::Counter),
+    (track_names::INSTRUCTIONS, TrackKind::Counter),
+    ("sim.retired_prefetch_ops", TrackKind::Counter),
+    ("btb.accesses.total", TrackKind::Counter),
+    (track_names::BTB_MISSES, TrackKind::Counter),
+    (track_names::BTB_COVERED, TrackKind::Counter),
+    (track_names::DECODE_RESTEERS, TrackKind::Counter),
+    (track_names::EXEC_RESTEERS, TrackKind::Counter),
+    ("topdown.frontend_bound", TrackKind::Counter),
+    ("topdown.bad_speculation", TrackKind::Counter),
+];
+
+/// Windowed time-series recording state (`TWIG_OBS_WINDOW`), *separate*
+/// from [`ObsState`] on purpose: windowing only reads the live
+/// [`SimStats`], never mutates simulation state, so `window=N` alone
+/// keeps batched idle-cycle stepping enabled and the simulation results
+/// bit-identical — unlike the counters/trace tiers, whose per-cycle
+/// recording disables batching.
+///
+/// Window boundaries are closed-form: a window closes at the retire
+/// event that carries the cumulative retired-instruction count across
+/// the next `k · window` boundary. Batched stepping only leaps cycles
+/// in which nothing retires, so leapt spans always fall strictly inside
+/// the currently open window and boundary attribution is exact; a
+/// retire burst that crosses several boundaries closes them all at the
+/// same cycle (the later ones with zero deltas). The end-of-run flush
+/// cross-validates the whole construction (see [`TimelineState::flush`]).
+#[derive(Debug)]
+pub struct TimelineState {
+    window: u64,
+    next_boundary: u64,
+    ring: TimeSeriesRing,
+}
+
+impl TimelineState {
+    /// Builds the windowing state for `config`, or `None` when
+    /// `TWIG_OBS_WINDOW` is off.
+    pub fn from_config(config: &ObsConfig) -> Option<Box<TimelineState>> {
+        let window = config.window?.max(1);
+        let mut ring = TimeSeriesRing::new(DEFAULT_TIMELINE_CAPACITY);
+        for (name, kind) in TIMELINE_TRACKS {
+            ring.track(name, kind);
+        }
+        Some(Box::new(TimelineState {
+            window,
+            next_boundary: window,
+            ring,
+        }))
+    }
+
+    /// Current cumulative value of every track, in [`TIMELINE_TRACKS`]
+    /// order. `cycles` is passed separately because `stats.cycles` is
+    /// only assigned at end of run.
+    fn sample(stats: &SimStats, cycles: u64) -> [u64; TIMELINE_TRACKS.len()] {
+        [
+            cycles,
+            stats.retired_instructions,
+            stats.retired_prefetch_ops,
+            stats.total_btb_accesses(),
+            stats.total_btb_misses(),
+            stats.total_covered_misses(),
+            stats.decode_resteers,
+            stats.exec_resteers,
+            stats.topdown.frontend_bound,
+            stats.topdown.bad_speculation,
+        ]
+    }
+
+    /// Drives the closed-form boundary walk from the retire path: called
+    /// once per cycle that retires instructions, after the stats have
+    /// been bumped. Allocation-free; when no boundary is crossed this is
+    /// one compare.
+    #[inline]
+    pub fn on_retire(&mut self, cycle: u64, stats: &SimStats) {
+        if stats.retired_instructions < self.next_boundary {
+            return;
+        }
+        let sample = Self::sample(stats, cycle);
+        while stats.retired_instructions >= self.next_boundary {
+            let boundary = self.next_boundary;
+            self.next_boundary += self.window;
+            self.ring.push_window(boundary, cycle, &sample);
+        }
+    }
+
+    /// Closes the final (possibly partial) window at end of run and
+    /// cross-validates the boundary walk: window ends must be strictly
+    /// increasing with every non-final end on an exact `window` multiple,
+    /// and per-window counter deltas must sum exactly to the end-of-run
+    /// totals (the conservation invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the timeline disagrees with the run totals — that is
+    /// a harness bug (mis-attributed leapt windows), never a workload
+    /// property.
+    pub fn flush(&mut self, stats: &SimStats) {
+        let sample = Self::sample(stats, stats.cycles);
+        self.ring
+            .push_window(stats.retired_instructions, stats.cycles, &sample);
+        if let Err(e) = self.ring.check_conservation(&sample) {
+            panic!("timeline conservation violated: {e}");
+        }
+        let snapshot = self.ring.snapshot(self.window);
+        if snapshot.dropped_windows == 0 {
+            let mut prev_end = None;
+            for (i, w) in snapshot.windows.iter().enumerate() {
+                if i + 1 < snapshot.windows.len() {
+                    assert!(
+                        w.end_instr % self.window == 0,
+                        "timeline window {i} ends off-boundary at {} (window={})",
+                        w.end_instr,
+                        self.window
+                    );
+                }
+                if let Some(prev) = prev_end {
+                    assert!(
+                        w.end_instr >= prev,
+                        "timeline window {i} ends before its predecessor"
+                    );
+                }
+                prev_end = Some(w.end_instr);
+            }
+        }
+    }
+
+    /// Freezes the timeline into its deterministic serialized form.
+    pub fn snapshot(&self) -> TimelineSnapshot {
+        self.ring.snapshot(self.window)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +325,63 @@ mod tests {
         assert_eq!(snap.counter("obs.attr.total_cycles"), Some(12));
         assert_eq!(snap.counter("obs.attr.tracked_keys"), Some(1));
         assert_eq!(snap.counter("obs.trace.dropped_spans"), Some(0));
+    }
+
+    #[test]
+    fn timeline_state_gated_on_window_knob() {
+        assert!(TimelineState::from_config(&ObsConfig::off()).is_none());
+        assert!(TimelineState::from_config(&ObsConfig::counters()).is_none());
+        let state = TimelineState::from_config(&ObsConfig::windowed(100)).unwrap();
+        assert_eq!(state.window, 100);
+        assert_eq!(state.ring.track_count(), TIMELINE_TRACKS.len());
+    }
+
+    #[test]
+    fn retire_bursts_close_windows_in_closed_form() {
+        let mut state = TimelineState::from_config(&ObsConfig::windowed(100)).unwrap();
+        let mut stats = SimStats::default();
+        // One burst carries the count from 90 to 310: three boundaries
+        // (100, 200, 300) close at the same cycle.
+        stats.retired_instructions = 90;
+        state.on_retire(40, &stats);
+        assert!(state.ring.is_empty());
+        stats.retired_instructions = 310;
+        stats.decode_resteers = 4;
+        state.on_retire(120, &stats);
+        assert_eq!(state.ring.len(), 3);
+        stats.retired_instructions = 350;
+        stats.cycles = 200;
+        state.flush(&stats);
+        let snap = state.snapshot();
+        let ends: Vec<u64> = snap.windows.iter().map(|w| w.end_instr).collect();
+        assert_eq!(ends, vec![100, 200, 300, 350]);
+        let cycles: Vec<u64> = snap.windows.iter().map(|w| w.end_cycle).collect();
+        assert_eq!(cycles, vec![120, 120, 120, 200]);
+        // Conservation: per-window instruction deltas sum to the total.
+        let instrs = snap.track_values(track_names::INSTRUCTIONS).unwrap();
+        assert_eq!(instrs, vec![310, 0, 0, 40]);
+        assert_eq!(instrs.iter().sum::<u64>(), 350);
+        let resteers = snap.track_values(track_names::DECODE_RESTEERS).unwrap();
+        assert_eq!(resteers.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn exact_boundary_runs_flush_cleanly() {
+        let mut state = TimelineState::from_config(&ObsConfig::windowed(50)).unwrap();
+        let mut stats = SimStats::default();
+        stats.retired_instructions = 50;
+        state.on_retire(75, &stats);
+        stats.retired_instructions = 100;
+        state.on_retire(160, &stats);
+        stats.cycles = 170;
+        state.flush(&stats);
+        let snap = state.snapshot();
+        assert_eq!(snap.windows.len(), 3);
+        let cycles = snap.track_values(track_names::CYCLES).unwrap();
+        assert_eq!(cycles.iter().sum::<u64>(), 170);
+        // The trailing flush window carries only the pipeline drain.
+        let instrs = snap.track_values(track_names::INSTRUCTIONS).unwrap();
+        assert_eq!(instrs, vec![50, 50, 0]);
     }
 
     #[test]

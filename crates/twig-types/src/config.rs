@@ -84,6 +84,11 @@ pub const VAR_OBS: &str = "TWIG_OBS";
 /// `TWIG_OBS_ATTR` — per-branch cycle attribution
 /// (`off | on | k=N[,sample=M]`; parsed by `twig-obs`).
 pub const VAR_OBS_ATTR: &str = "TWIG_OBS_ATTR";
+/// `TWIG_OBS_WINDOW` — windowed time-series telemetry
+/// (`off | window=N`, a window boundary every `N` retired instructions;
+/// parsed by `twig-obs`). Orthogonal to `TWIG_OBS`: windowing samples the
+/// live statistics without creating counters-tier recording state.
+pub const VAR_OBS_WINDOW: &str = "TWIG_OBS_WINDOW";
 /// `TWIG_TRACE_SPILL_EVENTS` — event-count threshold above which the
 /// benchmark harness spills cached traces to columnar `.twgc` files and
 /// streams them back instead of holding a `Vec<BlockEvent>` resident
@@ -120,6 +125,7 @@ pub const ALL_VARS: &[&str] = &[
     VAR_INTEGRITY_DUMP_DIR,
     VAR_OBS,
     VAR_OBS_ATTR,
+    VAR_OBS_WINDOW,
     VAR_TRACE_SPILL_EVENTS,
     VAR_FLEET_WORKERS,
     VAR_FLEET_MAX_GENERATIONS,
@@ -263,6 +269,8 @@ pub struct HarnessConfig {
     pub obs: Setting<String>,
     /// Raw attribution spec (`off` when unset).
     pub obs_attr: Setting<String>,
+    /// Raw timeline-window spec (`off` when unset).
+    pub obs_window: Setting<String>,
     /// Trace-spill threshold in events; `None` = spilling disabled.
     pub trace_spill_events: Setting<Option<u64>>,
     /// Fleet-service worker threads, at least 1.
@@ -290,6 +298,7 @@ impl HarnessConfig {
             integrity_dump_dir: Setting::default_value(None),
             obs: Setting::default_value("off".to_string()),
             obs_attr: Setting::default_value("off".to_string()),
+            obs_window: Setting::default_value("off".to_string()),
             trace_spill_events: Setting::default_value(Some(8_000_000)),
             fleet_workers: Setting::default_value(1),
             fleet_max_generations: Setting::default_value(8),
@@ -370,6 +379,9 @@ impl HarnessConfig {
         }
         if let Some(raw) = lookup(VAR_OBS_ATTR) {
             config.obs_attr = Setting::env_value(raw.trim().to_string());
+        }
+        if let Some(raw) = lookup(VAR_OBS_WINDOW) {
+            config.obs_window = Setting::env_value(raw.trim().to_string());
         }
         if let Some(raw) = lookup(VAR_TRACE_SPILL_EVENTS) {
             let n = parse_u64(VAR_TRACE_SPILL_EVENTS, &raw)?;
@@ -511,6 +523,11 @@ impl HarnessConfig {
                 source: self.obs_attr.source.as_str(),
             },
             ConfigEntry {
+                name: VAR_OBS_WINDOW,
+                value: self.obs_window.value.clone(),
+                source: self.obs_window.source.as_str(),
+            },
+            ConfigEntry {
                 name: VAR_TRACE_SPILL_EVENTS,
                 value: opt(&self.trace_spill_events.value, "off"),
                 source: self.trace_spill_events.source.as_str(),
@@ -593,6 +610,7 @@ mod tests {
             ("TWIG_NUM_THREADS", "3"),
             ("TWIG_TASK_TIMEOUT_MS", "0"),
             ("TWIG_OBS", "counters"),
+            ("TWIG_OBS_WINDOW", "  window=4096  "),
             ("TWIG_FAULT_SPEC", "  panic:task=1  "),
         ]))
         .unwrap();
@@ -601,6 +619,8 @@ mod tests {
         // 0 means "no deadline".
         assert_eq!(config.task_timeout_ms.value, None);
         assert_eq!(config.obs.value, "counters");
+        assert_eq!(config.obs_window.value, "window=4096");
+        assert_eq!(config.obs_window.source, Source::Env);
         assert_eq!(config.fault_spec.value.as_deref(), Some("panic:task=1"));
     }
 
